@@ -1,0 +1,210 @@
+// Ablation benchmarks for the reproduction's design choices (DESIGN.md
+// §4 and §6): the closed-form pipeline model versus the event-level
+// simulation, the midpoint-entry/truncating-lookup trick of the
+// non-interpolated L-LUT, Cody–Waite versus naive argument reduction,
+// table placement, and the double-precision costing of the polynomial
+// workload baseline. Each reports host-independent custom metrics.
+//
+//	go test -bench=Ablation -benchtime=10x
+package transpimlib
+
+import (
+	"math"
+	"testing"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/lut"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/rangered"
+	"transpimlib/internal/stats"
+	"transpimlib/internal/workloads"
+)
+
+// AblationPipelineModel sweeps tasklet counts and reports the relative
+// error of the closed-form cycle formula against the event-level
+// pipeline simulation — the justification for modeling tasklets as a
+// throughput factor instead of simulating every instruction slot.
+func BenchmarkAblationPipelineModel(b *testing.B) {
+	cm := pimsim.Default()
+	for _, tasklets := range []int{1, 2, 4, 8, 11, 16, 24} {
+		b.Run(labelInt("tasklets", tasklets), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				ps := make([]pimsim.PipeProgram, tasklets)
+				var issue, dma uint64
+				for t := range ps {
+					for j := 0; j < 8; j++ {
+						ps[t] = append(ps[t], pimsim.PipeOp{Instrs: 250}, pimsim.PipeOp{DMABytes: 8})
+						issue += 251
+						dma += uint64(cm.MRAMLatency) + uint64(8*cm.MRAMPerByte)
+					}
+				}
+				event := pimsim.SimulatePipeline(ps, cm)
+				formula := pimsim.ClosedFormCycles(issue, dma, tasklets)
+				rel = math.Abs(float64(event)-float64(formula)) / float64(event)
+			}
+			b.ReportMetric(rel*100, "formula-err-%")
+		})
+	}
+}
+
+// AblationMidpointTrick compares the non-interpolated L-LUT (midpoint
+// entries + truncating lookup) against a grid-entry/rounding-lookup
+// table of the same size: the accuracy is the same, the truncating
+// lookup is cheaper — the a⁻¹ freedom of §2.2.2 exploited.
+func BenchmarkAblationMidpointTrick(b *testing.B) {
+	inputs := stats.RandomInputs(0, 2*math.Pi, 4096, 9)
+
+	run := func(b *testing.B, eval func(*pimsim.Ctx, float32) float32, dpu *pimsim.DPU) (float64, float64) {
+		ctx := dpu.NewCtx()
+		var col stats.Collector
+		dpu.ResetCycles()
+		for i := 0; i < b.N; i++ {
+			x := inputs[i%len(inputs)]
+			col.Add(eval(ctx, x), math.Sin(float64(x)))
+		}
+		return float64(dpu.Cycles()) / float64(b.N), col.Result().RMSE
+	}
+
+	b.Run("midpoint-truncate", func(b *testing.B) {
+		dpu := pimsim.NewDPU(0, pimsim.Default(), 16)
+		t, err := lut.BuildLLUT(math.Sin, 0, 2*math.Pi, 10, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev, err := t.Load(dpu, pimsim.InWRAM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, rmse := run(b, dev.Eval, dpu)
+		b.ReportMetric(cyc, "pim-cycles/op")
+		b.ReportMetric(rmse, "rmse")
+	})
+	b.Run("grid-round", func(b *testing.B) {
+		// Same power-of-two density, grid entries, explicit rounding at
+		// lookup time (an M-LUT with k = 2^10).
+		dpu := pimsim.NewDPU(0, pimsim.Default(), 16)
+		span := 2 * math.Pi
+		entries := int(span*1024) + 1
+		t, err := lut.BuildMLUT(math.Sin, 0, 2*math.Pi, entries, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev, err := t.Load(dpu, pimsim.InWRAM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, rmse := run(b, dev.Eval, dpu)
+		b.ReportMetric(cyc, "pim-cycles/op")
+		b.ReportMetric(rmse, "rmse")
+	})
+}
+
+// AblationCodyWaite quantifies what the two-constant reductions buy:
+// accuracy of wide-range sine and exp with and without the split
+// constants (the naive forms are reconstructed inline).
+func BenchmarkAblationCodyWaite(b *testing.B) {
+	inputs := stats.RandomInputs(100, 1000, 2048, 11)
+
+	measure := func(b *testing.B, split func(*pimsim.Ctx, float32) (float32, int32)) {
+		dpu := pimsim.NewDPU(0, pimsim.Default(), 16)
+		ctx := dpu.NewCtx()
+		var worst float64
+		for i := 0; i < b.N; i++ {
+			for _, raw := range inputs {
+				x := raw * 0.05 // ±5..50 range
+				r, k := split(ctx, x)
+				got := float64(r) + float64(k)*math.Ln2
+				if e := math.Abs(got - float64(x)); e > worst {
+					worst = e
+				}
+			}
+		}
+		b.ReportMetric(worst, "reduction-err")
+	}
+	b.Run("exp-cody-waite", func(b *testing.B) {
+		measure(b, rangered.SplitExp)
+	})
+	b.Run("exp-naive", func(b *testing.B) {
+		measure(b, func(ctx *pimsim.Ctx, x float32) (float32, int32) {
+			k := ctx.FToIRound(ctx.FMul(x, rangered.Log2E))
+			r := ctx.FSub(x, ctx.FMul(ctx.IToF(k), rangered.Ln2)) // single constant
+			return r, k
+		})
+	})
+}
+
+// AblationPlacement re-measures the WRAM-vs-MRAM non-difference at
+// full pipeline and the difference it makes with a single tasklet
+// (where DMA latency can no longer hide).
+func BenchmarkAblationPlacement(b *testing.B) {
+	inputs := stats.RandomInputs(0, 2*math.Pi, 2048, 13)
+	for _, tc := range []struct {
+		name     string
+		place    pimsim.Placement
+		tasklets int
+	}{
+		{"wram-16t", pimsim.InWRAM, 16},
+		{"mram-16t", pimsim.InMRAM, 16},
+		{"wram-1t", pimsim.InWRAM, 1},
+		{"mram-1t", pimsim.InMRAM, 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dpu := pimsim.NewDPU(0, pimsim.Default(), tc.tasklets)
+			op, err := core.Build(core.Sin,
+				core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12, Placement: tc.place}, dpu)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dpu.ResetCycles()
+			ctx := dpu.NewCtx()
+			for i := 0; i < b.N; i++ {
+				op.Eval(ctx, inputs[i%len(inputs)])
+			}
+			b.ReportMetric(float64(dpu.Cycles())/float64(b.N), "pim-cycles/op")
+		})
+	}
+}
+
+// AblationBaselinePrecision shows how much of the Blackscholes
+// poly-baseline gap comes from the double-precision costing versus the
+// term count: the same polynomial kit priced with single-precision
+// float costs.
+func BenchmarkAblationBaselinePrecision(b *testing.B) {
+	opts := workloads.GenOptions(4*1000, 21)
+	double := workloads.PolyBaselineKit()
+	single := double
+	single.Name = "pim-poly-single"
+	single.Cost = pimsim.Default()
+	for _, kit := range []workloads.Kit{double, single, workloads.LLUTIKit(12)} {
+		b.Run(kit.Name, func(b *testing.B) {
+			var r workloads.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = workloads.BlackscholesPIM(4, opts, kit)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.KernelSeconds, "kernel-s")
+		})
+	}
+}
+
+func labelInt(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,83 @@
+// Command tplaccuracy prints the full accuracy picture: RMSE, maximum
+// absolute error and maximum ULP error for every supported
+// (function, method, interpolation) combination at a chosen size, the
+// per-function generalization of §4.2's sine-focused analysis.
+//
+// Usage:
+//
+//	tplaccuracy                  # default size knobs
+//	tplaccuracy -size 14 -n 65536
+//	tplaccuracy -fn exp          # one function only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/stats"
+)
+
+var (
+	flagSize = flag.Int("size", 12, "LUT size knob (SizeLog2)")
+	flagIter = flag.Int("iter", 30, "CORDIC iterations")
+	flagDeg  = flag.Int("deg", 11, "polynomial baseline degree")
+	flagN    = flag.Int("n", 1<<14, "inputs per function")
+	flagFn   = flag.String("fn", "", "restrict to one function (empty = all)")
+)
+
+func main() {
+	flag.Parse()
+	fns := core.Functions()
+	if *flagFn != "" {
+		fn, err := core.ParseFunction(*flagFn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fns = []core.Function{fn}
+	}
+	fmt.Printf("%-8s %-22s %12s %12s %12s %10s %10s\n",
+		"fn", "method", "rmse", "rel-rmse", "max-abs", "max-ulp", "cyc/elem")
+	for _, fn := range fns {
+		lo, hi := fn.Domain()
+		inputs := stats.RandomInputs(lo, hi, *flagN, 0xACC)
+		for _, m := range core.Methods() {
+			if !m.Supports(fn) {
+				continue
+			}
+			for _, interp := range []bool{false, true} {
+				if interp && !m.SupportsInterp() {
+					continue
+				}
+				p := core.Params{
+					Method:     m,
+					Interp:     interp,
+					SizeLog2:   *flagSize,
+					Iterations: *flagIter,
+					Degree:     *flagDeg,
+					Placement:  pimsim.InWRAM,
+				}
+				pt, err := core.MeasureOperator(fn, p, inputs)
+				if err != nil {
+					// Scratchpad exhausted: retry in the DRAM bank.
+					p.Placement = pimsim.InMRAM
+					pt, err = core.MeasureOperator(fn, p, inputs)
+				}
+				if err != nil {
+					fmt.Printf("%-6s %-22s ERROR: %v\n", fn, p.Label(), err)
+					continue
+				}
+				label := m.String()
+				if interp {
+					label += "(i)"
+				}
+				fmt.Printf("%-8s %-22s %12.3g %12.3g %12.3g %10.1f %10.1f\n",
+					fn, label, pt.Errors.RMSE, pt.Errors.RelRMSE, pt.Errors.MaxAbs, pt.Errors.MaxULP, pt.CyclesPerElem)
+			}
+		}
+		fmt.Println()
+	}
+}

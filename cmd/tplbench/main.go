@@ -1,0 +1,354 @@
+// Command tplbench regenerates the paper's microbenchmark content:
+// Table 1 (CORDIC constants), Table 2 (method × function support),
+// Figure 5 (execution cycles vs. RMSE), Figure 6 (setup time vs.
+// RMSE), Figure 7 (memory consumption vs. RMSE), Figure 8 (range
+// reduction/extension cycles), and the Key Takeaway checks.
+//
+// Usage:
+//
+//	tplbench -all                 # everything, sine as the Fig. 5-7 function
+//	tplbench -fig5 -fn tanh       # one figure for another function
+//	tplbench -fig5 -csv           # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"transpimlib/internal/cordic"
+	"transpimlib/internal/core"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/rangered"
+	"transpimlib/internal/stats"
+)
+
+var (
+	flagAll     = flag.Bool("all", false, "run every table, figure and takeaway check")
+	flagTable1  = flag.Bool("table1", false, "print Table 1 (CORDIC constants)")
+	flagTable2  = flag.Bool("table2", false, "print Table 2 (support matrix)")
+	flagFig4    = flag.Bool("fig4", false, "Figure 4: LUT entry-density patterns")
+	flagFig5    = flag.Bool("fig5", false, "Figure 5: execution cycles vs RMSE")
+	flagFig6    = flag.Bool("fig6", false, "Figure 6: setup time vs RMSE")
+	flagFig7    = flag.Bool("fig7", false, "Figure 7: memory consumption vs RMSE")
+	flagFig8    = flag.Bool("fig8", false, "Figure 8: range reduction/extension cycles")
+	flagTK      = flag.Bool("takeaways", false, "check Key Takeaways 1-4")
+	flagFn      = flag.String("fn", "sin", "function for the Fig. 5-7 sweeps (or \"all\")")
+	flagN       = flag.Int("n", 1<<16, "number of microbenchmark inputs (paper: 2^16)")
+	flagCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flagProfile = flag.String("profile", "upmem", "machine profile: upmem | hbm-pim | fp32")
+)
+
+func main() {
+	flag.Parse()
+	if !(*flagAll || *flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagTK) {
+		*flagAll = true
+	}
+	var fns []core.Function
+	if *flagFn == "all" {
+		fns = core.Functions()
+	} else {
+		fn, err := core.ParseFunction(*flagFn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fns = []core.Function{fn}
+	}
+	cost, ok := pimsim.Profiles()[*flagProfile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (upmem, hbm-pim, fp32)\n", *flagProfile)
+		os.Exit(2)
+	}
+	profileCost = cost
+	if *flagProfile != "upmem" {
+		fmt.Printf("machine profile: %s\n\n", *flagProfile)
+	}
+
+	if *flagAll || *flagTable1 {
+		table1()
+	}
+	if *flagAll || *flagTable2 {
+		fmt.Println("== Table 2: implementation methods and supported functions ==")
+		fmt.Println(core.SupportMatrix())
+	}
+	if *flagAll || *flagFig4 {
+		figure4()
+	}
+	for _, fn := range fns {
+		var points []core.Point
+		if *flagAll || *flagFig5 || *flagFig6 || *flagFig7 {
+			points = sweepAll(fn, *flagN)
+		}
+		if *flagAll || *flagFig5 {
+			figure(points, fn, 5, "execution cycles per element on one PIM core",
+				func(p core.Point) float64 { return p.CyclesPerElem }, "%9.1f")
+		}
+		if *flagAll || *flagFig6 {
+			figure(points, fn, 6, "setup time on the host CPU (seconds)",
+				func(p core.Point) float64 { return p.SetupSeconds }, "%9.3g")
+		}
+		if *flagAll || *flagFig7 {
+			figure(points, fn, 7, "memory consumption per PIM core (bytes)",
+				func(p core.Point) float64 { return float64(p.TableBytes) }, "%9.0f")
+		}
+	}
+	if *flagAll || *flagFig8 {
+		figure8()
+	}
+	if *flagAll || *flagTK {
+		takeaways(*flagN)
+	}
+}
+
+func table1() {
+	fmt.Println("== Table 1: CORDIC rotation matrices, angles, and stretching factors ==")
+	fmt.Printf("%-12s %-22s %-16s %s\n", "mode", "phi_i", "1/K (32 iters)", "functions")
+	rows := []struct {
+		mode cordic.Mode
+		phi  string
+		fns  string
+	}{
+		{cordic.Circular, "atan(2^-i)", "sin, cos, tan, arctan"},
+		{cordic.Hyperbolic, "atanh(2^-i)", "sinh, cosh, tanh, exp, log, sqrt, atanh"},
+		{cordic.Linear, "2^-i", "multiplication, division"},
+	}
+	for _, r := range rows {
+		tb := cordic.NewTables(r.mode, 32)
+		fmt.Printf("%-12s %-22s %-16.10f %s\n", r.mode, r.phi, 1/tb.GainF, r.fns)
+	}
+	fmt.Println()
+}
+
+var profileCost pimsim.CostModel
+
+func sweepAll(fn core.Function, n int) []core.Point {
+	lo, hi := fn.Domain()
+	inputs := stats.RandomInputs(lo, hi, n, 0x7161)
+	var out []core.Point
+	for _, sc := range core.Fig5Curves(fn) {
+		sc.Cost = profileCost
+		out = append(out, sc.Run(inputs)...)
+	}
+	return out
+}
+
+func curveName(p core.Point) string {
+	name := p.Par.Method.String()
+	if p.Par.Interp {
+		name += "(i)"
+	}
+	return name + " " + p.Par.Placement.String()
+}
+
+func figure(points []core.Point, fn core.Function, num int, ylabel string, y func(core.Point) float64, format string) {
+	fmt.Printf("== Figure %d: %s vs RMSE — %s ==\n", num, ylabel, fn)
+	groups := map[string][]core.Point{}
+	var names []string
+	for _, p := range points {
+		k := curveName(p)
+		if _, seen := groups[k]; !seen {
+			names = append(names, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	sort.Strings(names)
+	if *flagCSV {
+		fmt.Println("curve,size,rmse,value")
+		for _, name := range names {
+			for _, p := range groups[name] {
+				fmt.Printf("%s,%s,%.6g,%.6g\n", name, sizeOf(p), p.Errors.RMSE, y(p))
+			}
+		}
+		fmt.Println()
+		return
+	}
+	for _, name := range names {
+		fmt.Printf("  %s\n", name)
+		for _, p := range groups[name] {
+			fmt.Printf("    size=%-6s rmse=%10.3g  "+format+"\n", sizeOf(p), p.Errors.RMSE, y(p))
+		}
+	}
+	fmt.Println()
+}
+
+func sizeOf(p core.Point) string {
+	switch p.Par.Method {
+	case core.CORDIC, core.CORDICLUT:
+		return fmt.Sprintf("it%d", p.Par.Iterations)
+	case core.Poly:
+		return fmt.Sprintf("d%d", p.Par.Degree)
+	default:
+		return fmt.Sprintf("2^%d", p.Par.SizeLog2)
+	}
+}
+
+func figure8() {
+	fmt.Println("== Figure 8: execution cycles per element for range reduction/extension ==")
+	cost := func(f func(*pimsim.Ctx)) uint64 {
+		d := pimsim.NewDPU(0, pimsim.Default(), pimsim.DefaultTasklets)
+		ctx := d.NewCtx()
+		const reps = 256
+		for i := 0; i < reps; i++ {
+			f(ctx)
+		}
+		return d.Cycles() / reps
+	}
+	sin := cost(func(c *pimsim.Ctx) {
+		r := rangered.To2Pi(c, 123.456)
+		theta, q := rangered.FoldQuadrant(c, r)
+		rangered.ApplySinQuadrant(c, theta, theta, q)
+	})
+	exp := cost(func(c *pimsim.Ctx) {
+		r, k := rangered.SplitExp(c, 7.7)
+		rangered.JoinExp(c, r, k)
+	})
+	log := cost(func(c *pimsim.Ctx) {
+		m, e := rangered.SplitLog(c, 1234.5)
+		rangered.JoinLog(c, m, e)
+	})
+	sqrt := cost(func(c *pimsim.Ctx) {
+		m, h := rangered.SplitSqrt(c, 1234.5)
+		rangered.JoinSqrt(c, m, h)
+	})
+	if *flagCSV {
+		fmt.Println("function,cycles")
+		fmt.Printf("sin,%d\nexp,%d\nlog,%d\nsqrt,%d\n\n", sin, exp, log, sqrt)
+		return
+	}
+	fmt.Printf("  %-6s %8s\n", "fn", "cycles")
+	fmt.Printf("  %-6s %8d   (2π reduction + quadrant fold + fix-up)\n", "sin", sin)
+	fmt.Printf("  %-6s %8d   (Cody-Waite split + ldexp join)\n", "exp", exp)
+	fmt.Printf("  %-6s %8d   (frexp split + e·ln2 join)\n", "log", log)
+	fmt.Printf("  %-6s %8d   (frexp split + parity + ldexp join)\n", "sqrt", sqrt)
+	fmt.Println()
+}
+
+func takeaways(n int) {
+	fmt.Println("== Key Takeaway checks ==")
+	pass := func(id, claim string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s: %s\n         %s\n", status, id, claim, detail)
+	}
+	sinInputs := stats.RandomInputs(0, 2*math.Pi, n, 1)
+
+	// KT1: interpolated L-LUT offers the best performance/accuracy
+	// trade-off among the multiplying methods.
+	li, _ := core.MeasureOperator(core.Sin, core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12}, sinInputs)
+	mi, _ := core.MeasureOperator(core.Sin, core.Params{Method: core.MLUT, Interp: true, SizeLog2: 12}, sinInputs)
+	fi, _ := core.MeasureOperator(core.Sin, core.Params{Method: core.LLUTFixed, Interp: true, SizeLog2: 12}, sinInputs)
+	pass("KT1", "interpolated L-LUT beats interpolated M-LUT at equal accuracy",
+		li.CyclesPerElem < mi.CyclesPerElem && li.Errors.RMSE < 2*mi.Errors.RMSE,
+		fmt.Sprintf("L-LUTi %.0f cyc (rmse %.2g) vs M-LUTi %.0f cyc (rmse %.2g); fixed L-LUTi %.0f cyc",
+			li.CyclesPerElem, li.Errors.RMSE, mi.CyclesPerElem, mi.Errors.RMSE, fi.CyclesPerElem))
+
+	// KT2: CORDIC preferable for kernels with few transcendental ops.
+	cord, _ := core.MeasureOperator(core.Sin, core.Params{Method: core.CORDIC, Iterations: 30}, sinInputs)
+	lut14, _ := core.MeasureOperator(core.Sin, core.Params{Method: core.LLUT, Interp: true, SizeLog2: 14, Placement: pimsim.InMRAM}, sinInputs)
+	dc := cord.CyclesPerElem - lut14.CyclesPerElem
+	ds := lut14.SetupSeconds - cord.SetupSeconds
+	breakEven := ds / (dc / pimsim.DefaultClockHz)
+	pass("KT2", "CORDIC amortizes better below a small op count",
+		dc > 0 && ds > 0,
+		fmt.Sprintf("L-LUT setup pays off after ~%.0f sine ops (paper: ~40)", breakEven))
+
+	// KT3: interpolated L-LUT needs far less memory than non-interp at
+	// equal accuracy; CORDIC memory is (near-)constant.
+	ni, _ := core.MeasureOperator(core.Sin, core.Params{Method: core.LLUT, SizeLog2: 16, Placement: pimsim.InMRAM}, sinInputs)
+	pass("KT3", "interpolation reaches non-interp accuracy with far less memory",
+		li.Errors.RMSE < ni.Errors.RMSE && li.TableBytes*4 < ni.TableBytes,
+		fmt.Sprintf("L-LUTi 2^12: %d B rmse %.2g vs L-LUT 2^16: %d B rmse %.2g; CORDIC-30: %d B",
+			li.TableBytes, li.Errors.RMSE, ni.TableBytes, ni.Errors.RMSE, cord.TableBytes))
+
+	// KT4: D-LUT/DL-LUT are ~2× faster than wide-range interpolated
+	// L-LUT sine, at similar accuracy, for tanh/GELU.
+	wideSin, _ := core.MeasureOperator(core.Sin,
+		core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12, WideRange: true},
+		stats.RandomInputs(-20, 20, n, 2))
+	tanhIn := stats.RandomInputs(-7.9, 7.9, n, 3)
+	dl, _ := core.MeasureOperator(core.Tanh, core.Params{Method: core.DLLUT, Interp: true, SizeLog2: 12}, tanhIn)
+	ratio := wideSin.CyclesPerElem / dl.CyclesPerElem
+	pass("KT4", "DL-LUT tanh ≈2× faster than wide-range L-LUTi sine at similar accuracy",
+		ratio > 1.5 && ratio < 4 && dl.Errors.RMSE < 10*wideSin.Errors.RMSE,
+		fmt.Sprintf("speedup %.2f× (tanh DL-LUTi %.0f cyc rmse %.2g; sine %.0f cyc rmse %.2g)",
+			ratio, dl.CyclesPerElem, dl.Errors.RMSE, wideSin.CyclesPerElem, wideSin.Errors.RMSE))
+
+	// §4.2.4: tangent costs 2-3× sine.
+	tan, _ := core.MeasureOperator(core.Tan, core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12}, sinInputs)
+	pass("§4.2.4", "tangent ≈2-3× the cycles of sine (sin+cos+fdiv)",
+		tan.CyclesPerElem > 1.3*li.CyclesPerElem,
+		fmt.Sprintf("tan %.0f cyc vs sin %.0f cyc (%.2f×)", tan.CyclesPerElem, li.CyclesPerElem,
+			tan.CyclesPerElem/li.CyclesPerElem))
+	fmt.Println()
+}
+
+// figure4 renders the entry-density comparison of Figure 4: where each
+// LUT family places its entries across an input interval. Each row is
+// a histogram of entries per equal-width bucket; the M-LUT and L-LUT
+// are uniform (with the L-LUT constrained to power-of-two density),
+// the D-LUT follows the density of the floats (geometric, dense near
+// zero, with the near-zero gap), and the DL-LUT patches that gap with
+// an L-LUT.
+func figure4() {
+	fmt.Println("== Figure 4: lookup-table entry density over [0, 5] (entries per 0.25-wide bucket) ==")
+	const lo, hi = 0.0, 5.0
+	const buckets = 20
+	hist := func(name string, positions []float64) {
+		counts := make([]int, buckets)
+		total := 0
+		for _, p := range positions {
+			if p < lo || p >= hi {
+				continue
+			}
+			counts[int((p-lo)/(hi-lo)*buckets)]++
+			total++
+		}
+		fmt.Printf("  %-22s", name)
+		for _, c := range counts {
+			fmt.Printf("%4d", c)
+		}
+		fmt.Printf("   (%d entries)\n", total)
+	}
+
+	// M-LUT: arbitrary density k (here 12.8/unit over [0,5], Fig. 4(a)).
+	var m []float64
+	for i := 0; i < 64; i++ {
+		m = append(m, lo+float64(i)/12.8)
+	}
+	hist("m-lut (k=12.8)", m)
+
+	// L-LUT: power-of-two density 2^4 = 16/unit (Fig. 4(b)).
+	var l []float64
+	for i := 0; ; i++ {
+		p := lo + float64(i)/16
+		if p >= hi {
+			break
+		}
+		l = append(l, p)
+	}
+	hist("l-lut (k=2^4)", l)
+
+	// D-LUT: entries at float-pattern positions 2^e·(1+j/2^m), denser
+	// toward zero, nothing below 2^minExp (Fig. 4(c)).
+	var d []float64
+	for e := -3; e < 3; e++ {
+		for j := 0; j < 16; j++ {
+			d = append(d, math.Ldexp(1+float64(j)/16, e))
+		}
+	}
+	hist("d-lut (m=4, e≥-3)", d)
+
+	// DL-LUT: the same D-LUT plus an L-LUT filling [0, 2^minExp)
+	// (Fig. 4(d)).
+	dl := append([]float64{}, d...)
+	for i := 0; i < 16; i++ {
+		dl = append(dl, float64(i)/128)
+	}
+	hist("dl-lut (d + l near 0)", dl)
+	fmt.Println()
+}

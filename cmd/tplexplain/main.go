@@ -1,0 +1,111 @@
+// Command tplexplain decomposes where a method's cycles go: it runs
+// one (function, method) configuration through the simulator and
+// prints the per-operation-class cycle breakdown — the quantitative
+// form of the paper's "the number of floating-point multiplications
+// determines the number of execution cycles" argument (§4.2.1).
+//
+// Usage:
+//
+//	tplexplain -fn sin -method l-lut -interp
+//	tplexplain -fn exp -method cordic -iter 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/stats"
+)
+
+var (
+	flagFn     = flag.String("fn", "sin", "function")
+	flagMethod = flag.String("method", "l-lut", "method (cordic, cordic+lut, m-lut, l-lut, l-lut-fixed, d-lut, dl-lut, poly)")
+	flagInterp = flag.Bool("interp", false, "interpolated LUT variant")
+	flagSize   = flag.Int("size", 12, "LUT size knob")
+	flagIter   = flag.Int("iter", 30, "CORDIC iterations")
+	flagDeg    = flag.Int("deg", 9, "polynomial degree")
+	flagMRAM   = flag.Bool("mram", false, "place tables in the DRAM bank instead of the scratchpad")
+	flagWide   = flag.Bool("wide", false, "wide-range trig (prepends 2π reduction)")
+	flagN      = flag.Int("n", 4096, "number of inputs")
+)
+
+func main() {
+	flag.Parse()
+	fn, err := core.ParseFunction(*flagFn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m, err := core.ParseMethod(*flagMethod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	place := pimsim.InWRAM
+	if *flagMRAM {
+		place = pimsim.InMRAM
+	}
+	p := core.Params{
+		Method:     m,
+		Interp:     *flagInterp,
+		SizeLog2:   *flagSize,
+		Iterations: *flagIter,
+		Degree:     *flagDeg,
+		Placement:  place,
+		WideRange:  *flagWide,
+	}
+
+	dpu := pimsim.NewDPU(0, pimsim.Default(), pimsim.DefaultTasklets)
+	op, err := core.Build(fn, p, dpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dpu.ResetCycles()
+	ctx := dpu.NewCtx()
+	lo, hi := fn.Domain()
+	inputs := stats.RandomInputs(lo, hi, *flagN, 0xE)
+	ref := fn.Ref()
+	var col stats.Collector
+	for _, x := range inputs {
+		col.Add(op.Eval(ctx, x), ref(float64(x)))
+	}
+
+	n := float64(len(inputs))
+	c := dpu.Counters()
+	total := float64(dpu.Cycles())
+
+	fmt.Printf("%v via %s\n", fn, p.Label())
+	fmt.Printf("accuracy:    %s\n", col.Result())
+	fmt.Printf("memory:      %d bytes of tables\n", op.TableBytes())
+	fmt.Printf("setup:       %.3g s (host gen %.3g s + transfer %.3g s)\n",
+		op.SetupSeconds(), op.BuildSeconds(), op.TransferSeconds())
+	fmt.Printf("execution:   %.1f cycles/element (%.2f µs/element at 350 MHz)\n\n",
+		total/n, total/n/350)
+
+	type row struct {
+		class  pimsim.OpClass
+		ops    float64
+		cycles float64
+	}
+	var rows []row
+	for cl := pimsim.OpClass(0); cl.String() != "op?"; cl++ {
+		if c.Cycles[cl] == 0 {
+			continue
+		}
+		rows = append(rows, row{cl, float64(c.Ops[cl]) / n, float64(c.Cycles[cl]) / n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cycles > rows[j].cycles })
+	fmt.Printf("%-8s %12s %14s %8s\n", "class", "ops/elem", "cycles/elem", "share")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12.2f %14.1f %7.1f%%\n",
+			r.class, r.ops, r.cycles, 100*r.cycles/total*n)
+	}
+	if dma := float64(dpu.DMACycles()) / n; dma > 0 {
+		fmt.Printf("\nDMA engine busy: %.1f cycles/elem (overlapped; bound only if > pipeline)\n", dma)
+	}
+}

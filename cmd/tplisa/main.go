@@ -1,0 +1,185 @@
+// Command tplisa runs the ISA-level cost-model validation and prints
+// the comparison table: retired instruction counts of hand-written
+// assembly routines on the internal/isa interpreter versus the cycle
+// charges pimsim's cost model applies for the same operations
+// (DESIGN.md §2, item 14; EXPERIMENTS.md "Cost-model validation").
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/isa"
+	"transpimlib/internal/lut"
+	"transpimlib/internal/pimsim"
+)
+
+func main() {
+	cm := pimsim.Default()
+	fmt.Println("ISA-level cost-model validation")
+	fmt.Println("(assembly on the internal/isa interpreter vs pimsim charges)")
+	fmt.Println()
+	fmt.Printf("%-44s %10s %10s %8s\n", "routine", "asm instrs", "charge", "ratio")
+
+	row := func(name string, instrs uint64, charge int) {
+		fmt.Printf("%-44s %10d %10d %7.2fx\n", name, instrs, charge, float64(instrs)/float64(charge))
+	}
+
+	wram := pimsim.NewMem("wram", pimsim.DefaultWRAMSize, 4)
+	mram := pimsim.NewMem("mram", pimsim.DefaultMRAMSize, 8)
+	m := isa.NewMachine(wram, mram, cm)
+
+	runFrom := func(p *isa.Program, label string, setup func()) uint64 {
+		m.Reset()
+		setup()
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, label, 100000); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return m.IssueCycles()
+	}
+
+	// Software 32×32 multiply.
+	pm := isa.MustAssemble(isa.Mul32Src)
+	row("mul32 (8×8 mul_step products)",
+		runFrom(pm, "mul32", func() { m.Regs[1], m.Regs[2] = 12345, -678 }),
+		cm.IMul)
+
+	// Software float multiply and add.
+	pf := isa.MustAssemble(isa.FMul32Src)
+	row("fmul32 (softfloat multiply)",
+		runFrom(pf, "fmul32", func() {
+			m.Regs[1] = int32(math.Float32bits(3.14159))
+			m.Regs[2] = int32(math.Float32bits(2.71828))
+		}),
+		cm.FMul)
+	pa := isa.MustAssemble(isa.FAdd32Src)
+	row("fadd32 (softfloat add, cancellation path)",
+		runFrom(pa, "fadd32", func() {
+			m.Regs[1] = int32(math.Float32bits(3.14159))
+			m.Regs[2] = int32(math.Float32bits(-2.71828))
+		}),
+		cm.FAdd)
+	pd := isa.MustAssemble(isa.FDiv32Src)
+	row("fdiv32 (restoring shift-subtract divide)",
+		runFrom(pd, "fdiv32", func() {
+			m.Regs[1] = int32(math.Float32bits(3.14159))
+			m.Regs[2] = int32(math.Float32bits(2.71828))
+		}),
+		cm.FDiv)
+	pl := isa.MustAssemble(isa.LdexpSrc)
+	row("ldexp (exponent-field add)",
+		runFrom(pl, "ldexp", func() {
+			m.Regs[1] = int32(math.Float32bits(3.25))
+			m.Regs[2] = 10
+		}),
+		cm.Ldexp)
+
+	// Conversions.
+	pq := isa.MustAssemble(isa.F2QSrc)
+	row("f2q (float→Q3.28)",
+		runFrom(pq, "f2q", func() { m.Regs[1] = int32(math.Float32bits(3.25)) }),
+		cm.FToI)
+	p2 := isa.MustAssemble(isa.Q2FSrc)
+	row("q2f (Q3.28→float, CLZ normalize)",
+		runFrom(p2, "q2f", func() { m.Regs[1] = int32(fixed.FromFloat64(3.25)) }),
+		cm.IToF)
+
+	// One 64-bit CORDIC iteration body.
+	pc := isa.MustAssemble(isa.CordicStepSrc)
+	row("cordic step (64-bit funnel shifts + carries)",
+		runFrom(pc, "cordic_step", func() {
+			m.Regs[1], m.Regs[2] = int32(1<<8), 0
+			m.Regs[7] = 5
+		}),
+		2*cm.I64Shr+3*cm.I64Add+cm.I64Add)
+
+	// The full fixed-point L-LUT sine pipeline, averaged over inputs.
+	const n = 10
+	tab, err := lut.BuildFixedLLUT(math.Sin, 0, 2*math.Pi, n, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dpu := pimsim.NewDPU(0, cm, 16)
+	dev, err := tab.Load(dpu, pimsim.InWRAM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := isa.ValidationProgram()
+	mach := isa.NewMachineForDPU(dpu)
+	var asmTotal uint64
+	samples := 0
+	for x := 0.1; x < 2*math.Pi; x += 0.37 {
+		mach.Reset()
+		mach.Regs[1] = int32(math.Float32bits(float32(x)))
+		mach.Regs[2] = 0
+		mach.Regs[3] = int32(tab.P)
+		mach.Regs[4] = int32(fixed.FracBits - n)
+		mach.Regs[5] = int32(len(tab.Entries))
+		if err := mach.RunFrom(prog, "sine_fixed", 100000); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		asmTotal += mach.IssueCycles()
+		samples++
+	}
+	dpu.ResetCycles()
+	ctx := dpu.NewCtx()
+	for x := 0.1; x < 2*math.Pi; x += 0.37 {
+		dev.EvalFloat(ctx, float32(x))
+	}
+	fmt.Printf("%-44s %10.1f %10.1f %7.2fx\n",
+		"fixed L-LUT sine pipeline (per element)",
+		float64(asmTotal)/float64(samples),
+		float64(dpu.Cycles())/float64(samples),
+		float64(asmTotal)/float64(dpu.Cycles()))
+
+	// The interpolated float L-LUT sine (Key Takeaway 1's recommended
+	// method) end to end.
+	itab, err := lut.BuildLLUT(math.Sin, 0, 2*math.Pi, n, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dpu2 := pimsim.NewDPU(1, cm, 16)
+	idev, err := itab.Load(dpu2, pimsim.InWRAM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	iprog := isa.InterpValidationProgram()
+	imach := isa.NewMachineForDPU(dpu2)
+	var iasm uint64
+	isamples := 0
+	for x := 0.05; x < 2*math.Pi; x += 0.11 {
+		imach.Reset()
+		imach.Regs[1] = int32(math.Float32bits(float32(x)))
+		imach.Regs[2] = 0
+		imach.Regs[3] = n
+		imach.Regs[4] = int32(len(itab.Entries))
+		if err := imach.RunFrom(iprog, "sine_llut_i", 100000); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		iasm += imach.IssueCycles()
+		isamples++
+	}
+	dpu2.ResetCycles()
+	ictx := dpu2.NewCtx()
+	for x := 0.05; x < 2*math.Pi; x += 0.11 {
+		idev.Eval(ictx, float32(x))
+	}
+	fmt.Printf("%-44s %10.1f %10.1f %7.2fx\n",
+		"interpolated L-LUT sine pipeline (KT1)",
+		float64(iasm)/float64(isamples),
+		float64(dpu2.Cycles())/float64(isamples),
+		float64(iasm)/float64(dpu2.Cycles()))
+	fmt.Println()
+	fmt.Println("ratios near 1 mean the cost model charges what the ISA actually executes;")
+	fmt.Println("softfloat ratios < 1 reflect truncating asm vs charged round-to-nearest.")
+}

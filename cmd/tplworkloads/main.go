@@ -1,0 +1,169 @@
+// Command tplworkloads regenerates Figure 9: execution time of
+// Blackscholes (10M options), Sigmoid (30M elements) and Softmax (30M
+// elements) on the PIM system (2545 cores × 16 PIM threads at
+// 350 MHz) against single- and 32-thread CPU baselines.
+//
+// PIM variants: polynomial-approximation baseline, interpolated M-LUT,
+// interpolated L-LUT, and (Blackscholes only) interpolated fixed-point
+// L-LUT (§4.1.2).
+//
+// By default the run simulates a reduced core count with the paper's
+// exact per-core load and projects transfers to full scale — bit-
+// identical per-core cycle counts at a fraction of the host time. Use
+// -dpus 2545 -full for the complete 10M/30M-element simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"transpimlib/internal/workloads"
+)
+
+var (
+	flagDPUs      = flag.Int("dpus", 64, "simulated PIM cores (paper: 2545)")
+	flagFull      = flag.Bool("full", false, "use the paper's full element counts instead of scaling by core count")
+	flagMeasured  = flag.Bool("measured", false, "also run measured host-CPU baselines on this machine")
+	flagWorkload  = flag.String("workload", "all", "blackscholes | sigmoid | softmax | all")
+	flagCalibrate = flag.Bool("calibrate", false, "measure this host's math-library costs and print the derived CPU model")
+)
+
+func main() {
+	flag.Parse()
+	dpus := *flagDPUs
+	bsN := dpus * (workloads.FullBlackscholesElements / workloads.FullDPUs)
+	actN := dpus * (workloads.FullActivationElements / workloads.FullDPUs)
+	if *flagFull {
+		bsN = workloads.FullBlackscholesElements
+		actN = workloads.FullActivationElements
+	}
+
+	if *flagCalibrate {
+		c := workloads.Calibrate(1 << 20)
+		fmt.Printf("host math calibration: exp=%.1fns log=%.1fns sqrt=%.1fns div=%.1fns flop=%.1fns\n",
+			c.ExpNs, c.LogNs, c.SqrtNs, c.DivNs, c.FlopNs)
+		_, perElem := c.ModelFor(2.1e9, 32)
+		fmt.Printf("per-element cycles at 2.1 GHz (this host's library): blackscholes=%.0f sigmoid=%.0f softmax=%.0f\n",
+			perElem("blackscholes"), perElem("sigmoid"), perElem("softmax"))
+		fmt.Printf("analytic model uses:                                blackscholes=%.0f sigmoid=%.0f softmax=%.0f\n\n",
+			workloads.BlackscholesCycles(), workloads.SigmoidCycles(), workloads.SoftmaxCycles())
+	}
+
+	fmt.Printf("== Figure 9 — %d PIM cores × 16 threads @350 MHz; CPU model: 2×16-core Xeon @2.1 GHz ==\n", dpus)
+	fmt.Printf("   (kernel = PIM compute; transfer = Host↔PIM, projected to full %d-core scale)\n\n", workloads.FullDPUs)
+
+	run := *flagWorkload
+	if run == "all" || run == "fig1" {
+		fig1(dpus)
+	}
+	if run == "all" || run == "blackscholes" {
+		blackscholes(dpus, bsN)
+	}
+	if run == "all" || run == "sigmoid" {
+		sigmoid(dpus, actN)
+	}
+	if run == "all" || run == "softmax" {
+		softmax(dpus, actN)
+	}
+}
+
+func show(r workloads.Result, full int) {
+	fmt.Println("  " + workloads.ProjectFull(r, full).String())
+}
+
+// showCPU projects a measured host-CPU result to the full element
+// count: CPU time scales linearly with elements.
+func showCPU(r workloads.Result, full int) {
+	if r.Elements > 0 && r.Elements != full {
+		r.KernelSeconds *= float64(full) / float64(r.Elements)
+		r.Elements = full
+	}
+	fmt.Println("  " + r.String())
+}
+
+// fig1 prints the §4.3 Figure 1(b)-vs-1(c) comparison: activations
+// resident on PIM computed in place versus shipped to the host.
+func fig1(dpus int) {
+	fmt.Println("-- Figure 1(b) vs 1(c): activation on host vs on PIM (§4.3) --")
+	c, err := workloads.SigmoidFig1(dpus, workloads.FullActivationElements, workloads.LLUTIKit(12))
+	if err != nil {
+		fmt.Println("  ERROR:", err)
+		return
+	}
+	fmt.Println("  " + c.String())
+	fmt.Println()
+}
+
+func blackscholes(dpus, n int) {
+	fmt.Println("-- Blackscholes --")
+	opts := workloads.GenOptions(n, 1)
+	show(workloads.BlackscholesCPUModeled(workloads.FullBlackscholesElements, 1), workloads.FullBlackscholesElements)
+	show(workloads.BlackscholesCPUModeled(workloads.FullBlackscholesElements, 32), workloads.FullBlackscholesElements)
+	if *flagMeasured {
+		showCPU(workloads.BlackscholesCPU(opts, 1), workloads.FullBlackscholesElements)
+		showCPU(workloads.BlackscholesCPU(opts, runtime.GOMAXPROCS(0)), workloads.FullBlackscholesElements)
+	}
+	for _, kit := range []workloads.Kit{
+		workloads.PolyBaselineKit(),
+		workloads.MLUTIKit(10),
+		workloads.LLUTIKit(12),
+		workloads.FixedLLUTIKit(12),
+	} {
+		r, err := workloads.BlackscholesPIM(dpus, opts, kit)
+		if err != nil {
+			fmt.Println("  ERROR:", err)
+			continue
+		}
+		show(r, workloads.FullBlackscholesElements)
+	}
+	fmt.Println()
+}
+
+func sigmoid(dpus, n int) {
+	fmt.Println("-- Sigmoid --")
+	acts := workloads.GenActivations(n, 2)
+	show(workloads.SigmoidCPUModeled(workloads.FullActivationElements, 1), workloads.FullActivationElements)
+	show(workloads.SigmoidCPUModeled(workloads.FullActivationElements, 32), workloads.FullActivationElements)
+	if *flagMeasured {
+		showCPU(workloads.SigmoidCPU(acts, 1), workloads.FullActivationElements)
+		showCPU(workloads.SigmoidCPU(acts, runtime.GOMAXPROCS(0)), workloads.FullActivationElements)
+	}
+	for _, kit := range []workloads.Kit{
+		workloads.PolyActivationKit(),
+		workloads.MLUTIKit(10),
+		workloads.LLUTIKit(12),
+	} {
+		r, err := workloads.SigmoidPIM(dpus, acts, kit)
+		if err != nil {
+			fmt.Println("  ERROR:", err)
+			continue
+		}
+		show(r, workloads.FullActivationElements)
+	}
+	fmt.Println()
+}
+
+func softmax(dpus, n int) {
+	fmt.Println("-- Softmax --")
+	acts := workloads.GenActivations(n, 3)
+	show(workloads.SoftmaxCPUModeled(workloads.FullActivationElements, 1), workloads.FullActivationElements)
+	show(workloads.SoftmaxCPUModeled(workloads.FullActivationElements, 32), workloads.FullActivationElements)
+	if *flagMeasured {
+		showCPU(workloads.SoftmaxCPU(acts, 1), workloads.FullActivationElements)
+		showCPU(workloads.SoftmaxCPU(acts, runtime.GOMAXPROCS(0)), workloads.FullActivationElements)
+	}
+	for _, kit := range []workloads.Kit{
+		workloads.PolyActivationKit(),
+		workloads.MLUTIKit(10),
+		workloads.LLUTIKit(12),
+	} {
+		r, err := workloads.SoftmaxPIM(dpus, acts, kit)
+		if err != nil {
+			fmt.Println("  ERROR:", err)
+			continue
+		}
+		show(r, workloads.FullActivationElements)
+	}
+	fmt.Println()
+}

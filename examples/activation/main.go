@@ -1,0 +1,86 @@
+// Activation layers on the PIM core: sigmoid, tanh, GELU and softmax
+// over a batch of pre-activations, the machine-learning use case the
+// paper motivates (activation functions running next to the data
+// instead of shuttling it to the host, Figure 1(b) vs 1(c)).
+//
+// tanh and GELU use the DL-LUT — the method Key Takeaway 4 recommends
+// for approximately-linear activation functions — while sigmoid and
+// softmax build on the exponential from an interpolated L-LUT.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"transpimlib"
+)
+
+func main() {
+	// One library per method family, sharing nothing but the design.
+	dlLib, err := transpimlib.New(transpimlib.Config{
+		Method:       transpimlib.DLLUT,
+		Interpolated: true,
+		SizeLog2:     12,
+	}, transpimlib.Tanh, transpimlib.GELU)
+	if err != nil {
+		panic(err)
+	}
+	expLib, err := transpimlib.New(transpimlib.Config{
+		Method:       transpimlib.LLUT,
+		Interpolated: true,
+		SizeLog2:     12,
+	}, transpimlib.Exp)
+	if err != nil {
+		panic(err)
+	}
+
+	// A small batch of pre-activations.
+	batch := make([]float32, 16)
+	for i := range batch {
+		batch[i] = float32(i)/2 - 4 // -4 … 3.5
+	}
+
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s\n", "x", "sigmoid", "tanh", "gelu", "softmax")
+	soft := softmax(expLib, batch)
+	for i, x := range batch {
+		fmt.Printf("%-8.2f %-10.6f %-10.6f %-10.6f %-10.6f\n",
+			x, sigmoid(expLib, x), dlLib.Tanhf(x), dlLib.Geluf(x), soft[i])
+	}
+
+	// Cross-check the worst error per activation against the host.
+	var worstSig, worstTanh, worstGelu float64
+	for _, x := range batch {
+		worstSig = math.Max(worstSig, math.Abs(float64(sigmoid(expLib, x))-1/(1+math.Exp(-float64(x)))))
+		worstTanh = math.Max(worstTanh, math.Abs(float64(dlLib.Tanhf(x))-math.Tanh(float64(x))))
+		g := 0.5 * float64(x) * (1 + math.Erf(float64(x)/math.Sqrt2))
+		worstGelu = math.Max(worstGelu, math.Abs(float64(dlLib.Geluf(x))-g))
+	}
+	fmt.Printf("\nworst batch error: sigmoid %.2g, tanh %.2g, gelu %.2g\n",
+		worstSig, worstTanh, worstGelu)
+
+	var sum float64
+	for _, v := range soft {
+		sum += float64(v)
+	}
+	fmt.Printf("softmax outputs sum to %.6f\n", sum)
+	fmt.Printf("\nPIM cycles — exp-based lib: %d, DL-LUT lib: %d\n",
+		expLib.Cycles(), dlLib.Cycles())
+}
+
+func sigmoid(lib *transpimlib.Lib, x float32) float32 {
+	return 1 / (1 + lib.Expf(-x))
+}
+
+func softmax(lib *transpimlib.Lib, xs []float32) []float32 {
+	out := make([]float32, len(xs))
+	var sum float32
+	for i, x := range xs {
+		out[i] = lib.Expf(x)
+		sum += out[i]
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Blackscholes option pricing on the PIM core through the public API —
+// the paper's first full workload (§4.1.2). The kernel uses
+// TransPimLib's exp, log and sqrt plus an Abramowitz–Stegun cumulative
+// normal distribution built on the library's exponential, prices a
+// small portfolio, and reports accuracy against a float64 host
+// reference and the modeled PIM cycle cost.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"transpimlib"
+)
+
+type option struct {
+	spot, strike, rate, vol, tm float64
+	call                        bool
+}
+
+func main() {
+	lib, err := transpimlib.New(transpimlib.Config{
+		Method:       transpimlib.LLUT,
+		Interpolated: true,
+		SizeLog2:     12,
+		Placement:    transpimlib.InMRAM,
+	}, transpimlib.Exp, transpimlib.Log, transpimlib.Sqrt)
+	if err != nil {
+		panic(err)
+	}
+
+	portfolio := []option{
+		{spot: 42, strike: 40, rate: 0.10, vol: 0.20, tm: 0.5, call: true},
+		{spot: 42, strike: 40, rate: 0.10, vol: 0.20, tm: 0.5, call: false},
+		{spot: 100, strike: 95, rate: 0.05, vol: 0.35, tm: 1.0, call: true},
+		{spot: 60, strike: 65, rate: 0.08, vol: 0.30, tm: 0.25, call: false},
+		{spot: 25, strike: 70, rate: 0.10, vol: 0.45, tm: 2.0, call: true},
+	}
+
+	fmt.Printf("%-30s %-12s %-12s %s\n", "option", "PIM price", "host price", "abs err")
+	for _, o := range portfolio {
+		pim := price(lib, o)
+		host := priceHost(o)
+		kind := "put"
+		if o.call {
+			kind = "call"
+		}
+		desc := fmt.Sprintf("S=%g K=%g v=%g T=%g %s", o.spot, o.strike, o.vol, o.tm, kind)
+		fmt.Printf("%-30s %-12.5f %-12.5f %.2g\n", desc, pim, host, math.Abs(float64(pim)-host))
+	}
+	fmt.Printf("\ntotal PIM cycles: %d (%.1f per option)\n",
+		lib.Cycles(), float64(lib.Cycles())/float64(len(portfolio)))
+}
+
+// cndf is the Abramowitz–Stegun 26.2.17 cumulative normal distribution
+// with the exponential supplied by TransPimLib, as the PIM kernel
+// computes it.
+func cndf(lib *transpimlib.Lib, x float32) float32 {
+	const gamma = 0.2316419
+	b := [5]float32{0.319381530, -0.356563782, 1.781477937, -1.821255978, 1.330274429}
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	k := 1 / (1 + gamma*ax)
+	acc := b[4]
+	for i := 3; i >= 0; i-- {
+		acc = acc*k + b[i]
+	}
+	pdf := float32(0.3989423) * lib.Expf(-0.5*ax*ax)
+	res := 1 - pdf*acc*k
+	if x < 0 {
+		return 1 - res
+	}
+	return res
+}
+
+func price(lib *transpimlib.Lib, o option) float32 {
+	s, k := float32(o.spot), float32(o.strike)
+	r, v, t := float32(o.rate), float32(o.vol), float32(o.tm)
+	sqrtT := lib.Sqrtf(t)
+	d1 := (lib.Logf(s/k) + (r+v*v/2)*t) / (v * sqrtT)
+	d2 := d1 - v*sqrtT
+	disc := k * lib.Expf(-r*t)
+	if o.call {
+		return s*cndf(lib, d1) - disc*cndf(lib, d2)
+	}
+	return disc*(1-cndf(lib, d2)) - s*(1-cndf(lib, d1))
+}
+
+func priceHost(o option) float64 {
+	phi := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	sqrtT := math.Sqrt(o.tm)
+	d1 := (math.Log(o.spot/o.strike) + (o.rate+o.vol*o.vol/2)*o.tm) / (o.vol * sqrtT)
+	d2 := d1 - o.vol*sqrtT
+	disc := o.strike * math.Exp(-o.rate*o.tm)
+	if o.call {
+		return o.spot*phi(d1) - disc*phi(d2)
+	}
+	return disc*phi(-d2) - o.spot*phi(-d1)
+}

@@ -1,0 +1,141 @@
+// Methodpicker turns the paper's Key Takeaways 1-3 into executable
+// advice: given an accuracy target, a PIM memory budget, and the
+// number of operations a kernel will perform, it measures every
+// candidate configuration through the public API and prints the ranked
+// choices. Run it with different budgets to watch the recommendation
+// flip from L-LUT (many ops, plenty of memory) to CORDIC (few ops or
+// tight memory) exactly as §4.2 describes.
+//
+//	methodpicker -fn sin -rmse 1e-6 -mem 16384 -ops 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"transpimlib"
+	"transpimlib/internal/stats"
+)
+
+var (
+	flagFn   = flag.String("fn", "sin", "function to plan for")
+	flagRMSE = flag.Float64("rmse", 1e-6, "target RMSE")
+	flagMem  = flag.Int("mem", 64<<10, "PIM memory budget in bytes")
+	flagOps  = flag.Float64("ops", 1000, "operations the kernel will execute")
+)
+
+type candidate struct {
+	label        string
+	rmse         float64
+	cycles       float64
+	setupSeconds float64
+	tableBytes   int
+	totalSeconds float64 // setup + ops × cycles at 350 MHz
+}
+
+func main() {
+	flag.Parse()
+	var fn transpimlib.Function
+	found := false
+	for _, f := range transpimlib.Functions() {
+		if f.String() == *flagFn {
+			fn, found = f, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown function %q\n", *flagFn)
+		os.Exit(2)
+	}
+
+	lo, hi := fn.Domain()
+	inputs := stats.RandomInputs(lo, hi, 4096, 42)
+	ref := fn.Ref()
+
+	var fits, misses []candidate
+	try := func(cfg transpimlib.Config, label string) {
+		lib, err := transpimlib.New(cfg, fn)
+		if err != nil {
+			return // does not fit the selected memory at all
+		}
+		var col stats.Collector
+		for _, x := range inputs {
+			col.Add(lib.Eval(fn, x), ref(float64(x)))
+		}
+		e := col.Result()
+		c := candidate{
+			label:        label,
+			rmse:         e.RMSE,
+			cycles:       float64(lib.Cycles()) / float64(len(inputs)),
+			setupSeconds: lib.SetupSeconds(),
+			tableBytes:   lib.TableBytes(),
+		}
+		c.totalSeconds = c.setupSeconds + *flagOps*c.cycles/350e6
+		if e.RMSE <= *flagRMSE && c.tableBytes <= *flagMem {
+			fits = append(fits, c)
+		} else {
+			misses = append(misses, c)
+		}
+	}
+
+	for _, size := range []int{8, 10, 12, 14, 16, 18} {
+		for _, interp := range []bool{false, true} {
+			for _, m := range []transpimlib.Method{transpimlib.MLUT, transpimlib.LLUT, transpimlib.LLUTFixed, transpimlib.DLUT, transpimlib.DLLUT} {
+				if !transpimlib.Supports(m, fn) {
+					continue
+				}
+				label := fmt.Sprintf("%v size=2^%d", m, size)
+				if interp {
+					label = fmt.Sprintf("%v(i) size=2^%d", m, size)
+				}
+				try(transpimlib.Config{Method: m, Interpolated: interp, SizeLog2: size,
+					Placement: transpimlib.InMRAM}, label)
+			}
+		}
+	}
+	if transpimlib.Supports(transpimlib.CORDIC, fn) {
+		for _, it := range []int{16, 24, 32, 40} {
+			try(transpimlib.Config{Method: transpimlib.CORDIC, Iterations: it},
+				fmt.Sprintf("cordic it=%d", it))
+		}
+	}
+	if transpimlib.Supports(transpimlib.CORDICLUT, fn) {
+		for _, it := range []int{12, 20, 28} {
+			try(transpimlib.Config{Method: transpimlib.CORDICLUT, HeadBits: 8, Iterations: it},
+				fmt.Sprintf("cordic+lut it=%d", it))
+		}
+	}
+
+	fmt.Printf("planning %v: rmse ≤ %.2g, memory ≤ %d B, %g kernel ops\n\n",
+		fn, *flagRMSE, *flagMem, *flagOps)
+	if len(fits) == 0 {
+		fmt.Println("no configuration meets the constraints; nearest misses:")
+		sort.Slice(misses, func(i, j int) bool { return misses[i].rmse < misses[j].rmse })
+		for i, c := range misses {
+			if i == 5 {
+				break
+			}
+			print1(c)
+		}
+		return
+	}
+	// Rank by total time for the kernel's op count (setup amortization
+	// is exactly the Figure 6 trade-off).
+	sort.Slice(fits, func(i, j int) bool { return fits[i].totalSeconds < fits[j].totalSeconds })
+	fmt.Println("configurations meeting the constraints, best first:")
+	for i, c := range fits {
+		if i == 8 {
+			break
+		}
+		print1(c)
+	}
+	best := fits[0]
+	fmt.Printf("\nrecommendation: %s — %.3g s total for %g ops (%.0f cyc/op, %.3g s setup, %d B)\n",
+		best.label, best.totalSeconds, *flagOps, best.cycles, best.setupSeconds, best.tableBytes)
+}
+
+func print1(c candidate) {
+	fmt.Printf("  %-24s rmse=%9.3g cyc/op=%8.1f setup=%9.3gs mem=%8dB total=%9.3gs\n",
+		c.label, c.rmse, c.cycles, c.setupSeconds, c.tableBytes, c.totalSeconds)
+}

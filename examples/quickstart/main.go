@@ -1,0 +1,68 @@
+// Quickstart: compile a TransPimLib instance, evaluate a few
+// transcendental functions "on" the simulated PIM core, and inspect
+// what it cost — the three axes of the paper's evaluation (accuracy,
+// execution cycles, setup time / memory).
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"transpimlib"
+)
+
+func main() {
+	// An interpolated LDEXP-based fuzzy lookup table — the method the
+	// paper recommends as the best performance/accuracy trade-off
+	// (Key Takeaway 1). Tables go to the core's DRAM bank.
+	lib, err := transpimlib.New(transpimlib.Config{
+		Method:       transpimlib.LLUT,
+		Interpolated: true,
+		SizeLog2:     12,
+		Placement:    transpimlib.InMRAM,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("setup: %.3g s host time, %d bytes of PIM memory\n\n",
+		lib.SetupSeconds(), lib.TableBytes())
+
+	type check struct {
+		name string
+		got  float32
+		want float64
+	}
+	checks := []check{
+		{"sin(π/3)", lib.Sinf(float32(math.Pi / 3)), math.Sin(math.Pi / 3)},
+		{"cos(1)", lib.Cosf(1), math.Cos(1)},
+		{"tanh(0.5)", lib.Tanhf(0.5), math.Tanh(0.5)},
+		{"exp(4.2)", lib.Expf(4.2), math.Exp(4.2)},
+		{"log(123)", lib.Logf(123), math.Log(123)},
+		{"sqrt(2)", lib.Sqrtf(2), math.Sqrt2},
+		{"gelu(1)", lib.Geluf(1), 0.5 * (1 + math.Erf(1/math.Sqrt2))},
+	}
+	fmt.Printf("%-12s %-14s %-14s %s\n", "call", "PIM result", "host math", "abs err")
+	for _, c := range checks {
+		fmt.Printf("%-12s %-14.7g %-14.7g %.2g\n", c.name, c.got, c.want,
+			math.Abs(float64(c.got)-c.want))
+	}
+
+	fmt.Printf("\nPIM cycles for the %d calls above: %d (%.1f per call at 350 MHz → %.2f µs)\n",
+		len(checks), lib.Cycles(), float64(lib.Cycles())/float64(len(checks)),
+		float64(lib.Cycles())/350e6*1e6)
+
+	// The same calls through pure CORDIC: no tables worth mentioning,
+	// but far more cycles per call — the Figure 5/6 trade-off.
+	cordic, err := transpimlib.New(transpimlib.Config{Method: transpimlib.CORDIC, Iterations: 30},
+		transpimlib.Sin, transpimlib.Exp, transpimlib.Log, transpimlib.Sqrt)
+	if err != nil {
+		panic(err)
+	}
+	cordic.Sinf(1)
+	cordic.Expf(4.2)
+	cordic.Logf(123)
+	cordic.Sqrtf(2)
+	fmt.Printf("CORDIC comparison: %d bytes of tables, %d cycles for 4 calls\n",
+		cordic.TableBytes(), cordic.Cycles())
+}

@@ -1,0 +1,41 @@
+package transpimlib
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary, asserting it
+// exits cleanly and prints the landmark lines its demo promises. Skip
+// with -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cases := []struct {
+		dir      string
+		args     []string
+		landmark string
+	}{
+		{"./examples/quickstart", nil, "PIM cycles"},
+		{"./examples/blackscholes", nil, "total PIM cycles"},
+		{"./examples/activation", nil, "softmax outputs sum to 1.000000"},
+		{"./examples/methodpicker", []string{"-ops", "25"}, "recommendation:"},
+		{"./examples/raytrace", nil, "rays"},
+		{"./examples/logistic", nil, "boundary angle"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", append([]string{"run", c.dir}, c.args...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.landmark) {
+				t.Fatalf("%s output missing %q:\n%s", c.dir, c.landmark, out)
+			}
+		})
+	}
+}

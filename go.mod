@@ -1,0 +1,3 @@
+module transpimlib
+
+go 1.22

@@ -1,0 +1,242 @@
+package cordic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"transpimlib/internal/pimsim"
+)
+
+// Placement re-exports pimsim.Placement for table locations.
+type Placement = pimsim.Placement
+
+// Table placement options (§4.2.1 observation 4 compares them).
+const (
+	InWRAM = pimsim.InWRAM
+	InMRAM = pimsim.InMRAM
+)
+
+// Device is a set of CORDIC tables resident in a PIM core's memory,
+// ready to be used by kernels on that core.
+type Device struct {
+	t       *Tables
+	place   Placement
+	dpu     *pimsim.DPU
+	addr    int // base of the packed (angle int64, shift int64) entries
+	invGain int64
+}
+
+// Load allocates and writes the iteration constants into the chosen
+// memory of the PIM core. It returns an error when the memory cannot
+// hold them (e.g. the 64-KB scratchpad).
+func (t *Tables) Load(dpu *pimsim.DPU, place Placement) (*Device, error) {
+	n := len(t.Angles)
+	size := 16 * n // angle + shift per entry, 8 bytes each
+	var addr int
+	var err error
+	switch place {
+	case InWRAM:
+		addr, err = dpu.WRAM.Alloc(size)
+	case InMRAM:
+		addr, err = dpu.MRAM.Alloc(size)
+	default:
+		return nil, fmt.Errorf("cordic: bad placement %d", place)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mem := dpu.WRAM
+	if place == InMRAM {
+		mem = dpu.MRAM
+	}
+	for i := 0; i < n; i++ {
+		mem.PutInt64(addr+16*i, t.Angles[i])
+		mem.PutInt64(addr+16*i+8, int64(t.Shifts[i]))
+	}
+	return &Device{t: t, place: place, dpu: dpu, addr: addr, invGain: t.InvGain}, nil
+}
+
+// Tables returns the host-side tables backing the device.
+func (d *Device) Tables() *Tables { return d.t }
+
+// Placement returns where the constants live.
+func (d *Device) Placement() Placement { return d.place }
+
+// loadEntry fetches (angle, shift) for iteration i, charging the
+// appropriate memory cost: two word-pair scratchpad loads, or one
+// 16-byte DMA from the DRAM bank.
+func (d *Device) loadEntry(ctx *pimsim.Ctx, i int) (phi int64, s uint) {
+	base := d.addr + 16*i
+	if d.place == InWRAM {
+		phi = ctx.WramLoadI64(base)
+		s = uint(ctx.WramLoadI64(base + 8))
+		return phi, s
+	}
+	phi = ctx.MramLoadI64(base)
+	s = uint(ctx.MramLoadI64(base + 8))
+	return phi, s
+}
+
+// Rotate runs rotation-mode CORDIC on the PIM core starting from
+// (x0, y0) with target angle theta, charging every per-iteration
+// operation: the table fetch, the sign test, two 64-bit shifts and
+// three 64-bit add/subtracts, plus loop overhead.
+func (d *Device) Rotate(ctx *pimsim.Ctx, x0, y0, theta int64) (x, y, z int64) {
+	x, y, z = x0, y0, theta
+	for i := range d.t.Shifts {
+		phi, s := d.loadEntry(ctx, i)
+		xs := ctx.I64Shr(x, s)
+		ys := ctx.I64Shr(y, s)
+		if ctx.I64Cmp(z, 0) >= 0 {
+			x = d.stepX(ctx, x, ys, true)
+			y = ctx.I64Add(y, xs)
+			z = ctx.I64Sub(z, phi)
+		} else {
+			x = d.stepX(ctx, x, ys, false)
+			y = ctx.I64Sub(y, xs)
+			z = ctx.I64Add(z, phi)
+		}
+		ctx.Charge(2) // loop counter + branch
+	}
+	return x, y, z
+}
+
+// Vector runs vectoring-mode CORDIC on the PIM core, driving y toward
+// zero and accumulating the rotation angle into z.
+func (d *Device) Vector(ctx *pimsim.Ctx, x0, y0, z0 int64) (x, y, z int64) {
+	x, y, z = x0, y0, z0
+	for i := range d.t.Shifts {
+		phi, s := d.loadEntry(ctx, i)
+		xs := ctx.I64Shr(x, s)
+		ys := ctx.I64Shr(y, s)
+		if ctx.I64Cmp(y, 0) < 0 {
+			x = d.stepX(ctx, x, ys, true)
+			y = ctx.I64Add(y, xs)
+			z = ctx.I64Sub(z, phi)
+		} else {
+			x = d.stepX(ctx, x, ys, false)
+			y = ctx.I64Sub(y, xs)
+			z = ctx.I64Add(z, phi)
+		}
+		ctx.Charge(2)
+	}
+	return x, y, z
+}
+
+func (d *Device) stepX(ctx *pimsim.Ctx, x, ys int64, positive bool) int64 {
+	switch d.t.Mode {
+	case Circular:
+		if positive {
+			return ctx.I64Sub(x, ys)
+		}
+		return ctx.I64Add(x, ys)
+	case Hyperbolic:
+		if positive {
+			return ctx.I64Add(x, ys)
+		}
+		return ctx.I64Sub(x, ys)
+	default: // Linear: x is invariant
+		return x
+	}
+}
+
+// SinCos computes (sin θ, cos θ) for θ ∈ [-π/2, π/2] in Q23.40 using
+// circular rotation mode with the gain pre-folded into the initial
+// vector (no final multiply). The device must be in Circular mode.
+func (d *Device) SinCos(ctx *pimsim.Ctx, theta int64) (sin, cos int64) {
+	x, y, _ := d.Rotate(ctx, d.invGain, 0, theta)
+	return y, x
+}
+
+// SinhCosh computes (sinh θ, cosh θ) for θ within the hyperbolic
+// convergence range (|θ| ≲ 1.11) using hyperbolic rotation mode. The
+// device must be in Hyperbolic mode.
+func (d *Device) SinhCosh(ctx *pimsim.Ctx, theta int64) (sinh, cosh int64) {
+	x, y, _ := d.Rotate(ctx, d.invGain, 0, theta)
+	return y, x
+}
+
+// Exp computes e^θ = cosh θ + sinh θ for θ in the convergence range.
+func (d *Device) Exp(ctx *pimsim.Ctx, theta int64) int64 {
+	sinh, cosh := d.SinhCosh(ctx, theta)
+	return ctx.I64Add(sinh, cosh)
+}
+
+// Atanh computes artanh(y/x) via hyperbolic vectoring; used for
+// ln(w) = 2·artanh((w−1)/(w+1)) (§2.2.3 range extension for log).
+func (d *Device) Atanh(ctx *pimsim.Ctx, x0, y0 int64) int64 {
+	_, _, z := d.Vector(ctx, x0, y0, 0)
+	return z
+}
+
+// Ln computes ln(w) for w in (0, ~2.3] using hyperbolic vectoring:
+// ln(w) = 2·artanh((w−1)/(w+1)).
+func (d *Device) Ln(ctx *pimsim.Ctx, w int64) int64 {
+	xp := ctx.I64Add(w, One)
+	ym := ctx.I64Sub(w, One)
+	z := d.Atanh(ctx, xp, ym)
+	return ctx.I64Shl(z, 1)
+}
+
+// Sqrt computes √w for w in the vectoring convergence range
+// (≈ [0.03, 2.3]) via hyperbolic vectoring of (w+¼, w−¼):
+// x_n = K'·√((w+¼)² − (w−¼)²) = K'·√w, then removes the gain with one
+// fixed multiply.
+func (d *Device) Sqrt(ctx *pimsim.Ctx, w int64) int64 {
+	quarter := One >> 2
+	xp := ctx.I64Add(w, quarter)
+	ym := ctx.I64Sub(w, quarter)
+	x, _, _ := d.Vector(ctx, xp, ym, 0)
+	return mulFix(ctx, x, d.invGain)
+}
+
+// Atan computes arctan(w) via circular vectoring of (1, w): the
+// accumulated angle z converges to atan(w/1). The convergence range of
+// the circular mode (Σφᵢ ≈ 1.743 rad) covers the whole arctangent
+// image (±π/2), so no range extension is needed — arctan is listed for
+// the circular mode in Table 1. The device must be in Circular mode.
+func (d *Device) Atan(ctx *pimsim.Ctx, w int64) int64 {
+	_, _, z := d.Vector(ctx, One, w, 0)
+	return z
+}
+
+// MulLinear computes a·b with linear rotation mode (Table 1, last
+// row); |b| must be < 2 for convergence. Provided for Table 1
+// completeness.
+func (d *Device) MulLinear(ctx *pimsim.Ctx, a, b int64) int64 {
+	_, y, _ := d.Rotate(ctx, a, 0, b)
+	return y
+}
+
+// DivLinear computes a/b with linear vectoring mode; |a/b| must be < 2
+// for convergence. Provided for Table 1 completeness.
+func (d *Device) DivLinear(ctx *pimsim.Ctx, a, b int64) int64 {
+	_, _, z := d.Vector(ctx, b, a, 0)
+	return z
+}
+
+// mulFix multiplies two Q23.40 values with an exact 128-bit
+// intermediate, charging the 64-bit emulated multiply sequence (three
+// 32×32 partial products on the 32-bit core).
+func mulFix(ctx *pimsim.Ctx, a, b int64) int64 {
+	ctx.Charge(3 * 34)
+	return MulFixHost(a, b)
+}
+
+// MulFixHost is the unmetered Q23.40 multiply used by host-side code
+// and tests.
+func MulFixHost(a, b int64) int64 {
+	neg := false
+	if a < 0 {
+		a, neg = -a, !neg
+	}
+	if b < 0 {
+		b, neg = -b, !neg
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	r := int64(hi<<(64-FracBits) | lo>>FracBits)
+	if neg {
+		return -r
+	}
+	return r
+}

@@ -1,0 +1,119 @@
+package cordic
+
+import (
+	"math"
+	"testing"
+
+	"transpimlib/internal/pimsim"
+)
+
+func TestLoadBadPlacement(t *testing.T) {
+	d := pimsim.NewDPU(0, pimsim.Default(), 16)
+	tb := NewTables(Circular, 8)
+	if _, err := tb.Load(d, Placement(99)); err == nil {
+		t.Fatal("bad placement must fail")
+	}
+}
+
+func TestLUTAssistValidation(t *testing.T) {
+	d := pimsim.NewDPU(0, pimsim.Default(), 16)
+	if _, err := NewLUTAssist(d, InWRAM, 1, 8); err == nil {
+		t.Fatal("lutBits below 2 must fail")
+	}
+	if _, err := NewLUTAssist(d, InWRAM, 30, 8); err == nil {
+		t.Fatal("lutBits above 24 must fail")
+	}
+}
+
+func TestLUTAssistClampsOutOfRange(t *testing.T) {
+	d := pimsim.NewDPU(0, pimsim.Default(), 16)
+	la, err := NewLUTAssist(d, InWRAM, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewCtx()
+	// Slightly beyond π/2 and below 0 must clamp, not crash.
+	sin, _ := la.SinCos(ctx, FromFloat(math.Pi/2+0.01))
+	if v := ToFloat(sin); v < 0.95 || v > 1.05 {
+		t.Errorf("clamped sin(π/2+ε) = %v", v)
+	}
+	sin, _ = la.SinCos(ctx, FromFloat(-0.005))
+	if v := ToFloat(sin); math.Abs(v) > 0.05 {
+		t.Errorf("clamped sin(-ε) = %v", v)
+	}
+}
+
+func TestTableBytesGrowsWithIterations(t *testing.T) {
+	a := NewTables(Circular, 8).TableBytes()
+	b := NewTables(Circular, 32).TableBytes()
+	if b <= a {
+		t.Fatalf("TableBytes: %d then %d", a, b)
+	}
+}
+
+func TestVectoringSqrtEdge(t *testing.T) {
+	// The vectoring convergence range just covers the reduced sqrt
+	// domain [0.5, 2): check both edges.
+	d := pimsim.NewDPU(0, pimsim.Default(), 16)
+	tb := NewTables(Hyperbolic, 40)
+	dev, err := tb.Load(d, InWRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewCtx()
+	for _, w := range []float64{0.5, 0.500001, 1.999, 1.9999999} {
+		got := ToFloat(dev.Sqrt(ctx, FromFloat(w)))
+		if math.Abs(got-math.Sqrt(w)) > 5e-8 {
+			t.Errorf("sqrt(%v) = %v, want %v", w, got, math.Sqrt(w))
+		}
+	}
+}
+
+func TestLnEdges(t *testing.T) {
+	d := pimsim.NewDPU(0, pimsim.Default(), 16)
+	tb := NewTables(Hyperbolic, 40)
+	dev, err := tb.Load(d, InWRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewCtx()
+	for _, w := range []float64{0.5, 0.7071, 0.9999999, 1.0000001} {
+		got := ToFloat(dev.Ln(ctx, FromFloat(w)))
+		if math.Abs(got-math.Log(w)) > 5e-8 {
+			t.Errorf("ln(%v) = %v, want %v", w, got, math.Log(w))
+		}
+	}
+}
+
+func TestAtanDevice(t *testing.T) {
+	d := pimsim.NewDPU(0, pimsim.Default(), 16)
+	tb := NewTables(Circular, 36)
+	dev, err := tb.Load(d, InWRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.NewCtx()
+	for _, w := range []float64{-1000, -8, -1, -0.01, 0, 0.5, 1, 7.9, 500} {
+		// Q23.40 holds ±2^23; large |w| still converges since only the
+		// ratio matters.
+		got := ToFloat(dev.Atan(ctx, FromFloat(w)))
+		if math.Abs(got-math.Atan(w)) > 1e-7 {
+			t.Errorf("atan(%v) = %v, want %v", w, got, math.Atan(w))
+		}
+	}
+}
+
+func TestModeStringUnknown(t *testing.T) {
+	if Mode(42).String() != "mode?" {
+		t.Fatal("unknown mode name")
+	}
+}
+
+func TestNewTablesPanicsOnBadMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown mode must panic")
+		}
+	}()
+	NewTables(Mode(9), 8)
+}

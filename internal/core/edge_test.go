@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/stats"
+)
+
+// Failure injection and edge cases for the operator compiler.
+
+func TestBuildCORDICLUTWRAMExhaustion(t *testing.T) {
+	// A 2^16-dense head table cannot fit the scratchpad.
+	dpu := newDPU()
+	_, err := Build(Sin, Params{Method: CORDICLUT, HeadBits: 16, Iterations: 10}, dpu)
+	if err == nil {
+		t.Fatal("oversized CORDIC+LUT head must fail in WRAM")
+	}
+	if !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("error should name the exhaustion: %v", err)
+	}
+	// The same configuration fits MRAM.
+	if _, err := Build(Sin, Params{Method: CORDICLUT, HeadBits: 16, Iterations: 10,
+		Placement: pimsim.InMRAM}, newDPU()); err != nil {
+		t.Fatalf("MRAM build failed: %v", err)
+	}
+}
+
+func TestBuildAccumulatesOnOneCore(t *testing.T) {
+	// Building several operators onto one core shares its memories; the
+	// allocator must account cumulatively until the scratchpad runs out.
+	dpu := newDPU()
+	built := 0
+	for i := 0; i < 32; i++ {
+		_, err := Build(Sin, Params{Method: LLUT, SizeLog2: 12}, dpu)
+		if err != nil {
+			break
+		}
+		built++
+	}
+	if built == 0 || built >= 32 {
+		t.Fatalf("expected a handful of 12.9-KB tables to fit 64 KB, got %d", built)
+	}
+	if free := dpu.WRAM.Free(); free > 16<<10 {
+		t.Fatalf("scratchpad should be nearly full, %d bytes free", free)
+	}
+}
+
+func TestCORDICLUTTanUsesDivision(t *testing.T) {
+	dpu := newDPU()
+	op, err := Build(Tan, Params{Method: CORDICLUT, HeadBits: 8, Iterations: 20}, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpu.ResetCycles()
+	op.Eval(dpu.NewCtx(), 1.0)
+	if dpu.Counters().Ops[pimsim.OpFDiv] != 1 {
+		t.Fatal("tangent must spend exactly one float division")
+	}
+}
+
+func TestSinCosConsistency(t *testing.T) {
+	// sin²+cos² ≈ 1 for every method that supports the circular family.
+	for _, m := range []Method{CORDIC, CORDICLUT, MLUT, LLUT, LLUTFixed, Poly} {
+		dpu := newDPU()
+		pSin := Params{Method: m, Interp: true, SizeLog2: 12, Iterations: 30}
+		sinOp, err := Build(Sin, pSin, dpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cosOp, err := Build(Cos, pSin, dpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := dpu.NewCtx()
+		for x := 0.05; x < 2*math.Pi; x += 0.31 {
+			s := float64(sinOp.Eval(ctx, float32(x)))
+			c := float64(cosOp.Eval(ctx, float32(x)))
+			if math.Abs(s*s+c*c-1) > 2e-4 {
+				t.Errorf("%v: sin²+cos² at %v = %v", m, x, s*s+c*c)
+			}
+		}
+	}
+}
+
+func TestExpLogInverse(t *testing.T) {
+	// log(exp(x)) ≈ x across the exp domain for LUT methods.
+	dpu := newDPU()
+	p := Params{Method: LLUT, Interp: true, SizeLog2: 12}
+	expOp, err := Build(Exp, p, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logOp, err := Build(Log, p, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dpu.NewCtx()
+	for x := -2.4; x <= 2.4; x += 0.17 {
+		back := float64(logOp.Eval(ctx, expOp.Eval(ctx, float32(x))))
+		if math.Abs(back-x) > 2e-5 {
+			t.Errorf("log(exp(%v)) = %v", x, back)
+		}
+	}
+}
+
+func TestSqrtSquares(t *testing.T) {
+	dpu := newDPU()
+	op, err := Build(Sqrt, Params{Method: LLUT, Interp: true, SizeLog2: 12}, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dpu.NewCtx()
+	for _, v := range []float64{0.25, 1, 2, 9, 100, 1e4, 1e8} {
+		got := float64(op.Eval(ctx, float32(v)))
+		if math.Abs(got*got-v)/v > 1e-5 {
+			t.Errorf("sqrt(%v)² = %v", v, got*got)
+		}
+	}
+}
+
+func TestCoshGeSinh(t *testing.T) {
+	// cosh ≥ |sinh| and cosh² − sinh² ≈ 1.
+	dpu := newDPU()
+	p := Params{Method: MLUT, Interp: true, SizeLog2: 12}
+	sinhOp, err := Build(Sinh, p, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coshOp, err := Build(Cosh, p, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dpu.NewCtx()
+	for x := -1.9; x <= 1.9; x += 0.13 {
+		s := float64(sinhOp.Eval(ctx, float32(x)))
+		c := float64(coshOp.Eval(ctx, float32(x)))
+		if c < math.Abs(s) {
+			t.Errorf("cosh(%v)=%v < |sinh|=%v", x, c, math.Abs(s))
+		}
+		if math.Abs(c*c-s*s-1) > 2e-3 {
+			t.Errorf("cosh²−sinh² at %v = %v", x, c*c-s*s)
+		}
+	}
+}
+
+func TestMonotonicityOfSaturatingFunctions(t *testing.T) {
+	// tanh, sigmoid and atan through interpolated tables must stay
+	// monotonically non-decreasing (interpolation between monotone
+	// entries preserves order).
+	for _, fn := range []Function{Tanh, Sigmoid, Atan} {
+		dpu := newDPU()
+		op, err := Build(fn, Params{Method: LLUT, Interp: true, SizeLog2: 10}, dpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := dpu.NewCtx()
+		prev := float32(math.Inf(-1))
+		for x := -7.8; x <= 7.8; x += 0.01 {
+			v := op.Eval(ctx, float32(x))
+			if v < prev {
+				t.Errorf("%v not monotone at %v: %v < %v", fn, x, v, prev)
+				break
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSweepSkipsImpossibleConfigs(t *testing.T) {
+	// A WRAM-placed sweep drops the sizes that no longer fit; the run
+	// reports the ones that do.
+	pts := SweepConfig{
+		Fn: Sin, Method: LLUT, Placement: pimsim.InWRAM,
+		Sizes: []int{8, 10, 20}, // 2^20 entries ≫ 64 KB
+	}.Run(stats.UniformInputs(0, 6, 64))
+	if len(pts) != 2 {
+		t.Fatalf("sweep kept %d points, want 2 (the 2^20 config cannot fit)", len(pts))
+	}
+}
+
+func TestMeasureOperatorUnsupported(t *testing.T) {
+	if _, err := MeasureOperator(GELU, Params{Method: CORDIC}, stats.UniformInputs(0, 1, 8)); err == nil {
+		t.Fatal("unsupported pair must surface the build error")
+	}
+}
+
+func TestWideRangeNegativeAngles(t *testing.T) {
+	dpu := newDPU()
+	op, err := Build(Cos, Params{Method: MLUT, Interp: true, SizeLog2: 12, WideRange: true}, dpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dpu.NewCtx()
+	for _, x := range []float64{-0.5, -3.7, -20, -1000} {
+		got := float64(op.Eval(ctx, float32(x)))
+		if math.Abs(got-math.Cos(x)) > 2e-3 {
+			t.Errorf("wide cos(%v) = %v, want %v", x, got, math.Cos(x))
+		}
+	}
+}
+
+// TestArchitectureProfiles: on an UPMEM-like machine the L-LUT's
+// multiply avoidance is decisive; on an HBM-PIM-like machine with
+// native floating point the gap between the LUT methods collapses and
+// the polynomial baseline becomes competitive — the paper's
+// future-architectures discussion, quantified.
+func TestArchitectureProfiles(t *testing.T) {
+	inputs := domainInputs(Sin, 1024)
+	measure := func(cost pimsim.CostModel, m Method, interp bool, extra int) float64 {
+		p := Params{Method: m, Interp: interp, SizeLog2: 12, Degree: 9}
+		pt, err := MeasureOperatorCost(Sin, p, inputs, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt.CyclesPerElem
+	}
+
+	upmem := pimsim.Default()
+	hbm := pimsim.HBMPIMLike()
+
+	// UPMEM-like: M-LUTi pays ~2× L-LUTi.
+	rUp := measure(upmem, MLUT, true, 0) / measure(upmem, LLUT, true, 0)
+	if rUp < 1.7 {
+		t.Errorf("UPMEM profile: M-LUTi/L-LUTi = %.2f, want ≳2", rUp)
+	}
+	// HBM-PIM-like: native multiplies erase most of the gap.
+	rHbm := measure(hbm, MLUT, true, 0) / measure(hbm, LLUT, true, 0)
+	if rHbm > 1.5 {
+		t.Errorf("HBM profile: M-LUTi/L-LUTi = %.2f, want ≲1.5", rHbm)
+	}
+	if rHbm >= rUp {
+		t.Errorf("native FP must narrow the gap: %.2f vs %.2f", rHbm, rUp)
+	}
+
+	// The polynomial baseline closes in dramatically when multiplies
+	// are native: poly/L-LUTi ratio shrinks by ≥2× between profiles.
+	pUp := measure(upmem, Poly, false, 0) / measure(upmem, LLUT, true, 0)
+	pHbm := measure(hbm, Poly, false, 0) / measure(hbm, LLUT, true, 0)
+	if pHbm > pUp/2 {
+		t.Errorf("poly/L-LUTi: UPMEM %.1f → HBM %.1f, want ≥2× reduction", pUp, pHbm)
+	}
+}
+
+// TestMemoryPressureFavorsCORDIC reproduces §4.2.3's scenario: an
+// application whose operand arrays consume nearly the whole DRAM bank
+// leaves no room for a high-accuracy LUT, while CORDIC's few hundred
+// bytes still fit (Key Takeaway 3's second clause).
+func TestMemoryPressureFavorsCORDIC(t *testing.T) {
+	dpu := newDPU()
+	// Operands take all but ~100 KB of the 64-MB bank.
+	if _, err := dpu.MRAM.Alloc(dpu.MRAM.Size() - 100<<10); err != nil {
+		t.Fatal(err)
+	}
+	// A 2^18-entry table (~1 MB) no longer fits anywhere.
+	if _, err := Build(Sin, Params{Method: LLUT, SizeLog2: 18, Placement: pimsim.InMRAM}, dpu); err == nil {
+		t.Fatal("1-MB LUT must not fit the crowded bank")
+	}
+	// High-accuracy CORDIC still does — in the remaining MRAM or WRAM.
+	op, err := Build(Sin, Params{Method: CORDIC, Iterations: 36, Placement: pimsim.InMRAM}, dpu)
+	if err != nil {
+		t.Fatalf("CORDIC must fit the crowded bank: %v", err)
+	}
+	ctx := dpu.NewCtx()
+	if got := op.Eval(ctx, 1.0); math.Abs(float64(got)-math.Sin(1)) > 1e-6 {
+		t.Fatalf("CORDIC under memory pressure: sin(1) = %v", got)
+	}
+}

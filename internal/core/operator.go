@@ -1,0 +1,693 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"transpimlib/internal/cordic"
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/lut"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/poly"
+	"transpimlib/internal/rangered"
+)
+
+// Operator is one function compiled for one method configuration and
+// loaded onto one PIM core: the host-side setup has run (tables built
+// and transferred) and Eval executes the device-side computation with
+// full cycle accounting.
+type Operator struct {
+	Fn  Function
+	Par Params
+
+	eval func(*pimsim.Ctx, float32) float32
+
+	tableBytes      int
+	buildSeconds    float64
+	transferSeconds float64
+}
+
+// Eval computes fn(x) on the PIM core through ctx. The supported input
+// domain is Fn.Domain(): trigonometric inputs are assumed reduced to
+// [0, 2π] (the microbenchmark convention, §4.1.1); exp/log/sqrt accept
+// their full float range via the built-in §2.2.3 extensions.
+func (o *Operator) Eval(ctx *pimsim.Ctx, x float32) float32 { return o.eval(ctx, x) }
+
+// TableBytes returns the PIM memory consumed by tables and constants
+// (Fig. 7).
+func (o *Operator) TableBytes() int { return o.tableBytes }
+
+// BuildSeconds returns the measured host wall time spent generating
+// tables (the host-CPU part of Fig. 6).
+func (o *Operator) BuildSeconds() float64 { return o.buildSeconds }
+
+// TransferSeconds returns the modeled Host→PIM transfer time for the
+// tables (the transfer part of Fig. 6's setup time).
+func (o *Operator) TransferSeconds() float64 { return o.transferSeconds }
+
+// SetupSeconds returns the total setup time: host-side generation plus
+// Host→PIM transfer (§4.1.1).
+func (o *Operator) SetupSeconds() float64 { return o.buildSeconds + o.transferSeconds }
+
+// Build compiles fn with params onto the PIM core: it generates any
+// tables on the host (measuring wall time), loads them into the
+// selected memory, and wires the device-side evaluator.
+func Build(fn Function, p Params, dpu *pimsim.DPU) (*Operator, error) {
+	p = p.withDefaults()
+	if !p.Method.Supports(fn) {
+		return nil, fmt.Errorf("core: %v does not support %v (see Table 2)", p.Method, fn)
+	}
+	o := &Operator{Fn: fn, Par: p}
+	start := time.Now()
+	var err error
+	switch p.Method {
+	case CORDIC:
+		err = o.buildCORDIC(dpu)
+	case CORDICLUT:
+		err = o.buildCORDICLUT(dpu)
+	case MLUT, LLUT:
+		err = o.buildFloatLUT(dpu)
+	case LLUTFixed:
+		err = o.buildFixedLUT(dpu)
+	case DLUT, DLLUT:
+		err = o.buildDLUT(dpu)
+	case Poly:
+		err = o.buildPoly(dpu)
+	default:
+		err = fmt.Errorf("core: unknown method %v", p.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.WideRange {
+		switch fn {
+		case Sin, Cos, Tan:
+			inner := o.eval
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				return inner(ctx, rangered.To2Pi(ctx, x))
+			}
+		}
+	}
+	// Domain guards: logarithm and square root of non-positive inputs
+	// return NaN (one compare and branch on the device), matching the
+	// host math library the accuracy metrics compare against.
+	switch fn {
+	case Log:
+		inner := o.eval
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			ctx.Branch()
+			if ctx.FCmp(x, 0) <= 0 {
+				if x == 0 {
+					return float32(math.Inf(-1))
+				}
+				return float32(math.NaN())
+			}
+			return inner(ctx, x)
+		}
+	case Sqrt:
+		inner := o.eval
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			ctx.Branch()
+			if ctx.FCmp(x, 0) < 0 {
+				return float32(math.NaN())
+			}
+			if x == 0 {
+				return 0
+			}
+			return inner(ctx, x)
+		}
+	}
+	o.buildSeconds = time.Since(start).Seconds()
+	// Table transfer to a single PIM core's DRAM bank proceeds at the
+	// serial (single-bank) bandwidth.
+	o.transferSeconds = float64(o.tableBytes) / pimsim.DefaultSerialBandwidth
+	return o, nil
+}
+
+// ---------- CORDIC ----------
+
+var halfPi64 = cordic.FromFloat(math.Pi / 2)
+
+// foldQuadrant64 reduces a Q23.40 angle in [0, 2π) to [0, π/2] plus
+// its quadrant using 64-bit compare/subtract steps.
+func foldQuadrant64(ctx *pimsim.Ctx, theta int64) (int64, rangered.Quadrant) {
+	var q rangered.Quadrant
+	for q = 0; q < 3; q++ {
+		ctx.Branch()
+		if ctx.I64Cmp(theta, halfPi64) < 0 {
+			break
+		}
+		theta = ctx.I64Sub(theta, halfPi64)
+	}
+	return theta, q
+}
+
+func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
+	switch o.Fn {
+	case Sin, Cos, Tan:
+		tb := cordic.NewTables(cordic.Circular, o.Par.Iterations)
+		dev, err := tb.Load(dpu, o.Par.Placement)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = tb.TableBytes()
+		sincos := func(ctx *pimsim.Ctx, x float32) (float32, float32) {
+			xf := ctx.F32ToFix64(x, cordic.FracBits)
+			theta, q := foldQuadrant64(ctx, xf)
+			s64, c64 := dev.SinCos(ctx, theta)
+			s := ctx.Fix64ToF32(s64, cordic.FracBits)
+			c := ctx.Fix64ToF32(c64, cordic.FracBits)
+			return rangered.ApplySinQuadrant(ctx, s, c, q), rangered.ApplyCosQuadrant(ctx, s, c, q)
+		}
+		switch o.Fn {
+		case Sin:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 { s, _ := sincos(ctx, x); return s }
+		case Cos:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 { _, c := sincos(ctx, x); return c }
+		default: // Tan: sine, cosine and one float division (§4.2.4)
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				s, c := sincos(ctx, x)
+				return ctx.FDiv(s, c)
+			}
+		}
+		return nil
+
+	case Atan:
+		// Circular vectoring of (1, x): the whole arctangent image fits
+		// inside the mode's convergence range, so no extension is needed.
+		tb := cordic.NewTables(cordic.Circular, o.Par.Iterations)
+		dev, err := tb.Load(dpu, o.Par.Placement)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = tb.TableBytes()
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			z := dev.Atan(ctx, ctx.F32ToFix64(x, cordic.FracBits))
+			return ctx.Fix64ToF32(z, cordic.FracBits)
+		}
+		return nil
+
+	case Sinh, Cosh, Tanh, Exp, Log, Sqrt, Sigmoid:
+		tb := cordic.NewTables(cordic.Hyperbolic, o.Par.Iterations)
+		dev, err := tb.Load(dpu, o.Par.Placement)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = tb.TableBytes()
+		expCore := func(ctx *pimsim.Ctx, x float32) float32 {
+			r, k := rangered.SplitExp(ctx, x)
+			er := ctx.Fix64ToF32(dev.Exp(ctx, ctx.F32ToFix64(r, cordic.FracBits)), cordic.FracBits)
+			return rangered.JoinExp(ctx, er, k)
+		}
+		switch o.Fn {
+		case Exp:
+			o.eval = expCore
+		case Sinh:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				ex := expCore(ctx, x)
+				emx := ctx.FDiv(1, ex)
+				return ctx.FMul(0.5, ctx.FSub(ex, emx))
+			}
+		case Cosh:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				ex := expCore(ctx, x)
+				emx := ctx.FDiv(1, ex)
+				return ctx.FMul(0.5, ctx.FAdd(ex, emx))
+			}
+		case Tanh:
+			// tanh x = 1 − 2/(e^{2x}+1), valid over the whole line.
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				e2 := expCore(ctx, ctx.FAdd(x, x))
+				return ctx.FSub(1, ctx.FDiv(2, ctx.FAdd(e2, 1)))
+			}
+		case Sigmoid:
+			// S(x) = 1/(1+e^{−x}).
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				e := expCore(ctx, ctx.FNeg(x))
+				return ctx.FDiv(1, ctx.FAdd(1, e))
+			}
+		case Log:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, e := rangered.SplitLog(ctx, x)
+				lm := ctx.Fix64ToF32(dev.Ln(ctx, ctx.F32ToFix64(m, cordic.FracBits)), cordic.FracBits)
+				return rangered.JoinLog(ctx, lm, e)
+			}
+		default: // Sqrt
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, h := rangered.SplitSqrt(ctx, x)
+				sm := ctx.Fix64ToF32(dev.Sqrt(ctx, ctx.F32ToFix64(m, cordic.FracBits)), cordic.FracBits)
+				return rangered.JoinSqrt(ctx, sm, h)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("core: cordic cannot compute %v", o.Fn)
+}
+
+func (o *Operator) buildCORDICLUT(dpu *pimsim.DPU) error {
+	la, err := cordic.NewLUTAssist(dpu, o.Par.Placement, o.Par.HeadBits, o.Par.Iterations)
+	if err != nil {
+		return err
+	}
+	o.tableBytes = la.TableBytes()
+	sincos := func(ctx *pimsim.Ctx, x float32) (float32, float32) {
+		xf := ctx.F32ToFix64(x, cordic.FracBits)
+		theta, q := foldQuadrant64(ctx, xf)
+		s64, c64 := la.SinCos(ctx, theta)
+		s := ctx.Fix64ToF32(s64, cordic.FracBits)
+		c := ctx.Fix64ToF32(c64, cordic.FracBits)
+		return rangered.ApplySinQuadrant(ctx, s, c, q), rangered.ApplyCosQuadrant(ctx, s, c, q)
+	}
+	switch o.Fn {
+	case Sin:
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 { s, _ := sincos(ctx, x); return s }
+	case Cos:
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 { _, c := sincos(ctx, x); return c }
+	case Tan:
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			s, c := sincos(ctx, x)
+			return ctx.FDiv(s, c)
+		}
+	default:
+		return fmt.Errorf("core: cordic+lut cannot compute %v", o.Fn)
+	}
+	return nil
+}
+
+// ---------- float LUTs (M-LUT, L-LUT) ----------
+
+// floatLUTFor builds one table of ref over [lo, hi] for the configured
+// method and returns its device evaluator and byte size.
+func (o *Operator) floatLUTFor(dpu *pimsim.DPU, ref func(float64) float64, lo, hi float64) (func(*pimsim.Ctx, float32) float32, int, error) {
+	if o.Par.Method == MLUT {
+		entries := 1 << o.Par.SizeLog2
+		t, err := lut.BuildMLUT(ref, lo, hi, entries, o.Par.Interp)
+		if err != nil {
+			return nil, 0, err
+		}
+		dev, err := t.Load(dpu, o.Par.Placement)
+		if err != nil {
+			return nil, 0, err
+		}
+		return dev.Eval, t.Bytes(), nil
+	}
+	n := densityExp(lo, hi, o.Par.SizeLog2)
+	t, err := lut.BuildLLUT(ref, lo, hi, n, o.Par.Interp)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev, err := t.Load(dpu, o.Par.Placement)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dev.Eval, t.Bytes(), nil
+}
+
+// densityExp picks the power-of-two density exponent so that about
+// 2^sizeLog2 entries cover [lo, hi].
+func densityExp(lo, hi float64, sizeLog2 int) int {
+	return sizeLog2 - int(math.Ceil(math.Log2(hi-lo)))
+}
+
+func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
+	lo, hi := o.Fn.CoreRange()
+	switch o.Fn {
+	case Tan:
+		sinEval, sinBytes, err := o.floatLUTFor(dpu, math.Sin, lo, hi)
+		if err != nil {
+			return err
+		}
+		cosEval, cosBytes, err := o.floatLUTFor(dpu, math.Cos, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = sinBytes + cosBytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			return ctx.FDiv(sinEval(ctx, x), cosEval(ctx, x))
+		}
+		return nil
+	case Exp:
+		eval, bytes, err := o.floatLUTFor(dpu, math.Exp, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			r, k := rangered.SplitExp(ctx, x)
+			return rangered.JoinExp(ctx, eval(ctx, r), k)
+		}
+		return nil
+	case Log:
+		eval, bytes, err := o.floatLUTFor(dpu, math.Log, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			m, e := rangered.SplitLog(ctx, x)
+			return rangered.JoinLog(ctx, eval(ctx, m), e)
+		}
+		return nil
+	case Sqrt:
+		eval, bytes, err := o.floatLUTFor(dpu, math.Sqrt, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			m, h := rangered.SplitSqrt(ctx, x)
+			return rangered.JoinSqrt(ctx, eval(ctx, m), h)
+		}
+		return nil
+	default: // direct-domain functions
+		eval, bytes, err := o.floatLUTFor(dpu, o.Fn.Ref(), lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = eval
+		return nil
+	}
+}
+
+// ---------- fixed-point L-LUT ----------
+
+func (o *Operator) fixedLUTFor(dpu *pimsim.DPU, ref func(float64) float64, lo, hi float64) (*lut.DevFixedLLUT, int, error) {
+	n := densityExp(lo, hi, o.Par.SizeLog2)
+	if n < 0 {
+		n = 0
+	}
+	if n > 26 {
+		n = 26
+	}
+	t, err := lut.BuildFixedLLUT(ref, lo, hi, n, o.Par.Interp)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev, err := t.Load(dpu, o.Par.Placement)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dev, t.Bytes(), nil
+}
+
+func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
+	lo, hi := o.Fn.CoreRange()
+	switch o.Fn {
+	case Tanh, GELU, Atan, Sigmoid:
+		// The ±7.9 domain spans 15.8 > 8, more than a Q3.28 difference
+		// can express, so the fixed table covers [0, hi] only and the
+		// negative side folds through symmetry: f(−x) = −f(x) for the
+		// odd functions (tanh, atan), GELU(−x) = GELU(x) − x, and
+		// σ(−x) = 1 − σ(x) — one integer fix-up each.
+		dev, bytes, err := o.fixedLUTFor(dpu, o.Fn.Ref(), 0, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		fn := o.Fn
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			xq := ctx.QFromF(x)
+			neg := ctx.ICmp(int32(xq), 0) < 0
+			ctx.Branch()
+			ax := xq
+			if neg {
+				ax = ctx.QSub(0, xq)
+			}
+			v := dev.Eval(ctx, ax)
+			if neg {
+				switch fn {
+				case GELU:
+					v = ctx.QSub(v, ax)
+				case Sigmoid:
+					v = ctx.QSub(fixed.One, v)
+				default: // odd: Tanh, Atan
+					v = ctx.QSub(0, v)
+				}
+			}
+			return ctx.QToF(v)
+		}
+		return nil
+	case Tan:
+		sinDev, sinBytes, err := o.fixedLUTFor(dpu, math.Sin, lo, hi)
+		if err != nil {
+			return err
+		}
+		cosDev, cosBytes, err := o.fixedLUTFor(dpu, math.Cos, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = sinBytes + cosBytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			xq := ctx.QFromF(x)
+			s := ctx.QToF(sinDev.Eval(ctx, xq))
+			c := ctx.QToF(cosDev.Eval(ctx, xq))
+			return ctx.FDiv(s, c)
+		}
+		return nil
+	case Exp:
+		dev, bytes, err := o.fixedLUTFor(dpu, math.Exp, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			r, k := rangered.SplitExp(ctx, x)
+			return rangered.JoinExp(ctx, dev.EvalFloat(ctx, r), k)
+		}
+		return nil
+	case Log:
+		dev, bytes, err := o.fixedLUTFor(dpu, math.Log, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			m, e := rangered.SplitLog(ctx, x)
+			return rangered.JoinLog(ctx, dev.EvalFloat(ctx, m), e)
+		}
+		return nil
+	case Sqrt:
+		dev, bytes, err := o.fixedLUTFor(dpu, math.Sqrt, lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			m, h := rangered.SplitSqrt(ctx, x)
+			return rangered.JoinSqrt(ctx, dev.EvalFloat(ctx, m), h)
+		}
+		return nil
+	default:
+		dev, bytes, err := o.fixedLUTFor(dpu, o.Fn.Ref(), lo, hi)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = bytes
+		o.eval = dev.EvalFloat
+		return nil
+	}
+}
+
+// ---------- D-LUT / DL-LUT ----------
+
+func (o *Operator) buildDLUT(dpu *pimsim.DPU) error {
+	ref := o.Fn.Ref()
+	const maxExp = 3 // domain |x| < 8
+	if o.Par.Method == DLUT {
+		mant := clampInt(o.Par.SizeLog2-5, 1, 16)
+		t, err := lut.BuildDLUT(ref, -14, maxExp, mant, o.Par.Interp)
+		if err != nil {
+			return err
+		}
+		dev, err := t.Load(dpu, o.Par.Placement)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = t.Bytes()
+		o.eval = dev.Eval
+		return nil
+	}
+	mant := clampInt(o.Par.SizeLog2-4, 1, 16)
+	t, err := lut.BuildDLLUT(ref, -4, maxExp, mant, mant+4, o.Par.Interp)
+	if err != nil {
+		return err
+	}
+	dev, err := t.Load(dpu, o.Par.Placement)
+	if err != nil {
+		return err
+	}
+	o.tableBytes = t.Bytes()
+	o.eval = dev.Eval
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ---------- polynomial baseline ----------
+
+func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
+	deg := o.Par.Degree
+	switch o.Fn {
+	case Sin, Cos, Tan:
+		sinP, err := poly.FitChebyshev(math.Sin, 0, math.Pi/2, deg)
+		if err != nil {
+			return err
+		}
+		cosP, err := poly.FitChebyshev(math.Cos, 0, math.Pi/2, deg)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = sinP.Bytes() + cosP.Bytes()
+		// Per quadrant only one of the two polynomials is needed:
+		// sin(qπ/2+θ) = {sin θ, cos θ, −sin θ, −cos θ}[q].
+		sinAt := func(ctx *pimsim.Ctx, x float32) float32 {
+			theta, q := rangered.FoldQuadrant(ctx, x)
+			var v float32
+			ctx.Branch()
+			if q&1 == 0 {
+				v = sinP.Eval(ctx, theta)
+			} else {
+				v = cosP.Eval(ctx, theta)
+			}
+			if q >= 2 {
+				v = ctx.FNeg(v)
+			}
+			return v
+		}
+		cosAt := func(ctx *pimsim.Ctx, x float32) float32 {
+			theta, q := rangered.FoldQuadrant(ctx, x)
+			var v float32
+			ctx.Branch()
+			if q&1 == 0 {
+				v = cosP.Eval(ctx, theta)
+			} else {
+				v = sinP.Eval(ctx, theta)
+			}
+			if q == 1 || q == 2 {
+				v = ctx.FNeg(v)
+			}
+			return v
+		}
+		switch o.Fn {
+		case Sin:
+			o.eval = sinAt
+		case Cos:
+			o.eval = cosAt
+		default:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				return ctx.FDiv(sinAt(ctx, x), cosAt(ctx, x))
+			}
+		}
+		return nil
+
+	case Atan:
+		// Chebyshev over [−8, 8] converges too slowly (poles at ±i), so
+		// the baseline reduces by reciprocal: atan(x) = sign·(π/2 −
+		// atan(1/|x|)) for |x| > 1, with one polynomial on [0, 1].
+		p, err := poly.FitChebyshev(math.Atan, 0, 1, deg)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = p.Bytes()
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			ax := ctx.FAbs(x)
+			ctx.Branch()
+			var v float32
+			if ctx.FCmp(ax, 1) <= 0 {
+				v = p.Eval(ctx, ax)
+			} else {
+				v = ctx.FSub(rangered.HalfPi, p.Eval(ctx, ctx.FDiv(1, ax)))
+			}
+			ctx.Branch()
+			if ctx.FCmp(x, 0) < 0 {
+				v = ctx.FNeg(v)
+			}
+			return v
+		}
+		return nil
+
+	case Exp, Sinh, Cosh, Tanh, Sigmoid:
+		lo, hi := Exp.CoreRange()
+		expP, err := poly.FitChebyshev(math.Exp, lo, hi, deg)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = expP.Bytes()
+		expCore := func(ctx *pimsim.Ctx, x float32) float32 {
+			r, k := rangered.SplitExp(ctx, x)
+			return rangered.JoinExp(ctx, expP.Eval(ctx, r), k)
+		}
+		switch o.Fn {
+		case Exp:
+			o.eval = expCore
+		case Sigmoid:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				e := expCore(ctx, ctx.FNeg(x))
+				return ctx.FDiv(1, ctx.FAdd(1, e))
+			}
+		case Sinh:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				ex := expCore(ctx, x)
+				return ctx.FMul(0.5, ctx.FSub(ex, ctx.FDiv(1, ex)))
+			}
+		case Cosh:
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				ex := expCore(ctx, x)
+				return ctx.FMul(0.5, ctx.FAdd(ex, ctx.FDiv(1, ex)))
+			}
+		default: // Tanh
+			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+				e2 := expCore(ctx, ctx.FAdd(x, x))
+				return ctx.FSub(1, ctx.FDiv(2, ctx.FAdd(e2, 1)))
+			}
+		}
+		return nil
+
+	case Log:
+		lo, hi := Log.CoreRange()
+		p, err := poly.FitChebyshev(math.Log, lo, hi, deg)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = p.Bytes()
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			m, e := rangered.SplitLog(ctx, x)
+			return rangered.JoinLog(ctx, p.Eval(ctx, m), e)
+		}
+		return nil
+
+	case Sqrt:
+		lo, hi := Sqrt.CoreRange()
+		p, err := poly.FitChebyshev(math.Sqrt, lo, hi, deg)
+		if err != nil {
+			return err
+		}
+		o.tableBytes = p.Bytes()
+		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
+			m, h := rangered.SplitSqrt(ctx, x)
+			return rangered.JoinSqrt(ctx, p.Eval(ctx, m), h)
+		}
+		return nil
+
+	case GELU:
+		lo, hi := GELU.CoreRange()
+		p, err := poly.FitChebyshev(geluRef, lo, hi, clampInt(deg*2, deg, 25))
+		if err != nil {
+			return err
+		}
+		o.tableBytes = p.Bytes()
+		o.eval = p.Eval
+		return nil
+	}
+	return fmt.Errorf("core: poly cannot compute %v", o.Fn)
+}

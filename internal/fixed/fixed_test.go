@@ -1,0 +1,347 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloat64RoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, -0.5, math.Pi, 2 * math.Pi, -math.Pi, 7.5, -7.5, 1e-9}
+	for _, f := range cases {
+		q := FromFloat64(f)
+		got := q.Float64()
+		if math.Abs(got-f) > 1.0/(1<<FracBits) {
+			t.Errorf("FromFloat64(%v).Float64() = %v, want within 2^-28", f, got)
+		}
+	}
+}
+
+func TestFromFloat64Saturates(t *testing.T) {
+	if got := FromFloat64(100); got != Max {
+		t.Errorf("FromFloat64(100) = %v, want Max", got)
+	}
+	if got := FromFloat64(-100); got != Min {
+		t.Errorf("FromFloat64(-100) = %v, want Min", got)
+	}
+	if got := FromFloat64(8.0); got != Max {
+		t.Errorf("FromFloat64(8.0) = %v, want Max (8.0 is out of range)", got)
+	}
+	if got := FromFloat64(-8.0); got != Min {
+		t.Errorf("FromFloat64(-8.0) = %v, want Min", got)
+	}
+}
+
+func TestFromInt(t *testing.T) {
+	for i := -8; i < 8; i++ {
+		q := FromInt(i)
+		if q.Float64() != float64(i) {
+			t.Errorf("FromInt(%d).Float64() = %v", i, q.Float64())
+		}
+	}
+	if FromInt(8) != Max {
+		t.Errorf("FromInt(8) should saturate to Max")
+	}
+	if FromInt(-9) != Min {
+		t.Errorf("FromInt(-9) should saturate to Min")
+	}
+}
+
+func TestOneConstant(t *testing.T) {
+	if One.Float64() != 1.0 {
+		t.Fatalf("One.Float64() = %v", One.Float64())
+	}
+}
+
+func TestConstants(t *testing.T) {
+	check := func(name string, q Q3_28, want float64) {
+		t.Helper()
+		if math.Abs(q.Float64()-want) > 1e-8 {
+			t.Errorf("%s = %v, want %v", name, q.Float64(), want)
+		}
+	}
+	check("Pi", Pi, math.Pi)
+	check("TwoPi", TwoPi, 2*math.Pi)
+	check("HalfPi", HalfPi, math.Pi/2)
+	check("Ln2", Ln2, math.Ln2)
+	check("E", E, math.E)
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromFloat64(1.25)
+	b := FromFloat64(2.5)
+	if got := a.Add(b).Float64(); got != 3.75 {
+		t.Errorf("1.25+2.5 = %v", got)
+	}
+	if got := b.Sub(a).Float64(); got != 1.25 {
+		t.Errorf("2.5-1.25 = %v", got)
+	}
+}
+
+func TestAddSatSaturates(t *testing.T) {
+	if got := Max.AddSat(One); got != Max {
+		t.Errorf("Max+1 = %v, want Max", got)
+	}
+	if got := Min.SubSat(One); got != Min {
+		t.Errorf("Min-1 = %v, want Min", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{1, 1, 1},
+		{2, 3, 6},
+		{0.5, 0.5, 0.25},
+		{-2, 3, -6},
+		{-0.5, -0.5, 0.25},
+		{math.Pi, 2, 2 * math.Pi},
+	}
+	for _, c := range cases {
+		got := FromFloat64(c.a).Mul(FromFloat64(c.b)).Float64()
+		if math.Abs(got-c.want) > 2.0/(1<<FracBits) {
+			t.Errorf("%v*%v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulRoundCloserThanTruncate(t *testing.T) {
+	// For positive operands, MulRound error must be at most half of
+	// Mul's worst-case truncation error.
+	a := FromFloat64(1.0 / 3.0)
+	b := FromFloat64(1.0 / 7.0)
+	want := (1.0 / 3.0) * (1.0 / 7.0)
+	errTrunc := math.Abs(a.Mul(b).Float64() - want)
+	errRound := math.Abs(a.MulRound(b).Float64() - want)
+	if errRound > errTrunc+1e-12 {
+		t.Errorf("MulRound error %v > Mul error %v", errRound, errTrunc)
+	}
+	if errRound > 0.5/(1<<FracBits)+1e-12 {
+		t.Errorf("MulRound error %v exceeds half-ULP bound", errRound)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{6, 3, 2},
+		{1, 2, 0.5},
+		{-6, 3, -2},
+		{1, 3, 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		got := FromFloat64(c.a).Div(FromFloat64(c.b)).Float64()
+		if math.Abs(got-c.want) > 2.0/(1<<FracBits) {
+			t.Errorf("%v/%v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if got := One.Div(0); got != Max {
+		t.Errorf("1/0 = %v, want Max", got)
+	}
+	if got := One.Neg().Div(0); got != Min {
+		t.Errorf("-1/0 = %v, want Min", got)
+	}
+	if got := Q3_28(0).Div(0); got != Max {
+		t.Errorf("0/0 = %v, want Max", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	q := FromFloat64(1.5)
+	if got := q.Shl(1).Float64(); got != 3.0 {
+		t.Errorf("1.5<<1 = %v", got)
+	}
+	if got := q.Shr(1).Float64(); got != 0.75 {
+		t.Errorf("1.5>>1 = %v", got)
+	}
+	neg := FromFloat64(-1.0)
+	if got := neg.Shr(1).Float64(); got != -0.5 {
+		t.Errorf("-1.0>>1 = %v (arithmetic shift expected)", got)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	q := FromFloat64(2.5)
+	if got := q.Neg().Float64(); got != -2.5 {
+		t.Errorf("Neg(2.5) = %v", got)
+	}
+	if got := q.Neg().Abs().Float64(); got != 2.5 {
+		t.Errorf("Abs(-2.5) = %v", got)
+	}
+	if got := Min.Abs(); got != Max {
+		t.Errorf("Abs(Min) = %v, want Max", got)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.75, 1}, {1.0, 1}, {0.25, 0}, {-0.25, -1}, {-1.75, -2}, {7.9, 7},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.in).Floor().Float64(); got != c.want {
+			t.Errorf("Floor(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRound(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.4, 1}, {1.6, 2}, {-1.4, -1}, {-1.6, -2}, {2.5, 3}, {-2.5, -3}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.in).Round().Float64(); got != c.want {
+			t.Errorf("Round(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntFrac(t *testing.T) {
+	cases := []struct {
+		in       float64
+		wantInt  int
+		wantFrac float64
+	}{
+		{3.25, 3, 0.25},
+		{-3.25, -3, -0.25},
+		{0.75, 0, 0.75},
+		{-0.75, 0, -0.75},
+		{5, 5, 0},
+	}
+	for _, c := range cases {
+		q := FromFloat64(c.in)
+		if got := q.Int(); got != c.wantInt {
+			t.Errorf("Int(%v) = %d, want %d", c.in, got, c.wantInt)
+		}
+		if got := q.Frac().Float64(); math.Abs(got-c.wantFrac) > 1e-8 {
+			t.Errorf("Frac(%v) = %v, want %v", c.in, got, c.wantFrac)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, b := FromFloat64(1), FromFloat64(2)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Errorf("Cmp ordering wrong: %d %d %d", a.Cmp(b), b.Cmp(a), a.Cmp(a))
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := FromFloat64(2), FromFloat64(4)
+	if got := Lerp(a, b, FromFloat64(0.5)).Float64(); math.Abs(got-3) > 1e-8 {
+		t.Errorf("Lerp midpoint = %v, want 3", got)
+	}
+	if got := Lerp(a, b, 0).Float64(); got != 2 {
+		t.Errorf("Lerp(.,.,0) = %v, want 2", got)
+	}
+	if got := Lerp(a, b, One).Float64(); math.Abs(got-4) > 1e-8 {
+		t.Errorf("Lerp(.,.,1) = %v, want 4", got)
+	}
+}
+
+// --- property-based tests ---
+
+// smallFloat generates arguments whose sum/product stays in range.
+func inRange(f float64) bool { return f > -2.8 && f < 2.8 }
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 2.8), math.Mod(b, 2.8)
+		x, y := FromFloat64(a), FromFloat64(b)
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 2.8), math.Mod(b, 2.8)
+		x, y := FromFloat64(a), FromFloat64(b)
+		return x.Add(y).Sub(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulCommutative(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 2.8), math.Mod(b, 2.8)
+		if !inRange(a) || !inRange(b) {
+			return true
+		}
+		x, y := FromFloat64(a), FromFloat64(b)
+		d := x.Mul(y) - y.Mul(x)
+		return d >= -1 && d <= 1 // truncation order may differ by 1 ulp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulMatchesFloat(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 2.8), math.Mod(b, 2.8)
+		if !inRange(a) || !inRange(b) {
+			return true
+		}
+		x, y := FromFloat64(a), FromFloat64(b)
+		got := x.Mul(y).Float64()
+		want := x.Float64() * y.Float64()
+		return math.Abs(got-want) <= 2.0/(1<<FracBits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		a = math.Mod(a, 7.9)
+		q := FromFloat64(a)
+		return math.Abs(q.Float64()-a) <= 0.5/(1<<FracBits)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFloorLeqRound(t *testing.T) {
+	f := func(a float64) bool {
+		a = math.Mod(a, 6.9)
+		q := FromFloat64(a)
+		return q.Floor() <= q && q.Floor() > q-One
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntPlusFrac(t *testing.T) {
+	f := func(a float64) bool {
+		a = math.Mod(a, 7.4)
+		q := FromFloat64(a)
+		return FromInt(q.Int()).Add(q.Frac()) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLerpBounded(t *testing.T) {
+	f := func(a, b, tt float64) bool {
+		a, b = math.Mod(a, 2.8), math.Mod(b, 2.8)
+		tt = math.Abs(math.Mod(tt, 1.0))
+		lo, hi := FromFloat64(a), FromFloat64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Lerp(lo, hi, FromFloat64(tt))
+		return got >= lo-2 && got <= hi+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

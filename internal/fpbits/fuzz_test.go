@@ -1,0 +1,60 @@
+package fpbits
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLdexp cross-checks the bit-level ldexp against the stdlib over
+// arbitrary bit patterns and exponents.
+func FuzzLdexp(f *testing.F) {
+	f.Add(uint32(0x3F800000), 10)    // 1.0
+	f.Add(uint32(0x00000001), -5)    // smallest subnormal
+	f.Add(uint32(0x7F7FFFFF), 1)     // max finite
+	f.Add(uint32(0xFF800000), 100)   // -Inf
+	f.Add(uint32(0x7FC00000), 3)     // NaN
+	f.Add(uint32(0x80000000), -1000) // -0
+	f.Fuzz(func(t *testing.T, bitsIn uint32, n int) {
+		if n > 1000 {
+			n = n % 1000
+		}
+		if n < -1000 {
+			n = -(-n % 1000)
+		}
+		x := FromBits(bitsIn)
+		got := Ldexp(x, n)
+		want := float32(math.Ldexp(float64(x), n))
+		if IsNaN(got) && IsNaN(want) {
+			return
+		}
+		if Bits(got) != Bits(want) {
+			t.Fatalf("Ldexp(%#x, %d) = %#x, want %#x", bitsIn, n, Bits(got), Bits(want))
+		}
+	})
+}
+
+// FuzzFrexp checks the frexp/ldexp inverse over arbitrary patterns.
+func FuzzFrexp(f *testing.F) {
+	f.Add(uint32(0x3F800000))
+	f.Add(uint32(0x00000001))
+	f.Add(uint32(0x00400000))
+	f.Fuzz(func(t *testing.T, bitsIn uint32) {
+		x := FromBits(bitsIn)
+		if IsNaN(x) || IsInf(x) {
+			return
+		}
+		fr, e := Frexp(x)
+		if !IsZero(x) {
+			a := fr
+			if a < 0 {
+				a = -a
+			}
+			if a < 0.5 || a >= 1 {
+				t.Fatalf("Frexp(%#x) fraction %v out of [0.5, 1)", bitsIn, fr)
+			}
+		}
+		if back := Ldexp(fr, e); Bits(back) != Bits(x) {
+			t.Fatalf("reconstruction of %#x gave %#x", bitsIn, Bits(back))
+		}
+	})
+}

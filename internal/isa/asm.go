@@ -1,0 +1,257 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a Program. Syntax, one
+// instruction per line:
+//
+//	; comment, or # comment
+//	label:
+//	    add   r1, r2, r3        ; rd, ra, rb
+//	    addi  r1, r2, -5        ; rd, ra, imm
+//	    li    r4, 0x1234
+//	    lw    r5, r6, 8         ; rd, base, offset
+//	    sw    r5, r6, 8         ; value, base, offset
+//	    beq   r1, r2, done      ; ra, rb, label
+//	    jmp   loop
+//	    jal   r23, mul32        ; link register, label
+//	    ret   r23
+//	    halt
+//
+// Immediates accept decimal and 0x-prefixed hex.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	type patch struct {
+		instr int
+		label string
+	}
+	var patches []patch
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t,") {
+				name := strings.TrimSpace(line[:i])
+				if name == "" {
+					return nil, fmt.Errorf("isa: line %d: empty label", lineNo)
+				}
+				if _, dup := p.Labels[name]; dup {
+					return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo, name)
+				}
+				p.Labels[name] = len(p.Instrs)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		var args []string
+		if rest != "" {
+			for _, a := range strings.Split(rest, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNo, mnemonic)
+		}
+		in := Instr{Op: op, Target: -1}
+		bad := func() error {
+			return fmt.Errorf("isa: line %d: bad operands for %s: %q", lineNo, mnemonic, rest)
+		}
+		switch op {
+		case ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, MUL8, SLTU:
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Ra, err = parseReg(args[1]); err != nil {
+				return nil, bad()
+			}
+			if in.Rb, err = parseReg(args[2]); err != nil {
+				return nil, bad()
+			}
+		case ADDI, SUBI, ANDI, ORI, XORI, SLLI, SRLI, SRAI:
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Ra, err = parseReg(args[1]); err != nil {
+				return nil, bad()
+			}
+			if in.Imm, err = parseImm(args[2]); err != nil {
+				return nil, bad()
+			}
+		case CLZ, MOVE:
+			if len(args) != 2 {
+				return nil, bad()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Ra, err = parseReg(args[1]); err != nil {
+				return nil, bad()
+			}
+		case LI:
+			if len(args) != 2 {
+				return nil, bad()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Imm, err = parseImm(args[1]); err != nil {
+				return nil, bad()
+			}
+		case LW, MLW:
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Rb, err = parseReg(args[1]); err != nil {
+				return nil, bad()
+			}
+			if in.Imm, err = parseImm(args[2]); err != nil {
+				return nil, bad()
+			}
+		case SW, MSW:
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			var err error
+			if in.Ra, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Rb, err = parseReg(args[1]); err != nil {
+				return nil, bad()
+			}
+			if in.Imm, err = parseImm(args[2]); err != nil {
+				return nil, bad()
+			}
+		case BEQ, BNE, BLT, BGE:
+			if len(args) != 3 {
+				return nil, bad()
+			}
+			var err error
+			if in.Ra, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			if in.Rb, err = parseReg(args[1]); err != nil {
+				return nil, bad()
+			}
+			in.label = args[2]
+			patches = append(patches, patch{len(p.Instrs), args[2]})
+		case JMP:
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			in.label = args[0]
+			patches = append(patches, patch{len(p.Instrs), args[0]})
+		case JAL:
+			if len(args) != 2 {
+				return nil, bad()
+			}
+			var err error
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+			in.label = args[1]
+			patches = append(patches, patch{len(p.Instrs), args[1]})
+		case RET:
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			var err error
+			if in.Ra, err = parseReg(args[0]); err != nil {
+				return nil, bad()
+			}
+		case HALT:
+			if len(args) != 0 {
+				return nil, bad()
+			}
+		default:
+			return nil, fmt.Errorf("isa: line %d: unhandled op %v", lineNo, op)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, pt := range patches {
+		target, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", pt.label)
+		}
+		p.Instrs[pt.instr].Target = target
+	}
+	return p, nil
+}
+
+// MustAssemble panics on assembly errors; for the built-in routines.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func opByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v > 0xFFFFFFFF || v < -0x80000000 {
+		return 0, fmt.Errorf("isa: immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}

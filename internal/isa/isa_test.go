@@ -1,0 +1,595 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/lut"
+	"transpimlib/internal/pimsim"
+)
+
+func newMachine() *Machine {
+	return NewMachine(
+		pimsim.NewMem("wram", pimsim.DefaultWRAMSize, 4),
+		pimsim.NewMem("mram", pimsim.DefaultMRAMSize, 8),
+		pimsim.Default())
+}
+
+// --- assembler ---
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(`
+        ; a comment
+        start:  li r1, 5
+                addi r1, r1, 3   # trailing comment
+                halt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("got %d instructions", p.Len())
+	}
+	if p.Labels["start"] != 0 {
+		t.Fatal("label not at 0")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",             // unknown mnemonic
+		"add r1, r2",               // wrong arity
+		"li r99, 5",                // bad register
+		"jmp nowhere",              // undefined label
+		"dup: li r1, 0\ndup: halt", // duplicate label
+		"li r1, 0x1FFFFFFFF",       // immediate overflow
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAssembleHexAndNegativeImm(t *testing.T) {
+	p, err := Assemble("li r1, 0xFF\nli r2, -42\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine()
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 255 || m.Regs[2] != -42 {
+		t.Fatalf("regs = %d, %d", m.Regs[1], m.Regs[2])
+	}
+}
+
+// --- interpreter ---
+
+func TestArithmetic(t *testing.T) {
+	p := MustAssemble(`
+        li r1, 7
+        li r2, 3
+        add r3, r1, r2
+        sub r4, r1, r2
+        and r5, r1, r2
+        or  r6, r1, r2
+        xor r7, r1, r2
+        slli r8, r1, 2
+        srai r9, r1, 1
+        halt
+    `)
+	m := newMachine()
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	want := map[Reg]int32{3: 10, 4: 4, 5: 3, 6: 7, 7: 4, 8: 28, 9: 3}
+	for reg, v := range want {
+		if m.Regs[reg] != v {
+			t.Errorf("r%d = %d, want %d", reg, m.Regs[reg], v)
+		}
+	}
+}
+
+func TestShiftsAndCLZ(t *testing.T) {
+	p := MustAssemble(`
+        li r1, -8
+        srai r2, r1, 1      ; arithmetic: -4
+        srli r3, r1, 28     ; logical: 0xF
+        li r4, 0x00010000
+        clz r5, r4          ; 15 leading zeros
+        halt
+    `)
+	m := newMachine()
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != -4 || m.Regs[3] != 0xF || m.Regs[5] != 15 {
+		t.Fatalf("r2=%d r3=%#x r5=%d", m.Regs[2], m.Regs[3], m.Regs[5])
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	p := MustAssemble(`
+        li r1, 0      ; sum
+        li r2, 1      ; i
+        li r3, 11
+    loop:
+        bge r2, r3, done
+        add r1, r1, r2
+        addi r2, r2, 1
+        jmp loop
+    done:
+        halt
+    `)
+	m := newMachine()
+	if err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 55 {
+		t.Fatalf("sum = %d", m.Regs[1])
+	}
+}
+
+func TestWRAMLoadStore(t *testing.T) {
+	p := MustAssemble(`
+        li r1, 1234
+        li r2, 64
+        sw r1, r2, 4
+        lw r3, r2, 4
+        halt
+    `)
+	m := newMachine()
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 1234 {
+		t.Fatalf("lw = %d", m.Regs[3])
+	}
+}
+
+func TestMRAMChargesDMA(t *testing.T) {
+	p := MustAssemble(`
+        li r1, 77
+        li r2, 128
+        msw r1, r2, 0
+        mlw r3, r2, 0
+        halt
+    `)
+	m := newMachine()
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 77 {
+		t.Fatalf("mlw = %d", m.Regs[3])
+	}
+	if m.DMACycles() == 0 {
+		t.Fatal("MRAM access must occupy the DMA engine")
+	}
+}
+
+func TestJALRet(t *testing.T) {
+	p := MustAssemble(`
+        li r1, 20
+        jal r23, double
+        halt
+    double:
+        add r1, r1, r1
+        ret r23
+    `)
+	m := newMachine()
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 40 {
+		t.Fatalf("r1 = %d", m.Regs[1])
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	p := MustAssemble("loop: jmp loop")
+	m := newMachine()
+	if err := m.Run(p, 50); err == nil {
+		t.Fatal("infinite loop must trip the guard")
+	}
+}
+
+func TestRunFromUnknownLabel(t *testing.T) {
+	p := MustAssemble("halt")
+	if err := newMachine().RunFrom(p, "nope", 10); err == nil {
+		t.Fatal("unknown label must fail")
+	}
+}
+
+// --- routines: correctness ---
+
+func TestMul32Routine(t *testing.T) {
+	p := MustAssemble(Mul32Src)
+	m := newMachine()
+	cases := [][2]int32{{3, 4}, {0, 99}, {-5, 7}, {12345, 6789}, {-1, -1}, {1 << 16, 1 << 15}}
+	for _, c := range cases {
+		m.Reset()
+		m.Regs[1], m.Regs[2] = c[0], c[1]
+		m.Regs[23] = int32(p.Len()) // return past the end
+		if err := m.RunFrom(p, "mul32", 1000); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs[3] != c[0]*c[1] {
+			t.Errorf("mul32(%d, %d) = %d, want %d", c[0], c[1], m.Regs[3], c[0]*c[1])
+		}
+	}
+}
+
+func TestPropMul32Routine(t *testing.T) {
+	p := MustAssemble(Mul32Src)
+	m := newMachine()
+	f := func(a, b int32) bool {
+		m.Reset()
+		m.Regs[1], m.Regs[2] = a, b
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "mul32", 1000); err != nil {
+			return false
+		}
+		return m.Regs[3] == a*b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF2QRoutine(t *testing.T) {
+	p := MustAssemble(F2QSrc)
+	m := newMachine()
+	for _, v := range []float32{0, 1, -1, 0.5, 3.14159, -6.25, 7.5, 0.001} {
+		m.Reset()
+		m.Regs[1] = int32(math.Float32bits(v))
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "f2q", 1000); err != nil {
+			t.Fatal(err)
+		}
+		got := fixed.Q3_28(m.Regs[2]).Float64()
+		if math.Abs(got-float64(v)) > 1.0/(1<<28)+math.Abs(float64(v))*1e-7 {
+			t.Errorf("f2q(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestQ2FRoutine(t *testing.T) {
+	p := MustAssemble(Q2FSrc)
+	m := newMachine()
+	for _, v := range []float64{0, 1, -1, 0.5, 3.14159, -6.25, 7.5, 1.0 / 1024} {
+		m.Reset()
+		m.Regs[1] = int32(fixed.FromFloat64(v))
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "q2f", 1000); err != nil {
+			t.Fatal(err)
+		}
+		got := float64(math.Float32frombits(uint32(m.Regs[2])))
+		// Truncating conversion: relative error up to ~1 ulp of float32
+		// plus the Q3.28 quantization.
+		if math.Abs(got-v) > math.Abs(v)*2e-7+1.0/(1<<28) {
+			t.Errorf("q2f(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestPropF2QQ2FRoundTrip(t *testing.T) {
+	p := MustAssemble(F2QSrc + Q2FSrc)
+	m := newMachine()
+	f := func(u float32) bool {
+		v := float32(math.Mod(float64(u), 7.9))
+		if v != v {
+			return true
+		}
+		m.Reset()
+		m.Regs[1] = int32(math.Float32bits(v))
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "f2q", 1000); err != nil {
+			return false
+		}
+		m.Regs[1] = m.Regs[2]
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "q2f", 1000); err != nil {
+			return false
+		}
+		got := float64(math.Float32frombits(uint32(m.Regs[1+1])))
+		return math.Abs(got-float64(v)) <= math.Abs(float64(v))*3e-7+1.0/(1<<27)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- cost-model validation (DESIGN.md §2 item 14) ---
+
+// TestMul32CountValidatesIMulCost: the software multiply retires ~43
+// instructions; the cost model charges IMul=32 — same order, within 2×.
+func TestMul32CountValidatesIMulCost(t *testing.T) {
+	p := MustAssemble(Mul32Src)
+	m := newMachine()
+	m.Regs[1], m.Regs[2] = 12345, -678
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "mul32", 1000); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(m.IssueCycles())
+	charged := float64(pimsim.Default().IMul)
+	if r := got / charged; r < 0.5 || r > 2 {
+		t.Fatalf("asm multiply: %v instructions vs IMul charge %v (ratio %.2f, want 0.5-2)",
+			got, charged, r)
+	}
+	t.Logf("asm mul32: %v instructions (cost model charges %v)", got, charged)
+}
+
+// TestSineFixedPipelineValidatesCtxCharges runs the complete
+// non-interpolated fixed-point L-LUT sine (float in → convert →
+// lookup → convert → float out) in assembly and compares both the
+// result and the instruction count against the Ctx-based evaluator.
+func TestSineFixedPipelineValidatesCtxCharges(t *testing.T) {
+	const n = 10 // density exponent
+	tab, err := lut.BuildFixedLLUT(math.Sin, 0, 2*math.Pi, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ctx-based evaluator on a DPU.
+	dpu := pimsim.NewDPU(0, pimsim.Default(), 16)
+	dev, err := tab.Load(dpu, pimsim.InWRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assembly version against the same DPU WRAM (the table already
+	// lives there at offset 0).
+	prog := ValidationProgram()
+	m := NewMachineForDPU(dpu)
+
+	var asmInstrs float64
+	samples := 0
+	for x := 0.1; x < 2*math.Pi; x += 0.37 {
+		xf := float32(x)
+
+		dpu.ResetCycles()
+		want := dev.EvalFloat(dpu.NewCtx(), xf)
+		ctxCycles := float64(dpu.Cycles())
+
+		m.Reset()
+		m.Regs[1] = int32(math.Float32bits(xf))
+		m.Regs[2] = 0 // table base address in WRAM
+		m.Regs[3] = int32(tab.P)
+		m.Regs[4] = int32(fixed.FracBits - n)
+		m.Regs[5] = int32(len(tab.Entries))
+		if err := m.RunFrom(prog, "sine_fixed", 10000); err != nil {
+			t.Fatal(err)
+		}
+		got := math.Float32frombits(uint32(m.Regs[2]))
+
+		// Results agree to float32 truncation (the asm q2f truncates
+		// where the Ctx conversion rounds).
+		if math.Abs(float64(got)-float64(want)) > 3e-7 {
+			t.Errorf("asm sine(%v) = %v, ctx = %v", xf, got, want)
+		}
+		asmInstrs += float64(m.IssueCycles())
+		samples++
+		_ = ctxCycles
+	}
+	asmPer := asmInstrs / float64(samples)
+
+	dpu.ResetCycles()
+	ctx := dpu.NewCtx()
+	for x := 0.1; x < 2*math.Pi; x += 0.37 {
+		dev.EvalFloat(ctx, float32(x))
+	}
+	ctxPer := float64(dpu.Cycles()) / float64(samples)
+
+	// The Ctx charge and the instruction-level count must agree within
+	// ~2×: this is the calibration check for the conversion-dominated
+	// fixed path (DESIGN.md item 14).
+	if r := asmPer / ctxPer; r < 0.5 || r > 2 {
+		t.Fatalf("asm sine pipeline: %.1f instrs/elem vs ctx charge %.1f cycles/elem (ratio %.2f)",
+			asmPer, ctxPer, r)
+	}
+	t.Logf("asm fixed L-LUT sine: %.1f instrs/elem; ctx charges %.1f cycles/elem", asmPer, ctxPer)
+}
+
+func TestFixedLLUTRoutineMatchesHost(t *testing.T) {
+	const n = 9
+	tab, err := lut.BuildFixedLLUT(math.Sin, 0, 2*math.Pi, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine()
+	// Write the table into WRAM at 0.
+	for i, e := range tab.Entries {
+		m.WRAM.PutInt32(4*i, int32(e))
+	}
+	prog := MustAssemble(FixedLLUTSrc)
+	for x := 0.0; x < 2*math.Pi; x += 0.21 {
+		q := fixed.FromFloat64(x)
+		m.Reset()
+		m.Regs[1] = int32(q)
+		m.Regs[2] = 0
+		m.Regs[3] = int32(tab.P)
+		m.Regs[4] = int32(fixed.FracBits - n)
+		m.Regs[5] = int32(len(tab.Entries))
+		m.Regs[23] = int32(prog.Len())
+		if err := m.RunFrom(prog, "llut_fixed", 1000); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := fixed.Q3_28(m.Regs[6]), tab.EvalHost(q); got != want {
+			t.Errorf("asm lookup(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestOpAndRegStrings(t *testing.T) {
+	if ADD.String() != "add" || HALT.String() != "halt" {
+		t.Error("op names wrong")
+	}
+	if Op(200).String() != "op?" {
+		t.Error("out-of-range op should be op?")
+	}
+	if Reg(5).String() != "r5" {
+		t.Error("reg name wrong")
+	}
+}
+
+// --- 64-bit CORDIC step validation ---
+
+func splitI64(v int64) (hi, lo int32) { return int32(v >> 32), int32(uint32(v)) }
+func joinI64(hi, lo int32) int64      { return int64(hi)<<32 | int64(uint32(lo)) }
+
+func TestCordicStepRoutine(t *testing.T) {
+	p := MustAssemble(CordicStepSrc)
+	m := newMachine()
+	cases := []struct {
+		x, y, z, phi int64
+		s            uint
+	}{
+		{1 << 40, 0, 3 << 38, 7 << 35, 1},
+		{0x0000_1234_5678_9ABC, -0x42_0000_0011, 55, 3, 7},
+		{-(1 << 41), 1 << 39, -12345, 678, 13},
+		{1, -1, 0, 1, 31},
+	}
+	for _, c := range cases {
+		m.Reset()
+		m.Regs[1], m.Regs[2] = splitI64(c.x)
+		m.Regs[3], m.Regs[4] = splitI64(c.y)
+		m.Regs[5], m.Regs[6] = splitI64(c.z)
+		m.Regs[7] = int32(c.s)
+		m.Regs[8], m.Regs[9] = splitI64(c.phi)
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "cordic_step", 1000); err != nil {
+			t.Fatal(err)
+		}
+		wantX := c.x - (c.y >> c.s)
+		wantY := c.y + (c.x >> c.s)
+		wantZ := c.z - c.phi
+		if got := joinI64(m.Regs[1], m.Regs[2]); got != wantX {
+			t.Errorf("x: got %#x want %#x (s=%d)", got, wantX, c.s)
+		}
+		if got := joinI64(m.Regs[3], m.Regs[4]); got != wantY {
+			t.Errorf("y: got %#x want %#x (s=%d)", got, wantY, c.s)
+		}
+		if got := joinI64(m.Regs[5], m.Regs[6]); got != wantZ {
+			t.Errorf("z: got %#x want %#x (s=%d)", got, wantZ, c.s)
+		}
+	}
+}
+
+func TestPropCordicStepRoutine(t *testing.T) {
+	p := MustAssemble(CordicStepSrc)
+	m := newMachine()
+	f := func(x, y, z, phi int64, sRaw uint8) bool {
+		s := uint(sRaw%31) + 1
+		m.Reset()
+		m.Regs[1], m.Regs[2] = splitI64(x)
+		m.Regs[3], m.Regs[4] = splitI64(y)
+		m.Regs[5], m.Regs[6] = splitI64(z)
+		m.Regs[7] = int32(s)
+		m.Regs[8], m.Regs[9] = splitI64(phi)
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "cordic_step", 1000); err != nil {
+			return false
+		}
+		return joinI64(m.Regs[1], m.Regs[2]) == x-(y>>s) &&
+			joinI64(m.Regs[3], m.Regs[4]) == y+(x>>s) &&
+			joinI64(m.Regs[5], m.Regs[6]) == z-phi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCordicStepCountValidatesI64Charges: the assembly iteration body
+// retires ~23 instructions; the Ctx-based CORDIC charges per iteration
+// 2×I64Shr + 3×I64Add/Sub + I64Cmp + table fetch + loop ≈ 32 cycles —
+// same order, within 2×.
+func TestCordicStepCountValidatesI64Charges(t *testing.T) {
+	p := MustAssemble(CordicStepSrc)
+	m := newMachine()
+	m.Regs[1], m.Regs[2] = splitI64(1 << 40)
+	m.Regs[7] = 5
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "cordic_step", 1000); err != nil {
+		t.Fatal(err)
+	}
+	asm := float64(m.IssueCycles())
+	cm := pimsim.Default()
+	// The Ctx charge for the arithmetic body of one iteration (without
+	// the table fetch and loop bookkeeping, which the asm also omits).
+	charged := float64(2*cm.I64Shr + 3*cm.I64Add + cm.I64Add /*cmp*/)
+	if r := asm / charged; r < 0.5 || r > 2 {
+		t.Fatalf("asm cordic step %v instrs vs charge %v (ratio %.2f)", asm, charged, r)
+	}
+	t.Logf("asm cordic step: %v instructions (ctx charges %v per iteration body)", asm, charged)
+}
+
+// --- 32×32→64 multiply ---
+
+func TestMul64Routine(t *testing.T) {
+	p := MustAssemble(Mul32x32to64Src)
+	m := newMachine()
+	cases := [][2]uint32{
+		{3, 4}, {0xFFFFFFFF, 0xFFFFFFFF}, {0x12345678, 0x9ABCDEF0},
+		{1 << 31, 2}, {0, 77}, {0xDEADBEEF, 0xCAFEBABE},
+	}
+	for _, c := range cases {
+		m.Reset()
+		m.Regs[1], m.Regs[2] = int32(c[0]), int32(c[1])
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "mul64", 1000); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(c[0]) * uint64(c[1])
+		got := uint64(uint32(m.Regs[3]))<<32 | uint64(uint32(m.Regs[4]))
+		if got != want {
+			t.Errorf("mul64(%#x, %#x) = %#x, want %#x", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestPropMul64Routine(t *testing.T) {
+	p := MustAssemble(Mul32x32to64Src)
+	m := newMachine()
+	f := func(a, b uint32) bool {
+		m.Reset()
+		m.Regs[1], m.Regs[2] = int32(a), int32(b)
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, "mul64", 1000); err != nil {
+			return false
+		}
+		got := uint64(uint32(m.Regs[3]))<<32 | uint64(uint32(m.Regs[4]))
+		return got == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMul64CountBoundsI64MulCharge: the full 64-bit product retires
+// ~83 instructions on this ISA against the I64Mul=34 charge. The
+// charge models UPMEM's fused mul_step (shift+multiply+accumulate per
+// instruction, ~32 instructions for a full multiply); our validation
+// ISA's plain 8×8 multiplier needs ~2.4× that. This test pins the
+// measured ratio so a cost-model revision has an anchor (see
+// EXPERIMENTS.md).
+func TestMul64CountBoundsI64MulCharge(t *testing.T) {
+	p := MustAssemble(Mul32x32to64Src)
+	m := newMachine()
+	m.Regs[1], m.Regs[2] = int32(0x12345678), int32(0x0BCDEF01)
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "mul64", 1000); err != nil {
+		t.Fatal(err)
+	}
+	asm := float64(m.IssueCycles())
+	charged := float64(pimsim.Default().I64Mul)
+	if r := asm / charged; r < 1 || r > 3 {
+		t.Fatalf("mul64 asm %v instrs vs I64Mul charge %v (ratio %.2f, expected 1-3)", asm, charged, r)
+	}
+	t.Logf("asm mul64: %v instructions on plain-MUL8 ISA (I64Mul charges %v, modeling UPMEM mul_step)", asm, charged)
+}

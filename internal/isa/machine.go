@@ -1,0 +1,203 @@
+package isa
+
+import (
+	"fmt"
+	"math/bits"
+
+	"transpimlib/internal/pimsim"
+)
+
+// Machine executes one thread's program on a simulated PIM core: 24
+// registers, the core's WRAM and MRAM, and the same cycle accounting
+// semantics as pimsim — every retired instruction is one issue cycle,
+// MRAM accesses additionally occupy the DMA engine.
+type Machine struct {
+	Regs [NumRegs]int32
+	WRAM *pimsim.Mem
+	MRAM *pimsim.Mem
+
+	cost pimsim.CostModel
+
+	pc          int
+	issueCycles uint64
+	dmaCycles   uint64
+	retired     uint64
+	halted      bool
+}
+
+// NewMachine builds a machine over the given memories (either may be
+// shared with a pimsim.DPU).
+func NewMachine(wram, mram *pimsim.Mem, cost pimsim.CostModel) *Machine {
+	return &Machine{WRAM: wram, MRAM: mram, cost: cost}
+}
+
+// NewMachineForDPU runs against a DPU's memories with its cost model.
+func NewMachineForDPU(d *pimsim.DPU) *Machine {
+	return &Machine{WRAM: d.WRAM, MRAM: d.MRAM, cost: d.Model()}
+}
+
+// IssueCycles returns the pipeline-issue cycles consumed (one per
+// retired instruction, plus the extra DMA issue slots).
+func (m *Machine) IssueCycles() uint64 { return m.issueCycles }
+
+// DMACycles returns the DMA engine busy time.
+func (m *Machine) DMACycles() uint64 { return m.dmaCycles }
+
+// Retired returns the number of retired instructions.
+func (m *Machine) Retired() uint64 { return m.retired }
+
+// Reset clears the registers, counters, pc and halt flag (memory is
+// left intact).
+func (m *Machine) Reset() {
+	m.Regs = [NumRegs]int32{}
+	m.pc = 0
+	m.issueCycles = 0
+	m.dmaCycles = 0
+	m.retired = 0
+	m.halted = false
+}
+
+// Run executes the program from instruction 0 until HALT, a fall-off
+// the end, or maxInstrs retirements (guarding against runaway loops).
+func (m *Machine) Run(p *Program, maxInstrs uint64) error {
+	m.pc = 0
+	m.halted = false
+	for !m.halted {
+		if m.pc < 0 || m.pc >= len(p.Instrs) {
+			return nil // fell off the end: treated as completion
+		}
+		if m.retired >= maxInstrs {
+			return fmt.Errorf("isa: exceeded %d instructions at pc=%d", maxInstrs, m.pc)
+		}
+		in := p.Instrs[m.pc]
+		if err := m.step(in); err != nil {
+			return fmt.Errorf("isa: pc=%d %v: %w", m.pc, in.Op, err)
+		}
+	}
+	return nil
+}
+
+// RunFrom executes starting at a label.
+func (m *Machine) RunFrom(p *Program, label string, maxInstrs uint64) error {
+	start, ok := p.Labels[label]
+	if !ok {
+		return fmt.Errorf("isa: no label %q", label)
+	}
+	m.pc = start
+	m.halted = false
+	for !m.halted {
+		if m.pc < 0 || m.pc >= len(p.Instrs) {
+			return nil
+		}
+		if m.retired >= maxInstrs {
+			return fmt.Errorf("isa: exceeded %d instructions at pc=%d", maxInstrs, m.pc)
+		}
+		in := p.Instrs[m.pc]
+		if err := m.step(in); err != nil {
+			return fmt.Errorf("isa: pc=%d %v: %w", m.pc, in.Op, err)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) step(in Instr) error {
+	m.retired++
+	m.issueCycles++
+	next := m.pc + 1
+	r := &m.Regs
+	switch in.Op {
+	case ADD:
+		r[in.Rd] = r[in.Ra] + r[in.Rb]
+	case SUB:
+		r[in.Rd] = r[in.Ra] - r[in.Rb]
+	case AND:
+		r[in.Rd] = r[in.Ra] & r[in.Rb]
+	case OR:
+		r[in.Rd] = r[in.Ra] | r[in.Rb]
+	case XOR:
+		r[in.Rd] = r[in.Ra] ^ r[in.Rb]
+	case SLL:
+		r[in.Rd] = r[in.Ra] << (uint32(r[in.Rb]) & 31)
+	case SRL:
+		r[in.Rd] = int32(uint32(r[in.Ra]) >> (uint32(r[in.Rb]) & 31))
+	case SRA:
+		r[in.Rd] = r[in.Ra] >> (uint32(r[in.Rb]) & 31)
+	case ADDI:
+		r[in.Rd] = r[in.Ra] + in.Imm
+	case SUBI:
+		r[in.Rd] = r[in.Ra] - in.Imm
+	case ANDI:
+		r[in.Rd] = r[in.Ra] & in.Imm
+	case ORI:
+		r[in.Rd] = r[in.Ra] | in.Imm
+	case XORI:
+		r[in.Rd] = r[in.Ra] ^ in.Imm
+	case SLLI:
+		r[in.Rd] = r[in.Ra] << (uint32(in.Imm) & 31)
+	case SRLI:
+		r[in.Rd] = int32(uint32(r[in.Ra]) >> (uint32(in.Imm) & 31))
+	case SRAI:
+		r[in.Rd] = r[in.Ra] >> (uint32(in.Imm) & 31)
+	case MUL8:
+		r[in.Rd] = int32(uint32(r[in.Ra]&0xFF) * uint32(r[in.Rb]&0xFF))
+	case SLTU:
+		if uint32(r[in.Ra]) < uint32(r[in.Rb]) {
+			r[in.Rd] = 1
+		} else {
+			r[in.Rd] = 0
+		}
+	case CLZ:
+		r[in.Rd] = int32(bits.LeadingZeros32(uint32(r[in.Ra])))
+	case LI:
+		r[in.Rd] = in.Imm
+	case MOVE:
+		r[in.Rd] = r[in.Ra]
+	case LW:
+		r[in.Rd] = m.WRAM.Int32(int(r[in.Rb]) + int(in.Imm))
+	case SW:
+		m.WRAM.PutInt32(int(r[in.Rb])+int(in.Imm), r[in.Ra])
+	case MLW:
+		m.chargeDMA()
+		r[in.Rd] = m.MRAM.Int32(int(r[in.Rb]) + int(in.Imm))
+	case MSW:
+		m.chargeDMA()
+		m.MRAM.PutInt32(int(r[in.Rb])+int(in.Imm), r[in.Ra])
+	case BEQ:
+		if r[in.Ra] == r[in.Rb] {
+			next = in.Target
+		}
+	case BNE:
+		if r[in.Ra] != r[in.Rb] {
+			next = in.Target
+		}
+	case BLT:
+		if r[in.Ra] < r[in.Rb] {
+			next = in.Target
+		}
+	case BGE:
+		if r[in.Ra] >= r[in.Rb] {
+			next = in.Target
+		}
+	case JMP:
+		next = in.Target
+	case JAL:
+		r[in.Rd] = int32(m.pc + 1)
+		next = in.Target
+	case RET:
+		next = int(r[in.Ra])
+	case HALT:
+		m.halted = true
+	default:
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+	m.pc = next
+	return nil
+}
+
+func (m *Machine) chargeDMA() {
+	// The DMA instruction occupies an extra issue slot beyond the
+	// retirement itself, matching pimsim's MRAMIssue=2, and the engine
+	// for the 8-byte minimum transfer.
+	m.issueCycles += uint64(m.cost.MRAMIssue - 1)
+	m.dmaCycles += uint64(m.cost.MRAMLatency) + uint64(8*m.cost.MRAMPerByte)
+}

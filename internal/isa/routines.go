@@ -1,0 +1,316 @@
+package isa
+
+// Hand-written assembly routines for the cost-model validation. Each
+// routine follows a tiny convention: arguments in r1..r5, result in
+// the documented register, r23 is the link register, r12+ are scratch.
+
+// Mul32Src computes the low 32 bits of r1 × r2 into r3 using only the
+// 8×8 hardware multiplier — the software multiply the UPMEM runtime
+// emulates (§2.1: "32-bit integer multiplication … emulated"). Ten
+// byte-products with shifts and adds.
+const Mul32Src = `
+mul32:
+    andi r4, r1, 0xFF        ; a0
+    srli r5, r1, 8
+    andi r5, r5, 0xFF        ; a1
+    srli r6, r1, 16
+    andi r6, r6, 0xFF        ; a2
+    srli r7, r1, 24          ; a3
+    andi r8, r2, 0xFF        ; b0
+    srli r9, r2, 8
+    andi r9, r9, 0xFF        ; b1
+    srli r10, r2, 16
+    andi r10, r10, 0xFF      ; b2
+    srli r11, r2, 24         ; b3
+    mul8 r3, r4, r8          ; a0*b0
+    mul8 r12, r4, r9         ; a0*b1 << 8
+    slli r12, r12, 8
+    add  r3, r3, r12
+    mul8 r12, r5, r8         ; a1*b0 << 8
+    slli r12, r12, 8
+    add  r3, r3, r12
+    mul8 r12, r4, r10        ; a0*b2 << 16
+    slli r12, r12, 16
+    add  r3, r3, r12
+    mul8 r12, r5, r9         ; a1*b1 << 16
+    slli r12, r12, 16
+    add  r3, r3, r12
+    mul8 r12, r6, r8         ; a2*b0 << 16
+    slli r12, r12, 16
+    add  r3, r3, r12
+    mul8 r12, r4, r11        ; a0*b3 << 24
+    slli r12, r12, 24
+    add  r3, r3, r12
+    mul8 r12, r5, r10        ; a1*b2 << 24
+    slli r12, r12, 24
+    add  r3, r3, r12
+    mul8 r12, r6, r9         ; a2*b1 << 24
+    slli r12, r12, 24
+    add  r3, r3, r12
+    mul8 r12, r7, r8         ; a3*b0 << 24
+    slli r12, r12, 24
+    add  r3, r3, r12
+    ret  r23
+`
+
+// F2QSrc converts a float32 bit pattern (r1) to Q3.28 (r2): extract
+// the fields, shift the significand by exp−122, apply the sign.
+// Subnormal and out-of-range inputs are outside the validated domain.
+const F2QSrc = `
+f2q:
+    li   r6, 0
+    srli r4, r1, 23
+    andi r4, r4, 0xFF        ; exponent field
+    beq  r4, r6, f2q_zero
+    slli r5, r1, 9
+    srli r5, r5, 9           ; mantissa
+    ori  r5, r5, 0x800000    ; implicit one
+    subi r7, r4, 122         ; shift = exp-127-23+28
+    blt  r7, r6, f2q_right
+    sll  r2, r5, r7
+    jmp  f2q_sign
+f2q_right:
+    sub  r8, r6, r7
+    srl  r2, r5, r8
+f2q_sign:
+    bge  r1, r6, f2q_done
+    sub  r2, r6, r2
+f2q_done:
+    ret  r23
+f2q_zero:
+    move r2, r6
+    ret  r23
+`
+
+// Q2FSrc converts Q3.28 (r1) to a float32 bit pattern (r2):
+// sign-split, CLZ normalization, exponent assembly. Truncating (the
+// cost model's IToF charge includes rounding we skip here).
+const Q2FSrc = `
+q2f:
+    li   r6, 0
+    beq  r1, r6, q2f_zero
+    li   r9, 0
+    bge  r1, r6, q2f_pos
+    li   r9, 1
+    sub  r1, r6, r1
+q2f_pos:
+    clz  r3, r1              ; leading zeros
+    li   r7, 8
+    sub  r8, r7, r3          ; right-shift = 8 - clz
+    blt  r8, r6, q2f_left
+    srl  r5, r1, r8
+    jmp  q2f_exp
+q2f_left:
+    sub  r8, r6, r8
+    sll  r5, r1, r8
+q2f_exp:
+    li   r7, 130             ; biased exponent = 130 - clz
+    sub  r7, r7, r3
+    slli r7, r7, 23
+    slli r5, r5, 9           ; drop the implicit one
+    srli r5, r5, 9
+    or   r2, r5, r7
+    beq  r9, r6, q2f_done
+    li   r7, 0x80000000
+    or   r2, r2, r7
+q2f_done:
+    ret  r23
+q2f_zero:
+    move r2, r6
+    ret  r23
+`
+
+// FixedLLUTSrc is the non-interpolated fixed-point L-LUT lookup
+// (§3.2.2): subtract P, arithmetic-shift to the index, clamp, load.
+// Inputs: r1 = x (Q3.28), r2 = table base (WRAM byte address),
+// r3 = P (Q3.28), r4 = shift amount, r5 = entry count.
+// Output: r6 = table entry (Q3.28).
+const FixedLLUTSrc = `
+llut_fixed:
+    sub  r7, r1, r3          ; diff = x - P
+    sra  r7, r7, r4          ; idx = diff >> shift
+    li   r8, 0
+    bge  r7, r8, llut_lo_ok
+    move r7, r8
+llut_lo_ok:
+    blt  r7, r5, llut_hi_ok
+    subi r7, r5, 1
+llut_hi_ok:
+    slli r7, r7, 2           ; byte offset
+    add  r7, r7, r2
+    lw   r6, r7, 0
+    ret  r23
+`
+
+// SineFixedSrc is the full non-interpolated fixed-point L-LUT *sine*
+// path as the microbenchmark measures it: float bits in → f2q →
+// lookup → q2f → float bits out. Inputs: r1 = x (float bits),
+// r2 = table base, r3 = P, r4 = shift, r5 = entries. Output: r2 =
+// sin(x) float bits. Calls the routines above (they must be assembled
+// into the same program).
+const SineFixedSrc = `
+sine_fixed:
+    move r20, r2             ; save table args across calls
+    move r21, r3
+    move r22, r4
+    move r19, r5
+    jal  r23, f2q            ; r1 floatbits -> r2 Q3.28
+    move r1, r2
+    move r2, r20
+    move r3, r21
+    move r4, r22
+    move r5, r19
+    jal  r23, llut_fixed     ; -> r6
+    move r1, r6
+    jal  r23, q2f            ; r1 Q3.28 -> r2 floatbits
+    halt
+`
+
+// ValidationProgram assembles every routine into one program.
+func ValidationProgram() *Program {
+	return MustAssemble(SineFixedSrc + F2QSrc + Q2FSrc + FixedLLUTSrc + Mul32Src)
+}
+
+// CordicStepSrc is one circular-mode rotation-mode CORDIC iteration
+// for d = +1 (the z ≥ 0 branch of §3.1) on 64-bit fixed-point values
+// held as register pairs: x = r1:r2 (hi:lo), y = r3:r4, z = r5:r6,
+// shift amount s ∈ [1, 31] in r7, φᵢ = r8:r9. Updates x, y, z in
+// place:
+//
+//	x ← x − (y ≫ s);  y ← y + (x_old ≫ s);  z ← z − φᵢ
+//
+// This is the instruction sequence behind pimsim's per-iteration
+// charge (two I64Shr, three I64Add/Sub, one compare): multi-word
+// shifts via funnel or-ing, adds/subs with SLTU carry detection.
+const CordicStepSrc = `
+cordic_step:
+    li   r12, 32
+    sub  r12, r12, r7       ; 32 - s
+    ; ys = y >> s  ->  r10:r11
+    srl  r11, r4, r7
+    sll  r13, r3, r12
+    or   r11, r11, r13
+    sra  r10, r3, r7
+    ; xs = x >> s  ->  r13:r14
+    srl  r14, r2, r7
+    sll  r15, r1, r12
+    or   r14, r14, r15
+    sra  r13, r1, r7
+    ; x -= ys (borrow via unsigned compare)
+    sltu r15, r2, r11
+    sub  r2, r2, r11
+    sub  r1, r1, r10
+    sub  r1, r1, r15
+    ; y += xs (carry via unsigned compare)
+    add  r4, r4, r14
+    sltu r15, r4, r14
+    add  r3, r3, r13
+    add  r3, r3, r15
+    ; z -= phi
+    sltu r15, r6, r9
+    sub  r6, r6, r9
+    sub  r5, r5, r8
+    sub  r5, r5, r15
+    ret  r23
+`
+
+// Mul32x32to64Src computes the full 64-bit product of r1 × r2
+// (unsigned interpretation) into r3 (hi) : r4 (lo) — the sequence
+// behind the Q3.28 interpolation multiply (pimsim's I64Mul charge).
+// Sixteen 8×8 products accumulated with SLTU carries. Signed callers
+// pre-negate and fix the sign (the Q3.28 Δ operand is always
+// non-negative, so the fixed L-LUT interpolation uses exactly this).
+const Mul32x32to64Src = `
+mul64:
+    ; byte split: a -> r5..r8, b -> r9..r12
+    andi r5, r1, 0xFF
+    srli r6, r1, 8
+    andi r6, r6, 0xFF
+    srli r7, r1, 16
+    andi r7, r7, 0xFF
+    srli r8, r1, 24
+    andi r9, r2, 0xFF
+    srli r10, r2, 8
+    andi r10, r10, 0xFF
+    srli r11, r2, 16
+    andi r11, r11, 0xFF
+    srli r12, r2, 24
+    ; lo = a0*b0, hi = 0
+    mul8 r4, r5, r9
+    li   r3, 0
+    ; k=8 : a0b1, a1b0
+    mul8 r13, r5, r10
+    slli r13, r13, 8
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    mul8 r13, r6, r9
+    slli r13, r13, 8
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    ; k=16: a0b2, a1b1, a2b0
+    mul8 r13, r5, r11
+    slli r13, r13, 16
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    mul8 r13, r6, r10
+    slli r13, r13, 16
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    mul8 r13, r7, r9
+    slli r13, r13, 16
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    ; k=24: a0b3, a1b2, a2b1, a3b0 (split across the word boundary)
+    mul8 r13, r5, r12
+    srli r14, r13, 8
+    add  r3, r3, r14
+    slli r13, r13, 24
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    mul8 r13, r6, r11
+    srli r14, r13, 8
+    add  r3, r3, r14
+    slli r13, r13, 24
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    mul8 r13, r7, r10
+    srli r14, r13, 8
+    add  r3, r3, r14
+    slli r13, r13, 24
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    mul8 r13, r8, r9
+    srli r14, r13, 8
+    add  r3, r3, r14
+    slli r13, r13, 24
+    add  r4, r4, r13
+    sltu r14, r4, r13
+    add  r3, r3, r14
+    ; k=32: a1b3, a2b2, a3b1 (pure hi)
+    mul8 r13, r6, r12
+    add  r3, r3, r13
+    mul8 r13, r7, r11
+    add  r3, r3, r13
+    mul8 r13, r8, r10
+    add  r3, r3, r13
+    ; k=40: a2b3, a3b2
+    mul8 r13, r7, r12
+    slli r13, r13, 8
+    add  r3, r3, r13
+    mul8 r13, r8, r11
+    slli r13, r13, 8
+    add  r3, r3, r13
+    ; k=48: a3b3
+    mul8 r13, r8, r12
+    slli r13, r13, 16
+    add  r3, r3, r13
+    ret  r23
+`

@@ -1,0 +1,398 @@
+package isa
+
+// Software floating point in assembly — the two most load-bearing
+// constants of the cost model (FAdd=62, FMul=93) validated at
+// instruction granularity. Both routines handle normal numbers and
+// zeros with truncating rounding; the cost model's charges also cover
+// round-to-nearest and special-value handling, so the measured counts
+// are expected to come in slightly below the charges (isa_test.go
+// asserts agreement within 2×).
+
+// FMul32Src multiplies two float32 bit patterns (r1, r2) into r3.
+// Normals and zeros; truncating. The 24×24-bit significand product is
+// built from nine 8×8 hardware multiplies accumulated into a 48-bit
+// hi:lo pair with SLTU carry detection — exactly the software sequence
+// a PIM core without an FPU must run.
+const FMul32Src = `
+fmul32:
+    li   r19, 0
+    ; result sign
+    xor  r4, r1, r2
+    li   r5, 0x80000000
+    and  r4, r4, r5
+    ; exponent fields (zero operand → zero result)
+    srli r5, r1, 23
+    andi r5, r5, 0xFF
+    beq  r5, r19, fmul_zero
+    srli r6, r2, 23
+    andi r6, r6, 0xFF
+    beq  r6, r19, fmul_zero
+    ; significands with implicit one
+    slli r7, r1, 9
+    srli r7, r7, 9
+    ori  r7, r7, 0x800000
+    slli r8, r2, 9
+    srli r8, r8, 9
+    ori  r8, r8, 0x800000
+    ; byte split
+    andi r11, r7, 0xFF
+    srli r12, r7, 8
+    andi r12, r12, 0xFF
+    srli r13, r7, 16
+    andi r14, r8, 0xFF
+    srli r15, r8, 8
+    andi r15, r15, 0xFF
+    srli r16, r8, 16
+    ; acc(hi r9, lo r10) = a0*b0
+    mul8 r10, r11, r14
+    li   r9, 0
+    ; k=8: a0*b1, a1*b0
+    mul8 r17, r11, r15
+    slli r17, r17, 8
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    mul8 r17, r12, r14
+    slli r17, r17, 8
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    ; k=16: a0*b2, a1*b1, a2*b0
+    mul8 r17, r11, r16
+    slli r17, r17, 16
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    mul8 r17, r12, r15
+    slli r17, r17, 16
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    mul8 r17, r13, r14
+    slli r17, r17, 16
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    ; k=24: a1*b2, a2*b1 (high byte spills into hi)
+    mul8 r17, r12, r16
+    srli r18, r17, 8
+    add  r9, r9, r18
+    slli r17, r17, 24
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    mul8 r17, r13, r15
+    srli r18, r17, 8
+    add  r9, r9, r18
+    slli r17, r17, 24
+    add  r10, r10, r17
+    sltu r18, r10, r17
+    add  r9, r9, r18
+    ; k=32: a2*b2
+    mul8 r17, r13, r16
+    add  r9, r9, r17
+    ; exponent: e1 + e2 - 127
+    add  r5, r5, r6
+    subi r5, r5, 127
+    ; normalize: product in [2^46, 2^48); bit 47 ⇒ hi ≥ 0x8000
+    li   r6, 0x8000
+    blt  r9, r6, fmul_no48
+    slli r7, r9, 8
+    srli r8, r10, 24
+    or   r7, r7, r8
+    addi r5, r5, 1
+    jmp  fmul_pack
+fmul_no48:
+    slli r7, r9, 9
+    srli r8, r10, 23
+    or   r7, r7, r8
+fmul_pack:
+    slli r7, r7, 9
+    srli r7, r7, 9
+    slli r5, r5, 23
+    or   r3, r7, r5
+    or   r3, r3, r4
+    ret  r23
+fmul_zero:
+    move r3, r4              ; signed zero
+    ret  r23
+`
+
+// FAdd32Src adds two float32 bit patterns (r1, r2) into r3. Normals
+// and zeros; truncating alignment and CLZ renormalization after
+// cancellation.
+const FAdd32Src = `
+fadd32:
+    li   r10, 0
+    ; zero operands: return the other
+    slli r9, r1, 1
+    beq  r9, r10, fadd_ret_b
+    slli r9, r2, 1
+    beq  r9, r10, fadd_ret_a
+    ; unpack a: exp r5, mant r6
+    srli r5, r1, 23
+    andi r5, r5, 0xFF
+    slli r6, r1, 9
+    srli r6, r6, 9
+    ori  r6, r6, 0x800000
+    ; unpack b: exp r7, mant r8
+    srli r7, r2, 23
+    andi r7, r7, 0xFF
+    slli r8, r2, 9
+    srli r8, r8, 9
+    ori  r8, r8, 0x800000
+    ; signs
+    li   r11, 0x80000000
+    and  r4, r1, r11         ; sa
+    and  r12, r2, r11        ; sb
+    ; ensure ea >= eb, swapping operands otherwise
+    bge  r5, r7, fadd_ordered
+    move r13, r5
+    move r5, r7
+    move r7, r13
+    move r13, r6
+    move r6, r8
+    move r8, r13
+    move r13, r4
+    move r4, r12
+    move r12, r13
+    move r13, r1
+    move r1, r2
+    move r2, r13
+fadd_ordered:
+    sub  r9, r5, r7          ; alignment distance
+    li   r13, 25
+    blt  r9, r13, fadd_align
+    move r3, r1              ; b vanishes under alignment
+    ret  r23
+fadd_align:
+    srl  r8, r8, r9
+    beq  r4, r12, fadd_same
+    ; opposite signs: subtract aligned significands
+    sub  r6, r6, r8
+    bne  r6, r10, fadd_subnz
+    move r3, r10             ; exact cancellation → +0
+    ret  r23
+fadd_subnz:
+    bge  r6, r10, fadd_renorm
+    sub  r6, r10, r6
+    xor  r4, r4, r11         ; flip result sign
+fadd_renorm:
+    clz  r13, r6
+    subi r13, r13, 8         ; left shift to put leading one at bit 23
+    sll  r6, r6, r13
+    sub  r5, r5, r13
+    jmp  fadd_pack
+fadd_same:
+    add  r6, r6, r8
+    li   r13, 0x1000000
+    blt  r6, r13, fadd_pack
+    srli r6, r6, 1
+    addi r5, r5, 1
+fadd_pack:
+    slli r6, r6, 9
+    srli r6, r6, 9
+    slli r5, r5, 23
+    or   r3, r6, r5
+    or   r3, r3, r4
+    ret  r23
+fadd_ret_a:
+    move r3, r1
+    ret  r23
+fadd_ret_b:
+    move r3, r2
+    ret  r23
+`
+
+// FDiv32Src divides two float32 bit patterns (r1 / r2) into r3.
+// Normals and zeros; truncating. The 24-bit quotient comes from a
+// restoring shift-subtract loop over the significands — the classic
+// software division a PIM core without an FPU runs, and the reason the
+// cost model charges FDiv ≈ 2× FMul (§4.2.4: a float division is "much
+// costlier than a floating-point multiplication on UPMEM").
+const FDiv32Src = `
+fdiv32:
+    li   r19, 0
+    ; sign
+    xor  r4, r1, r2
+    li   r5, 0x80000000
+    and  r4, r4, r5
+    ; exponents (zero dividend → zero; zero divisor → ±Inf)
+    srli r5, r1, 23
+    andi r5, r5, 0xFF
+    srli r6, r2, 23
+    andi r6, r6, 0xFF
+    beq  r5, r19, fdiv_zero
+    beq  r6, r19, fdiv_inf
+    ; significands
+    slli r7, r1, 9
+    srli r7, r7, 9
+    ori  r7, r7, 0x800000    ; numerator
+    slli r8, r2, 9
+    srli r8, r8, 9
+    ori  r8, r8, 0x800000    ; denominator
+    ; exponent: e1 - e2 + 127
+    sub  r5, r5, r6
+    addi r5, r5, 127
+    ; if num < den the leading quotient bit lands one lower
+    bge  r7, r8, fdiv_loop_init
+    slli r7, r7, 1
+    subi r5, r5, 1
+fdiv_loop_init:
+    ; restoring division: 24 quotient bits
+    li   r9, 0               ; quotient
+    li   r10, 24             ; bit counter
+fdiv_loop:
+    slli r9, r9, 1
+    blt  r7, r8, fdiv_nosub
+    sub  r7, r7, r8
+    ori  r9, r9, 1
+fdiv_nosub:
+    slli r7, r7, 1
+    subi r10, r10, 1
+    bne  r10, r19, fdiv_loop
+    ; quotient in [2^23, 2^24): pack
+    slli r9, r9, 9
+    srli r9, r9, 9
+    slli r5, r5, 23
+    or   r3, r9, r5
+    or   r3, r3, r4
+    ret  r23
+fdiv_zero:
+    move r3, r4
+    ret  r23
+fdiv_inf:
+    li   r6, 0x7F800000
+    or   r3, r4, r6
+    ret  r23
+`
+
+// LdexpSrc multiplies a float32 (r1 bits) by 2^n (r2) into r3 —
+// TransPimLib's custom C99 ldexp (§3.2.2): an integer add on the
+// exponent field with zero/overflow guards. This is the cheap
+// multiplication that gives the L-LUT its name.
+const LdexpSrc = `
+ldexp:
+    li   r6, 0
+    srli r4, r1, 23
+    andi r4, r4, 0xFF
+    beq  r4, r6, ldexp_zero  ; ±0 (and subnormals) pass through
+    add  r4, r4, r2
+    ; overflow/underflow clamps (validated domain avoids them; the
+    ; branches still cost their cycles)
+    li   r7, 255
+    bge  r4, r7, ldexp_inf
+    blt  r4, r6, ldexp_zero2
+    ; splice the new exponent
+    li   r7, 0x807FFFFF
+    and  r3, r1, r7
+    slli r4, r4, 23
+    or   r3, r3, r4
+    ret  r23
+ldexp_zero:
+    move r3, r1
+    ret  r23
+ldexp_zero2:
+    li   r7, 0x80000000
+    and  r3, r1, r7
+    ret  r23
+ldexp_inf:
+    li   r7, 0x80000000
+    and  r3, r1, r7
+    li   r7, 0x7F800000
+    or   r3, r3, r7
+    ret  r23
+`
+
+// FSplitSrc splits a non-negative scaled lookup argument t (float bits
+// in r1, 1 ≤ t < 2^23) into its integer part (r2) and fractional part
+// as float bits (r3) — the bit-level floor/fraction extraction behind
+// the interpolated L-LUT's Δ (§3.2.1/§3.2.2): no float→int→float
+// round trip, just shifts, masks and one CLZ renormalization.
+const FSplitSrc = `
+fsplit:
+    li   r6, 0
+    srli r4, r1, 23
+    andi r4, r4, 0xFF
+    subi r4, r4, 127         ; unbiased exponent e (0..22 in domain)
+    slli r5, r1, 9
+    srli r5, r5, 9
+    ori  r5, r5, 0x800000    ; 24-bit significand
+    li   r7, 23
+    sub  r7, r7, r4          ; 23 - e = fraction bit count
+    srl  r2, r5, r7          ; integer part
+    ; remainder bits -> fraction float
+    li   r8, 1
+    sll  r8, r8, r7
+    subi r8, r8, 1
+    and  r9, r5, r8          ; rem = frac × 2^(23-e)
+    beq  r9, r6, fsplit_zero
+    clz  r10, r9
+    ; place leading one at bit 23: left shift by clz-8
+    subi r11, r10, 8
+    sll  r9, r9, r11
+    ; frac = rem × 2^(e-23); rem's leading bit sits at 31-clz, so the
+    ; biased exponent is 127 + (31-clz) - (23-e) = 158 - clz - (23-e).
+    li   r12, 158
+    sub  r12, r12, r10
+    sub  r12, r12, r7        ; biased exponent of frac
+    slli r9, r9, 9
+    srli r9, r9, 9
+    slli r12, r12, 23
+    or   r3, r9, r12
+    ret  r23
+fsplit_zero:
+    move r3, r6
+    ret  r23
+`
+
+// SineLLUTInterpSrc is the complete interpolated float L-LUT sine —
+// the paper's recommended method (Key Takeaway 1) — in assembly:
+// ldexp-scale the angle, bit-split into index and Δ, fetch the two
+// entries, and interpolate with one softfloat multiply. Inputs:
+// r1 = x (float bits, 0 ≤ x < 2π), r2 = table base (WRAM), r3 = density
+// exponent n, r4 = entry count. Output: r2 = sin(x) float bits.
+const SineLLUTInterpSrc = `
+sine_llut_i:
+    move r20, r2             ; table base
+    move r21, r4             ; entries
+    move r2, r3
+    jal  r23, ldexp          ; r3 = x * 2^n
+    move r1, r3
+    jal  r23, fsplit         ; r2 = idx, r3 = delta (float bits)
+    move r22, r3             ; delta
+    ; clamp idx to [0, entries-2]
+    li   r6, 0
+    bge  r2, r6, sli_lo
+    move r2, r6
+sli_lo:
+    subi r7, r21, 2
+    blt  r2, r7, sli_hi
+    move r2, r7
+sli_hi:
+    slli r2, r2, 2
+    add  r2, r2, r20
+    lw   r1, r2, 4           ; l1
+    lw   r20, r2, 0          ; l0 (r20-r22 survive the softfloat calls)
+    move r21, r22            ; delta
+    ; dl = l1 - l0 (flip the sign bit of l0, then softfloat add)
+    li   r7, 0x80000000
+    xor  r2, r20, r7
+    jal  r23, fadd32         ; r3 = l1 - l0
+    ; term = dl * delta
+    move r1, r3
+    move r2, r21
+    jal  r23, fmul32         ; r3 = dl*delta
+    ; result = l0 + term
+    move r1, r20
+    move r2, r3
+    jal  r23, fadd32
+    move r2, r3
+    halt
+`
+
+// InterpValidationProgram assembles the interpolated-sine pipeline
+// with its softfloat dependencies.
+func InterpValidationProgram() *Program {
+	return MustAssemble(SineLLUTInterpSrc + LdexpSrc + FSplitSrc + FAdd32Src + FMul32Src)
+}

@@ -1,0 +1,75 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/pimsim"
+)
+
+// FuzzLLUTDeviceHost checks device/host equivalence of the L-LUT for
+// arbitrary inputs, including far out-of-range ones (which must clamp,
+// not crash).
+func FuzzLLUTDeviceHost(f *testing.F) {
+	f.Add(float32(1.0), true)
+	f.Add(float32(-100), false)
+	f.Add(float32(math.Pi), true)
+	f.Add(float32(math.Inf(1)), false)
+	tabs := map[bool]*LLUT{}
+	devs := map[bool]*DevLLUT{}
+	dpu := pimsim.NewDPU(0, pimsim.Default(), 16)
+	for _, interp := range []bool{false, true} {
+		tb, err := BuildLLUT(math.Sin, 0, 2*math.Pi, 9, interp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		dv, err := tb.Load(dpu, pimsim.InWRAM)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tabs[interp], devs[interp] = tb, dv
+	}
+	ctx := dpu.NewCtx()
+	f.Fuzz(func(t *testing.T, x float32, interp bool) {
+		if x != x {
+			return // NaN indexing is unspecified (clamps arbitrarily)
+		}
+		got := devs[interp].Eval(ctx, x)
+		want := tabs[interp].EvalHost(x)
+		if got != want && !(got != got && want != want) {
+			t.Fatalf("interp=%v x=%v: device %v host %v", interp, x, got, want)
+		}
+	})
+}
+
+// FuzzFixedLLUT checks that arbitrary Q3.28 inputs never escape the
+// table (clamping) and match the host mirror.
+func FuzzFixedLLUT(f *testing.F) {
+	f.Add(int32(0), false)
+	f.Add(int32(-1)<<30, true)
+	f.Add(int32(math.MaxInt32), true)
+	tabs := map[bool]*FixedLLUT{}
+	devs := map[bool]*DevFixedLLUT{}
+	dpu := pimsim.NewDPU(0, pimsim.Default(), 16)
+	for _, interp := range []bool{false, true} {
+		tb, err := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 9, interp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		dv, err := tb.Load(dpu, pimsim.InWRAM)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tabs[interp], devs[interp] = tb, dv
+	}
+	ctx := dpu.NewCtx()
+	f.Fuzz(func(t *testing.T, raw int32, interp bool) {
+		q := fixed.Q3_28(raw)
+		got := devs[interp].Eval(ctx, q)
+		want := tabs[interp].EvalHost(q)
+		if got != want {
+			t.Fatalf("interp=%v q=%d: device %v host %v", interp, raw, got, want)
+		}
+	})
+}

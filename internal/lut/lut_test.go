@@ -1,0 +1,617 @@
+package lut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/pimsim"
+)
+
+func newDPU() *pimsim.DPU { return pimsim.NewDPU(0, pimsim.Default(), 16) }
+
+func maxErr(eval func(float32) float32, ref func(float64) float64, lo, hi float64, n int) float64 {
+	var worst float64
+	for i := 0; i <= n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n)
+		got := float64(eval(float32(x)))
+		if e := math.Abs(got - ref(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// --- M-LUT ---
+
+func TestMLUTPaperExample(t *testing.T) {
+	// §3.2.1: a 12-entry M-LUT for [0, 5] has k = 11/5 = 2.2 entries per
+	// unit; address 7 represents input 7/k + 0.
+	tab, err := BuildMLUT(math.Sin, 0, 5, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Entries) != 12 {
+		t.Fatalf("entries = %d", len(tab.Entries))
+	}
+	want := math.Sin(7 / tab.K)
+	if math.Abs(float64(tab.Entries[7])-want) > 1e-6 {
+		t.Fatalf("entry 7 = %v, want f(a⁻¹(7)) = %v", tab.Entries[7], want)
+	}
+}
+
+func TestMLUTAccuracyImprovesWithSize(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{64, 256, 1024, 4096} {
+		tab, err := BuildMLUT(math.Sin, 0, 2*math.Pi, n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := maxErr(tab.EvalHost, math.Sin, 0, 2*math.Pi, 5000)
+		if e >= prev {
+			t.Errorf("M-LUT error with %d entries (%v) did not improve on %v", n, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMLUTInterpBeatsNonInterp(t *testing.T) {
+	ni, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 1024, false)
+	ip, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 1024, true)
+	eNI := maxErr(ni.EvalHost, math.Sin, 0, 2*math.Pi, 5000)
+	eIP := maxErr(ip.EvalHost, math.Sin, 0, 2*math.Pi, 5000)
+	if eIP >= eNI/10 {
+		t.Fatalf("interpolation should cut error dramatically: %v vs %v", eIP, eNI)
+	}
+}
+
+func TestMLUTDeviceMatchesHost(t *testing.T) {
+	tab, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 512, true)
+	dev, err := tab.Load(newDPU(), pimsim.InWRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newDPU().NewCtx()
+	_ = ctx
+	c := dev.arr
+	_ = c
+	dctx := pimsim.NewDPU(1, pimsim.Default(), 16)
+	tabDev, _ := tab.Load(dctx, pimsim.InWRAM)
+	cx := dctx.NewCtx()
+	f := func(u float32) bool {
+		x := float32(math.Mod(math.Abs(float64(u)), 2*math.Pi))
+		return tabDev.Eval(cx, x) == tab.EvalHost(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLUTCycleCost(t *testing.T) {
+	cm := pimsim.Default()
+	for _, interp := range []bool{false, true} {
+		tab, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 256, interp)
+		dpu := newDPU()
+		dev, _ := tab.Load(dpu, pimsim.InWRAM)
+		dev.Eval(dpu.NewCtx(), 1.0)
+		c := dpu.Counters()
+		wantMuls := uint64(1)
+		if interp {
+			wantMuls = 2
+		}
+		if c.Ops[pimsim.OpFMul] != wantMuls {
+			t.Errorf("interp=%v: %d float multiplies, want %d", interp, c.Ops[pimsim.OpFMul], wantMuls)
+		}
+	}
+	_ = cm
+}
+
+func TestMLUTOutOfRangeClamps(t *testing.T) {
+	tab, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 256, false)
+	lo := tab.EvalHost(-1)
+	hi := tab.EvalHost(100)
+	if lo != tab.Entries[0] || hi != tab.Entries[len(tab.Entries)-1] {
+		t.Fatal("out-of-range inputs must clamp to edge entries")
+	}
+}
+
+func TestMLUTInvalidRange(t *testing.T) {
+	if _, err := BuildMLUT(math.Sin, 5, 5, 16, false); err == nil {
+		t.Fatal("empty range must fail")
+	}
+	if _, err := BuildMLUT(math.Sin, math.Inf(-1), 0, 16, false); err == nil {
+		t.Fatal("infinite range must fail")
+	}
+}
+
+// --- L-LUT ---
+
+func TestLLUTAccuracy(t *testing.T) {
+	tab, err := BuildLLUT(math.Sin, 0, 2*math.Pi, 10, false) // k = 1024/unit
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := maxErr(tab.EvalHost, math.Sin, 0, 2*math.Pi, 5000)
+	// Midpoint entries: max error ≈ half spacing × max|f'| = 2⁻¹¹.
+	if e > math.Pow(2, -10) {
+		t.Fatalf("L-LUT max error %v too large", e)
+	}
+}
+
+func TestLLUTMidpointTrick(t *testing.T) {
+	// Truncating lookup with midpoint entries must match the accuracy
+	// of a rounding lookup with grid entries (the a⁻¹ freedom, §2.2.2).
+	tabMid, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 8, false)
+	e := maxErr(tabMid.EvalHost, math.Sin, 0, 2*math.Pi, 5000)
+	spacing := math.Pow(2, -8)
+	if e > spacing/2*1.05 {
+		t.Fatalf("midpoint L-LUT error %v exceeds half-spacing bound %v", e, spacing/2)
+	}
+}
+
+func TestLLUTInterpAccuracy(t *testing.T) {
+	tab, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 10, true)
+	e := maxErr(tab.EvalHost, math.Sin, 0, 2*math.Pi, 5000)
+	// Interpolation error ≈ spacing²/8 × max|f''| = 2⁻²³/8, plus
+	// float32 rounding of entries and arithmetic (~1 ULP of 1.0).
+	if e > 5e-7 {
+		t.Fatalf("interpolated L-LUT max error %v too large", e)
+	}
+}
+
+func TestLLUTNoMultiplications(t *testing.T) {
+	// §4.2.1 observation 1: the non-interpolated L-LUT executes no
+	// float multiplications; the interpolated one exactly one.
+	for _, tc := range []struct {
+		interp bool
+		want   uint64
+	}{{false, 0}, {true, 1}} {
+		tab, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 8, tc.interp)
+		dpu := newDPU()
+		dev, _ := tab.Load(dpu, pimsim.InWRAM)
+		dev.Eval(dpu.NewCtx(), 1.5)
+		if got := dpu.Counters().Ops[pimsim.OpFMul]; got != tc.want {
+			t.Errorf("interp=%v: %d fmuls, want %d", tc.interp, got, tc.want)
+		}
+	}
+}
+
+func TestLLUTFasterThanMLUT(t *testing.T) {
+	cycles := func(dev interface {
+		Eval(*pimsim.Ctx, float32) float32
+	}, dpu *pimsim.DPU) uint64 {
+		dpu.ResetCycles()
+		dev.Eval(dpu.NewCtx(), 1.5)
+		return dpu.Cycles()
+	}
+	dpu := newDPU()
+	m, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 256, false)
+	l, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 8, false)
+	mi, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 256, true)
+	li, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 8, true)
+	dm, _ := m.Load(dpu, pimsim.InWRAM)
+	dl, _ := l.Load(dpu, pimsim.InWRAM)
+	dmi, _ := mi.Load(dpu, pimsim.InWRAM)
+	dli, _ := li.Load(dpu, pimsim.InWRAM)
+
+	cM, cL := cycles(dm, dpu), cycles(dl, dpu)
+	cMI, cLI := cycles(dmi, dpu), cycles(dli, dpu)
+
+	// Fig. 5: non-interpolated L-LUT cuts ~80% versus M-LUT;
+	// interpolated L-LUT cuts ~50% versus interpolated M-LUT.
+	if r := float64(cL) / float64(cM); r > 0.35 {
+		t.Errorf("L-LUT/M-LUT cycle ratio %.2f (L=%d M=%d), want ≲0.2-0.3", r, cL, cM)
+	}
+	if r := float64(cLI) / float64(cMI); r < 0.35 || r > 0.65 {
+		t.Errorf("L-LUTi/M-LUTi cycle ratio %.2f (L=%d M=%d), want ~0.5", r, cLI, cMI)
+	}
+}
+
+func TestLLUTDeviceMatchesHost(t *testing.T) {
+	for _, interp := range []bool{false, true} {
+		tab, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 9, interp)
+		dpu := newDPU()
+		dev, _ := tab.Load(dpu, pimsim.InWRAM)
+		cx := dpu.NewCtx()
+		f := func(u float32) bool {
+			x := float32(math.Mod(math.Abs(float64(u)), 2*math.Pi))
+			return dev.Eval(cx, x) == tab.EvalHost(x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("interp=%v: %v", interp, err)
+		}
+	}
+}
+
+func TestLLUTNonzeroP(t *testing.T) {
+	tab, _ := BuildLLUT(math.Exp, -2, 2, 10, true)
+	e := maxErr(tab.EvalHost, math.Exp, -2, 2, 4000)
+	if e > 3e-6 {
+		t.Fatalf("L-LUT with p≠0 max error %v", e)
+	}
+	// p≠0 must charge the extra subtract.
+	dpu := newDPU()
+	dev, _ := tab.Load(dpu, pimsim.InWRAM)
+	dev.Eval(dpu.NewCtx(), 0.5)
+	if dpu.Counters().Ops[pimsim.OpFAdd] < 2 { // fsub(p) + 2 interp adds... at least the sub happened
+		t.Error("nonzero p should charge a float subtract")
+	}
+}
+
+func TestLLUTDensityExponentValidation(t *testing.T) {
+	if _, err := BuildLLUT(math.Sin, 0, 1, 40, false); err == nil {
+		t.Fatal("absurd density exponent must fail")
+	}
+}
+
+// --- fixed-point L-LUT ---
+
+func TestFixedLLUTAccuracy(t *testing.T) {
+	tab, err := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for x := 0.0; x <= 2*math.Pi; x += 0.001 {
+		got := tab.EvalHost(fixed.FromFloat64(x)).Float64()
+		if e := math.Abs(got - math.Sin(x)); e > worst {
+			worst = e
+		}
+	}
+	if worst > math.Pow(2, -10) {
+		t.Fatalf("fixed L-LUT max error %v", worst)
+	}
+}
+
+func TestFixedLLUTInterpAccuracy(t *testing.T) {
+	tab, _ := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 10, true)
+	var worst float64
+	for x := 0.0; x <= 2*math.Pi; x += 0.001 {
+		got := tab.EvalHost(fixed.FromFloat64(x)).Float64()
+		if e := math.Abs(got - math.Sin(x)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 3e-7 {
+		t.Fatalf("interpolated fixed L-LUT max error %v", worst)
+	}
+}
+
+func TestFixedLLUTDeviceMatchesHost(t *testing.T) {
+	for _, interp := range []bool{false, true} {
+		tab, _ := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 9, interp)
+		dpu := newDPU()
+		dev, _ := tab.Load(dpu, pimsim.InWRAM)
+		cx := dpu.NewCtx()
+		f := func(u float32) bool {
+			x := fixed.FromFloat64(math.Mod(math.Abs(float64(u)), 2*math.Pi))
+			return dev.Eval(cx, x) == tab.EvalHost(x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("interp=%v: %v", interp, err)
+		}
+	}
+}
+
+func TestFixedInterpLLUTTwiceAsFastAsFloat(t *testing.T) {
+	// §4.2.1 observation 1: the fixed-point interpolated L-LUT doubles
+	// the performance of the float interpolated L-LUT.
+	fl, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 10, true)
+	fx, _ := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 10, true)
+	dpu := newDPU()
+	dfl, _ := fl.Load(dpu, pimsim.InWRAM)
+	dfx, _ := fx.Load(dpu, pimsim.InWRAM)
+
+	dpu.ResetCycles()
+	dfl.Eval(dpu.NewCtx(), 1.5)
+	cFloat := dpu.Cycles()
+
+	dpu.ResetCycles()
+	dfx.EvalFloat(dpu.NewCtx(), 1.5) // includes float↔fixed conversion
+	cFixed := dpu.Cycles()
+
+	r := float64(cFloat) / float64(cFixed)
+	if r < 1.6 || r > 3.2 {
+		t.Fatalf("float/fixed interpolated L-LUT ratio %.2f (float=%d fixed=%d), want ~2", r, cFloat, cFixed)
+	}
+}
+
+func TestFixedNonInterpSimilarToFloat(t *testing.T) {
+	// §4.2.1: the fixed-point non-interpolated L-LUT does not improve
+	// over its float counterpart (neither uses multiplications).
+	fl, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 10, false)
+	fx, _ := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 10, false)
+	dpu := newDPU()
+	dfl, _ := fl.Load(dpu, pimsim.InWRAM)
+	dfx, _ := fx.Load(dpu, pimsim.InWRAM)
+
+	dpu.ResetCycles()
+	dfl.Eval(dpu.NewCtx(), 1.5)
+	cFloat := dpu.Cycles()
+
+	dpu.ResetCycles()
+	dfx.EvalFloat(dpu.NewCtx(), 1.5)
+	cFixed := dpu.Cycles()
+
+	// Neither variant multiplies; both sit at the bottom of Fig. 5.
+	// The fixed path additionally pays the float↔fixed conversions of
+	// Fig. 3(a) steps 2/6, so "similar" here means the same order of
+	// magnitude, far below every multiplying method.
+	r := float64(cFloat) / float64(cFixed)
+	if r < 0.25 || r > 4 {
+		t.Fatalf("float/fixed non-interp ratio %.2f (float=%d fixed=%d), want same order", r, cFloat, cFixed)
+	}
+	mi, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 1024, true)
+	dmi, _ := mi.Load(dpu, pimsim.InWRAM)
+	dpu.ResetCycles()
+	dmi.Eval(dpu.NewCtx(), 1.5)
+	if cM := dpu.Cycles(); cM < 4*cFloat || cM < 4*cFixed {
+		t.Fatalf("both no-multiply variants (%d, %d) must be far below M-LUTi (%d)", cFloat, cFixed, cM)
+	}
+}
+
+func TestFixedLLUTRangeValidation(t *testing.T) {
+	if _, err := BuildFixedLLUT(math.Exp, 0, 9, 8, false); err == nil {
+		t.Fatal("range beyond Q3.28 must fail")
+	}
+	if _, err := BuildFixedLLUT(math.Sin, 0, 1, 29, false); err == nil {
+		t.Fatal("density exponent beyond fraction bits must fail")
+	}
+}
+
+// --- D-LUT ---
+
+func TestDLUTTanhAccuracy(t *testing.T) {
+	tab, err := BuildDLUT(math.Tanh, -10, 4, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := maxErr(tab.EvalHost, math.Tanh, -14, 14, 8000)
+	if e > 1e-2 {
+		t.Fatalf("D-LUT tanh max error %v", e)
+	}
+}
+
+func TestDLUTInterpTanhAccuracy(t *testing.T) {
+	tab, _ := BuildDLUT(math.Tanh, -14, 4, 8, true)
+	// Away from the near-zero gap the interpolation is tight…
+	e := maxErr(tab.EvalHost, math.Tanh, 0.01, 14, 8000)
+	if e > 2e-5 {
+		t.Fatalf("interpolated D-LUT tanh max error %v", e)
+	}
+	// …and inside the gap the error is bounded by tanh(2^MinExp).
+	eGap := maxErr(tab.EvalHost, math.Tanh, -0.001, 0.001, 500)
+	if eGap > math.Pow(2, -13) {
+		t.Fatalf("near-zero gap error %v exceeds 2^MinExp bound", eGap)
+	}
+}
+
+func TestDLUTDensityFollowsFloats(t *testing.T) {
+	// Entries per unit interval must be denser near zero (Fig. 4(c)):
+	// block [2^-3, 2^-2) has the same entry count as [1, 2) over an 8×
+	// narrower span.
+	tab, _ := BuildDLUT(math.Tanh, -3, 2, 4, false)
+	perBlock := 1 << 4
+	spanSmall := math.Ldexp(1, -2) - math.Ldexp(1, -3)
+	spanLarge := 2.0 - 1.0
+	densSmall := float64(perBlock) / spanSmall
+	densLarge := float64(perBlock) / spanLarge
+	if densSmall <= densLarge*7 {
+		t.Fatalf("density near zero (%v) should be ~8× density at 1 (%v)", densSmall, densLarge)
+	}
+	_ = tab
+}
+
+func TestDLUTSignHandling(t *testing.T) {
+	tab, _ := BuildDLUT(math.Tanh, -10, 4, 8, true)
+	if got := tab.EvalHost(-1.0); math.Abs(float64(got)-math.Tanh(-1)) > 1e-4 {
+		t.Fatalf("tanh(-1) = %v", got)
+	}
+	if got := tab.EvalHost(1.0); math.Abs(float64(got)-math.Tanh(1)) > 1e-4 {
+		t.Fatalf("tanh(1) = %v", got)
+	}
+}
+
+func TestDLUTNearZeroGap(t *testing.T) {
+	// The documented limitation (§3.3.1): inputs below 2^MinExp clamp,
+	// so tanh(tiny) returns tanh(2^MinExp-ish) instead of ~tiny.
+	tab, _ := BuildDLUT(math.Tanh, -4, 4, 6, false)
+	got := float64(tab.EvalHost(1e-6))
+	if got < 1e-3 {
+		t.Fatalf("expected the near-zero clamp artifact, got %v", got)
+	}
+	// And the DL-LUT must fix it.
+	dl, err := BuildDLLUT(math.Tanh, -4, 4, 6, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedUp := float64(dl.EvalHost(1e-6))
+	if math.Abs(fixedUp-math.Tanh(1e-6)) > 1e-3 {
+		t.Fatalf("DL-LUT near zero = %v, want ~0", fixedUp)
+	}
+}
+
+func TestDLUTDeviceMatchesHost(t *testing.T) {
+	for _, interp := range []bool{false, true} {
+		tab, _ := BuildDLUT(math.Tanh, -10, 4, 7, interp)
+		dpu := newDPU()
+		dev, _ := tab.Load(dpu, pimsim.InWRAM)
+		cx := dpu.NewCtx()
+		f := func(u float32) bool {
+			x := float32(math.Mod(float64(u), 14))
+			return dev.Eval(cx, x) == tab.EvalHost(x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("interp=%v: %v", interp, err)
+		}
+	}
+}
+
+func TestDLUTInterpContinuousAcrossBlocks(t *testing.T) {
+	tab, _ := BuildDLUT(math.Tanh, -6, 3, 6, true)
+	// Just below and above a power of two must interpolate smoothly.
+	below := float64(tab.EvalHost(math.Nextafter32(2, 0)))
+	above := float64(tab.EvalHost(2.0))
+	if math.Abs(below-above) > 1e-5 {
+		t.Fatalf("discontinuity at block boundary: %v vs %v", below, above)
+	}
+}
+
+func TestDLUTValidation(t *testing.T) {
+	if _, err := BuildDLUT(math.Tanh, 4, 4, 6, false); err == nil {
+		t.Fatal("empty exponent range must fail")
+	}
+	if _, err := BuildDLUT(math.Tanh, -4, 4, 25, false); err == nil {
+		t.Fatal("too many mantissa bits must fail")
+	}
+}
+
+// --- DL-LUT ---
+
+func TestDLLUTAccuracyEverywhere(t *testing.T) {
+	tab, err := BuildDLLUT(math.Tanh, -4, 4, 8, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := maxErr(tab.EvalHost, math.Tanh, -14, 14, 10000)
+	if e > 1e-5 {
+		t.Fatalf("DL-LUT tanh max error %v", e)
+	}
+	// Near-zero region specifically.
+	e0 := maxErr(tab.EvalHost, math.Tanh, -0.05, 0.05, 4000)
+	if e0 > 1e-5 {
+		t.Fatalf("DL-LUT near-zero max error %v", e0)
+	}
+}
+
+func TestDLLUTDeviceMatchesHost(t *testing.T) {
+	tab, _ := BuildDLLUT(math.Tanh, -4, 4, 7, 10, true)
+	dpu := newDPU()
+	dev, err := tab.Load(dpu, pimsim.InWRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := dpu.NewCtx()
+	f := func(u float32) bool {
+		x := float32(math.Mod(float64(u), 14))
+		return dev.Eval(cx, x) == tab.EvalHost(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDLLUTBytes(t *testing.T) {
+	tab, _ := BuildDLLUT(math.Tanh, -4, 4, 6, 10, false)
+	if tab.Bytes() != tab.L.Bytes()+tab.D.Bytes() {
+		t.Fatal("combined footprint must be the sum of parts")
+	}
+}
+
+// --- placement ---
+
+func TestLUTWRAMExhaustion(t *testing.T) {
+	// A table larger than the 64-KB scratchpad must fail to load there
+	// but load fine in the DRAM bank (observation 4).
+	tab, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 14, false) // ~103k entries > 64 KB
+	dpu := newDPU()
+	if _, err := tab.Load(dpu, pimsim.InWRAM); err == nil {
+		t.Fatal("oversized table must not fit in WRAM")
+	}
+	if _, err := tab.Load(dpu, pimsim.InMRAM); err != nil {
+		t.Fatalf("table must fit in MRAM: %v", err)
+	}
+}
+
+func TestLUTMRAMPlacementSameCyclesAtFullPipeline(t *testing.T) {
+	// Observation 4: no significant performance difference between
+	// MRAM- and WRAM-resident LUTs (DMA latency hides behind issue
+	// cycles when the pipeline is full).
+	tab, _ := BuildLLUT(math.Sin, 0, 2*math.Pi, 10, true)
+	run := func(place pimsim.Placement) uint64 {
+		dpu := newDPU()
+		dev, err := tab.Load(dpu, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx := dpu.NewCtx()
+		for i := 0; i < 1000; i++ {
+			dev.Eval(cx, float32(i%6))
+		}
+		return dpu.Cycles()
+	}
+	w, m := run(pimsim.InWRAM), run(pimsim.InMRAM)
+	diff := math.Abs(float64(w)-float64(m)) / float64(w)
+	if diff > 0.05 {
+		t.Fatalf("WRAM (%d) vs MRAM (%d) cycles differ by %.1f%%, want <5%%", w, m, diff*100)
+	}
+}
+
+func TestPropDLLUTAccurateAroundSplit(t *testing.T) {
+	// Both sides of the L/D split must approximate tanh tightly — no
+	// seam artifact where the two tables meet.
+	tab, _ := BuildDLLUT(math.Tanh, -4, 4, 8, 12, true)
+	split := float64(tab.Split)
+	for _, x := range []float64{split * 0.99, split * 0.999, split, split * 1.001, split * 1.01} {
+		got := float64(tab.EvalHost(float32(x)))
+		if math.Abs(got-math.Tanh(x)) > 1e-5 {
+			t.Fatalf("error at %v near split: got %v want %v", x, got, math.Tanh(x))
+		}
+	}
+}
+
+func TestAllLUTKindsInMRAM(t *testing.T) {
+	// Every LUT family must work with DRAM-bank placement end to end.
+	dpu := newDPU()
+	cx := dpu.NewCtx()
+
+	mt, _ := BuildMLUT(math.Sin, 0, 2*math.Pi, 512, true)
+	md, err := mt.Load(dpu, pimsim.InMRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := md.Eval(cx, 1.0); math.Abs(float64(got)-math.Sin(1)) > 1e-4 {
+		t.Errorf("MRAM M-LUT sin(1) = %v", got)
+	}
+
+	ft, _ := BuildFixedLLUT(math.Sin, 0, 2*math.Pi, 10, true)
+	fd, err := ft.Load(dpu, pimsim.InMRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fd.EvalFloat(cx, 1.0); math.Abs(float64(got)-math.Sin(1)) > 1e-4 {
+		t.Errorf("MRAM fixed L-LUT sin(1) = %v", got)
+	}
+
+	dt, _ := BuildDLUT(math.Tanh, -10, 4, 7, true)
+	dd, err := dt.Load(dpu, pimsim.InMRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dd.Eval(cx, -1.5); math.Abs(float64(got)-math.Tanh(-1.5)) > 1e-3 {
+		t.Errorf("MRAM D-LUT tanh(-1.5) = %v", got)
+	}
+
+	lt, _ := BuildDLLUT(math.Tanh, -4, 4, 7, 10, true)
+	ld, err := lt.Load(dpu, pimsim.InMRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ld.Eval(cx, 0.001); math.Abs(float64(got)-math.Tanh(0.001)) > 1e-4 {
+		t.Errorf("MRAM DL-LUT tanh(0.001) = %v", got)
+	}
+	if dpu.DMACycles() == 0 {
+		t.Error("MRAM lookups must exercise the DMA engine")
+	}
+}
+
+func TestDLUTLoadFailurePropagates(t *testing.T) {
+	// When the scratchpad can hold the positive table but not the
+	// negative one, the load must fail cleanly, not corrupt state.
+	tab, _ := BuildDLUT(math.Tanh, -14, 4, 10, true) // 2×~74 KB
+	dpu := newDPU()
+	if _, err := tab.Load(dpu, pimsim.InWRAM); err == nil {
+		t.Fatal("two 74-KB tables cannot fit 64-KB WRAM")
+	}
+}

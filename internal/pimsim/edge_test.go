@@ -1,0 +1,214 @@
+package pimsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewMemValidation(t *testing.T) {
+	for _, tc := range []struct{ size, align int }{
+		{0, 4}, {-1, 4}, {64, 0}, {64, 3}, {64, -8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMem(%d, %d) should panic", tc.size, tc.align)
+				}
+			}()
+			NewMem("bad", tc.size, tc.align)
+		}()
+	}
+}
+
+func TestMustAllocPanicsOnExhaustion(t *testing.T) {
+	m := NewMem("tiny", 16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc past capacity should panic")
+		}
+	}()
+	m.MustAlloc(32)
+}
+
+func TestAllocNegative(t *testing.T) {
+	m := NewMem("m", 64, 4)
+	if _, err := m.Alloc(-1); err == nil {
+		t.Fatal("negative allocation must fail")
+	}
+}
+
+func TestMemName(t *testing.T) {
+	m := NewMem("bank7", 64, 8)
+	if m.Name() != "bank7" || m.Size() != 64 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestErrorMessagesNameTheMemory(t *testing.T) {
+	m := NewMem("wram[3]", 64, 4)
+	_, err := m.Alloc(128)
+	if err == nil || !strings.Contains(err.Error(), "wram[3]") {
+		t.Fatalf("exhaustion error should name the memory: %v", err)
+	}
+}
+
+func TestScatterWrongCount(t *testing.T) {
+	s := NewSystem(Config{DPUs: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scatter with wrong buffer count should panic")
+		}
+	}()
+	s.ScatterToMRAM([][]byte{{1}})
+}
+
+func TestGatherWrongCount(t *testing.T) {
+	s := NewSystem(Config{DPUs: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gather with wrong region count should panic")
+		}
+	}()
+	s.GatherFromMRAMAt([]int{0}, []int{4})
+}
+
+func TestCustomBandwidths(t *testing.T) {
+	s := NewSystem(Config{DPUs: 2, HostToPIMBandwidth: 1e6, PIMToHostBandwidth: 2e6, SerialBandwidth: 0.5e6})
+	s.ChargeHostToPIM(1_000_000, true)
+	if got := s.HostToPIMSeconds(); got != 1.0 {
+		t.Fatalf("custom bandwidth not honored: %v", got)
+	}
+	s.ChargePIMToHost(1_000_000, false) // serial
+	if got := s.PIMToHostSeconds(); got != 2.0 {
+		t.Fatalf("serial bandwidth not honored: %v", got)
+	}
+}
+
+func TestLaunchDeterministicCycles(t *testing.T) {
+	// Host-side concurrency must not perturb the modeled cycle counts.
+	run := func() uint64 {
+		s := NewSystem(Config{DPUs: 32})
+		_ = s.Launch(func(ctx *Ctx, id int) error {
+			for i := 0; i < 100+id; i++ {
+				ctx.FMul(1.1, 1.1)
+			}
+			return nil
+		})
+		return s.KernelCycles()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("cycle counts must be deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestCtxMiscOps(t *testing.T) {
+	d := NewDPU(0, Default(), 16)
+	ctx := d.NewCtx()
+	if got := ctx.IAnd(0b1100, 0b1010); got != 0b1000 {
+		t.Errorf("IAnd = %b", got)
+	}
+	if got := ctx.IOr(0b1100, 0b1010); got != 0b1110 {
+		t.Errorf("IOr = %b", got)
+	}
+	if got := ctx.IXor(0b1100, 0b1010); got != 0b0110 {
+		t.Errorf("IXor = %b", got)
+	}
+	if got := ctx.IUShr(0x80000000, 4); got != 0x08000000 {
+		t.Errorf("IUShr = %x", got)
+	}
+	if ctx.ICmp(1, 2) != -1 || ctx.ICmp(2, 1) != 1 || ctx.ICmp(3, 3) != 0 {
+		t.Error("ICmp ordering")
+	}
+	if ctx.I64Cmp(-5, 5) != -1 || ctx.I64Cmp(5, -5) != 1 || ctx.I64Cmp(7, 7) != 0 {
+		t.Error("I64Cmp ordering")
+	}
+	if got := ctx.I64Neg(-9); got != 9 {
+		t.Errorf("I64Neg = %d", got)
+	}
+	if got := ctx.I64Shl(3, 4); got != 48 {
+		t.Errorf("I64Shl = %d", got)
+	}
+	if got := ctx.IMul(-7, 6); got != -42 {
+		t.Errorf("IMul = %d", got)
+	}
+	if got := ctx.IDiv(42, -6); got != -7 {
+		t.Errorf("IDiv = %d", got)
+	}
+	if got := ctx.FNeg(2.5); got != -2.5 {
+		t.Errorf("FNeg = %v", got)
+	}
+	if got := ctx.FAbs(-2.5); got != 2.5 {
+		t.Errorf("FAbs = %v", got)
+	}
+	if ctx.FCmp(1, 2) != -1 || ctx.FCmp(2, 1) != 1 || ctx.FCmp(2, 2) != 0 {
+		t.Error("FCmp ordering")
+	}
+	ctx.Move()
+	ctx.Branch()
+	if got := ctx.FBits(1.0); got != 0x3F800000 {
+		t.Errorf("FBits = %#x", got)
+	}
+	if got := ctx.FFromBits(0x40000000); got != 2.0 {
+		t.Errorf("FFromBits = %v", got)
+	}
+}
+
+func TestFix64Conversions(t *testing.T) {
+	d := NewDPU(0, Default(), 16)
+	ctx := d.NewCtx()
+	v := ctx.F32ToFix64(3.25, 40)
+	if got := ctx.Fix64ToF32(v, 40); got != 3.25 {
+		t.Fatalf("fix64 round trip = %v", got)
+	}
+	if got := ctx.Fix64ToF32(ctx.F32ToFix64(-0.5, 40), 40); got != -0.5 {
+		t.Fatalf("negative fix64 round trip = %v", got)
+	}
+}
+
+func TestQOps(t *testing.T) {
+	d := NewDPU(0, Default(), 16)
+	ctx := d.NewCtx()
+	one := ctx.QFromF(1)
+	two := ctx.QFromF(2)
+	if got := ctx.QDiv(one, two).Float64(); got != 0.5 {
+		t.Errorf("QDiv = %v", got)
+	}
+	if got := ctx.QAbs(ctx.QSub(one, two)).Float64(); got != 1 {
+		t.Errorf("QAbs = %v", got)
+	}
+	if got := ctx.QShl(one, 1).Float64(); got != 2 {
+		t.Errorf("QShl = %v", got)
+	}
+	if got := ctx.QShr(two, 1).Float64(); got != 1 {
+		t.Errorf("QShr = %v", got)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if InWRAM.String() != "wram" || InMRAM.String() != "mram" {
+		t.Fatal("placement names")
+	}
+	d := NewDPU(0, Default(), 16)
+	if d.MemFor(InWRAM) != d.WRAM || d.MemFor(InMRAM) != d.MRAM {
+		t.Fatal("MemFor wrong")
+	}
+}
+
+func TestStreamedAccessors(t *testing.T) {
+	d := NewDPU(0, Default(), 16)
+	ctx := d.NewCtx()
+	d.MRAM.MustAlloc(64)
+	ctx.StoreStreamedF32(d.MRAM, 8, 4.5)
+	if got := ctx.LoadStreamedF32(d.MRAM, 8); got != 4.5 {
+		t.Fatalf("streamed round trip = %v", got)
+	}
+	// Streamed accesses are scratchpad-priced: no DMA charge.
+	if d.DMACycles() != 0 {
+		t.Fatal("streamed access must not charge the DMA engine")
+	}
+	ctx.ChargeDMA(64)
+	if d.DMACycles() == 0 {
+		t.Fatal("ChargeDMA must charge the engine")
+	}
+}

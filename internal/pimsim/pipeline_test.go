@@ -1,0 +1,184 @@
+package pimsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// evenPrograms builds T identical compute-only programs totalling
+// `instrs` unit instructions.
+func evenPrograms(tasklets, instrsPerTasklet int) []PipeProgram {
+	ps := make([]PipeProgram, tasklets)
+	for i := range ps {
+		ps[i] = PipeProgram{{Instrs: instrsPerTasklet}}
+	}
+	return ps
+}
+
+func TestPipelineFullOccupancyOneInstrPerCycle(t *testing.T) {
+	// With ≥11 tasklets the pipeline retires one instruction per cycle.
+	cm := Default()
+	for _, tasklets := range []int{11, 12, 16, 24} {
+		per := 200
+		got := SimulatePipeline(evenPrograms(tasklets, per), cm)
+		want := uint64(tasklets * per)
+		// Small ramp-up slack allowed.
+		if got < want || got > want+uint64(PipelineDepth) {
+			t.Errorf("tasklets=%d: %d cycles for %d instrs, want ~%d", tasklets, got, tasklets*per, want)
+		}
+	}
+}
+
+func TestPipelineUnderfilledMatchesClosedForm(t *testing.T) {
+	cm := Default()
+	for _, tasklets := range []int{1, 2, 4, 8, 10} {
+		per := 150
+		got := SimulatePipeline(evenPrograms(tasklets, per), cm)
+		issue := uint64(tasklets * per)
+		want := ClosedFormCycles(issue, 0, tasklets)
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 0.02 {
+			t.Errorf("tasklets=%d: event model %d vs closed form %d (%.1f%% off)",
+				tasklets, got, want, rel*100)
+		}
+	}
+}
+
+func TestPipelineSingleTaskletSpacing(t *testing.T) {
+	// One tasklet: every instruction is PipelineDepth cycles apart.
+	cm := Default()
+	got := SimulatePipeline(evenPrograms(1, 10), cm)
+	want := uint64(10 * PipelineDepth)
+	if got < want-uint64(PipelineDepth) || got > want+uint64(PipelineDepth) {
+		t.Fatalf("single tasklet: %d cycles for 10 instrs, want ~%d", got, want)
+	}
+}
+
+func TestPipelineDMAOverlapsWithCompute(t *testing.T) {
+	// DMA-issuing tasklets block, others keep the pipeline busy: total
+	// time is compute-bound when compute ≫ DMA (observation 4).
+	cm := Default()
+	tasklets := 16
+	ps := make([]PipeProgram, tasklets)
+	for i := range ps {
+		// Interleave compute and small DMA reads, like an MRAM-resident
+		// LUT kernel.
+		for j := 0; j < 10; j++ {
+			ps[i] = append(ps[i], PipeOp{Instrs: 200}, PipeOp{DMABytes: 8})
+		}
+	}
+	got := SimulatePipeline(ps, cm)
+	issue := uint64(tasklets * 10 * (200 + 1))
+	dma := uint64(tasklets*10) * (uint64(cm.MRAMLatency) + uint64(8*cm.MRAMPerByte))
+	want := ClosedFormCycles(issue, dma, tasklets)
+	rel := math.Abs(float64(got)-float64(want)) / float64(want)
+	if rel > 0.10 {
+		t.Fatalf("DMA-overlap: event %d vs closed form %d (%.1f%% off; dma=%d issue=%d)",
+			got, want, rel*100, dma, issue)
+	}
+}
+
+func TestPipelineDMABound(t *testing.T) {
+	// Pure-DMA programs are bound by the engine's busy time.
+	cm := Default()
+	tasklets := 16
+	ps := make([]PipeProgram, tasklets)
+	for i := range ps {
+		for j := 0; j < 20; j++ {
+			ps[i] = append(ps[i], PipeOp{DMABytes: 64})
+		}
+	}
+	got := SimulatePipeline(ps, cm)
+	perDMA := uint64(cm.MRAMLatency) + uint64(64*cm.MRAMPerByte)
+	dma := uint64(tasklets*20) * perDMA
+	rel := math.Abs(float64(got)-float64(dma)) / float64(dma)
+	if rel > 0.05 {
+		t.Fatalf("DMA-bound: event %d vs engine busy %d (%.1f%% off)", got, dma, rel*100)
+	}
+}
+
+func TestPipelineEmptyPrograms(t *testing.T) {
+	cm := Default()
+	if got := SimulatePipeline(nil, cm); got != 0 {
+		t.Fatalf("no programs should cost 0, got %d", got)
+	}
+	if got := SimulatePipeline([]PipeProgram{{}, {}}, cm); got != 0 {
+		t.Fatalf("empty programs should cost 0, got %d", got)
+	}
+	if got := SimulatePipeline([]PipeProgram{{{Instrs: 0}}}, cm); got > 1 {
+		t.Fatalf("zero-instruction op should cost ~0, got %d", got)
+	}
+}
+
+func TestPipelineUnevenPrograms(t *testing.T) {
+	// Completion is governed by the aggregate instruction count when
+	// the pipeline stays full, regardless of skew.
+	cm := Default()
+	ps := make([]PipeProgram, 16)
+	total := 0
+	for i := range ps {
+		n := 50 + 37*i
+		ps[i] = PipeProgram{{Instrs: n}}
+		total += n
+	}
+	got := SimulatePipeline(ps, cm)
+	// The tail (longest program minus the shared full-pipeline phase)
+	// drains at 1 instruction per PipelineDepth cycles, so allow slack.
+	if got < uint64(total) {
+		t.Fatalf("cannot finish %d instrs in %d cycles", total, got)
+	}
+	if got > uint64(total)*2 {
+		t.Fatalf("uneven drain too slow: %d cycles for %d instrs", got, total)
+	}
+}
+
+func TestPropPipelineNeverBeatsTheoreticalBounds(t *testing.T) {
+	cm := Default()
+	f := func(seed uint8, tasklets8 uint8) bool {
+		tasklets := int(tasklets8%16) + 1
+		per := int(seed)%80 + 5
+		ps := evenPrograms(tasklets, per)
+		got := SimulatePipeline(ps, cm)
+		issue := uint64(tasklets * per)
+		// Never faster than one instruction per cycle, never slower than
+		// fully serialized spacing.
+		return got >= issue && got <= issue*uint64(PipelineDepth)+uint64(PipelineDepth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosedFormAgainstEventModelSweep is the headline validation: the
+// formula used by DPU.Cycles stays within a few percent of the event
+// model across the (tasklets, compute/DMA mix) plane.
+func TestClosedFormAgainstEventModelSweep(t *testing.T) {
+	cm := Default()
+	for _, tasklets := range []int{1, 4, 8, 11, 16} {
+		for _, dmaEvery := range []int{0, 4, 1} { // none, sparse, dense
+			ps := make([]PipeProgram, tasklets)
+			var issue, dma uint64
+			for i := range ps {
+				for j := 0; j < 12; j++ {
+					ps[i] = append(ps[i], PipeOp{Instrs: 120})
+					issue += 120
+					if dmaEvery > 0 && j%dmaEvery == 0 {
+						ps[i] = append(ps[i], PipeOp{DMABytes: 8})
+						issue++
+						dma += uint64(cm.MRAMLatency) + uint64(8*cm.MRAMPerByte)
+					}
+				}
+			}
+			got := SimulatePipeline(ps, cm)
+			want := ClosedFormCycles(issue, dma, tasklets)
+			rel := math.Abs(float64(got)-float64(want)) / float64(want)
+			// The closed form ignores DMA-wait second-order effects in
+			// underfilled pipelines; 25% envelope over the plane.
+			if rel > 0.25 {
+				t.Errorf("tasklets=%d dmaEvery=%d: event %d vs formula %d (%.0f%% off)",
+					tasklets, dmaEvery, got, want, rel*100)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package pimsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Transfer bandwidths of the host↔PIM interface, in bytes/second,
+// for transfers performed in parallel across all DRAM banks (possible
+// when all per-bank buffers have the same size, §2.1) and serially
+// otherwise. Values follow the PrIM characterization of a 2500-DPU
+// UPMEM system.
+const (
+	DefaultHostToPIMBandwidth = 6.0e9 // aggregate, parallel
+	DefaultPIMToHostBandwidth = 4.7e9 // aggregate, parallel
+	DefaultSerialBandwidth    = 0.35e9
+)
+
+// Config describes a simulated PIM system.
+type Config struct {
+	DPUs     int       // number of PIM cores
+	Tasklets int       // PIM threads per core (default 16)
+	ClockHz  float64   // PIM core clock (default 350 MHz)
+	Cost     CostModel // per-op cycle costs (default Default())
+
+	HostToPIMBandwidth float64
+	PIMToHostBandwidth float64
+	SerialBandwidth    float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DPUs <= 0 {
+		c.DPUs = 1
+	}
+	if c.Tasklets <= 0 {
+		c.Tasklets = DefaultTasklets
+	}
+	if c.ClockHz <= 0 {
+		c.ClockHz = DefaultClockHz
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = Default()
+	}
+	if c.HostToPIMBandwidth <= 0 {
+		c.HostToPIMBandwidth = DefaultHostToPIMBandwidth
+	}
+	if c.PIMToHostBandwidth <= 0 {
+		c.PIMToHostBandwidth = DefaultPIMToHostBandwidth
+	}
+	if c.SerialBandwidth <= 0 {
+		c.SerialBandwidth = DefaultSerialBandwidth
+	}
+	return c
+}
+
+// System is a full PIM system: a set of PIM cores plus the host↔PIM
+// transfer engine with its timing model.
+type System struct {
+	cfg  Config
+	dpus []*DPU
+
+	hostToPIMSeconds float64
+	pimToHostSeconds float64
+}
+
+// NewSystem builds a system from cfg (zero fields take defaults).
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, dpus: make([]*DPU, cfg.DPUs)}
+	for i := range s.dpus {
+		s.dpus[i] = NewDPU(i, cfg.Cost, cfg.Tasklets)
+	}
+	return s
+}
+
+// NewSingleDPU is a convenience for microbenchmarks on one PIM core.
+func NewSingleDPU() *System { return NewSystem(Config{DPUs: 1}) }
+
+// Config returns the system configuration (with defaults applied).
+func (s *System) Config() Config { return s.cfg }
+
+// NumDPUs returns the number of PIM cores.
+func (s *System) NumDPUs() int { return len(s.dpus) }
+
+// DPU returns core i.
+func (s *System) DPU(i int) *DPU { return s.dpus[i] }
+
+// DPUs returns all cores.
+func (s *System) DPUs() []*DPU { return s.dpus }
+
+// Launch runs kernel on every PIM core. Kernels for distinct cores run
+// concurrently on the host (bounded by GOMAXPROCS); each kernel sees
+// its own Ctx. Launch blocks until all kernels complete and returns the
+// first kernel error, if any.
+func (s *System) Launch(kernel func(ctx *Ctx, dpuID int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.dpus) {
+		workers = len(s.dpus)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+		next int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(s.dpus) {
+					return
+				}
+				if e := kernel(s.dpus[i].NewCtx(), i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = fmt.Errorf("pimsim: dpu %d: %w", i, e)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+// KernelCycles returns the cycle count of the slowest PIM core — the
+// kernel completion time in cycles, since all cores run concurrently.
+func (s *System) KernelCycles() uint64 {
+	var mx uint64
+	for _, d := range s.dpus {
+		if c := d.Cycles(); c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// KernelSeconds converts KernelCycles to wall time at the PIM clock.
+func (s *System) KernelSeconds() float64 {
+	return float64(s.KernelCycles()) / s.cfg.ClockHz
+}
+
+// ResetCycles zeroes the accounting on every core and the transfer
+// clocks, leaving memory contents intact.
+func (s *System) ResetCycles() {
+	for _, d := range s.dpus {
+		d.ResetCycles()
+	}
+	s.hostToPIMSeconds = 0
+	s.pimToHostSeconds = 0
+}
+
+// ResetMemory frees all MRAM/WRAM allocations on every core.
+func (s *System) ResetMemory() {
+	for _, d := range s.dpus {
+		d.MRAM.Reset()
+		d.WRAM.Reset()
+	}
+}
+
+// BroadcastToMRAM copies the same buffer into every core's DRAM bank at
+// the same address, charging parallel-transfer time once (all buffers
+// have equal size, so the transfer is parallel across banks, §2.1).
+// It returns the common MRAM address.
+func (s *System) BroadcastToMRAM(buf []byte) int {
+	addr := -1
+	for _, d := range s.dpus {
+		a := d.MRAM.MustAlloc(len(buf))
+		if addr == -1 {
+			addr = a
+		} else if a != addr {
+			panic("pimsim: broadcast allocation diverged across banks")
+		}
+		d.MRAM.Write(a, buf)
+	}
+	// Broadcast replicates the buffer to every bank; the interface moves
+	// len(buf) bytes to each of the N banks but the copies proceed in
+	// parallel rank-wide, so the cost scales with one buffer at the
+	// aggregate parallel bandwidth divided by the per-bank share.
+	s.hostToPIMSeconds += float64(len(buf)) * float64(len(s.dpus)) / s.cfg.HostToPIMBandwidth
+	return addr
+}
+
+// ScatterToMRAM distributes per-core buffers (one per DPU). If all
+// buffers have the same length the transfer is modeled as parallel;
+// otherwise it degrades to the serial bandwidth (§2.1). Returns the
+// per-core MRAM addresses.
+func (s *System) ScatterToMRAM(bufs [][]byte) []int {
+	if len(bufs) != len(s.dpus) {
+		panic("pimsim: scatter needs one buffer per DPU")
+	}
+	addrs := make([]int, len(bufs))
+	total, mx, equal := 0, 0, true
+	for i, b := range bufs {
+		addrs[i] = s.dpus[i].MRAM.MustAlloc(len(b))
+		s.dpus[i].MRAM.Write(addrs[i], b)
+		total += len(b)
+		if len(b) != len(bufs[0]) {
+			equal = false
+		}
+		if len(b) > mx {
+			mx = len(b)
+		}
+	}
+	if equal {
+		s.hostToPIMSeconds += float64(total) / s.cfg.HostToPIMBandwidth
+	} else {
+		s.hostToPIMSeconds += float64(total) / s.cfg.SerialBandwidth
+	}
+	return addrs
+}
+
+// GatherFromMRAM reads n bytes from every core's DRAM bank at addr into
+// out[i], charging parallel transfer time.
+func (s *System) GatherFromMRAM(addr, n int) [][]byte {
+	out := make([][]byte, len(s.dpus))
+	for i, d := range s.dpus {
+		out[i] = make([]byte, n)
+		d.MRAM.Read(addr, out[i])
+	}
+	s.pimToHostSeconds += float64(n*len(s.dpus)) / s.cfg.PIMToHostBandwidth
+	return out
+}
+
+// GatherFromMRAMAt reads per-core regions (addr[i], n[i]); parallel
+// when all sizes match, serial otherwise.
+func (s *System) GatherFromMRAMAt(addrs, ns []int) [][]byte {
+	if len(addrs) != len(s.dpus) || len(ns) != len(s.dpus) {
+		panic("pimsim: gather needs one region per DPU")
+	}
+	out := make([][]byte, len(s.dpus))
+	total, equal := 0, true
+	for i, d := range s.dpus {
+		out[i] = make([]byte, ns[i])
+		d.MRAM.Read(addrs[i], out[i])
+		total += ns[i]
+		if ns[i] != ns[0] {
+			equal = false
+		}
+	}
+	if equal {
+		s.pimToHostSeconds += float64(total) / s.cfg.PIMToHostBandwidth
+	} else {
+		s.pimToHostSeconds += float64(total) / s.cfg.SerialBandwidth
+	}
+	return out
+}
+
+// HostToPIMSeconds returns accumulated modeled Host→PIM transfer time.
+func (s *System) HostToPIMSeconds() float64 { return s.hostToPIMSeconds }
+
+// PIMToHostSeconds returns accumulated modeled PIM→Host transfer time.
+func (s *System) PIMToHostSeconds() float64 { return s.pimToHostSeconds }
+
+// TransferSeconds returns total modeled transfer time in both
+// directions.
+func (s *System) TransferSeconds() float64 {
+	return s.hostToPIMSeconds + s.pimToHostSeconds
+}
+
+// ChargeHostToPIM accounts Host→PIM transfer time for the given total
+// byte count without moving data — used when a kernel clock was reset
+// after setup and the input transfer belongs to execution time.
+func (s *System) ChargeHostToPIM(totalBytes int, parallel bool) {
+	bw := s.cfg.HostToPIMBandwidth
+	if !parallel {
+		bw = s.cfg.SerialBandwidth
+	}
+	s.hostToPIMSeconds += float64(totalBytes) / bw
+}
+
+// ChargePIMToHost is the symmetric PIM→Host accounting.
+func (s *System) ChargePIMToHost(totalBytes int, parallel bool) {
+	bw := s.cfg.PIMToHostBandwidth
+	if !parallel {
+		bw = s.cfg.SerialBandwidth
+	}
+	s.pimToHostSeconds += float64(totalBytes) / bw
+}

@@ -1,0 +1,201 @@
+package poly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"transpimlib/internal/pimsim"
+)
+
+func newDPU() *pimsim.DPU { return pimsim.NewDPU(0, pimsim.Default(), 16) }
+
+func TestFitChebyshevSin(t *testing.T) {
+	p, err := FitChebyshev(math.Sin, 0, math.Pi/2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fit itself converges below 1e-8; float32 coefficient storage
+	// and Horner arithmetic floor the end-to-end error near 1 ULP.
+	if e := p.MaxError(math.Sin, 4000); e > 3e-7 {
+		t.Fatalf("degree-9 sine fit max error %v", e)
+	}
+}
+
+func TestFitChebyshevExp(t *testing.T) {
+	p, err := FitChebyshev(math.Exp, -0.35, 0.35, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := p.MaxError(math.Exp, 4000); e > 3e-7 {
+		t.Fatalf("degree-8 exp fit max error %v", e)
+	}
+}
+
+func TestFitChebyshevLog(t *testing.T) {
+	p, err := FitChebyshev(math.Log, 0.5, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := p.MaxError(math.Log, 4000); e > 1e-6 {
+		t.Fatalf("degree-12 log fit max error %v", e)
+	}
+}
+
+func TestErrorShrinksWithDegree(t *testing.T) {
+	prev := math.Inf(1)
+	// Stop before the float32 floor (~1.2e-7) flattens the curve.
+	for _, d := range []int{3, 5, 7} {
+		p, err := FitChebyshev(math.Sin, 0, math.Pi/2, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := p.MaxError(math.Sin, 2000)
+		if e >= prev {
+			t.Errorf("degree %d error %v did not improve on %v", d, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := FitChebyshev(math.Sin, 1, 1, 5); err == nil {
+		t.Fatal("empty interval must fail")
+	}
+	if _, err := FitChebyshev(math.Sin, 0, 1, 40); err == nil {
+		t.Fatal("excessive degree must fail")
+	}
+	if _, err := FitChebyshev(math.Sin, 0, 1, -1); err == nil {
+		t.Fatal("negative degree must fail")
+	}
+}
+
+func TestDegreeZeroIsConstant(t *testing.T) {
+	p, err := FitChebyshev(func(float64) float64 { return 7 }, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EvalHost(0.3); math.Abs(float64(got)-7) > 1e-6 {
+		t.Fatalf("constant fit = %v", got)
+	}
+}
+
+func TestEvalDeviceMatchesHost(t *testing.T) {
+	p, _ := FitChebyshev(math.Sin, 0, math.Pi/2, 9)
+	dpu := newDPU()
+	cx := dpu.NewCtx()
+	f := func(u float32) bool {
+		x := float32(math.Abs(math.Mod(float64(u), math.Pi/2)))
+		return p.Eval(cx, x) == p.EvalHost(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalCostLinearInDegree(t *testing.T) {
+	cost := func(d int) uint64 {
+		p, err := FitChebyshev(math.Sin, 0, 1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpu := newDPU()
+		p.Eval(dpu.NewCtx(), 0.5)
+		return dpu.Cycles()
+	}
+	c5, c10, c20 := cost(5), cost(10), cost(20)
+	if (c10 - c5) != (c20-c10)/2 {
+		t.Fatalf("per-degree cost not constant: %d %d %d", c5, c10, c20)
+	}
+	// One FMul+FAdd per degree.
+	cm := pimsim.Default()
+	perDeg := c10 - c5
+	want := uint64(5 * (cm.FMul + cm.FAdd + 1))
+	if perDeg != want {
+		t.Fatalf("5 extra degrees cost %d, want %d", perDeg, want)
+	}
+}
+
+func TestEvalMultiplyCount(t *testing.T) {
+	// The Fig. 5 argument: polynomial evaluation needs ~1 multiply per
+	// term, so a high-accuracy fit multiplies ~10× more than any LUT.
+	p, _ := FitChebyshev(math.Sin, 0, math.Pi/2, 9)
+	dpu := newDPU()
+	p.Eval(dpu.NewCtx(), 0.5)
+	if got := dpu.Counters().Ops[pimsim.OpFMul]; got != 10 {
+		t.Fatalf("degree-9 Horner used %d fmuls, want 10 (incl. input map)", got)
+	}
+}
+
+func TestDegreeFor(t *testing.T) {
+	p, err := DegreeFor(math.Sin, 0, math.Pi/2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxError(math.Sin, 2000) > 1e-6 {
+		t.Fatal("DegreeFor result misses target")
+	}
+	if p.Degree() > 12 {
+		t.Fatalf("DegreeFor picked needlessly high degree %d", p.Degree())
+	}
+	if _, err := DegreeFor(math.Tan, 0, 1.57, 1e-12); err == nil {
+		t.Fatal("impossible target must fail")
+	}
+}
+
+func TestCNDFAgainstErf(t *testing.T) {
+	dpu := newDPU()
+	cx := dpu.NewCtx()
+	expf := func(c *pimsim.Ctx, x float32) float32 {
+		return float32(math.Exp(float64(x))) // exact exp isolates the A&S error
+	}
+	var worst float64
+	for x := -6.0; x <= 6.0; x += 0.01 {
+		got := float64(CNDF(cx, float32(x), expf))
+		if e := math.Abs(got - CNDFHost(x)); e > worst {
+			worst = e
+		}
+	}
+	// Abramowitz–Stegun 26.2.17 is accurate to ~7.5e-8 in float64; our
+	// float32 evaluation adds rounding noise.
+	if worst > 1e-6 {
+		t.Fatalf("CNDF max error %v", worst)
+	}
+}
+
+func TestCNDFSymmetry(t *testing.T) {
+	dpu := newDPU()
+	cx := dpu.NewCtx()
+	expf := func(c *pimsim.Ctx, x float32) float32 { return float32(math.Exp(float64(x))) }
+	f := func(u float32) bool {
+		x := float32(math.Mod(float64(u), 6))
+		a := float64(CNDF(cx, x, expf))
+		b := float64(CNDF(cx, -x, expf))
+		return math.Abs(a+b-1) < 2e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCNDFBounds(t *testing.T) {
+	dpu := newDPU()
+	cx := dpu.NewCtx()
+	expf := func(c *pimsim.Ctx, x float32) float32 { return float32(math.Exp(float64(x))) }
+	if got := CNDF(cx, 8, expf); got < 0.9999 || got > 1.0001 {
+		t.Fatalf("Φ(8) = %v", got)
+	}
+	if got := CNDF(cx, -8, expf); got > 0.0001 || got < -0.0001 {
+		t.Fatalf("Φ(-8) = %v", got)
+	}
+	if got := CNDF(cx, 0, expf); math.Abs(float64(got)-0.5) > 1e-6 {
+		t.Fatalf("Φ(0) = %v", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	p, _ := FitChebyshev(math.Sin, 0, 1, 9)
+	if p.Bytes() != 40 {
+		t.Fatalf("Bytes = %d, want 40", p.Bytes())
+	}
+}

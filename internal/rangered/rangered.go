@@ -1,0 +1,196 @@
+// Package rangered implements the range reductions and extensions of
+// §2.2.3: periodic reduction and quadrant folding for trigonometric
+// functions, and exponent/mantissa splits for exponentiation,
+// logarithm and square root. These are the per-function conversion
+// costs Figure 8 measures.
+//
+// Each reduction has a device form (charging PIM cycles through a Ctx)
+// and, where useful, a Q3.28 fixed-point form.
+package rangered
+
+import (
+	"math"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/pimsim"
+)
+
+// Float32 constants used by the reductions.
+const (
+	TwoPi    = float32(2 * math.Pi)
+	Pi       = float32(math.Pi)
+	HalfPi   = float32(math.Pi / 2)
+	InvTwoPi = float32(1 / (2 * math.Pi))
+	Ln2      = float32(math.Ln2)
+	Log2E    = float32(math.Log2E)
+)
+
+// Cody–Waite split of 2π (high part exact for |k| < 2¹²).
+const (
+	TwoPiHi = float32(6.28125)
+	TwoPiLo = float32(1.9353072e-03)
+)
+
+// To2Pi reduces any finite x to r ∈ [0, 2π): r = x − ⌊x/2π⌋·2π, with
+// the subtraction in two-constant Cody–Waite form so cancellation does
+// not destroy the residual for large |x|. Cost: three float multiplies,
+// two subtracts and two conversions — the most expensive reduction in
+// Figure 8, which is why the sine microbenchmarks (whose inputs
+// already live in [0, 2π]) skip it.
+func To2Pi(ctx *pimsim.Ctx, x float32) float32 {
+	k := ctx.FToIFloor(ctx.FMul(x, InvTwoPi))
+	kf := ctx.IToF(k)
+	r := ctx.FSub(x, ctx.FMul(kf, TwoPiHi))
+	r = ctx.FSub(r, ctx.FMul(kf, TwoPiLo))
+	// One guard compare: float rounding can land r marginally outside.
+	ctx.Branch()
+	if ctx.FCmp(r, 0) < 0 {
+		r = ctx.FAdd(r, TwoPi)
+	} else if ctx.FCmp(r, TwoPi) >= 0 {
+		r = ctx.FSub(r, TwoPi)
+	}
+	return r
+}
+
+// Quadrant identifies which quarter of the period an angle fell in.
+type Quadrant int32
+
+// FoldQuadrant reduces r ∈ [0, 2π) to θ ∈ [0, π/2] plus the quadrant,
+// for methods (CORDIC) whose core range is a quarter period
+// (Fig. 3(a), step 3). Cost: one multiply-free scaled compare chain —
+// we charge the two compares and subtracts the device executes.
+func FoldQuadrant(ctx *pimsim.Ctx, r float32) (float32, Quadrant) {
+	var q Quadrant
+	for q = 0; q < 3; q++ {
+		ctx.Branch()
+		if ctx.FCmp(r, HalfPi) < 0 {
+			break
+		}
+		r = ctx.FSub(r, HalfPi)
+	}
+	return r, q
+}
+
+// ApplySinQuadrant reconstructs sin(x) from (sin θ, cos θ) of the
+// folded angle: sin(qπ/2 + θ) = {sin θ, cos θ, −sin θ, −cos θ}[q]
+// (Fig. 3(a), step 5). Cost: a two-way branch and possibly a sign flip.
+func ApplySinQuadrant(ctx *pimsim.Ctx, sin, cos float32, q Quadrant) float32 {
+	ctx.Branch()
+	switch q & 3 {
+	case 0:
+		return sin
+	case 1:
+		return cos
+	case 2:
+		return ctx.FNeg(sin)
+	default:
+		return ctx.FNeg(cos)
+	}
+}
+
+// ApplyCosQuadrant reconstructs cos(x) analogously:
+// cos(qπ/2 + θ) = {cos θ, −sin θ, −cos θ, sin θ}[q].
+func ApplyCosQuadrant(ctx *pimsim.Ctx, sin, cos float32, q Quadrant) float32 {
+	ctx.Branch()
+	switch q & 3 {
+	case 0:
+		return cos
+	case 1:
+		return ctx.FNeg(sin)
+	case 2:
+		return ctx.FNeg(cos)
+	default:
+		return sin
+	}
+}
+
+// To2PiFixed reduces a Q3.28 angle (necessarily within (-8, 8)) to
+// [0, 2π) with at most two compare-subtract steps — pure integer
+// arithmetic, far cheaper than the float path.
+func To2PiFixed(ctx *pimsim.Ctx, x fixed.Q3_28) fixed.Q3_28 {
+	twoPi := fixed.TwoPi
+	for ctx.ICmp(int32(x), int32(twoPi)) >= 0 {
+		x = ctx.QSub(x, twoPi)
+		ctx.Branch()
+	}
+	for ctx.ICmp(int32(x), 0) < 0 {
+		x = ctx.QAdd(x, twoPi)
+		ctx.Branch()
+	}
+	return x
+}
+
+// FoldQuadrantFixed is FoldQuadrant on Q3.28 values.
+func FoldQuadrantFixed(ctx *pimsim.Ctx, r fixed.Q3_28) (fixed.Q3_28, Quadrant) {
+	var q Quadrant
+	for q = 0; q < 3; q++ {
+		ctx.Branch()
+		if ctx.ICmp(int32(r), int32(fixed.HalfPi)) < 0 {
+			break
+		}
+		r = ctx.QSub(r, fixed.HalfPi)
+	}
+	return r, q
+}
+
+// Cody–Waite split of ln2: Ln2Hi has its 12 low mantissa bits zeroed so
+// k·Ln2Hi is exact for |k| < 2¹², and Ln2Lo supplies the remainder.
+// This keeps the residual r accurate to ~1 ulp instead of letting the
+// reduction error grow with |k|.
+const (
+	Ln2Hi = float32(0.693145751953125)
+	Ln2Lo = float32(1.42860677e-06)
+)
+
+// SplitExp prepares exponentiation over the full float range:
+// e^x = 2^k · e^r with k = round(x·log₂e) and r = x − k·ln2,
+// r ∈ [−ln2/2, ln2/2] (§2.2.3). The subtraction uses the two-constant
+// Cody–Waite form (one extra multiply and subtract) so the residual
+// stays accurate for large |x|. The caller computes e^r with a narrow-
+// range method and rebuilds the result with JoinExp.
+func SplitExp(ctx *pimsim.Ctx, x float32) (r float32, k int32) {
+	k = ctx.FToIRound(ctx.FMul(x, Log2E))
+	kf := ctx.IToF(k)
+	r = ctx.FSub(x, ctx.FMul(kf, Ln2Hi))
+	r = ctx.FSub(r, ctx.FMul(kf, Ln2Lo))
+	return r, k
+}
+
+// JoinExp rebuilds e^x = e^r · 2^k with one ldexp.
+func JoinExp(ctx *pimsim.Ctx, expR float32, k int32) float32 {
+	return ctx.Ldexp(expR, int(k))
+}
+
+// SplitLog prepares logarithm over the full positive float range:
+// x = m·2^e with m ∈ [0.5, 1), so ln x = ln m + e·ln2 (§2.2.3: "we can
+// separate exponent and mantissa"). The split itself is the integer
+// frexp bit operation.
+func SplitLog(ctx *pimsim.Ctx, x float32) (m float32, e int32) {
+	mf, ei := ctx.Frexp(x)
+	return mf, int32(ei)
+}
+
+// JoinLog rebuilds ln x = ln m + e·ln2: one conversion, one multiply,
+// one add.
+func JoinLog(ctx *pimsim.Ctx, logM float32, e int32) float32 {
+	return ctx.FAdd(logM, ctx.FMul(ctx.IToF(e), Ln2))
+}
+
+// SplitSqrt prepares square root over the full positive float range:
+// x = m·2^(2h) with m ∈ [0.5, 2), so √x = √m · 2^h. Cost: the frexp
+// bit split, one parity test and one conditional ldexp — the cheapest
+// reduction in Figure 8.
+func SplitSqrt(ctx *pimsim.Ctx, x float32) (m float32, h int32) {
+	mf, e := ctx.Frexp(x)
+	ctx.Branch()
+	if e&1 != 0 { // odd exponent: fold one factor of two into m
+		mf = ctx.Ldexp(mf, 1)
+		e--
+	}
+	return mf, int32(e / 2)
+}
+
+// JoinSqrt rebuilds √x = √m · 2^h with one ldexp.
+func JoinSqrt(ctx *pimsim.Ctx, sqrtM float32, h int32) float32 {
+	return ctx.Ldexp(sqrtM, int(h))
+}

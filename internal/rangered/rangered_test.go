@@ -1,0 +1,242 @@
+package rangered
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/pimsim"
+)
+
+func newCtx() *pimsim.Ctx { return pimsim.NewDPU(0, pimsim.Default(), 16).NewCtx() }
+
+func TestTo2PiBasics(t *testing.T) {
+	ctx := newCtx()
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{1, 1},
+		{2 * math.Pi, 0},
+		{2*math.Pi + 1, 1},
+		{100, math.Mod(100, 2*math.Pi)},
+		{-1, 2*math.Pi - 1},
+		{-100, math.Mod(-100, 2*math.Pi) + 2*math.Pi},
+	}
+	for _, c := range cases {
+		got := float64(To2Pi(ctx, float32(c.in)))
+		if math.Abs(got-c.want) > 1e-4*(1+math.Abs(c.in)) {
+			t.Errorf("To2Pi(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropTo2PiInRange(t *testing.T) {
+	ctx := newCtx()
+	f := func(x float32) bool {
+		if x != x || math.Abs(float64(x)) > 1e6 {
+			return true
+		}
+		r := To2Pi(ctx, x)
+		return r >= 0 && r < TwoPi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTo2PiPreservesSin(t *testing.T) {
+	ctx := newCtx()
+	f := func(x float32) bool {
+		if x != x || math.Abs(float64(x)) > 1e4 {
+			return true
+		}
+		r := To2Pi(ctx, x)
+		// Absolute error grows with |x| through cancellation, as on any
+		// single-precision mod reduction.
+		return math.Abs(math.Sin(float64(r))-math.Sin(float64(x))) < 2e-3*(1+math.Abs(float64(x)))/10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldQuadrant(t *testing.T) {
+	ctx := newCtx()
+	cases := []struct {
+		in    float64
+		wantQ Quadrant
+	}{
+		{0.5, 0},
+		{math.Pi/2 + 0.5, 1},
+		{math.Pi + 0.5, 2},
+		{3*math.Pi/2 + 0.5, 3},
+	}
+	for _, c := range cases {
+		theta, q := FoldQuadrant(ctx, float32(c.in))
+		if q != c.wantQ {
+			t.Errorf("FoldQuadrant(%v) quadrant = %d, want %d", c.in, q, c.wantQ)
+		}
+		if theta < 0 || float64(theta) > math.Pi/2+1e-5 {
+			t.Errorf("FoldQuadrant(%v) theta = %v out of [0, π/2]", c.in, theta)
+		}
+		if math.Abs(float64(theta)-0.5) > 1e-5 {
+			t.Errorf("FoldQuadrant(%v) theta = %v, want 0.5", c.in, theta)
+		}
+	}
+}
+
+func TestQuadrantReconstruction(t *testing.T) {
+	ctx := newCtx()
+	for x := 0.01; x < 2*math.Pi; x += 0.05 {
+		theta, q := FoldQuadrant(ctx, float32(x))
+		s := float32(math.Sin(float64(theta)))
+		c := float32(math.Cos(float64(theta)))
+		gotSin := float64(ApplySinQuadrant(ctx, s, c, q))
+		gotCos := float64(ApplyCosQuadrant(ctx, s, c, q))
+		if math.Abs(gotSin-math.Sin(x)) > 1e-5 {
+			t.Errorf("sin reconstruction at %v: %v want %v (q=%d)", x, gotSin, math.Sin(x), q)
+		}
+		if math.Abs(gotCos-math.Cos(x)) > 1e-5 {
+			t.Errorf("cos reconstruction at %v: %v want %v (q=%d)", x, gotCos, math.Cos(x), q)
+		}
+	}
+}
+
+func TestTo2PiFixed(t *testing.T) {
+	ctx := newCtx()
+	for _, in := range []float64{0, 1, 6.3, 7.9, -1, -7.9} {
+		got := To2PiFixed(ctx, fixed.FromFloat64(in)).Float64()
+		want := math.Mod(in, 2*math.Pi)
+		if want < 0 {
+			want += 2 * math.Pi
+		}
+		if math.Abs(got-want) > 1e-7 {
+			t.Errorf("To2PiFixed(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFoldQuadrantFixed(t *testing.T) {
+	ctx := newCtx()
+	for x := 0.01; x < 2*math.Pi; x += 0.1 {
+		theta, q := FoldQuadrantFixed(ctx, fixed.FromFloat64(x))
+		back := float64(theta.Float64()) + float64(q)*math.Pi/2
+		if math.Abs(back-x) > 1e-6 {
+			t.Errorf("fixed fold of %v: theta=%v q=%d", x, theta.Float64(), q)
+		}
+	}
+}
+
+func TestSplitJoinExp(t *testing.T) {
+	ctx := newCtx()
+	for _, x := range []float64{-20, -3.3, -0.1, 0, 0.1, 1, 5.7, 20} {
+		r, k := SplitExp(ctx, float32(x))
+		if math.Abs(float64(r)) > math.Ln2/2+1e-6 {
+			t.Errorf("SplitExp(%v): r = %v outside ±ln2/2", x, r)
+		}
+		got := float64(JoinExp(ctx, float32(math.Exp(float64(r))), k))
+		want := math.Exp(x)
+		if math.Abs(got-want)/want > 1e-5 {
+			t.Errorf("exp(%v) via split = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPropSplitExpResidual(t *testing.T) {
+	ctx := newCtx()
+	f := func(x float32) bool {
+		if x != x || math.Abs(float64(x)) > 80 {
+			return true
+		}
+		r, _ := SplitExp(ctx, x)
+		return math.Abs(float64(r)) <= math.Ln2/2+1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitJoinLog(t *testing.T) {
+	ctx := newCtx()
+	for _, x := range []float64{1e-10, 0.001, 0.5, 1, 2.5, 1000, 1e20} {
+		m, e := SplitLog(ctx, float32(x))
+		if m < 0.5 || m >= 1 {
+			t.Errorf("SplitLog(%v): m = %v outside [0.5, 1)", x, m)
+		}
+		got := float64(JoinLog(ctx, float32(math.Log(float64(m))), e))
+		want := math.Log(x)
+		if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("log(%v) via split = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSplitJoinSqrt(t *testing.T) {
+	ctx := newCtx()
+	for _, x := range []float64{1e-12, 0.25, 0.5, 1, 2, 3, 1e6, 1e30} {
+		m, h := SplitSqrt(ctx, float32(x))
+		if m < 0.5 || m >= 2 {
+			t.Errorf("SplitSqrt(%v): m = %v outside [0.5, 2)", x, m)
+		}
+		got := float64(JoinSqrt(ctx, float32(math.Sqrt(float64(m))), h))
+		want := math.Sqrt(x)
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("sqrt(%v) via split = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPropSplitSqrtReconstruct(t *testing.T) {
+	ctx := newCtx()
+	f := func(x float32) bool {
+		if x != x || x <= 0 || math.IsInf(float64(x), 0) {
+			return true
+		}
+		m, h := SplitSqrt(ctx, x)
+		// m·4^h must reconstruct x exactly (pure exponent surgery).
+		back := float64(m) * math.Pow(4, float64(h))
+		return math.Abs(back-float64(x))/float64(x) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Figure 8's cost ordering: sin reduction > exp ≈ log > sqrt.
+func TestReductionCostOrdering(t *testing.T) {
+	cost := func(f func(ctx *pimsim.Ctx)) uint64 {
+		d := pimsim.NewDPU(0, pimsim.Default(), 16)
+		f(d.NewCtx())
+		return d.Cycles()
+	}
+	sinC := cost(func(c *pimsim.Ctx) {
+		// The full sine conversion path (Fig. 3(a) steps 1, 3 and 5):
+		// 2π reduction, quadrant fold, quadrant fix-up.
+		r := To2Pi(c, 100)
+		theta, q := FoldQuadrant(c, r)
+		ApplySinQuadrant(c, theta, theta, q)
+	})
+	expC := cost(func(c *pimsim.Ctx) { r, k := SplitExp(c, 5.5); JoinExp(c, r, k) })
+	logC := cost(func(c *pimsim.Ctx) { m, e := SplitLog(c, 123); JoinLog(c, m, e) })
+	sqrtC := cost(func(c *pimsim.Ctx) { m, h := SplitSqrt(c, 123); JoinSqrt(c, m, h) })
+	if !(sinC > expC && expC > logC && logC > sqrtC) {
+		t.Fatalf("cost ordering sin(%d) > exp(%d) > log(%d) > sqrt(%d) violated",
+			sinC, expC, logC, sqrtC)
+	}
+}
+
+func TestFixedReductionCheaperThanFloat(t *testing.T) {
+	costFloat := func() uint64 {
+		d := pimsim.NewDPU(0, pimsim.Default(), 16)
+		To2Pi(d.NewCtx(), 6.9)
+		return d.Cycles()
+	}()
+	costFixed := func() uint64 {
+		d := pimsim.NewDPU(0, pimsim.Default(), 16)
+		To2PiFixed(d.NewCtx(), fixed.FromFloat64(6.9))
+		return d.Cycles()
+	}()
+	if costFixed >= costFloat/4 {
+		t.Fatalf("fixed 2π reduction (%d) should be far cheaper than float (%d)", costFixed, costFloat)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats computes the accuracy metrics of §4.1.1: root-mean-
+// square absolute error (RMSE), maximum absolute error, and error in
+// units of last place (ULP), always against a double-precision host
+// reference.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"transpimlib/internal/fpbits"
+)
+
+// Errors summarizes the deviation of a set of computed values from
+// their references.
+type Errors struct {
+	N       int
+	RMSE    float64 // √(mean of squared absolute errors)
+	MaxAbs  float64
+	MeanAbs float64
+	MaxULP  float64 // max |error| / ulp(reference), reference in float32
+	// RelRMSE is the root-mean-square of |error|/|reference| over
+	// references of meaningful magnitude (|ref| > 1e-30) — the metric
+	// of choice for functions whose outputs span decades (tan near its
+	// poles, exp over wide ranges).
+	RelRMSE float64
+}
+
+// String formats the metrics compactly.
+func (e Errors) String() string {
+	return fmt.Sprintf("rmse=%.3g max=%.3g mean=%.3g relrmse=%.3g maxulp=%.1f (n=%d)",
+		e.RMSE, e.MaxAbs, e.MeanAbs, e.RelRMSE, e.MaxULP, e.N)
+}
+
+// Collector accumulates errors incrementally.
+type Collector struct {
+	n        int
+	sumSq    float64
+	sumAbs   float64
+	maxAbs   float64
+	maxULP   float64
+	sumRelSq float64
+	nRel     int
+}
+
+// Add records one (computed, reference) pair. Non-finite pairs where
+// both sides agree (both +Inf, both NaN) count as exact; disagreeing
+// non-finite pairs count as the worst observed error so far plus one
+// ULP step, keeping the collector finite.
+func (c *Collector) Add(got float32, want float64) {
+	c.n++
+	g := float64(got)
+	if math.IsNaN(g) && math.IsNaN(want) {
+		return
+	}
+	if math.IsInf(g, 1) && math.IsInf(want, 1) || math.IsInf(g, -1) && math.IsInf(want, -1) {
+		return
+	}
+	err := math.Abs(g - want)
+	if math.IsNaN(err) || math.IsInf(err, 0) {
+		err = math.MaxFloat32
+	}
+	c.sumSq += err * err
+	c.sumAbs += err
+	if err > c.maxAbs {
+		c.maxAbs = err
+	}
+	if u := float64(fpbits.ULP(float32(want))); u > 0 && !math.IsNaN(u) {
+		if ulps := err / u; ulps > c.maxULP {
+			c.maxULP = ulps
+		}
+	}
+	if a := math.Abs(want); a > 1e-30 {
+		rel := err / a
+		c.sumRelSq += rel * rel
+		c.nRel++
+	}
+}
+
+// Result returns the accumulated metrics.
+func (c *Collector) Result() Errors {
+	if c.n == 0 {
+		return Errors{}
+	}
+	e := Errors{
+		N:       c.n,
+		RMSE:    math.Sqrt(c.sumSq / float64(c.n)),
+		MaxAbs:  c.maxAbs,
+		MeanAbs: c.sumAbs / float64(c.n),
+		MaxULP:  c.maxULP,
+	}
+	if c.nRel > 0 {
+		e.RelRMSE = math.Sqrt(c.sumRelSq / float64(c.nRel))
+	}
+	return e
+}
+
+// Measure evaluates approx against ref on the given inputs.
+func Measure(inputs []float32, approx func(float32) float32, ref func(float64) float64) Errors {
+	var c Collector
+	for _, x := range inputs {
+		c.Add(approx(x), ref(float64(x)))
+	}
+	return c.Result()
+}
+
+// UniformInputs returns n evenly spaced float32 samples over [lo, hi].
+func UniformInputs(lo, hi float64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(lo + (hi-lo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// RandomInputs returns n pseudo-random float32 samples uniform over
+// [lo, hi), from a fixed-seed xorshift generator so runs reproduce
+// (the microbenchmarks use 2¹⁶ random uniform values, §4.1.1).
+func RandomInputs(lo, hi float64, n int, seed uint64) []float32 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	out := make([]float32, n)
+	s := seed
+	for i := range out {
+		// xorshift64*
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		u := float64(s*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+		out[i] = float32(lo + (hi-lo)*u)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectorExact(t *testing.T) {
+	var c Collector
+	c.Add(1.5, 1.5)
+	c.Add(-2, -2)
+	r := c.Result()
+	if r.RMSE != 0 || r.MaxAbs != 0 || r.N != 2 {
+		t.Fatalf("exact values should give zero error: %+v", r)
+	}
+}
+
+func TestCollectorKnownValues(t *testing.T) {
+	var c Collector
+	c.Add(1.0, 1.1) // err 0.1
+	c.Add(2.0, 2.3) // err 0.3
+	r := c.Result()
+	wantRMSE := math.Sqrt((0.1*0.1 + 0.3*0.3) / 2)
+	if math.Abs(r.RMSE-wantRMSE) > 1e-6 {
+		t.Errorf("RMSE = %v, want %v", r.RMSE, wantRMSE)
+	}
+	if math.Abs(r.MaxAbs-0.3) > 1e-6 {
+		t.Errorf("MaxAbs = %v, want 0.3", r.MaxAbs)
+	}
+	if math.Abs(r.MeanAbs-0.2) > 1e-6 {
+		t.Errorf("MeanAbs = %v, want 0.2", r.MeanAbs)
+	}
+}
+
+func TestCollectorULP(t *testing.T) {
+	var c Collector
+	// Error of exactly 1 ULP at 1.0 (2^-23).
+	c.Add(1.0+1.1920929e-7, 1.0)
+	r := c.Result()
+	if r.MaxULP < 0.99 || r.MaxULP > 1.01 {
+		t.Fatalf("MaxULP = %v, want ~1", r.MaxULP)
+	}
+}
+
+func TestCollectorNonFinite(t *testing.T) {
+	var c Collector
+	nan := float32(math.NaN())
+	c.Add(nan, math.NaN()) // agreeing NaN = exact
+	c.Add(float32(math.Inf(1)), math.Inf(1))
+	r := c.Result()
+	if r.MaxAbs != 0 {
+		t.Fatalf("agreeing non-finite values should be exact: %+v", r)
+	}
+	c.Add(nan, 1.0) // disagreement is penalized but finite
+	r = c.Result()
+	if math.IsNaN(r.RMSE) || math.IsInf(r.RMSE, 0) {
+		t.Fatalf("metrics must stay finite: %+v", r)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	var c Collector
+	if r := c.Result(); r.N != 0 || r.RMSE != 0 {
+		t.Fatalf("empty collector: %+v", r)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	inputs := UniformInputs(0, 1, 100)
+	e := Measure(inputs,
+		func(x float32) float32 { return x + 0.001 },
+		func(x float64) float64 { return x })
+	if math.Abs(e.MaxAbs-0.001) > 1e-5 {
+		t.Fatalf("MaxAbs = %v", e.MaxAbs)
+	}
+	if e.N != 100 {
+		t.Fatalf("N = %d", e.N)
+	}
+}
+
+func TestUniformInputsEndpoints(t *testing.T) {
+	in := UniformInputs(-2, 3, 11)
+	if in[0] != -2 || in[10] != 3 {
+		t.Fatalf("endpoints wrong: %v %v", in[0], in[10])
+	}
+	if len(in) != 11 {
+		t.Fatalf("len = %d", len(in))
+	}
+}
+
+func TestRandomInputsDeterministic(t *testing.T) {
+	a := RandomInputs(0, 1, 64, 42)
+	b := RandomInputs(0, 1, 64, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	c := RandomInputs(0, 1, 64, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPropRandomInputsInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		for _, v := range RandomInputs(2, 5, 50, seed) {
+			if v < 2 || v >= 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRMSEBounds(t *testing.T) {
+	// RMSE is always between mean and max absolute error.
+	f := func(errs []float32) bool {
+		if len(errs) == 0 {
+			return true
+		}
+		var c Collector
+		for _, e := range errs {
+			if math.IsNaN(float64(e)) || math.IsInf(float64(e), 0) {
+				return true
+			}
+			c.Add(e, 0)
+		}
+		r := c.Result()
+		return r.RMSE >= r.MeanAbs-1e-9 && r.RMSE <= r.MaxAbs+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorsString(t *testing.T) {
+	var c Collector
+	c.Add(1, 1.25)
+	s := c.Result().String()
+	if s == "" {
+		t.Fatal("String should not be empty")
+	}
+}
+
+func TestRelRMSE(t *testing.T) {
+	var c Collector
+	c.Add(101, 100) // rel err 0.01
+	c.Add(202, 200) // rel err 0.01
+	r := c.Result()
+	if math.Abs(r.RelRMSE-0.01) > 1e-9 {
+		t.Fatalf("RelRMSE = %v, want 0.01", r.RelRMSE)
+	}
+	// Near-zero references are excluded from the relative metric.
+	var c2 Collector
+	c2.Add(1e-3, 0)
+	if got := c2.Result().RelRMSE; got != 0 {
+		t.Fatalf("RelRMSE with zero reference = %v, want 0", got)
+	}
+}

@@ -1,0 +1,345 @@
+package workloads
+
+import (
+	"math"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/lut"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/poly"
+	"transpimlib/internal/rangered"
+)
+
+// DeviceKit is the per-PIM-core math toolbox a workload kernel calls
+// into: full-range exp/log/sqrt plus the cumulative normal
+// distribution, each charging its cycles through the Ctx. Fixed-point
+// kits additionally expose Q3.28 entry points for the fixed
+// Blackscholes variant.
+type DeviceKit struct {
+	Exp  func(*pimsim.Ctx, float32) float32
+	Log  func(*pimsim.Ctx, float32) float32
+	Sqrt func(*pimsim.Ctx, float32) float32
+	CNDF func(*pimsim.Ctx, float32) float32
+
+	// Fixed-point variants (nil unless the kit is fixed-point).
+	CNDFQ func(*pimsim.Ctx, fixed.Q3_28) fixed.Q3_28
+
+	TableBytes int
+}
+
+// Kit builds DeviceKits: host-side table generation runs once (in the
+// constructor), per-core loading happens in Build. Cost is the cost
+// model the PIM system should run under (the polynomial baseline pays
+// double-precision float emulation, see PolyBaselineKit).
+type Kit struct {
+	Name  string
+	Cost  pimsim.CostModel
+	Build func(dpu *pimsim.DPU) (*DeviceKit, error)
+}
+
+// coreRanges for the three §2.2.3-reduced functions.
+var (
+	expLo, expHi   = -math.Ln2 / 2, math.Ln2 / 2
+	logLo, logHi   = 0.5, 1.0
+	sqrtLo, sqrtHi = 0.5, 2.0
+)
+
+// PolyBaselineKit is the paper's PIM baseline (§4.1.2): polynomial
+// approximation in the style the original benchmarks ship — Taylor-
+// grade term counts ("one floating-point multiplication for each bit
+// of precision", §4.2.1) evaluated in emulated double precision, which
+// is how the reference PARSEC port computes. The doubled float costs
+// are encoded in the kit's cost model.
+func PolyBaselineKit() Kit {
+	const degree = 24
+	expP, err := poly.FitChebyshev(math.Exp, expLo, expHi, degree)
+	logP, err2 := poly.FitChebyshev(math.Log, logLo, logHi, degree)
+	sqrtP, err3 := poly.FitChebyshev(math.Sqrt, sqrtLo, sqrtHi, degree)
+	if err != nil || err2 != nil || err3 != nil {
+		panic("workloads: baseline fits failed")
+	}
+	return Kit{
+		Name: "pim-poly",
+		Cost: doubleFloatCost(),
+		Build: func(dpu *pimsim.DPU) (*DeviceKit, error) {
+			k := &DeviceKit{TableBytes: expP.Bytes() + logP.Bytes() + sqrtP.Bytes()}
+			k.Exp = func(ctx *pimsim.Ctx, x float32) float32 {
+				r, e := rangered.SplitExp(ctx, x)
+				return rangered.JoinExp(ctx, expP.Eval(ctx, r), e)
+			}
+			k.Log = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, e := rangered.SplitLog(ctx, x)
+				return rangered.JoinLog(ctx, logP.Eval(ctx, m), e)
+			}
+			k.Sqrt = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, h := rangered.SplitSqrt(ctx, x)
+				return rangered.JoinSqrt(ctx, sqrtP.Eval(ctx, m), h)
+			}
+			k.CNDF = func(ctx *pimsim.Ctx, x float32) float32 {
+				return poly.CNDF(ctx, x, k.Exp)
+			}
+			return k, nil
+		},
+	}
+}
+
+// PolyActivationKit is the polynomial baseline sized for activation
+// functions (Sigmoid/Softmax), where the reference implementations use
+// moderate-degree single-precision fits.
+func PolyActivationKit() Kit {
+	expP, err := poly.FitChebyshev(math.Exp, expLo, expHi, 10)
+	if err != nil {
+		panic("workloads: activation baseline fit failed")
+	}
+	return Kit{
+		Name: "pim-poly",
+		Cost: pimsim.Default(),
+		Build: func(dpu *pimsim.DPU) (*DeviceKit, error) {
+			k := &DeviceKit{TableBytes: expP.Bytes()}
+			k.Exp = func(ctx *pimsim.Ctx, x float32) float32 {
+				r, e := rangered.SplitExp(ctx, x)
+				return rangered.JoinExp(ctx, expP.Eval(ctx, r), e)
+			}
+			k.CNDF = func(ctx *pimsim.Ctx, x float32) float32 { return poly.CNDF(ctx, x, k.Exp) }
+			return k, nil
+		},
+	}
+}
+
+// doubleFloatCost doubles (×2.2) the software-float costs of the
+// default model: the baseline's double-precision emulation on a 32-bit
+// PIM core.
+func doubleFloatCost() pimsim.CostModel {
+	cm := pimsim.Default()
+	scale := func(v int) int { return v * 22 / 10 }
+	cm.FAdd = scale(cm.FAdd)
+	cm.FSub = scale(cm.FSub)
+	cm.FMul = scale(cm.FMul)
+	cm.FDiv = scale(cm.FDiv)
+	cm.FToI = scale(cm.FToI)
+	cm.IToF = scale(cm.IToF)
+	return cm
+}
+
+// MLUTIKit uses interpolated M-LUTs for exp/log/sqrt (§4.1.2: "we use
+// interpolated M-LUT and L-LUT methods").
+func MLUTIKit(sizeLog2 int) Kit {
+	entries := 1 << sizeLog2
+	expT, e1 := lut.BuildMLUT(math.Exp, expLo, expHi, entries, true)
+	logT, e2 := lut.BuildMLUT(math.Log, logLo, logHi, entries, true)
+	sqrtT, e3 := lut.BuildMLUT(math.Sqrt, sqrtLo, sqrtHi, entries, true)
+	if e1 != nil || e2 != nil || e3 != nil {
+		panic("workloads: m-lut build failed")
+	}
+	return Kit{
+		Name: "pim-mlut",
+		Cost: pimsim.Default(),
+		Build: func(dpu *pimsim.DPU) (*DeviceKit, error) {
+			expD, err := expT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			logD, err := logT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			sqrtD, err := sqrtT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			k := &DeviceKit{TableBytes: expT.Bytes() + logT.Bytes() + sqrtT.Bytes()}
+			k.Exp = func(ctx *pimsim.Ctx, x float32) float32 {
+				r, e := rangered.SplitExp(ctx, x)
+				return rangered.JoinExp(ctx, expD.Eval(ctx, r), e)
+			}
+			k.Log = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, e := rangered.SplitLog(ctx, x)
+				return rangered.JoinLog(ctx, logD.Eval(ctx, m), e)
+			}
+			k.Sqrt = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, h := rangered.SplitSqrt(ctx, x)
+				return rangered.JoinSqrt(ctx, sqrtD.Eval(ctx, m), h)
+			}
+			k.CNDF = func(ctx *pimsim.Ctx, x float32) float32 { return poly.CNDF(ctx, x, k.Exp) }
+			return k, nil
+		},
+	}
+}
+
+// LLUTIKit uses interpolated float L-LUTs for exp/log/sqrt.
+func LLUTIKit(sizeLog2 int) Kit {
+	expT, e1 := lut.BuildLLUT(math.Exp, expLo, expHi, sizeLog2, true)
+	logT, e2 := lut.BuildLLUT(math.Log, logLo, logHi, sizeLog2, true)
+	sqrtT, e3 := lut.BuildLLUT(math.Sqrt, sqrtLo, sqrtHi, sizeLog2, true)
+	if e1 != nil || e2 != nil || e3 != nil {
+		panic("workloads: l-lut build failed")
+	}
+	return Kit{
+		Name: "pim-llut",
+		Cost: pimsim.Default(),
+		Build: func(dpu *pimsim.DPU) (*DeviceKit, error) {
+			expD, err := expT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			logD, err := logT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			sqrtD, err := sqrtT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			k := &DeviceKit{TableBytes: expT.Bytes() + logT.Bytes() + sqrtT.Bytes()}
+			k.Exp = func(ctx *pimsim.Ctx, x float32) float32 {
+				r, e := rangered.SplitExp(ctx, x)
+				return rangered.JoinExp(ctx, expD.Eval(ctx, r), e)
+			}
+			k.Log = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, e := rangered.SplitLog(ctx, x)
+				return rangered.JoinLog(ctx, logD.Eval(ctx, m), e)
+			}
+			k.Sqrt = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, h := rangered.SplitSqrt(ctx, x)
+				return rangered.JoinSqrt(ctx, sqrtD.Eval(ctx, m), h)
+			}
+			k.CNDF = func(ctx *pimsim.Ctx, x float32) float32 { return poly.CNDF(ctx, x, k.Exp) }
+			return k, nil
+		},
+	}
+}
+
+// Abramowitz–Stegun constants in Q3.28 for the fixed-point CNDF.
+var (
+	cndfBQ = [5]fixed.Q3_28{
+		fixed.FromFloat64(0.319381530),
+		fixed.FromFloat64(-0.356563782),
+		fixed.FromFloat64(1.781477937),
+		fixed.FromFloat64(-1.821255978),
+		fixed.FromFloat64(1.330274429),
+	}
+	cndfGammaQ   = fixed.FromFloat64(0.2316419)
+	cndfSatQ     = fixed.FromFloat64(3.9) // x²/2 must stay within Q3.28
+	invSqrt2PiQ  = fixed.FromFloat64(0.39894228040143267794)
+	fixedOneQ    = fixed.One
+	fixedHalfNeg = fixed.FromFloat64(-0.5)
+)
+
+// FixedLLUTIKit uses interpolated Q3.28 L-LUTs for exp/log/sqrt and
+// runs the whole CNDF polynomial in fixed point — the "version of
+// Blackscholes that operates on fixed-point values" (§4.1.2), whose
+// cheap fixed multiplies make it the fastest Blackscholes variant
+// (§4.3).
+func FixedLLUTIKit(sizeLog2 int) Kit {
+	expT, e1 := lut.BuildFixedLLUT(math.Exp, expLo, expHi, sizeLog2, true)
+	logT, e2 := lut.BuildFixedLLUT(math.Log, logLo, logHi, sizeLog2, true)
+	sqrtT, e3 := lut.BuildFixedLLUT(math.Sqrt, sqrtLo, sqrtHi, sizeLog2, true)
+	if e1 != nil || e2 != nil || e3 != nil {
+		panic("workloads: fixed l-lut build failed")
+	}
+	return Kit{
+		Name: "pim-llut-fixed",
+		Cost: pimsim.Default(),
+		Build: func(dpu *pimsim.DPU) (*DeviceKit, error) {
+			expD, err := expT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			logD, err := logT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			sqrtD, err := sqrtT.Load(dpu, pimsim.InMRAM)
+			if err != nil {
+				return nil, err
+			}
+			k := &DeviceKit{TableBytes: expT.Bytes() + logT.Bytes() + sqrtT.Bytes()}
+			// expQ evaluates e^x for a Q3.28 argument, returning Q3.28
+			// scaled by 2^-e when the result exceeds the fixed range; the
+			// float entry point below applies the ldexp.
+			k.Exp = func(ctx *pimsim.Ctx, x float32) float32 {
+				r, e := rangered.SplitExp(ctx, x)
+				return rangered.JoinExp(ctx, ctx.QToF(expD.Eval(ctx, ctx.QFromF(r))), e)
+			}
+			k.Log = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, e := rangered.SplitLog(ctx, x)
+				return rangered.JoinLog(ctx, ctx.QToF(logD.Eval(ctx, ctx.QFromF(m))), e)
+			}
+			k.Sqrt = func(ctx *pimsim.Ctx, x float32) float32 {
+				m, h := rangered.SplitSqrt(ctx, x)
+				return rangered.JoinSqrt(ctx, ctx.QToF(sqrtD.Eval(ctx, ctx.QFromF(m))), h)
+			}
+			// Fixed-point CNDF: the b-polynomial, the pdf factor and the
+			// final combination all run on Q3.28 multiplies.
+			k.CNDFQ = func(ctx *pimsim.Ctx, xq fixed.Q3_28) fixed.Q3_28 {
+				neg := ctx.ICmp(int32(xq), 0) < 0
+				ctx.Branch()
+				ax := ctx.QAbs(xq) // saturating: |Min| = Max
+				// Φ saturates below float32 resolution beyond |x| ≈ 5.3,
+				// and x²/2 would overflow the Q3.28 range: short-circuit.
+				ctx.Branch()
+				if ctx.ICmp(int32(ax), int32(cndfSatQ)) >= 0 {
+					if neg {
+						return 0
+					}
+					return fixedOneQ
+				}
+				kq := fixedRecip(ctx, ctx.QAdd(fixedOneQ, ctx.QMul(cndfGammaQ, ax)))
+				acc := cndfBQ[4]
+				for i := 3; i >= 0; i-- {
+					ctx.Charge(1)
+					acc = ctx.QAdd(ctx.QMul(acc, kq), cndfBQ[i])
+				}
+				pol := ctx.QMul(acc, kq)
+				// exp(−x²/2): |x| ≤ 8 gives arguments down to −32;
+				// split in fixed: e^{−x²/2} = e^r · 2^{−s} with s chosen by
+				// repeated halving is costly, so use the float exp path
+				// once (the pdf factor underflows quickly anyway).
+				// (−½·x)·x keeps the intermediate below the Q3.28 ceiling
+				// for the whole unsaturated range (x < 3.9 → ½x² < 7.7).
+				argQ := ctx.QMul(ctx.QMul(fixedHalfNeg, ax), ax)
+				pdfE := fixedExpWide(ctx, expD, argQ)
+				pdf := ctx.QMul(invSqrt2PiQ, pdfE)
+				res := ctx.QSub(fixedOneQ, ctx.QMul(pdf, pol))
+				ctx.Branch()
+				if neg {
+					res = ctx.QSub(fixedOneQ, res)
+				}
+				return res
+			}
+			k.CNDF = func(ctx *pimsim.Ctx, x float32) float32 {
+				return ctx.QToF(k.CNDFQ(ctx, ctx.QFromF(x)))
+			}
+			return k, nil
+		},
+	}
+}
+
+// fixedRecip computes 1/x in Q3.28 with the emulated divide.
+func fixedRecip(ctx *pimsim.Ctx, x fixed.Q3_28) fixed.Q3_28 {
+	return ctx.QDiv(fixedOneQ, x)
+}
+
+// fixedExpWide computes e^q for q ≤ 0 beyond the table's core range by
+// splitting q = −k·ln2 + r with integer k ≥ 0 (shift-subtract loop in
+// fixed point) and shifting the table result right by k. Saturated
+// arguments (q ≤ −8, where e^q < 4e-4 relative to Q3.28 resolution)
+// short-circuit to 0.
+func fixedExpWide(ctx *pimsim.Ctx, expD *lut.DevFixedLLUT, q fixed.Q3_28) fixed.Q3_28 {
+	ctx.Branch()
+	if ctx.ICmp(int32(q), int32(fixed.FromFloat64(-7.5))) <= 0 {
+		return 0
+	}
+	var k uint
+	halfLn2 := fixed.Ln2.Shr(1)
+	for ctx.ICmp(int32(q), int32(0-halfLn2)) < 0 {
+		q = ctx.QAdd(q, fixed.Ln2)
+		k++
+		ctx.Branch()
+	}
+	v := expD.Eval(ctx, q)
+	if k > 0 {
+		v = ctx.QShr(v, k)
+	}
+	return v
+}

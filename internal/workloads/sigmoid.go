@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/stats"
+)
+
+// SigmoidRef is the double-precision reference S(x) = 1/(1+e^{−x}).
+func SigmoidRef(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// GenActivations produces the activation-style input vector the
+// Sigmoid and Softmax benchmarks consume (§4.1.2 uses 30M elements).
+func GenActivations(n int, seed uint64) []float32 {
+	return stats.RandomInputs(-8, 8, n, seed)
+}
+
+// SigmoidCPU runs the measured host baseline.
+func SigmoidCPU(inputs []float32, threads int) Result {
+	out := make([]float32, len(inputs))
+	start := time.Now()
+	parallelFor(len(inputs), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float32(1 / (1 + math.Exp(-float64(inputs[i]))))
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+	var col stats.Collector
+	for i, x := range inputs {
+		col.Add(out[i], SigmoidRef(float64(x)))
+	}
+	return Result{
+		Workload:      "sigmoid",
+		Variant:       fmt.Sprintf("cpu-%dt-measured", threads),
+		Elements:      len(inputs),
+		KernelSeconds: elapsed,
+		Errors:        col.Result(),
+	}
+}
+
+// SigmoidCPUModeled is the analytic Xeon baseline.
+func SigmoidCPUModeled(n, threads int) Result {
+	m := DefaultXeon(threads)
+	return Result{
+		Workload:      "sigmoid",
+		Variant:       fmt.Sprintf("cpu-%dt", threads),
+		Elements:      n,
+		KernelSeconds: m.Seconds(SigmoidCycles(), n),
+	}
+}
+
+// SigmoidPIM computes the sigmoid of every input on the PIM system
+// with the given math kit: S(x) = 1/(1+e^{−x}) — one kit exp, one
+// float add, one float divide per element.
+func SigmoidPIM(dpus int, inputs []float32, kit Kit) (Result, error) {
+	return elementwisePIM("sigmoid", dpus, inputs, kit, SigmoidRef,
+		func(ctx *pimsim.Ctx, k *DeviceKit, x float32) float32 {
+			e := k.Exp(ctx, ctx.FNeg(x))
+			return ctx.FDiv(1, ctx.FAdd(1, e))
+		})
+}
+
+// elementwisePIM is the shared scatter→kernel→gather harness for
+// map-style workloads.
+func elementwisePIM(name string, dpus int, inputs []float32, kit Kit,
+	ref func(float64) float64,
+	body func(*pimsim.Ctx, *DeviceKit, float32) float32) (Result, error) {
+
+	sys := pimsim.NewSystem(pimsim.Config{DPUs: dpus, Cost: kit.Cost})
+	n := len(inputs)
+	per := (n + dpus - 1) / dpus
+
+	inBufs := make([][]byte, dpus)
+	for d := 0; d < dpus; d++ {
+		buf := make([]byte, per*4)
+		for j := 0; j < per; j++ {
+			idx := d*per + j
+			if idx >= n {
+				break
+			}
+			putF32(buf, j*4, inputs[idx])
+		}
+		inBufs[d] = buf
+	}
+	inAddrs := sys.ScatterToMRAM(inBufs)
+
+	outAddr := -1
+	for d := 0; d < dpus; d++ {
+		a := sys.DPU(d).MRAM.MustAlloc(per * 4)
+		if outAddr == -1 {
+			outAddr = a
+		}
+	}
+
+	kits := make([]*DeviceKit, dpus)
+	for d := 0; d < dpus; d++ {
+		k, err := kit.Build(sys.DPU(d))
+		if err != nil {
+			return Result{}, err
+		}
+		kits[d] = k
+	}
+
+	sys.ResetCycles()
+	sys.ChargeHostToPIM(per*4*dpus, true)
+
+	err := sys.Launch(func(ctx *pimsim.Ctx, d int) error {
+		k := kits[d]
+		mram := ctx.DPU().MRAM
+		count := per
+		if d*per+count > n {
+			count = n - d*per
+		}
+		if count <= 0 {
+			return nil
+		}
+		ctx.Charge(4)
+		chunkDMA(ctx, count*4)
+		for j := 0; j < count; j++ {
+			x := ctx.LoadStreamedF32(mram, inAddrs[d]+4*j)
+			y := body(ctx, k, x)
+			ctx.StoreStreamedF32(mram, outAddr+4*j, y)
+			ctx.Charge(2) // loop bookkeeping
+		}
+		chunkDMA(ctx, count*4)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	kernel := sys.KernelSeconds()
+	outs := sys.GatherFromMRAM(outAddr, per*4)
+
+	var col stats.Collector
+	for i, x := range inputs {
+		d, j := i/per, i%per
+		col.Add(f32At(outs[d], j*4), ref(float64(x)))
+	}
+	return Result{
+		Workload:        name,
+		Variant:         kit.Name,
+		Elements:        n,
+		KernelSeconds:   kernel,
+		TransferSeconds: sys.TransferSeconds(),
+		Errors:          col.Result(),
+		TableBytes:      kits[0].TableBytes,
+	}, nil
+}

@@ -1,0 +1,222 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/stats"
+)
+
+// SoftmaxRef computes the double-precision softmax of the whole input
+// vector (σ(x)_j = e^{x_j} / Σ_k e^{x_k}, §4.1.2).
+func SoftmaxRef(inputs []float32) []float64 {
+	out := make([]float64, len(inputs))
+	var sum float64
+	for i, x := range inputs {
+		out[i] = math.Exp(float64(x))
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxCPU runs the measured host baseline (two passes: exponentials
+// with a parallel sum reduction, then normalization).
+func SoftmaxCPU(inputs []float32, threads int) Result {
+	out := make([]float32, len(inputs))
+	partial := make([]float64, threads)
+	start := time.Now()
+	chunk := (len(inputs) + threads - 1) / threads
+	parallelFor(len(inputs), threads, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			e := math.Exp(float64(inputs[i]))
+			out[i] = float32(e)
+			s += e
+		}
+		partial[lo/chunk] += s
+	})
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	inv := float32(1 / sum)
+	parallelFor(len(inputs), threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] *= inv
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+
+	ref := SoftmaxRef(inputs)
+	var col stats.Collector
+	for i := range inputs {
+		col.Add(out[i], ref[i])
+	}
+	return Result{
+		Workload:      "softmax",
+		Variant:       fmt.Sprintf("cpu-%dt-measured", threads),
+		Elements:      len(inputs),
+		KernelSeconds: elapsed,
+		Errors:        col.Result(),
+	}
+}
+
+// SoftmaxCPUModeled is the analytic Xeon baseline.
+func SoftmaxCPUModeled(n, threads int) Result {
+	m := DefaultXeon(threads)
+	return Result{
+		Workload:      "softmax",
+		Variant:       fmt.Sprintf("cpu-%dt", threads),
+		Elements:      n,
+		KernelSeconds: m.Seconds(SoftmaxCycles(), n),
+	}
+}
+
+// SoftmaxPIM computes the softmax of the whole vector on the PIM
+// system: pass 1 exponentiates each core's chunk and accumulates a
+// local sum; the partial sums travel to the host (there is no direct
+// core-to-core channel, §2.1), which reduces them and broadcasts the
+// reciprocal; pass 2 normalizes. The extra PIM↔Host round trip is the
+// data movement Figure 1(b) warns about, here reduced to one scalar
+// per core by computing the exponentials in place with TransPimLib.
+func SoftmaxPIM(dpus int, inputs []float32, kit Kit) (Result, error) {
+	sys := pimsim.NewSystem(pimsim.Config{DPUs: dpus, Cost: kit.Cost})
+	n := len(inputs)
+	per := (n + dpus - 1) / dpus
+
+	inBufs := make([][]byte, dpus)
+	for d := 0; d < dpus; d++ {
+		buf := make([]byte, per*4)
+		for j := 0; j < per; j++ {
+			idx := d*per + j
+			if idx >= n {
+				break
+			}
+			putF32(buf, j*4, inputs[idx])
+		}
+		inBufs[d] = buf
+	}
+	inAddrs := sys.ScatterToMRAM(inBufs)
+
+	expAddr, sumAddr := -1, -1
+	for d := 0; d < dpus; d++ {
+		a := sys.DPU(d).MRAM.MustAlloc(per * 4)
+		b := sys.DPU(d).MRAM.MustAlloc(8)
+		if expAddr == -1 {
+			expAddr, sumAddr = a, b
+		}
+	}
+
+	kits := make([]*DeviceKit, dpus)
+	for d := 0; d < dpus; d++ {
+		k, err := kit.Build(sys.DPU(d))
+		if err != nil {
+			return Result{}, err
+		}
+		kits[d] = k
+	}
+
+	sys.ResetCycles()
+	sys.ChargeHostToPIM(per*4*dpus, true)
+
+	// Pass 1: exponentials + per-core partial sum.
+	err := sys.Launch(func(ctx *pimsim.Ctx, d int) error {
+		k := kits[d]
+		mram := ctx.DPU().MRAM
+		count := per
+		if d*per+count > n {
+			count = n - d*per
+		}
+		if count <= 0 {
+			mram.PutFloat32(sumAddr, 0)
+			return nil
+		}
+		ctx.Charge(4)
+		chunkDMA(ctx, count*4)
+		var sum float32
+		for j := 0; j < count; j++ {
+			x := ctx.LoadStreamedF32(mram, inAddrs[d]+4*j)
+			e := k.Exp(ctx, x)
+			ctx.StoreStreamedF32(mram, expAddr+4*j, e)
+			sum = ctx.FAdd(sum, e)
+			ctx.Charge(2)
+		}
+		chunkDMA(ctx, count*4)
+		ctx.StoreStreamedF32(mram, sumAddr, sum)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	pass1 := sys.KernelSeconds()
+
+	// Host reduction of the per-core partial sums.
+	partials := sys.GatherFromMRAM(sumAddr, 4)
+	var total float64
+	for _, p := range partials {
+		total += float64(f32At(p, 0))
+	}
+	inv := float32(1 / total)
+	// Broadcast the reciprocal (equal 4-byte buffers → parallel).
+	sys.ChargeHostToPIM(4*dpus, true)
+	invAddr := -1
+	for d := 0; d < dpus; d++ {
+		a := sys.DPU(d).MRAM.MustAlloc(8)
+		sys.DPU(d).MRAM.PutFloat32(a, inv)
+		if invAddr == -1 {
+			invAddr = a
+		}
+	}
+
+	// Pass 2: normalization with one float multiply per element.
+	for _, d := range sys.DPUs() {
+		d.ResetCycles()
+	}
+	err = sys.Launch(func(ctx *pimsim.Ctx, d int) error {
+		mram := ctx.DPU().MRAM
+		count := per
+		if d*per+count > n {
+			count = n - d*per
+		}
+		if count <= 0 {
+			return nil
+		}
+		ctx.Charge(4)
+		iv := ctx.LoadStreamedF32(mram, invAddr)
+		chunkDMA(ctx, count*4)
+		for j := 0; j < count; j++ {
+			e := ctx.LoadStreamedF32(mram, expAddr+4*j)
+			ctx.StoreStreamedF32(mram, expAddr+4*j, ctx.FMul(e, iv))
+			ctx.Charge(2)
+		}
+		chunkDMA(ctx, count*4)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	pass2 := sys.KernelSeconds()
+
+	outs := sys.GatherFromMRAM(expAddr, per*4)
+
+	ref := SoftmaxRef(inputs)
+	var col stats.Collector
+	for i := range inputs {
+		d, j := i/per, i%per
+		col.Add(f32At(outs[d], j*4), ref[i])
+	}
+	return Result{
+		Workload:        "softmax",
+		Variant:         kit.Name,
+		Elements:        n,
+		KernelSeconds:   pass1 + pass2,
+		TransferSeconds: sys.TransferSeconds(),
+		Errors:          col.Result(),
+		TableBytes:      kits[0].TableBytes,
+	}, nil
+}
