@@ -231,6 +231,63 @@ func BenchmarkFig9Softmax(b *testing.B) {
 	benchActivation(b, "softmax", workloads.SoftmaxPIM)
 }
 
+// --- Serving engine: cache-warm EvaluateBatch vs. the cold one-shot
+// path. The cold path rebuilds tables (generation + transfer) for
+// every batch the way a fresh core.Build/Lib would; the warm engine
+// pays setup once and afterwards only the pipelined
+// transfer/compute/drain costs. The modeled-s metrics make the gap
+// host-independent: warm modeled-s must come out well below cold. ---
+
+func BenchmarkEngineWarmVsCold(b *testing.B) {
+	const n = 2048
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = -6 + 12*float32(i)/float32(n)
+	}
+	spec := Config{Method: LLUT, Interpolated: true, SizeLog2: 12}
+
+	b.Run("cold-one-shot", func(b *testing.B) {
+		var modeled float64
+		out := make([]float32, n)
+		for i := 0; i < b.N; i++ {
+			lib, err := New(spec, Sigmoid) // rebuilds + retransfers tables
+			if err != nil {
+				b.Fatal(err)
+			}
+			lib.EvalSlice(Sigmoid, xs, out)
+			modeled = lib.SetupSeconds() +
+				float64(lib.Cycles())/pimsim.DefaultClockHz
+		}
+		b.ReportMetric(modeled, "modeled-s")
+	})
+
+	b.Run("engine-warm", func(b *testing.B) {
+		// One shard so the single warm-up request makes every later
+		// request a guaranteed cache hit (residency is per shard).
+		eng, err := NewEngine(EngineConfig{DPUs: 4, Shards: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		if _, _, err := eng.EvaluateBatch(Sigmoid, spec, xs); err != nil {
+			b.Fatal(err) // warm the table cache
+		}
+		var modeled float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err := eng.EvaluateBatch(Sigmoid, spec, xs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.SetupSeconds != 0 || !st.CacheHit {
+				b.Fatalf("warm request rebuilt tables: %+v", st)
+			}
+			modeled = st.ModeledSeconds()
+		}
+		b.ReportMetric(modeled, "modeled-s")
+	})
+}
+
 // --- §4.2.4: per-function microbenchmarks through the public API ---
 
 func BenchmarkPublicAPI(b *testing.B) {

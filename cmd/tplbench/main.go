@@ -9,9 +9,11 @@
 //	tplbench -all                 # everything, sine as the Fig. 5-7 function
 //	tplbench -fig5 -fn tanh       # one figure for another function
 //	tplbench -fig5 -csv           # machine-readable series
+//	tplbench -json -fn all        # one JSON document with every metric
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -38,6 +40,7 @@ var (
 	flagFn      = flag.String("fn", "sin", "function for the Fig. 5-7 sweeps (or \"all\")")
 	flagN       = flag.Int("n", 1<<16, "number of microbenchmark inputs (paper: 2^16)")
 	flagCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flagJSON    = flag.Bool("json", false, "emit one JSON document with the sweep metrics (cycles/element, RMSE, setup time, table bytes) plus Fig. 8 cycles")
 	flagProfile = flag.String("profile", "upmem", "machine profile: upmem | hbm-pim | fp32")
 )
 
@@ -63,6 +66,10 @@ func main() {
 		os.Exit(2)
 	}
 	profileCost = cost
+	if *flagJSON {
+		emitJSON(fns, *flagN)
+		return
+	}
 	if *flagProfile != "upmem" {
 		fmt.Printf("machine profile: %s\n\n", *flagProfile)
 	}
@@ -185,8 +192,9 @@ func sizeOf(p core.Point) string {
 	}
 }
 
-func figure8() {
-	fmt.Println("== Figure 8: execution cycles per element for range reduction/extension ==")
+// fig8Cycles measures the Figure 8 range reduction/extension costs,
+// returned as fn → cycles per element.
+func fig8Cycles() map[string]uint64 {
 	cost := func(f func(*pimsim.Ctx)) uint64 {
 		d := pimsim.NewDPU(0, pimsim.Default(), pimsim.DefaultTasklets)
 		ctx := d.NewCtx()
@@ -196,23 +204,31 @@ func figure8() {
 		}
 		return d.Cycles() / reps
 	}
-	sin := cost(func(c *pimsim.Ctx) {
-		r := rangered.To2Pi(c, 123.456)
-		theta, q := rangered.FoldQuadrant(c, r)
-		rangered.ApplySinQuadrant(c, theta, theta, q)
-	})
-	exp := cost(func(c *pimsim.Ctx) {
-		r, k := rangered.SplitExp(c, 7.7)
-		rangered.JoinExp(c, r, k)
-	})
-	log := cost(func(c *pimsim.Ctx) {
-		m, e := rangered.SplitLog(c, 1234.5)
-		rangered.JoinLog(c, m, e)
-	})
-	sqrt := cost(func(c *pimsim.Ctx) {
-		m, h := rangered.SplitSqrt(c, 1234.5)
-		rangered.JoinSqrt(c, m, h)
-	})
+	return map[string]uint64{
+		"sin": cost(func(c *pimsim.Ctx) {
+			r := rangered.To2Pi(c, 123.456)
+			theta, q := rangered.FoldQuadrant(c, r)
+			rangered.ApplySinQuadrant(c, theta, theta, q)
+		}),
+		"exp": cost(func(c *pimsim.Ctx) {
+			r, k := rangered.SplitExp(c, 7.7)
+			rangered.JoinExp(c, r, k)
+		}),
+		"log": cost(func(c *pimsim.Ctx) {
+			m, e := rangered.SplitLog(c, 1234.5)
+			rangered.JoinLog(c, m, e)
+		}),
+		"sqrt": cost(func(c *pimsim.Ctx) {
+			m, h := rangered.SplitSqrt(c, 1234.5)
+			rangered.JoinSqrt(c, m, h)
+		}),
+	}
+}
+
+func figure8() {
+	fmt.Println("== Figure 8: execution cycles per element for range reduction/extension ==")
+	cycles := fig8Cycles()
+	sin, exp, log, sqrt := cycles["sin"], cycles["exp"], cycles["log"], cycles["sqrt"]
 	if *flagCSV {
 		fmt.Println("function,cycles")
 		fmt.Printf("sin,%d\nexp,%d\nlog,%d\nsqrt,%d\n\n", sin, exp, log, sqrt)
@@ -285,6 +301,53 @@ func takeaways(n int) {
 		fmt.Sprintf("tan %.0f cyc vs sin %.0f cyc (%.2f×)", tan.CyclesPerElem, li.CyclesPerElem,
 			tan.CyclesPerElem/li.CyclesPerElem))
 	fmt.Println()
+}
+
+// jsonPoint is one sweep measurement in -json output.
+type jsonPoint struct {
+	Curve         string  `json:"curve"`
+	Size          string  `json:"size"`
+	RMSE          float64 `json:"rmse"`
+	CyclesPerElem float64 `json:"cycles_per_elem"`
+	SetupSeconds  float64 `json:"setup_seconds"`
+	TableBytes    int     `json:"table_bytes"`
+}
+
+type jsonReport struct {
+	Profile   string                 `json:"profile"`
+	Inputs    int                    `json:"inputs"`
+	Functions map[string][]jsonPoint `json:"functions"`
+	Fig8      map[string]uint64      `json:"fig8_cycles"`
+}
+
+// emitJSON runs the Fig. 5-7 sweeps for the requested functions plus
+// the Fig. 8 range-reduction measurements and prints one JSON document
+// — the machine-readable view tracked across revisions.
+func emitJSON(fns []core.Function, n int) {
+	rep := jsonReport{
+		Profile:   *flagProfile,
+		Inputs:    n,
+		Functions: make(map[string][]jsonPoint),
+		Fig8:      fig8Cycles(),
+	}
+	for _, fn := range fns {
+		for _, p := range sweepAll(fn, n) {
+			rep.Functions[fn.String()] = append(rep.Functions[fn.String()], jsonPoint{
+				Curve:         curveName(p),
+				Size:          sizeOf(p),
+				RMSE:          p.Errors.RMSE,
+				CyclesPerElem: p.CyclesPerElem,
+				SetupSeconds:  p.SetupSeconds,
+				TableBytes:    p.TableBytes,
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // figure4 renders the entry-density comparison of Figure 4: where each

@@ -1,0 +1,170 @@
+// Command tplserve demonstrates the serving engine: a fleet of
+// concurrent clients firing mixed sigmoid/GELU/exp batches at a
+// multi-core PIM system through transpimlib.Engine. It reports
+// throughput, request latency, batching/coalescing behaviour, the
+// table-cache hit rate, and the modeled per-stage costs.
+//
+// Usage:
+//
+//	tplserve [-dpus 8] [-shards 2] [-clients 6] [-requests 24]
+//	         [-elems 1024] [-window 200us] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"transpimlib"
+)
+
+type job struct {
+	name string
+	fn   transpimlib.Function
+	cfg  transpimlib.Config
+	ref  func(float64) float64
+}
+
+func mixedWorkload() []job {
+	return []job{
+		{"sigmoid/L-LUT-i", transpimlib.Sigmoid,
+			transpimlib.Config{Method: transpimlib.LLUT, Interpolated: true, SizeLog2: 12},
+			func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }},
+		{"gelu/DL-LUT-i", transpimlib.GELU,
+			transpimlib.Config{Method: transpimlib.DLLUT, Interpolated: true, SizeLog2: 12},
+			func(x float64) float64 { return x / 2 * (1 + math.Erf(x/math.Sqrt2)) }},
+		{"exp/fxL-LUT-i", transpimlib.Exp,
+			transpimlib.Config{Method: transpimlib.LLUTFixed, Interpolated: true, SizeLog2: 12},
+			math.Exp},
+	}
+}
+
+func main() {
+	dpus := flag.Int("dpus", 8, "simulated PIM cores")
+	shards := flag.Int("shards", 2, "pipeline shards (dpus must divide evenly)")
+	clients := flag.Int("clients", 6, "concurrent client goroutines")
+	requests := flag.Int("requests", 24, "requests per client")
+	elems := flag.Int("elems", 1024, "elements per request")
+	window := flag.Duration("window", 200*time.Microsecond, "batcher coalescing window")
+	seed := flag.Int64("seed", 1, "input RNG seed")
+	flag.Parse()
+
+	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
+		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplserve:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	jobs := mixedWorkload()
+	fmt.Printf("tplserve: %d cores / %d shards, %d clients × %d requests × %d elems\n",
+		*dpus, *shards, *clients, *requests, *elems)
+	fmt.Printf("workload mix: %s | %s | %s\n", jobs[0].name, jobs[1].name, jobs[2].name)
+
+	type obs struct {
+		lat   time.Duration
+		setup float64
+		hit   bool
+	}
+	all := make([][]obs, *clients)
+	var wg sync.WaitGroup
+	var failures sync.Map
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for r := 0; r < *requests; r++ {
+				j := jobs[(c+r)%len(jobs)]
+				xs := make([]float32, *elems)
+				for i := range xs {
+					xs[i] = -2 + 4*rng.Float32()
+				}
+				ys, st, err := eng.EvaluateBatch(j.fn, j.cfg, xs)
+				if err != nil {
+					failures.Store(fmt.Sprintf("client %d req %d", c, r), err)
+					return
+				}
+				var worst float64
+				for i, x := range xs {
+					if d := math.Abs(float64(ys[i]) - j.ref(float64(x))); d > worst {
+						worst = d
+					}
+				}
+				if worst > 0.05 {
+					failures.Store(fmt.Sprintf("client %d req %d", c, r),
+						fmt.Errorf("%s max abs error %.3g", j.name, worst))
+					return
+				}
+				all[c] = append(all[c], obs{st.Latency, st.SetupSeconds, st.CacheHit})
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	bad := 0
+	failures.Range(func(k, v any) bool {
+		fmt.Fprintf(os.Stderr, "tplserve: %v: %v\n", k, v)
+		bad++
+		return true
+	})
+	if bad > 0 {
+		os.Exit(1)
+	}
+
+	var lats []time.Duration
+	var warm int
+	for _, co := range all {
+		for _, o := range co {
+			lats = append(lats, o.lat)
+			if o.hit && o.setup == 0 {
+				warm++
+			}
+		}
+	}
+	st := eng.Stats()
+	elemsTotal := st.Elements
+	fmt.Printf("\nengine served %d requests (%d elements) in %v\n",
+		st.Requests, elemsTotal, wall.Round(time.Microsecond))
+	fmt.Printf("throughput: %.1f Melem/s host wall-clock\n",
+		float64(elemsTotal)/wall.Seconds()/1e6)
+	fmt.Printf("latency: p50 %v  p95 %v  max %v\n",
+		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 1.0))
+	fmt.Printf("batching: %d batches for %d requests (%d coalesced multi-request batches)\n",
+		st.Batches, st.Requests, st.CoalescedBatches)
+	fmt.Printf("table cache: %d specs resident, %d hits / %d misses (%d fully warm requests)\n",
+		eng.CachedSpecs(), st.CacheHits, st.CacheMisses, warm)
+	fmt.Printf("modeled stage costs: setup %.3gs | in %.3gs | compute %.3gs (%d kcycles) | out %.3gs\n",
+		st.SetupSeconds, st.TransferInSeconds, st.ComputeSeconds,
+		st.KernelCycles/1000, st.TransferOutSeconds)
+	fmt.Printf("bytes moved: %d host→PIM, %d PIM→host\n", st.BytesIn, st.BytesOut)
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,87 @@
+package transpimlib
+
+import (
+	"fmt"
+	"time"
+
+	"transpimlib/internal/engine"
+)
+
+// EngineConfig configures a serving Engine. The zero value is an
+// 8-core system split into 2 shards with double-buffered pipelines.
+type EngineConfig struct {
+	// DPUs is the number of simulated PIM cores (default 8).
+	DPUs int
+	// Shards is the number of independent pipeline groups; DPUs must
+	// be divisible by Shards (default: 2 when DPUs is even, else 1).
+	Shards int
+	// MaxBatch bounds the elements dispatched as one batch (default
+	// 4096); larger requests split, smaller concurrent ones coalesce.
+	MaxBatch int
+	// BatchWindow is how long the batcher holds a request to let more
+	// arrive and coalesce (default 0: coalesce only what is queued).
+	BatchWindow time.Duration
+	// QueueDepth bounds pending requests; callers block when full
+	// (default 64).
+	QueueDepth int
+	// Buffers is the number of MRAM I/O buffer slots per shard
+	// (default 2: transfer-in double-buffers against compute).
+	Buffers int
+}
+
+// RequestStats is the per-request cost report of Engine.EvaluateBatch:
+// wall-clock latency plus modeled per-stage (transfer-in / compute /
+// transfer-out) and setup costs.
+type RequestStats = engine.RequestStats
+
+// EngineStats is the engine-wide accumulated counter view.
+type EngineStats = engine.Stats
+
+// Engine is a long-lived serving runtime over a multi-core PIM
+// system: a table/setup cache keyed by (function, method, LUT size,
+// placement), request coalescing and sharding, and a pipelined
+// transfer/compute/drain datapath per shard. Unlike Lib — one
+// statically compiled configuration on one core — an Engine serves
+// any supported (function, method) mix on demand and is safe for
+// concurrent use.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine builds and starts a serving engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	e, err := engine.New(engine.Config{
+		DPUs:        cfg.DPUs,
+		Shards:      cfg.Shards,
+		MaxBatch:    cfg.MaxBatch,
+		BatchWindow: cfg.BatchWindow,
+		QueueDepth:  cfg.QueueDepth,
+		Buffers:     cfg.Buffers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transpimlib: %w", err)
+	}
+	return &Engine{e: e}, nil
+}
+
+// EvaluateBatch evaluates fn over xs with the method configuration in
+// spec (spec.PIM must be nil: the engine owns its own cores) and
+// returns the outputs plus the request's cost report. The first
+// request for a configuration pays table generation and broadcast;
+// subsequent ones hit the setup cache. Safe for concurrent use.
+func (e *Engine) EvaluateBatch(fn Function, spec Config, xs []float32) ([]float32, RequestStats, error) {
+	if spec.PIM != nil {
+		return nil, RequestStats{}, fmt.Errorf("transpimlib: EngineConfig owns its PIM system; Config.PIM must be nil")
+	}
+	return e.e.EvaluateBatch(fn, spec.params(), xs)
+}
+
+// Stats returns a snapshot of the engine-wide counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// CachedSpecs returns how many (function, method) configurations
+// currently hold resident tables.
+func (e *Engine) CachedSpecs() int { return e.e.CachedSpecs() }
+
+// Close drains in-flight work and stops the engine.
+func (e *Engine) Close() { e.e.Close() }

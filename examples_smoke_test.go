@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/methodpicker", []string{"-ops", "25"}, "recommendation:"},
 		{"./examples/raytrace", nil, "rays"},
 		{"./examples/logistic", nil, "boundary angle"},
+		{"./examples/serving", nil, "engine totals:"},
 	}
 	for _, c := range cases {
 		c := c

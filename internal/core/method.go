@@ -125,6 +125,12 @@ type Params struct {
 	WideRange bool
 }
 
+// Normalized returns the params with zero-valued knobs replaced by
+// their defaults — the canonical form Build compiles, and therefore
+// the form a setup cache must key on (so that e.g. SizeLog2 0 and the
+// default 10 do not cache as distinct configurations).
+func (p Params) Normalized() Params { return p.withDefaults() }
+
 func (p Params) withDefaults() Params {
 	if p.Iterations == 0 {
 		p.Iterations = 30

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// request is one in-flight EvaluateBatch call. A request may be split
+// into several batches (when larger than MaxBatch) and may share a
+// batch with other requests (when coalesced); it completes when its
+// last segment drains.
+type request struct {
+	spec     Spec
+	inputs   []float32
+	outputs  []float32
+	enqueued time.Time
+	done     chan struct{}
+
+	mu        sync.Mutex
+	remaining int // segments not yet drained
+	err       error
+	stats     RequestStats
+}
+
+// complete records one drained batch against the request and closes
+// done when it was the last outstanding segment.
+func (r *request) complete(b *batch, shardID int) {
+	r.mu.Lock()
+	if b.err != nil && r.err == nil {
+		r.err = b.err
+	}
+	r.stats.ShardID = shardID
+	r.stats.Batches++
+	r.stats.BatchElements += b.n
+	if !b.hit {
+		r.stats.CacheHit = false
+	}
+	r.stats.SetupSeconds += b.setup
+	r.stats.TransferInSeconds += b.tin
+	r.stats.ComputeSeconds += b.tcomp
+	r.stats.TransferOutSeconds += b.tout
+	r.stats.KernelCycles += b.cycles
+	r.remaining--
+	last := r.remaining == 0
+	if last {
+		r.stats.Latency = time.Since(r.enqueued)
+	}
+	r.mu.Unlock()
+	if last {
+		close(r.done)
+	}
+}
+
+// seg is a contiguous slice of one request packed into a batch.
+type seg struct {
+	req *request
+	off int // offset into req.inputs / req.outputs
+	n   int
+}
+
+// batch is the pipeline's unit of work: same-spec segments coalesced
+// up to MaxBatch elements, dispatched to one shard, and carried
+// through transfer-in → compute → transfer-out.
+type batch struct {
+	spec Spec
+	segs []seg
+	n    int // total elements
+
+	// Set by the pipeline stages.
+	slot   int     // shard buffer slot held while in flight
+	perDPU int     // elements per core after shard planning
+	hit    bool    // tables were resident on the serving shard
+	setup  float64 // modeled setup charged (cache miss only)
+	tin    float64 // modeled host→PIM seconds
+	tcomp  float64 // modeled kernel seconds (slowest core)
+	tout   float64 // modeled PIM→host seconds
+	cycles uint64  // modeled kernel cycles (slowest core)
+	err    error
+}
+
+// planBatches packs same-spec requests into batches of at most
+// maxBatch elements, splitting oversized requests across several
+// batches, and records each request's outstanding segment count. Pure
+// packing logic, separated from the batcher goroutine for testing.
+func planBatches(spec Spec, reqs []*request, maxBatch int) []*batch {
+	var out []*batch
+	b := &batch{spec: spec}
+	for _, r := range reqs {
+		segments := 0
+		for off := 0; off < len(r.inputs); {
+			space := maxBatch - b.n
+			if space == 0 {
+				out = append(out, b)
+				b = &batch{spec: spec}
+				space = maxBatch
+			}
+			n := len(r.inputs) - off
+			if n > space {
+				n = space
+			}
+			b.segs = append(b.segs, seg{req: r, off: off, n: n})
+			b.n += n
+			off += n
+			segments++
+		}
+		r.mu.Lock()
+		r.remaining += segments
+		r.mu.Unlock()
+	}
+	if b.n > 0 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// shardPlan distributes n batch elements over k cores: equal
+// ceil(n/k)-element chunks, padded so every bank receives the same
+// buffer size and the host↔PIM interface stays in its parallel mode
+// (unequal per-bank buffers would degrade to the serial bandwidth,
+// §2.1). Returns elements per core and the padded rank-wide byte
+// count per direction.
+func shardPlan(n, k int) (perDPU, paddedBytes int) {
+	perDPU = (n + k - 1) / k
+	return perDPU, perDPU * 4 * k
+}

@@ -1,0 +1,437 @@
+// Package engine is a batched, multi-tenant serving runtime on top of
+// the PIM simulator — the step from the paper's one-shot
+// setup→transfer→launch→retrieve benchmarks (Figs. 5–9) to a
+// long-lived inference-style service.
+//
+// The engine keeps a table/setup cache keyed by (function, method,
+// LUT size, placement) so repeated requests skip the Fig.-6 setup
+// cost entirely; it coalesces concurrent small requests into batches
+// and shards each batch across a group of PIM cores with equal-size
+// (padded) per-bank buffers, preserving the parallel-transfer
+// semantics of §2.1; and it pipelines host→PIM transfer against
+// kernel execution with a bounded buffer-slot pool per shard
+// (transfer-in / compute / transfer-out stages, backpressure all the
+// way to the caller). Every request reports its wall-clock latency
+// plus the modeled per-stage costs; the engine accumulates fleet-wide
+// counters.
+//
+// Concurrency discipline (see pimsim.System): each shard's cores are
+// owned by that shard's pipeline; the transfer clock is shared and
+// internally locked; all per-shard MRAM I/O buffers are pre-touched
+// at construction so overlapped stages never grow a Mem under a
+// reader, and table builds (which do grow memories) serialize against
+// the shard's transfer stages via a per-shard memory lock.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/pimsim"
+)
+
+// Config describes an engine.
+type Config struct {
+	// DPUs is the total number of simulated PIM cores (default 8).
+	DPUs int
+	// Shards is the number of independent pipeline groups the cores
+	// are divided into; batches are load-balanced across shards. DPUs
+	// must be divisible by Shards. Default: 2 when DPUs is even and
+	// >1, else 1.
+	Shards int
+	// MaxBatch is the largest number of elements dispatched as one
+	// batch (default 4096). Larger requests are split; smaller
+	// concurrent same-spec requests are coalesced up to this bound.
+	MaxBatch int
+	// BatchWindow is how long the batcher holds the first request of a
+	// round to let more arrive and coalesce. Zero (the default) only
+	// coalesces requests that are already queued.
+	BatchWindow time.Duration
+	// QueueDepth bounds the submit queue; callers block (backpressure)
+	// when it is full. Default 64.
+	QueueDepth int
+	// Buffers is the number of MRAM I/O buffer slots per shard; 2 (the
+	// default) double-buffers transfer-in against compute.
+	Buffers int
+	// Cost selects the machine profile (zero value: the UPMEM-like
+	// default).
+	Cost pimsim.CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.DPUs <= 0 {
+		c.DPUs = 8
+	}
+	if c.Shards <= 0 {
+		if c.DPUs > 1 && c.DPUs%2 == 0 {
+			c.Shards = 2
+		} else {
+			c.Shards = 1
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Buffers <= 0 {
+		c.Buffers = 2
+	}
+	if c.Cost == (pimsim.CostModel{}) {
+		c.Cost = pimsim.Default()
+	}
+	return c
+}
+
+// shard is one pipeline group: a contiguous range of cores with its
+// own buffer slots and stage channels.
+type shard struct {
+	id   int
+	ids  []int // global core ids (contiguous)
+	dpus []*pimsim.DPU
+
+	capPerDPU int // elements per core per slot
+	// inAddr/outAddr are [slot][localCore] MRAM addresses, allocated
+	// and pre-touched at construction.
+	inAddr  [][]int
+	outAddr [][]int
+
+	slots chan int    // free buffer slots (the double-buffer pool)
+	mid   chan *batch // transfer-in → compute
+	out   chan *batch // compute → transfer-out
+
+	// memMu serializes operations that may grow a core's Mem (table
+	// builds) against the transfer stages that read/write the
+	// pre-touched I/O buffers concurrently with kernels.
+	memMu sync.Mutex
+}
+
+// Engine is the serving runtime. Create with New, submit with
+// EvaluateBatch (safe for concurrent use), and Close when done.
+type Engine struct {
+	cfg    Config
+	sys    *pimsim.System
+	shards []*shard
+	cache  *tableCache
+
+	submit   chan *request
+	dispatch chan *batch
+
+	mu     sync.RWMutex // guards closed / submit send
+	closed bool
+	wg     sync.WaitGroup
+
+	stats statsCollector
+}
+
+// New builds and starts an engine: the PIM system, the per-shard I/O
+// buffers (pre-touched), the batcher, and the three pipeline stages
+// per shard.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DPUs%cfg.Shards != 0 {
+		return nil, fmt.Errorf("engine: %d DPUs not divisible into %d shards", cfg.DPUs, cfg.Shards)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sys:      pimsim.NewSystem(pimsim.Config{DPUs: cfg.DPUs, Cost: cfg.Cost}),
+		cache:    newTableCache(),
+		submit:   make(chan *request, cfg.QueueDepth),
+		dispatch: make(chan *batch, cfg.Shards),
+	}
+	perShard := cfg.DPUs / cfg.Shards
+	capPerDPU := (cfg.MaxBatch + perShard - 1) / perShard
+	zero := make([]byte, capPerDPU*4)
+	for sID := 0; sID < cfg.Shards; sID++ {
+		s := &shard{
+			id:        sID,
+			capPerDPU: capPerDPU,
+			slots:     make(chan int, cfg.Buffers),
+			mid:       make(chan *batch, 1),
+			out:       make(chan *batch, 1),
+		}
+		for k := 0; k < perShard; k++ {
+			id := sID*perShard + k
+			s.ids = append(s.ids, id)
+			s.dpus = append(s.dpus, e.sys.DPU(id))
+		}
+		s.inAddr = make([][]int, cfg.Buffers)
+		s.outAddr = make([][]int, cfg.Buffers)
+		for slot := 0; slot < cfg.Buffers; slot++ {
+			s.inAddr[slot] = make([]int, perShard)
+			s.outAddr[slot] = make([]int, perShard)
+			for k, d := range s.dpus {
+				s.inAddr[slot][k] = d.MRAM.MustAlloc(capPerDPU * 4)
+				s.outAddr[slot][k] = d.MRAM.MustAlloc(capPerDPU * 4)
+				// Pre-touch so the backing store never grows while
+				// stages overlap (the pimsim ownership discipline).
+				d.MRAM.Write(s.inAddr[slot][k], zero)
+				d.MRAM.Write(s.outAddr[slot][k], zero)
+			}
+			s.slots <- slot
+		}
+		e.shards = append(e.shards, s)
+	}
+	e.wg.Add(1)
+	go e.batcher()
+	for _, s := range e.shards {
+		e.wg.Add(3)
+		go e.stageTransferIn(s)
+		go e.stageCompute(s)
+		go e.stageTransferOut(s)
+	}
+	return e, nil
+}
+
+// System exposes the underlying simulated PIM system (for inspection;
+// do not launch kernels on it while the engine is serving).
+func (e *Engine) System() *pimsim.System { return e.sys }
+
+// Stats returns a snapshot of the engine-wide counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// CachedSpecs returns how many (function, method) configurations hold
+// resident tables.
+func (e *Engine) CachedSpecs() int { return e.cache.size() }
+
+// EvaluateBatch evaluates fn(x) for every x under the given method
+// parameters and returns the outputs with the request's cost report.
+// It blocks until the result is complete (internally the work is
+// batched, sharded and pipelined with concurrent callers). Safe for
+// concurrent use.
+func (e *Engine) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, error) {
+	spec := makeSpec(fn, p)
+	if !spec.Par.Method.Supports(fn) {
+		return nil, RequestStats{}, fmt.Errorf("engine: %v does not support %v (see Table 2)", spec.Par.Method, fn)
+	}
+	if len(xs) == 0 {
+		return nil, RequestStats{}, nil
+	}
+	r := &request{
+		spec:     spec,
+		inputs:   xs,
+		outputs:  make([]float32, len(xs)),
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	r.stats.CacheHit = true // cleared by the first miss
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, RequestStats{}, fmt.Errorf("engine: closed")
+	}
+	e.stats.addRequest()
+	e.submit <- r
+	e.mu.RUnlock()
+
+	<-r.done
+	return r.outputs, r.stats, r.err
+}
+
+// Close drains in-flight work and stops the pipeline. Subsequent
+// EvaluateBatch calls fail.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.submit)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// batcher collects queued requests, groups them by spec, and emits
+// packed batches. One round: take the first request (blocking), then
+// coalesce whatever else is immediately queued — plus whatever
+// arrives within BatchWindow, when configured — and flush.
+func (e *Engine) batcher() {
+	defer e.wg.Done()
+	defer close(e.dispatch)
+	for {
+		r, ok := <-e.submit
+		if !ok {
+			return
+		}
+		bySpec := map[Spec][]*request{r.spec: {r}}
+		order := []Spec{r.spec}
+		add := func(r *request) {
+			if _, seen := bySpec[r.spec]; !seen {
+				order = append(order, r.spec)
+			}
+			bySpec[r.spec] = append(bySpec[r.spec], r)
+		}
+		closed := false
+		if e.cfg.BatchWindow > 0 {
+			timer := time.NewTimer(e.cfg.BatchWindow)
+		window:
+			for {
+				select {
+				case r2, ok := <-e.submit:
+					if !ok {
+						closed = true
+						break window
+					}
+					add(r2)
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		}
+	drain:
+		for {
+			select {
+			case r2, ok := <-e.submit:
+				if !ok {
+					closed = true
+					break drain
+				}
+				add(r2)
+			default:
+				break drain
+			}
+		}
+		for _, spec := range order {
+			for _, b := range planBatches(spec, bySpec[spec], e.cfg.MaxBatch) {
+				e.dispatch <- b
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// stageTransferIn is a shard's first pipeline stage: claim a buffer
+// slot (blocking until the drain stage recycles one — the
+// double-buffer backpressure), scatter the batch into equal padded
+// per-core chunks, and charge the rank-parallel host→PIM transfer.
+// It overlaps with the compute stage working on the previous batch in
+// another slot.
+func (e *Engine) stageTransferIn(s *shard) {
+	defer e.wg.Done()
+	defer close(s.mid)
+	for b := range e.dispatch {
+		b.slot = <-s.slots
+		per, padded := shardPlan(b.n, len(s.dpus))
+		b.perDPU = per
+
+		s.memMu.Lock()
+		idx := 0
+		for _, sg := range b.segs {
+			for j := 0; j < sg.n; j++ {
+				d, pos := idx/per, idx%per
+				s.dpus[d].MRAM.PutFloat32(s.inAddr[b.slot][d]+4*pos, sg.req.inputs[sg.off+j])
+				idx++
+			}
+		}
+		s.memMu.Unlock()
+
+		e.sys.ChargeHostToPIM(padded, true)
+		b.tin = float64(padded) / e.sys.Config().HostToPIMBandwidth
+		s.mid <- b
+	}
+}
+
+// stageCompute is a shard's second stage: ensure the spec's tables
+// are resident (the cache hit/miss point), then launch the streaming
+// kernel on the shard's cores and account its cycles.
+func (e *Engine) stageCompute(s *shard) {
+	defer e.wg.Done()
+	defer close(s.out)
+	for b := range s.mid {
+		ops, hit, setup, err := e.cache.ensure(b.spec, s)
+		if err != nil {
+			b.err = err
+			s.out <- b
+			continue
+		}
+		b.hit, b.setup = hit, setup
+
+		issue0 := make([]uint64, len(s.dpus))
+		dma0 := make([]uint64, len(s.dpus))
+		for i, d := range s.dpus {
+			issue0[i] = d.IssueCycles()
+			dma0[i] = d.DMACycles()
+		}
+		per := b.perDPU
+		base := s.ids[0]
+		b.err = e.sys.LaunchShard(s.ids, func(ctx *pimsim.Ctx, id int) error {
+			local := id - base
+			count := b.n - local*per
+			if count > per {
+				count = per
+			}
+			if count <= 0 {
+				return nil
+			}
+			op := ops[local]
+			m := ctx.DPU().MRAM
+			in, out := s.inAddr[b.slot][local], s.outAddr[b.slot][local]
+			ctx.Charge(4)
+			ctx.ChargeDMA(count * 4)
+			for j := 0; j < count; j++ {
+				x := ctx.LoadStreamedF32(m, in+4*j)
+				y := op.Eval(ctx, x)
+				ctx.StoreStreamedF32(m, out+4*j, y)
+				ctx.Charge(2)
+			}
+			ctx.ChargeDMA(count * 4)
+			return nil
+		})
+		var mx uint64
+		for i, d := range s.dpus {
+			c := pimsim.ClosedFormCycles(d.IssueCycles()-issue0[i], d.DMACycles()-dma0[i], d.Tasklets())
+			if c > mx {
+				mx = c
+			}
+		}
+		b.cycles = mx
+		b.tcomp = float64(mx) / e.sys.Config().ClockHz
+		s.out <- b
+	}
+}
+
+// gatherOutputs reads a drained batch's results back into its
+// requests' output slices.
+func (s *shard) gatherOutputs(b *batch) {
+	s.memMu.Lock()
+	idx := 0
+	per := b.perDPU
+	for _, sg := range b.segs {
+		for j := 0; j < sg.n; j++ {
+			d, pos := idx/per, idx%per
+			sg.req.outputs[sg.off+j] = s.dpus[d].MRAM.Float32(s.outAddr[b.slot][d] + 4*pos)
+			idx++
+		}
+	}
+	s.memMu.Unlock()
+}
+
+// stageTransferOut is a shard's third stage: gather results, charge
+// the PIM→host transfer, recycle the buffer slot, and complete the
+// batch's requests.
+func (e *Engine) stageTransferOut(s *shard) {
+	defer e.wg.Done()
+	for b := range s.out {
+		var bytesIn, bytesOut int
+		if b.err == nil {
+			s.gatherOutputs(b)
+			_, padded := shardPlan(b.n, len(s.dpus))
+			e.sys.ChargePIMToHost(padded, true)
+			b.tout = float64(padded) / e.sys.Config().PIMToHostBandwidth
+			bytesIn, bytesOut = padded, padded
+		}
+		s.slots <- b.slot
+		e.stats.addBatch(b, bytesIn, bytesOut)
+		for _, sg := range b.segs {
+			sg.req.complete(b, s.id)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// RequestStats reports what one EvaluateBatch call cost. Modeled
+// quantities are simulator time (PIM cycles, transfer-bandwidth
+// seconds); Latency is host wall-clock.
+type RequestStats struct {
+	// Latency is the wall-clock time from enqueue to completion,
+	// including queueing, coalescing and all pipeline stages.
+	Latency time.Duration
+	// ShardID is the shard that served the request (the last one, for
+	// requests split across several batches).
+	ShardID int
+	// Batches is how many pipeline batches carried the request: 1 for
+	// a small request, more when it was split, and shared with other
+	// requests when it was coalesced.
+	Batches int
+	// BatchElements is the total element count of those batches —
+	// larger than the request's own length when coalescing packed it
+	// with neighbours.
+	BatchElements int
+	// CacheHit reports whether every batch found its tables already
+	// resident on its shard (the Fig.-6 setup cost was skipped).
+	CacheHit bool
+	// SetupSeconds is the modeled setup time charged to this request's
+	// batches: table generation plus rank-wide broadcast on a cache
+	// miss, exactly zero on a warm hit.
+	SetupSeconds float64
+	// Per-stage modeled seconds of the batches the request rode in.
+	TransferInSeconds  float64
+	ComputeSeconds     float64
+	TransferOutSeconds float64
+	// KernelCycles is the modeled PIM cycle count of those batches
+	// (slowest core of the shard, per batch).
+	KernelCycles uint64
+}
+
+// ModeledSeconds returns the total modeled pipeline time of the
+// request: transfer-in + compute + transfer-out + any setup.
+func (s RequestStats) ModeledSeconds() float64 {
+	return s.SetupSeconds + s.TransferInSeconds + s.ComputeSeconds + s.TransferOutSeconds
+}
+
+// Stats is the engine-wide accumulated view.
+type Stats struct {
+	Requests uint64 // EvaluateBatch calls accepted
+	Batches  uint64 // pipeline batches dispatched
+	Elements uint64 // elements evaluated
+	Errors   uint64 // batches that failed
+
+	// CoalescedBatches counts batches that carried more than one
+	// request — the amortization the batcher exists for.
+	CoalescedBatches uint64
+
+	// CacheHits/CacheMisses count per-batch table lookups; a miss is a
+	// shard-level table build (generation and/or broadcast).
+	CacheHits   uint64
+	CacheMisses uint64
+
+	// SetupSeconds is the total modeled setup time paid (all misses).
+	SetupSeconds float64
+
+	// Modeled per-stage totals across all batches.
+	TransferInSeconds  float64
+	ComputeSeconds     float64
+	TransferOutSeconds float64
+	KernelCycles       uint64
+
+	BytesIn  uint64 // host→PIM payload bytes (padded, rank-parallel)
+	BytesOut uint64 // PIM→host payload bytes
+}
+
+// statsCollector is the mutex-guarded accumulator behind Stats.
+type statsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCollector) addRequest() {
+	c.mu.Lock()
+	c.s.Requests++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) addBatch(b *batch, bytesIn, bytesOut int) {
+	c.mu.Lock()
+	c.s.Batches++
+	c.s.Elements += uint64(b.n)
+	if len(b.segs) > 1 {
+		c.s.CoalescedBatches++
+	}
+	if b.err != nil {
+		c.s.Errors++
+	}
+	if b.hit {
+		c.s.CacheHits++
+	} else {
+		c.s.CacheMisses++
+	}
+	c.s.SetupSeconds += b.setup
+	c.s.TransferInSeconds += b.tin
+	c.s.ComputeSeconds += b.tcomp
+	c.s.TransferOutSeconds += b.tout
+	c.s.KernelCycles += b.cycles
+	c.s.BytesIn += uint64(bytesIn)
+	c.s.BytesOut += uint64(bytesOut)
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

@@ -56,10 +56,26 @@ func (c Config) withDefaults() Config {
 
 // System is a full PIM system: a set of PIM cores plus the host↔PIM
 // transfer engine with its timing model.
+//
+// Concurrency/ownership discipline (for long-lived runtimes such as
+// internal/engine that keep several kernels in flight):
+//
+//   - Each DPU — its Mem contents, allocator and cycle counters — must
+//     be owned by at most one goroutine at a time. Concurrent
+//     LaunchShard calls are safe when their shards are disjoint.
+//   - Mem backing storage grows on demand; a host-side Write racing a
+//     kernel on the same core can reallocate it. Owners that overlap
+//     host transfers with kernels on the *same* core must pre-touch
+//     their buffers (one Write over the full region) before going
+//     concurrent.
+//   - The transfer clock (ChargeHostToPIM, ChargePIMToHost, and the
+//     Scatter/Gather/Broadcast helpers) is shared and internally
+//     locked, so any goroutine may charge transfer time at any point.
 type System struct {
 	cfg  Config
 	dpus []*DPU
 
+	mu               sync.Mutex // guards the transfer clocks
 	hostToPIMSeconds float64
 	pimToHostSeconds float64
 }
@@ -94,9 +110,27 @@ func (s *System) DPUs() []*DPU { return s.dpus }
 // its own Ctx. Launch blocks until all kernels complete and returns the
 // first kernel error, if any.
 func (s *System) Launch(kernel func(ctx *Ctx, dpuID int) error) error {
+	ids := make([]int, len(s.dpus))
+	for i := range ids {
+		ids[i] = i
+	}
+	return s.LaunchShard(ids, kernel)
+}
+
+// LaunchShard runs kernel on the listed PIM cores only — a rank-level
+// launch. Kernels for distinct cores run concurrently on the host
+// (bounded by GOMAXPROCS); each kernel sees its own Ctx. LaunchShard
+// blocks until all kernels complete and returns the first kernel
+// error, if any.
+//
+// LaunchShard may itself be called concurrently from several
+// goroutines as long as their shards are disjoint (see the System
+// ownership discipline): a core's memories and counters are touched
+// only by its own kernel.
+func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) error {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(s.dpus) {
-		workers = len(s.dpus)
+	if workers > len(ids) {
+		workers = len(ids)
 	}
 	var (
 		wg   sync.WaitGroup
@@ -110,12 +144,13 @@ func (s *System) Launch(kernel func(ctx *Ctx, dpuID int) error) error {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				i := next
+				k := next
 				next++
 				mu.Unlock()
-				if i >= len(s.dpus) {
+				if k >= len(ids) {
 					return
 				}
+				i := ids[k]
 				if e := kernel(s.dpus[i].NewCtx(), i); e != nil {
 					mu.Lock()
 					if err == nil {
@@ -153,8 +188,10 @@ func (s *System) ResetCycles() {
 	for _, d := range s.dpus {
 		d.ResetCycles()
 	}
+	s.mu.Lock()
 	s.hostToPIMSeconds = 0
 	s.pimToHostSeconds = 0
+	s.mu.Unlock()
 }
 
 // ResetMemory frees all MRAM/WRAM allocations on every core.
@@ -184,7 +221,7 @@ func (s *System) BroadcastToMRAM(buf []byte) int {
 	// len(buf) bytes to each of the N banks but the copies proceed in
 	// parallel rank-wide, so the cost scales with one buffer at the
 	// aggregate parallel bandwidth divided by the per-bank share.
-	s.hostToPIMSeconds += float64(len(buf)) * float64(len(s.dpus)) / s.cfg.HostToPIMBandwidth
+	s.ChargeHostToPIM(len(buf)*len(s.dpus), true)
 	return addr
 }
 
@@ -209,11 +246,7 @@ func (s *System) ScatterToMRAM(bufs [][]byte) []int {
 			mx = len(b)
 		}
 	}
-	if equal {
-		s.hostToPIMSeconds += float64(total) / s.cfg.HostToPIMBandwidth
-	} else {
-		s.hostToPIMSeconds += float64(total) / s.cfg.SerialBandwidth
-	}
+	s.ChargeHostToPIM(total, equal)
 	return addrs
 }
 
@@ -225,7 +258,7 @@ func (s *System) GatherFromMRAM(addr, n int) [][]byte {
 		out[i] = make([]byte, n)
 		d.MRAM.Read(addr, out[i])
 	}
-	s.pimToHostSeconds += float64(n*len(s.dpus)) / s.cfg.PIMToHostBandwidth
+	s.ChargePIMToHost(n*len(s.dpus), true)
 	return out
 }
 
@@ -245,42 +278,55 @@ func (s *System) GatherFromMRAMAt(addrs, ns []int) [][]byte {
 			equal = false
 		}
 	}
-	if equal {
-		s.pimToHostSeconds += float64(total) / s.cfg.PIMToHostBandwidth
-	} else {
-		s.pimToHostSeconds += float64(total) / s.cfg.SerialBandwidth
-	}
+	s.ChargePIMToHost(total, equal)
 	return out
 }
 
 // HostToPIMSeconds returns accumulated modeled Host→PIM transfer time.
-func (s *System) HostToPIMSeconds() float64 { return s.hostToPIMSeconds }
+func (s *System) HostToPIMSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hostToPIMSeconds
+}
 
 // PIMToHostSeconds returns accumulated modeled PIM→Host transfer time.
-func (s *System) PIMToHostSeconds() float64 { return s.pimToHostSeconds }
+func (s *System) PIMToHostSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pimToHostSeconds
+}
 
 // TransferSeconds returns total modeled transfer time in both
 // directions.
 func (s *System) TransferSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.hostToPIMSeconds + s.pimToHostSeconds
 }
 
 // ChargeHostToPIM accounts Host→PIM transfer time for the given total
 // byte count without moving data — used when a kernel clock was reset
-// after setup and the input transfer belongs to execution time.
+// after setup and the input transfer belongs to execution time, or
+// when a runtime moves bytes through the Mem API directly. Safe for
+// concurrent use.
 func (s *System) ChargeHostToPIM(totalBytes int, parallel bool) {
 	bw := s.cfg.HostToPIMBandwidth
 	if !parallel {
 		bw = s.cfg.SerialBandwidth
 	}
+	s.mu.Lock()
 	s.hostToPIMSeconds += float64(totalBytes) / bw
+	s.mu.Unlock()
 }
 
-// ChargePIMToHost is the symmetric PIM→Host accounting.
+// ChargePIMToHost is the symmetric PIM→Host accounting. Safe for
+// concurrent use.
 func (s *System) ChargePIMToHost(totalBytes int, parallel bool) {
 	bw := s.cfg.PIMToHostBandwidth
 	if !parallel {
 		bw = s.cfg.SerialBandwidth
 	}
+	s.mu.Lock()
 	s.pimToHostSeconds += float64(totalBytes) / bw
+	s.mu.Unlock()
 }

@@ -1,27 +1,3 @@
-// Package transpimlib is a Go reproduction of TransPimLib (Item et
-// al., ISPASS 2023): a library of CORDIC-based and LUT-based methods
-// for transcendental and other hard-to-calculate functions on
-// general-purpose processing-in-memory systems.
-//
-// The original library runs on real UPMEM hardware; this reproduction
-// runs on a built-in cycle-level PIM-system simulator (a generic
-// UPMEM-like machine: in-order multithreaded 32-bit cores beside each
-// DRAM bank, a 64-KB scratchpad, software floating point). Every
-// evaluation both returns the mathematical result and charges the
-// cycles the equivalent PIM instruction sequence would cost, so the
-// performance/accuracy/memory trade-offs of the paper are measurable
-// from ordinary Go code.
-//
-// Basic use mirrors the paper's host-setup + device-call split:
-//
-//	lib, err := transpimlib.New(transpimlib.Config{
-//		Method:       transpimlib.LLUT,
-//		Interpolated: true,
-//	}, transpimlib.Sin, transpimlib.Exp)
-//	...
-//	y := lib.Sinf(1.0472)        // computed "on" the PIM core
-//	cycles := lib.Cycles()       // the hardware-counter view
-//	setup := lib.SetupSeconds()  // host-side table generation + transfer
 package transpimlib
 
 import (
