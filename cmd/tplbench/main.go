@@ -22,6 +22,7 @@ import (
 
 	"transpimlib/internal/cordic"
 	"transpimlib/internal/core"
+	"transpimlib/internal/engine"
 	"transpimlib/internal/pimsim"
 	"transpimlib/internal/rangered"
 	"transpimlib/internal/stats"
@@ -318,6 +319,55 @@ type jsonReport struct {
 	Inputs    int                    `json:"inputs"`
 	Functions map[string][]jsonPoint `json:"functions"`
 	Fig8      map[string]uint64      `json:"fig8_cycles"`
+	Engine    *jsonEngine            `json:"engine,omitempty"`
+}
+
+// jsonEngine is the serving-engine snapshot in -json output: a short
+// mixed workload (cold round + warm round) through internal/engine,
+// with the final telemetry counters — so bench sweeps capture
+// cache-hit ratios and per-stage totals, not just per-method cycles.
+type jsonEngine struct {
+	DPUs          int          `json:"dpus"`
+	Shards        int          `json:"shards"`
+	Rounds        int          `json:"rounds"`
+	CacheHitRatio float64      `json:"cache_hit_ratio"`
+	Stats         engine.Stats `json:"stats"`
+}
+
+// engineSnapshot replays sigmoid/GELU/exp requests for two rounds —
+// the first pays every table build, the second is fully warm — and
+// returns the engine-wide counter snapshot.
+func engineSnapshot(n int) *jsonEngine {
+	const dpus, shards, rounds = 8, 2, 2
+	eng, err := engine.New(engine.Config{DPUs: dpus, Shards: shards, Cost: profileCost})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engine snapshot:", err)
+		return nil
+	}
+	defer eng.Close()
+	specs := []struct {
+		fn core.Function
+		p  core.Params
+	}{
+		{core.Sigmoid, core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12}},
+		{core.GELU, core.Params{Method: core.DLLUT, Interp: true, SizeLog2: 12}},
+		{core.Exp, core.Params{Method: core.LLUTFixed, Interp: true, SizeLog2: 12}},
+	}
+	xs := stats.RandomInputs(-2, 2, n, 0x7e1e)
+	for round := 0; round < rounds; round++ {
+		for _, sp := range specs {
+			if _, _, err := eng.EvaluateBatch(sp.fn, sp.p, xs); err != nil {
+				fmt.Fprintln(os.Stderr, "engine snapshot:", err)
+				return nil
+			}
+		}
+	}
+	st := eng.Stats()
+	ratio := 0.0
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		ratio = float64(st.CacheHits) / float64(lookups)
+	}
+	return &jsonEngine{DPUs: dpus, Shards: shards, Rounds: rounds, CacheHitRatio: ratio, Stats: st}
 }
 
 // emitJSON runs the Fig. 5-7 sweeps for the requested functions plus
@@ -329,6 +379,7 @@ func emitJSON(fns []core.Function, n int) {
 		Inputs:    n,
 		Functions: make(map[string][]jsonPoint),
 		Fig8:      fig8Cycles(),
+		Engine:    engineSnapshot(n),
 	}
 	for _, fn := range fns {
 		for _, p := range sweepAll(fn, n) {

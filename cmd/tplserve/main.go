@@ -4,10 +4,17 @@
 // throughput, request latency, batching/coalescing behaviour, the
 // table-cache hit rate, and the modeled per-stage costs.
 //
+// With -listen it also exposes the engine's telemetry over HTTP —
+// /metrics in Prometheus text format and /debug/trace returning the
+// retained request span trees (?format=chrome for a Chrome
+// trace_event document) — and with -hold it keeps serving after the
+// workload finishes so the endpoints can be scraped.
+//
 // Usage:
 //
 //	tplserve [-dpus 8] [-shards 2] [-clients 6] [-requests 24]
 //	         [-elems 1024] [-window 200us] [-seed 1]
+//	         [-listen :9090] [-hold 0s] [-trace 32] [-profile]
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -51,16 +60,37 @@ func main() {
 	elems := flag.Int("elems", 1024, "elements per request")
 	window := flag.Duration("window", 200*time.Microsecond, "batcher coalescing window")
 	seed := flag.Int64("seed", 1, "input RNG seed")
+	listen := flag.String("listen", "", "serve /metrics and /debug/trace on this address (e.g. :9090)")
+	hold := flag.Duration("hold", 0, "keep the HTTP endpoints up this long after the workload (requires -listen)")
+	traceDepth := flag.Int("trace", 32, "request traces to retain (0 disables tracing)")
+	profile := flag.Bool("profile", false, "per-DPU kernel-launch profiling (pim_* metrics)")
 	flag.Parse()
 
 	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
+		TraceDepth: *traceDepth, Profile: *profile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tplserve:", err)
 		os.Exit(1)
 	}
 	defer eng.Close()
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tplserve:", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: eng.Observe().Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "tplserve: http:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics and /debug/trace\n", ln.Addr())
+	}
 
 	jobs := mixedWorkload()
 	fmt.Printf("tplserve: %d cores / %d shards, %d clients × %d requests × %d elems\n",
@@ -147,6 +177,26 @@ func main() {
 		st.SetupSeconds, st.TransferInSeconds, st.ComputeSeconds,
 		st.KernelCycles/1000, st.TransferOutSeconds)
 	fmt.Printf("bytes moved: %d host→PIM, %d PIM→host\n", st.BytesIn, st.BytesOut)
+	if st.RequestErrors > 0 {
+		fmt.Printf("request errors: %d\n", st.RequestErrors)
+	}
+	if tr, ok := eng.TraceLast(); ok {
+		root := tr.Root
+		fmt.Printf("last trace: #%d %s wall %v, %d spans (GET /debug/trace for the tree)\n",
+			tr.ID, root.Name, root.Wall().Round(time.Microsecond), countSpans(root))
+	}
+	if *listen != "" && *hold > 0 {
+		fmt.Printf("holding telemetry endpoints for %v…\n", *hold)
+		time.Sleep(*hold)
+	}
+}
+
+func countSpans(s *transpimlib.Span) int {
+	n := 1
+	for _, c := range s.Child {
+		n += countSpans(c)
+	}
+	return n
 }
 
 func percentile(ds []time.Duration, p float64) time.Duration {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"transpimlib/internal/engine"
+	"transpimlib/internal/telemetry"
 )
 
 // EngineConfig configures a serving Engine. The zero value is an
@@ -27,6 +28,15 @@ type EngineConfig struct {
 	// Buffers is the number of MRAM I/O buffer slots per shard
 	// (default 2: transfer-in double-buffers against compute).
 	Buffers int
+	// TraceDepth retains the span trees of the last N completed
+	// requests, readable via TraceLast/Traces and servable at
+	// /debug/trace (default 0: tracing disabled, no per-stage
+	// timestamps are taken).
+	TraceDepth int
+	// Profile enables per-DPU kernel-launch profiling: instruction-
+	// class and per-core cycle counters accumulate into the telemetry
+	// registry as pim_* series (default off).
+	Profile bool
 }
 
 // RequestStats is the per-request cost report of Engine.EvaluateBatch:
@@ -36,6 +46,19 @@ type RequestStats = engine.RequestStats
 
 // EngineStats is the engine-wide accumulated counter view.
 type EngineStats = engine.Stats
+
+// Telemetry is an engine's observability handle: the metrics registry
+// behind Stats (Prometheus text exposition via WritePrometheus or the
+// Handler's /metrics endpoint) and, when EngineConfig.TraceDepth is
+// set, the request tracer behind /debug/trace.
+type Telemetry = telemetry.Telemetry
+
+// Trace is one request's completed span tree.
+type Trace = telemetry.Trace
+
+// Span is one timed region of a request's journey through the
+// pipeline, carrying both wall-clock and modeled-seconds durations.
+type Span = telemetry.Span
 
 // Engine is a long-lived serving runtime over a multi-core PIM
 // system: a table/setup cache keyed by (function, method, LUT size,
@@ -57,6 +80,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		BatchWindow: cfg.BatchWindow,
 		QueueDepth:  cfg.QueueDepth,
 		Buffers:     cfg.Buffers,
+		TraceDepth:  cfg.TraceDepth,
+		Profile:     cfg.Profile,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transpimlib: %w", err)
@@ -78,6 +103,22 @@ func (e *Engine) EvaluateBatch(fn Function, spec Config, xs []float32) ([]float3
 
 // Stats returns a snapshot of the engine-wide counters.
 func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Observe returns the engine's telemetry handle — the metrics
+// registry plus the request tracer. Observe().Handler() is an
+// http.Handler serving /metrics (Prometheus text format) and
+// /debug/trace (span trees as JSON, or ?format=chrome for a Chrome
+// trace_event document).
+func (e *Engine) Observe() *Telemetry { return e.e.Observe() }
+
+// TraceLast returns the span tree of the most recently completed
+// request, or false when tracing is disabled (TraceDepth 0) or no
+// request has completed yet.
+func (e *Engine) TraceLast() (*Trace, bool) { return e.e.TraceLast() }
+
+// Traces returns the retained request traces, oldest first (nil when
+// tracing is disabled).
+func (e *Engine) Traces() []*Trace { return e.e.Traces() }
 
 // CachedSpecs returns how many (function, method) configurations
 // currently hold resident tables.

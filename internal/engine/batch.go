@@ -20,11 +20,24 @@ type request struct {
 	remaining int // segments not yet drained
 	err       error
 	stats     RequestStats
+
+	// batchTraces collects the stage stamps of every batch the request
+	// rode in, in completion order; nil unless tracing is enabled.
+	batchTraces []batchRef
 }
 
-// complete records one drained batch against the request and closes
-// done when it was the last outstanding segment.
-func (r *request) complete(b *batch, shardID int) {
+// batchRef pairs a drained batch with its wall-clock stage stamps for
+// trace assembly.
+type batchRef struct {
+	b  *batch
+	tr *batchTrace
+}
+
+// complete records one drained batch against the request. It reports
+// whether this was the request's last outstanding segment; the caller
+// (the drain stage) finishes the request — latency observation, trace
+// assembly, closing done — outside the lock.
+func (r *request) complete(b *batch, shardID int) (last bool) {
 	r.mu.Lock()
 	if b.err != nil && r.err == nil {
 		r.err = b.err
@@ -40,15 +53,16 @@ func (r *request) complete(b *batch, shardID int) {
 	r.stats.ComputeSeconds += b.tcomp
 	r.stats.TransferOutSeconds += b.tout
 	r.stats.KernelCycles += b.cycles
+	if b.tr != nil {
+		r.batchTraces = append(r.batchTraces, batchRef{b: b, tr: b.tr})
+	}
 	r.remaining--
-	last := r.remaining == 0
+	last = r.remaining == 0
 	if last {
 		r.stats.Latency = time.Since(r.enqueued)
 	}
 	r.mu.Unlock()
-	if last {
-		close(r.done)
-	}
+	return last
 }
 
 // seg is a contiguous slice of one request packed into a batch.
@@ -76,6 +90,10 @@ type batch struct {
 	tout   float64 // modeled PIM→host seconds
 	cycles uint64  // modeled kernel cycles (slowest core)
 	err    error
+
+	// tr holds the wall-clock stage stamps when tracing is enabled;
+	// nil otherwise, so the disabled path skips every time.Now call.
+	tr *batchTrace
 }
 
 // planBatches packs same-spec requests into batches of at most

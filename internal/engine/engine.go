@@ -30,6 +30,7 @@ import (
 
 	"transpimlib/internal/core"
 	"transpimlib/internal/pimsim"
+	"transpimlib/internal/telemetry"
 )
 
 // Config describes an engine.
@@ -58,6 +59,15 @@ type Config struct {
 	// Cost selects the machine profile (zero value: the UPMEM-like
 	// default).
 	Cost pimsim.CostModel
+	// TraceDepth retains the span trees of the last N completed
+	// requests (Engine.TraceLast, /debug/trace). Zero disables
+	// tracing: no stage timestamps are taken and no spans allocated.
+	TraceDepth int
+	// Profile enables per-DPU kernel-launch profiling: instruction-
+	// class cycle counters and per-core kernel cycles accumulate into
+	// the telemetry registry (pim_* series). Off by default; when off,
+	// the simulator pays one atomic nil-check per launch.
+	Profile bool
 }
 
 func (c Config) withDefaults() Config {
@@ -124,7 +134,9 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	stats statsCollector
+	tel    *telemetry.Telemetry // registry always present; Tracer nil unless TraceDepth > 0
+	met    *metrics
+	tracer *telemetry.Tracer // alias of tel.Tracer, nil when tracing is off
 }
 
 // New builds and starts an engine: the PIM system, the per-shard I/O
@@ -141,6 +153,15 @@ func New(cfg Config) (*Engine, error) {
 		cache:    newTableCache(),
 		submit:   make(chan *request, cfg.QueueDepth),
 		dispatch: make(chan *batch, cfg.Shards),
+	}
+	reg := telemetry.NewRegistry()
+	e.met = newMetrics(reg, cfg.Shards)
+	if cfg.TraceDepth > 0 {
+		e.tracer = telemetry.NewTracer(cfg.TraceDepth)
+	}
+	e.tel = &telemetry.Telemetry{Registry: reg, Tracer: e.tracer}
+	if cfg.Profile {
+		e.sys.SetLaunchObserver(newKernelProfiler(reg, cfg.DPUs).observe)
 	}
 	perShard := cfg.DPUs / cfg.Shards
 	capPerDPU := (cfg.MaxBatch + perShard - 1) / perShard
@@ -190,8 +211,23 @@ func New(cfg Config) (*Engine, error) {
 // do not launch kernels on it while the engine is serving).
 func (e *Engine) System() *pimsim.System { return e.sys }
 
-// Stats returns a snapshot of the engine-wide counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+// Stats returns a snapshot of the engine-wide counters. Individual
+// fields are read atomically; the struct is not a consistent cut
+// under concurrent traffic.
+func (e *Engine) Stats() Stats { return e.met.snapshot() }
+
+// Observe returns the engine's telemetry handle: the metrics registry
+// behind Stats and /metrics, plus the request tracer when TraceDepth
+// is set. The handle is valid for the engine's lifetime.
+func (e *Engine) Observe() *telemetry.Telemetry { return e.tel }
+
+// TraceLast returns the span tree of the most recently completed
+// request, or false when tracing is disabled or nothing has completed.
+func (e *Engine) TraceLast() (*telemetry.Trace, bool) { return e.tracer.Last() }
+
+// Traces returns the retained request traces, oldest first (nil when
+// tracing is disabled).
+func (e *Engine) Traces() []*telemetry.Trace { return e.tracer.Traces() }
 
 // CachedSpecs returns how many (function, method) configurations hold
 // resident tables.
@@ -224,8 +260,9 @@ func (e *Engine) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([
 		e.mu.RUnlock()
 		return nil, RequestStats{}, fmt.Errorf("engine: closed")
 	}
-	e.stats.addRequest()
+	e.met.requests.Inc()
 	e.submit <- r
+	e.met.queueDepth.Set(int64(len(e.submit)))
 	e.mu.RUnlock()
 
 	<-r.done
@@ -299,6 +336,9 @@ func (e *Engine) batcher() {
 		}
 		for _, spec := range order {
 			for _, b := range planBatches(spec, bySpec[spec], e.cfg.MaxBatch) {
+				if e.tracer != nil {
+					b.tr = &batchTrace{}
+				}
 				e.dispatch <- b
 			}
 		}
@@ -319,6 +359,10 @@ func (e *Engine) stageTransferIn(s *shard) {
 	defer close(s.mid)
 	for b := range e.dispatch {
 		b.slot = <-s.slots
+		if b.tr != nil {
+			b.tr.shard = s.id
+			b.tr.inStart = time.Now()
+		}
 		per, padded := shardPlan(b.n, len(s.dpus))
 		b.perDPU = per
 
@@ -335,6 +379,9 @@ func (e *Engine) stageTransferIn(s *shard) {
 
 		e.sys.ChargeHostToPIM(padded, true)
 		b.tin = float64(padded) / e.sys.Config().HostToPIMBandwidth
+		if b.tr != nil {
+			b.tr.inEnd = time.Now()
+		}
 		s.mid <- b
 	}
 }
@@ -346,7 +393,14 @@ func (e *Engine) stageCompute(s *shard) {
 	defer e.wg.Done()
 	defer close(s.out)
 	for b := range s.mid {
+		if b.tr != nil {
+			b.tr.setupStart = time.Now()
+		}
 		ops, hit, setup, err := e.cache.ensure(b.spec, s)
+		if b.tr != nil {
+			b.tr.setupEnd = time.Now()
+		}
+		e.met.cachedSpecs.Set(int64(e.cache.size()))
 		if err != nil {
 			b.err = err
 			s.out <- b
@@ -354,6 +408,9 @@ func (e *Engine) stageCompute(s *shard) {
 		}
 		b.hit, b.setup = hit, setup
 
+		if b.tr != nil {
+			b.tr.kernStart = time.Now()
+		}
 		issue0 := make([]uint64, len(s.dpus))
 		dma0 := make([]uint64, len(s.dpus))
 		for i, d := range s.dpus {
@@ -394,6 +451,9 @@ func (e *Engine) stageCompute(s *shard) {
 		}
 		b.cycles = mx
 		b.tcomp = float64(mx) / e.sys.Config().ClockHz
+		if b.tr != nil {
+			b.tr.kernEnd = time.Now()
+		}
 		s.out <- b
 	}
 }
@@ -420,6 +480,9 @@ func (s *shard) gatherOutputs(b *batch) {
 func (e *Engine) stageTransferOut(s *shard) {
 	defer e.wg.Done()
 	for b := range s.out {
+		if b.tr != nil {
+			b.tr.outStart = time.Now()
+		}
 		var bytesIn, bytesOut int
 		if b.err == nil {
 			s.gatherOutputs(b)
@@ -428,10 +491,36 @@ func (e *Engine) stageTransferOut(s *shard) {
 			b.tout = float64(padded) / e.sys.Config().PIMToHostBandwidth
 			bytesIn, bytesOut = padded, padded
 		}
+		if b.tr != nil {
+			b.tr.outEnd = time.Now()
+		}
 		s.slots <- b.slot
-		e.stats.addBatch(b, bytesIn, bytesOut)
+		e.met.addBatch(b, s.id, bytesIn, bytesOut)
 		for _, sg := range b.segs {
-			sg.req.complete(b, s.id)
+			if sg.req.complete(b, s.id) {
+				e.finishRequest(sg.req)
+			}
 		}
 	}
+}
+
+// finishRequest runs on the drain stage after a request's last
+// segment completed and before its caller is released: observe the
+// latency, count request-level errors (the per-request view the batch
+// counter can't give), assemble and publish the trace, then close
+// done. The request is quiescent here — every other stage is finished
+// with it and the caller is still parked on done — so the reads and
+// the TraceID write need no lock.
+func (e *Engine) finishRequest(r *request) {
+	end := time.Now()
+	e.met.latency.Observe(r.stats.Latency.Seconds())
+	if r.err != nil {
+		e.met.requestErrors.Inc()
+	}
+	if e.tracer != nil {
+		id := e.tracer.NextID()
+		r.stats.TraceID = id
+		e.tracer.Push(buildTrace(r, id, end))
+	}
+	close(r.done)
 }

@@ -1,8 +1,10 @@
 package engine
 
 import (
-	"sync"
+	"fmt"
 	"time"
+
+	"transpimlib/internal/telemetry"
 )
 
 // RequestStats reports what one EvaluateBatch call cost. Modeled
@@ -37,6 +39,10 @@ type RequestStats struct {
 	// KernelCycles is the modeled PIM cycle count of those batches
 	// (slowest core of the shard, per batch).
 	KernelCycles uint64
+	// TraceID identifies this request's span tree in the engine's
+	// trace ring (Engine.TraceLast / /debug/trace). Zero when tracing
+	// is disabled.
+	TraceID uint64
 }
 
 // ModeledSeconds returns the total modeled pipeline time of the
@@ -51,6 +57,11 @@ type Stats struct {
 	Batches  uint64 // pipeline batches dispatched
 	Elements uint64 // elements evaluated
 	Errors   uint64 // batches that failed
+	// RequestErrors counts accepted EvaluateBatch calls that completed
+	// with an error — the per-request view of Errors, which counts per
+	// batch (one failed batch shared by three coalesced requests is 1
+	// batch error but 3 request errors).
+	RequestErrors uint64
 
 	// CoalescedBatches counts batches that carried more than one
 	// request — the amortization the batcher exists for.
@@ -74,45 +85,144 @@ type Stats struct {
 	BytesOut uint64 // PIM→host payload bytes
 }
 
-// statsCollector is the mutex-guarded accumulator behind Stats.
-type statsCollector struct {
-	mu sync.Mutex
-	s  Stats
+// metrics is the atomic-counter accumulator behind Stats, registered
+// on the engine's telemetry registry so the same numbers serve both
+// the Stats() API and the /metrics Prometheus exposition. Every hot
+// update is a single atomic op (the old statsCollector serialized
+// every batch completion on one mutex).
+type metrics struct {
+	requests      *telemetry.Counter
+	requestErrors *telemetry.Counter
+	batches       *telemetry.Counter
+	batchErrors   *telemetry.Counter
+	elements      *telemetry.Counter
+	coalesced     *telemetry.Counter
+	cacheHits     *telemetry.Counter
+	cacheMisses   *telemetry.Counter
+
+	setupSeconds *telemetry.FloatCounter
+	tinSeconds   *telemetry.FloatCounter
+	tcompSeconds *telemetry.FloatCounter
+	toutSeconds  *telemetry.FloatCounter
+
+	kernelCycles *telemetry.Counter
+	bytesIn      *telemetry.Counter
+	bytesOut     *telemetry.Counter
+
+	cachedSpecs *telemetry.Gauge
+	queueDepth  *telemetry.Gauge
+
+	latency    *telemetry.Histogram
+	batchElems *telemetry.Histogram
+
+	// Per-shard attribution: who is the straggler, which shard's
+	// tables are cold, where the bytes went.
+	shard []shardMetrics
 }
 
-func (c *statsCollector) addRequest() {
-	c.mu.Lock()
-	c.s.Requests++
-	c.mu.Unlock()
+type shardMetrics struct {
+	batches      *telemetry.Counter
+	kernelCycles *telemetry.Counter
+	bytesIn      *telemetry.Counter
+	bytesOut     *telemetry.Counter
+	cacheHits    *telemetry.Counter
+	cacheMisses  *telemetry.Counter
 }
 
-func (c *statsCollector) addBatch(b *batch, bytesIn, bytesOut int) {
-	c.mu.Lock()
-	c.s.Batches++
-	c.s.Elements += uint64(b.n)
+func newMetrics(reg *telemetry.Registry, shards int) *metrics {
+	m := &metrics{
+		requests:      reg.Counter("engine_requests_total", "EvaluateBatch calls accepted into the pipeline"),
+		requestErrors: reg.Counter("engine_request_errors_total", "accepted requests that completed with an error"),
+		batches:       reg.Counter("engine_batches_total", "pipeline batches dispatched"),
+		batchErrors:   reg.Counter("engine_batch_errors_total", "pipeline batches that failed"),
+		elements:      reg.Counter("engine_elements_total", "elements evaluated"),
+		coalesced:     reg.Counter("engine_coalesced_batches_total", "batches carrying more than one request"),
+		cacheHits:     reg.Counter("engine_cache_hits_total", "per-batch table lookups served from resident tables"),
+		cacheMisses:   reg.Counter("engine_cache_misses_total", "per-batch table lookups that built tables"),
+		setupSeconds:  reg.FloatCounter("engine_setup_seconds_total", "modeled table generation + broadcast seconds"),
+		tinSeconds:    reg.FloatCounter("engine_transfer_in_seconds_total", "modeled host-to-PIM transfer seconds"),
+		tcompSeconds:  reg.FloatCounter("engine_compute_seconds_total", "modeled kernel seconds (slowest core per batch)"),
+		toutSeconds:   reg.FloatCounter("engine_transfer_out_seconds_total", "modeled PIM-to-host transfer seconds"),
+		kernelCycles:  reg.Counter("engine_kernel_cycles_total", "modeled kernel cycles (slowest core per batch)"),
+		bytesIn:       reg.Counter("engine_bytes_in_total", "host-to-PIM payload bytes (padded, rank-parallel)"),
+		bytesOut:      reg.Counter("engine_bytes_out_total", "PIM-to-host payload bytes"),
+		cachedSpecs:   reg.Gauge("engine_cached_specs", "configurations holding resident tables"),
+		queueDepth:    reg.Gauge("engine_queue_depth", "requests waiting in the submit queue"),
+		latency:       reg.Histogram("engine_request_latency_seconds", "wall-clock request latency", telemetry.LatencyBuckets()),
+		batchElems:    reg.Histogram("engine_batch_elements", "elements per dispatched batch", telemetry.SizeBuckets()),
+	}
+	for s := 0; s < shards; s++ {
+		lb := fmt.Sprintf("{shard=%q}", fmt.Sprint(s))
+		m.shard = append(m.shard, shardMetrics{
+			batches:      reg.Counter("engine_shard_batches_total"+lb, "batches served per shard"),
+			kernelCycles: reg.Counter("engine_shard_kernel_cycles_total"+lb, "modeled kernel cycles per shard"),
+			bytesIn:      reg.Counter("engine_shard_bytes_in_total"+lb, "host-to-PIM bytes per shard"),
+			bytesOut:     reg.Counter("engine_shard_bytes_out_total"+lb, "PIM-to-host bytes per shard"),
+			cacheHits:    reg.Counter("engine_shard_cache_hits_total"+lb, "table-cache hits per shard"),
+			cacheMisses:  reg.Counter("engine_shard_cache_misses_total"+lb, "table-cache misses per shard"),
+		})
+	}
+	return m
+}
+
+// addBatch accounts one drained batch. bytesIn/bytesOut are zero for
+// failed batches.
+func (m *metrics) addBatch(b *batch, shardID, bytesIn, bytesOut int) {
+	m.batches.Inc()
+	m.elements.Add(uint64(b.n))
+	m.batchElems.Observe(float64(b.n))
 	if len(b.segs) > 1 {
-		c.s.CoalescedBatches++
+		m.coalesced.Inc()
 	}
 	if b.err != nil {
-		c.s.Errors++
+		m.batchErrors.Inc()
 	}
 	if b.hit {
-		c.s.CacheHits++
+		m.cacheHits.Inc()
 	} else {
-		c.s.CacheMisses++
+		m.cacheMisses.Inc()
 	}
-	c.s.SetupSeconds += b.setup
-	c.s.TransferInSeconds += b.tin
-	c.s.ComputeSeconds += b.tcomp
-	c.s.TransferOutSeconds += b.tout
-	c.s.KernelCycles += b.cycles
-	c.s.BytesIn += uint64(bytesIn)
-	c.s.BytesOut += uint64(bytesOut)
-	c.mu.Unlock()
+	m.setupSeconds.Add(b.setup)
+	m.tinSeconds.Add(b.tin)
+	m.tcompSeconds.Add(b.tcomp)
+	m.toutSeconds.Add(b.tout)
+	m.kernelCycles.Add(b.cycles)
+	m.bytesIn.Add(uint64(bytesIn))
+	m.bytesOut.Add(uint64(bytesOut))
+	if shardID >= 0 && shardID < len(m.shard) {
+		sm := &m.shard[shardID]
+		sm.batches.Inc()
+		sm.kernelCycles.Add(b.cycles)
+		sm.bytesIn.Add(uint64(bytesIn))
+		sm.bytesOut.Add(uint64(bytesOut))
+		if b.hit {
+			sm.cacheHits.Inc()
+		} else {
+			sm.cacheMisses.Inc()
+		}
+	}
 }
 
-func (c *statsCollector) snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s
+// snapshot assembles the Stats view from the individual atomics. Each
+// field load is atomic; the struct as a whole is not a consistent cut
+// under concurrent traffic — the standard metrics contract, and the
+// price of taking no lock on the batch path.
+func (m *metrics) snapshot() Stats {
+	return Stats{
+		Requests:           m.requests.Load(),
+		Batches:            m.batches.Load(),
+		Elements:           m.elements.Load(),
+		Errors:             m.batchErrors.Load(),
+		RequestErrors:      m.requestErrors.Load(),
+		CoalescedBatches:   m.coalesced.Load(),
+		CacheHits:          m.cacheHits.Load(),
+		CacheMisses:        m.cacheMisses.Load(),
+		SetupSeconds:       m.setupSeconds.Load(),
+		TransferInSeconds:  m.tinSeconds.Load(),
+		ComputeSeconds:     m.tcompSeconds.Load(),
+		TransferOutSeconds: m.toutSeconds.Load(),
+		KernelCycles:       m.kernelCycles.Load(),
+		BytesIn:            m.bytesIn.Load(),
+		BytesOut:           m.bytesOut.Load(),
+	}
 }

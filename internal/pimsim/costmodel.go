@@ -145,6 +145,10 @@ var opClassNames = [...]string{
 	"conv", "ldexp", "frexp", "wram", "mram", "ctrl",
 }
 
+// NumOpClasses returns how many operation classes the counters track,
+// for callers that index per-class accumulators by OpClass.
+func NumOpClasses() OpClass { return numOpClasses }
+
 // String returns a short lowercase mnemonic for the class.
 func (c OpClass) String() string {
 	if c < 0 || int(c) >= len(opClassNames) {

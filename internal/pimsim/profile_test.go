@@ -1,0 +1,101 @@
+package pimsim
+
+import "testing"
+
+// TestLaunchObserver: an installed observer must receive the exact
+// per-core accounting delta of each launch — not cumulative totals —
+// with per-class op counts matching what the kernel charged.
+func TestLaunchObserver(t *testing.T) {
+	s := NewSystem(Config{DPUs: 2})
+	var got []LaunchProfile
+	s.SetLaunchObserver(func(p LaunchProfile) { got = append(got, p) })
+
+	kernel := func(ctx *Ctx, dpuID int) error {
+		for i := 0; i < 10*(dpuID+1); i++ {
+			ctx.IAdd(1, 2)
+		}
+		ctx.FMul(1.5, 2.5)
+		return nil
+	}
+	for launch := 0; launch < 2; launch++ {
+		if err := s.LaunchShard([]int{0, 1}, kernel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("observer fired %d times, want 2", len(got))
+	}
+	for li, prof := range got {
+		if len(prof.Cores) != 2 {
+			t.Fatalf("launch %d: %d cores, want 2", li, len(prof.Cores))
+		}
+		for _, cp := range prof.Cores {
+			wantAdds := uint64(10 * (cp.DPU + 1))
+			if cp.Counters.Ops[OpIALU] != wantAdds {
+				t.Errorf("launch %d dpu %d: ialu ops = %d, want %d (delta, not cumulative)",
+					li, cp.DPU, cp.Counters.Ops[OpIALU], wantAdds)
+			}
+			if cp.Counters.Ops[OpFMul] != 1 {
+				t.Errorf("launch %d dpu %d: fmul ops = %d, want 1", li, cp.DPU, cp.Counters.Ops[OpFMul])
+			}
+			if cp.Cycles == 0 || cp.IssueCycles == 0 {
+				t.Errorf("launch %d dpu %d: zero cycle delta", li, cp.DPU)
+			}
+			if cp.Tasklets <= 0 {
+				t.Errorf("launch %d dpu %d: tasklets = %d", li, cp.DPU, cp.Tasklets)
+			}
+		}
+		// DPU 1 did twice the adds, so it is the slowest core.
+		if prof.SlowestCycles() != prof.Cores[1].Cycles {
+			t.Errorf("launch %d: SlowestCycles = %d, want dpu 1's %d",
+				li, prof.SlowestCycles(), prof.Cores[1].Cycles)
+		}
+		tot := prof.Total()
+		if tot.Ops[OpIALU] != 30 {
+			t.Errorf("launch %d: total ialu ops = %d, want 30", li, tot.Ops[OpIALU])
+		}
+	}
+
+	// A shard launch must profile only its own cores.
+	got = got[:0]
+	if err := s.LaunchShard([]int{1}, kernel); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Cores) != 1 || got[0].Cores[0].DPU != 1 {
+		t.Fatalf("shard launch profile = %+v, want dpu 1 only", got)
+	}
+
+	// Removing the observer silences it.
+	s.SetLaunchObserver(nil)
+	got = got[:0]
+	if err := s.LaunchShard([]int{0}, kernel); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Error("observer fired after removal")
+	}
+}
+
+// TestPerTasklet: the per-tasklet attribution is an even issue-cycle
+// split with the remainder spread over the first tasklets.
+func TestPerTasklet(t *testing.T) {
+	p := CoreProfile{Tasklets: 4, IssueCycles: 10}
+	want := []uint64{3, 3, 2, 2}
+	got := p.PerTasklet()
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	var sum uint64
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("tasklet %d = %d, want %d", i, got[i], w)
+		}
+		sum += got[i]
+	}
+	if sum != p.IssueCycles {
+		t.Errorf("split loses cycles: %d != %d", sum, p.IssueCycles)
+	}
+	if (CoreProfile{}).PerTasklet() != nil {
+		t.Error("zero tasklets must yield nil")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Transfer bandwidths of the host↔PIM interface, in bytes/second,
@@ -78,6 +79,11 @@ type System struct {
 	mu               sync.Mutex // guards the transfer clocks
 	hostToPIMSeconds float64
 	pimToHostSeconds float64
+
+	// observer, when set, receives a per-core LaunchProfile after each
+	// LaunchShard (see SetLaunchObserver). Atomic so installing or
+	// removing it races safely with in-flight launches.
+	observer atomic.Pointer[launchObserverBox]
 }
 
 // NewSystem builds a system from cfg (zero fields take defaults).
@@ -132,6 +138,26 @@ func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) 
 	if workers > len(ids) {
 		workers = len(ids)
 	}
+	// Snapshot the shard's accounting before the kernels start when a
+	// launch observer is installed. The launching goroutine owns these
+	// cores (the shard discipline), so the reads race with nothing;
+	// with no observer the cost is one atomic load per launch.
+	obs := s.loadObserver()
+	var before []CoreProfile
+	if obs != nil {
+		before = make([]CoreProfile, len(ids))
+		for k, i := range ids {
+			d := s.dpus[i]
+			before[k] = CoreProfile{
+				DPU:         i,
+				Tasklets:    d.tasklets,
+				Cycles:      d.Cycles(),
+				IssueCycles: d.issueCycles,
+				DMACycles:   d.dmaCycles,
+				Counters:    d.counters,
+			}
+		}
+	}
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
@@ -162,6 +188,25 @@ func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) 
 		}()
 	}
 	wg.Wait()
+	if obs != nil {
+		prof := LaunchProfile{Cores: make([]CoreProfile, len(ids))}
+		for k, i := range ids {
+			d := s.dpus[i]
+			cp := CoreProfile{
+				DPU:         i,
+				Tasklets:    d.tasklets,
+				Cycles:      d.Cycles() - before[k].Cycles,
+				IssueCycles: d.issueCycles - before[k].IssueCycles,
+				DMACycles:   d.dmaCycles - before[k].DMACycles,
+			}
+			for cl := range cp.Counters.Ops {
+				cp.Counters.Ops[cl] = d.counters.Ops[cl] - before[k].Counters.Ops[cl]
+				cp.Counters.Cycles[cl] = d.counters.Cycles[cl] - before[k].Counters.Cycles[cl]
+			}
+			prof.Cores[k] = cp
+		}
+		obs(prof)
+	}
 	return err
 }
 

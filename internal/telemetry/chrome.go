@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON format
+// ("X" complete events), loadable in about:tracing and Perfetto.
+// pid groups a trace's spans into one process row; tid is the shard
+// the span ran on, so shard pipelines line up as parallel tracks.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  uint64            `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders traces as a Chrome trace_event JSON
+// document. Timestamps are microseconds relative to the earliest span
+// start across all traces, so the file is stable to re-generation of
+// the same workload and small in absolute magnitude.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	var epoch time.Time
+	for _, tr := range traces {
+		if tr == nil || tr.Root == nil {
+			continue
+		}
+		if epoch.IsZero() || tr.Root.Start.Before(epoch) {
+			epoch = tr.Root.Start
+		}
+	}
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, tr := range traces {
+		if tr == nil || tr.Root == nil {
+			continue
+		}
+		var walk func(s *Span)
+		walk = func(s *Span) {
+			ev := chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+				Dur:  float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+				Pid:  tr.ID,
+				Tid:  s.Shard,
+			}
+			if s.Modeled != 0 || s.Err != "" || len(s.Attrs) > 0 {
+				ev.Args = make(map[string]string, len(s.Attrs)+2)
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+				if s.Modeled != 0 {
+					ev.Args["modeled_seconds"] = formatFloat(s.Modeled)
+				}
+				if s.Err != "" {
+					ev.Args["err"] = s.Err
+				}
+			}
+			file.TraceEvents = append(file.TraceEvents, ev)
+			for _, c := range s.Child {
+				walk(c)
+			}
+		}
+		walk(tr.Root)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

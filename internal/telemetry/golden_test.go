@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestPrometheusGolden locks down the exposition format: HELP/TYPE
+// headers once per family, label series grouped and sorted, histogram
+// le-buckets cumulative with sum and count.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine_requests_total", "EvaluateBatch calls accepted").Add(42)
+	reg.FloatCounter("engine_setup_seconds_total", "modeled setup seconds").Add(0.125)
+	reg.Gauge("engine_cached_specs", "resident specs").Set(3)
+	// Two series of one family, registered out of label order.
+	reg.Counter(`engine_shard_batches_total{shard="1"}`, "batches per shard").Add(7)
+	reg.Counter(`engine_shard_batches_total{shard="0"}`, "batches per shard").Add(9)
+	h := reg.Histogram("engine_request_latency_seconds", "request latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(2)
+	lh := reg.Histogram(`engine_shard_latency_seconds{shard="0"}`, "per-shard latency", []float64{0.5})
+	lh.Observe(0.25)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", sb.String())
+}
+
+// TestChromeTraceGolden locks down the trace_event encoding with a
+// fully deterministic span tree.
+func TestChromeTraceGolden(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	root := &Span{Name: "request", Shard: 1, Start: t0, End: t0.Add(5 * time.Millisecond)}
+	root.SetAttr("fn", "exp")
+	root.SetAttr("method", "fx-l-lut")
+	queue := &Span{Name: "queue", Shard: 1, Start: t0, End: t0.Add(500 * time.Microsecond)}
+	batch := &Span{Name: "batch[0]", Shard: 1, Start: t0.Add(500 * time.Microsecond),
+		End: t0.Add(5 * time.Millisecond), Modeled: 0.0025}
+	kern := &Span{Name: "kernel", Shard: 1, Start: t0.Add(time.Millisecond),
+		End: t0.Add(4 * time.Millisecond), Modeled: 0.002}
+	kern.SetAttr("cycles", "700000")
+	batch.AddChild(kern)
+	failed := &Span{Name: "error", Shard: 1, Start: t0.Add(5 * time.Millisecond),
+		End: t0.Add(5 * time.Millisecond), Err: "mram exhausted"}
+	root.AddChild(queue)
+	root.AddChild(batch)
+	root.AddChild(failed)
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, []*Trace{{ID: 9, Root: root}}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.chrome.golden", sb.String())
+}

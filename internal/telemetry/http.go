@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Telemetry bundles a process's observability handles: the metrics
+// registry (always cheap, always on) and the optional request tracer
+// (nil when tracing is disabled).
+type Telemetry struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// Handler returns an http.Handler exposing the standard endpoint
+// pair:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/trace  retained request span trees as JSON
+//	              (?n=K limits to the K most recent; ?format=chrome
+//	              emits the Chrome trace_event form instead)
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if t == nil || t.Registry == nil {
+			return
+		}
+		if err := t.Registry.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil || t.Tracer == nil {
+			http.Error(w, "tracing disabled (set a trace depth)", http.StatusNotFound)
+			return
+		}
+		traces := t.Tracer.Traces()
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad n=%q", q), http.StatusBadRequest)
+				return
+			}
+			if n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		switch r.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteChromeTrace(w, traces); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(traces); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "format must be json or chrome", http.StatusBadRequest)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "t")
+	f := reg.FloatCounter("test_seconds_total", "t")
+	g := reg.Gauge("test_gauge", "t")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				f.Add(0.5)
+				g.Add(1)
+				// Interleave snapshots with writes: must not race
+				// (the -race CI job is the real assertion here).
+				_ = c.Load()
+				_ = f.Load()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := f.Load(); math.Abs(got-workers*per*0.5) > 1e-9 {
+		t.Errorf("float counter = %g, want %g", got, workers*per*0.5)
+	}
+	if got := g.Load(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// A value exactly on an upper bound belongs to that bucket
+	// (Prometheus le semantics: bucket counts observations ≤ bound).
+	for _, v := range []float64{0.5, 1.0} {
+		h.Observe(v) // bucket 0 (≤1)
+	}
+	h.Observe(1.5) // bucket 1 (≤2)
+	h.Observe(2.0) // bucket 1
+	h.Observe(4.0) // bucket 2 (≤4)
+	h.Observe(9.9) // overflow (+Inf)
+	s := h.Snapshot()
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-(0.5+1+1.5+2+4+9.9)) > 1e-9 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i) * 1e-5)
+				_ = h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+// TestNilSink: every metric type must be a no-op through a nil
+// pointer — the disabled-telemetry fast path the engine relies on.
+func TestNilSink(t *testing.T) {
+	var c *Counter
+	var f *FloatCounter
+	var g *Gauge
+	var h *Histogram
+	c.Add(7)
+	c.Inc()
+	f.Add(1.5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(2)
+	if c.Load() != 0 || f.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil metrics must read zero")
+	}
+
+	var reg *Registry
+	if reg.Counter("x", "") != nil || reg.FloatCounter("x", "") != nil ||
+		reg.Gauge("x", "") != nil || reg.Histogram("x", "", nil) != nil {
+		t.Error("nil registry must hand out nil metrics")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Error("nil registry must expose nothing")
+	}
+
+	var tr *Tracer
+	if _, ok := tr.Last(); ok {
+		t.Error("nil tracer must have no traces")
+	}
+	if tr.Traces() != nil {
+		t.Error("nil tracer Traces must be nil")
+	}
+	tr.Push(&Trace{}) // must not panic
+	if tr.NextID() != 0 {
+		t.Error("nil tracer NextID must be 0")
+	}
+}
+
+func TestRegistryReuseAndPanics(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same_total", "h")
+	b := reg.Counter("same_total", "h")
+	if a != b {
+		t.Error("re-registration must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch must panic")
+		}
+	}()
+	reg.Gauge("same_total", "h")
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (function name, shard
+// id, cycle count, …). A small slice beats a map here: spans carry a
+// handful of attrs and are built on the request path.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a request's journey through the
+// pipeline: enqueue → coalesce → setup → transfer-in → kernel →
+// transfer-out → drain. It carries both the host wall-clock interval
+// and the modeled simulator seconds of the stage (the paper's cycle /
+// bandwidth model), because on a cost simulator those deliberately
+// disagree and the ratio is itself diagnostic.
+type Span struct {
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Modeled float64   `json:"modeled_seconds,omitempty"`
+	Err     string    `json:"err,omitempty"`
+	Attrs   []Attr    `json:"attrs,omitempty"`
+	Shard   int       `json:"shard"`
+	Child   []*Span   `json:"children,omitempty"`
+}
+
+// Wall returns the span's wall-clock duration.
+func (s *Span) Wall() time.Duration { return s.End.Sub(s.Start) }
+
+// SetAttr appends an annotation.
+func (s *Span) SetAttr(key, value string) {
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// AddChild appends a child span and returns it.
+func (s *Span) AddChild(c *Span) *Span {
+	s.Child = append(s.Child, c)
+	return c
+}
+
+// Trace is one request's completed span tree.
+type Trace struct {
+	ID   uint64 `json:"id"`
+	Root *Span  `json:"root"`
+}
+
+// Tracer retains the last N completed traces in a ring buffer.
+// Push is lock-protected but runs once per completed request (not
+// per element or per stage), so it is far off the hot path; readers
+// get copies of the slice headers.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	n    int // traces stored (≤ len(ring))
+
+	ids atomic.Uint64
+}
+
+// NewTracer retains up to depth completed traces (depth ≤ 0 is
+// clamped to 1).
+func NewTracer(depth int) *Tracer {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &Tracer{ring: make([]*Trace, depth)}
+}
+
+// NextID allocates a trace id.
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ids.Add(1)
+}
+
+// Push records a completed trace, evicting the oldest when full.
+func (t *Tracer) Push(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Last returns the most recently completed trace, or false when none
+// has completed yet.
+func (t *Tracer) Last() (*Trace, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return nil, false
+	}
+	idx := (t.next - 1 + len(t.ring)) % len(t.ring)
+	return t.ring[idx], true
+}
+
+// Traces returns the retained traces, oldest first.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, t.n)
+	start := t.next - t.n
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[((start+i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// WriteJSON renders the retained traces (oldest first) as one
+// indented JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Traces())
+}
