@@ -288,6 +288,46 @@ func BenchmarkEngineWarmVsCold(b *testing.B) {
 	})
 }
 
+// --- Fused batch fast path vs. the per-element reference interpreter.
+// Both engines model identical cycles (enforced by the differential
+// tests); the benchmark measures host-side throughput of the compute
+// pipeline. elems/s is the headline metric; run with -benchmem to see
+// the steady-state allocation profile. ---
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	const n = 1 << 16
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = -6 + 12*float32(i)/float32(n)
+	}
+	spec := Config{Method: LLUT, Interpolated: true, SizeLog2: 12}
+
+	run := func(b *testing.B, cfg EngineConfig) {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		if _, _, err := eng.EvaluateBatch(Sigmoid, spec, xs); err != nil {
+			b.Fatal(err) // warm the table cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.EvaluateBatch(Sigmoid, spec, xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+	}
+
+	b.Run("fast", func(b *testing.B) {
+		run(b, EngineConfig{DPUs: 4, Shards: 1, MaxBatch: n})
+	})
+	b.Run("reference", func(b *testing.B) {
+		run(b, EngineConfig{DPUs: 4, Shards: 1, MaxBatch: n, Reference: true})
+	})
+}
+
 // --- §4.2.4: per-function microbenchmarks through the public API ---
 
 func BenchmarkPublicAPI(b *testing.B) {

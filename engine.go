@@ -37,6 +37,11 @@ type EngineConfig struct {
 	// class and per-core cycle counters accumulate into the telemetry
 	// registry as pim_* series (default off).
 	Profile bool
+	// Reference forces the per-element interpreted compute kernel
+	// instead of the fused batch fast path. Outputs and modeled cycles
+	// are bit-identical either way; only host wall time differs.
+	// Default off (fast path).
+	Reference bool
 }
 
 // RequestStats is the per-request cost report of Engine.EvaluateBatch:
@@ -82,6 +87,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Buffers:     cfg.Buffers,
 		TraceDepth:  cfg.TraceDepth,
 		Profile:     cfg.Profile,
+		Reference:   cfg.Reference,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transpimlib: %w", err)

@@ -223,6 +223,48 @@ func mulFix(ctx *pimsim.Ctx, a, b int64) int64 {
 	return MulFixHost(a, b)
 }
 
+// --- unmetered host twins of the Device entry points ---
+// These replay the device value paths exactly (RotateHost/VectorHost
+// are bit-identical to Rotate/Vector), for the batch-evaluation fast
+// path and tests.
+
+// SinCosHost mirrors Device.SinCos.
+func (t *Tables) SinCosHost(theta int64) (sin, cos int64) {
+	x, y, _ := t.RotateHost(t.InvGain, 0, theta)
+	return y, x
+}
+
+// SinhCoshHost mirrors Device.SinhCosh.
+func (t *Tables) SinhCoshHost(theta int64) (sinh, cosh int64) {
+	x, y, _ := t.RotateHost(t.InvGain, 0, theta)
+	return y, x
+}
+
+// ExpHost mirrors Device.Exp.
+func (t *Tables) ExpHost(theta int64) int64 {
+	sinh, cosh := t.SinhCoshHost(theta)
+	return sinh + cosh
+}
+
+// LnHost mirrors Device.Ln.
+func (t *Tables) LnHost(w int64) int64 {
+	_, _, z := t.VectorHost(w+One, w-One, 0)
+	return z << 1
+}
+
+// SqrtHost mirrors Device.Sqrt.
+func (t *Tables) SqrtHost(w int64) int64 {
+	quarter := One >> 2
+	x, _, _ := t.VectorHost(w+quarter, w-quarter, 0)
+	return MulFixHost(x, t.InvGain)
+}
+
+// AtanHost mirrors Device.Atan.
+func (t *Tables) AtanHost(w int64) int64 {
+	_, _, z := t.VectorHost(One, w, 0)
+	return z
+}
+
 // MulFixHost is the unmetered Q23.40 multiply used by host-side code
 // and tests.
 func MulFixHost(a, b int64) int64 {

@@ -21,6 +21,10 @@ type LUTAssist struct {
 	dpu      *pimsim.DPU
 	addr     int // base of packed (x, y, φ) int64 triples
 	tail     *Device
+
+	// Host-side copies of the head-table triples, for the unmetered
+	// SinCosHost mirror.
+	hx, hy, hphi []int64
 }
 
 // lutAssistEntryBytes is the footprint of one head-table entry:
@@ -69,11 +73,17 @@ func NewLUTAssist(dpu *pimsim.DPU, place Placement, lutBits, tailIters int) (*LU
 		return nil, err
 	}
 	invGain := 1 / tailTables.GainF
+	la.hx = make([]int64, entries)
+	la.hy = make([]int64, entries)
+	la.hphi = make([]int64, entries)
 	for i := 0; i < entries; i++ {
 		phi := int64(i) << shiftAmt
 		ang := ToFloat(phi)
-		mem.PutInt64(la.addr+lutAssistEntryBytes*i, FromFloat(math.Cos(ang)*invGain))
-		mem.PutInt64(la.addr+lutAssistEntryBytes*i+8, FromFloat(math.Sin(ang)*invGain))
+		la.hx[i] = FromFloat(math.Cos(ang) * invGain)
+		la.hy[i] = FromFloat(math.Sin(ang) * invGain)
+		la.hphi[i] = phi
+		mem.PutInt64(la.addr+lutAssistEntryBytes*i, la.hx[i])
+		mem.PutInt64(la.addr+lutAssistEntryBytes*i+8, la.hy[i])
 		mem.PutInt64(la.addr+lutAssistEntryBytes*i+16, phi)
 	}
 	return la, nil
@@ -113,5 +123,20 @@ func (la *LUTAssist) SinCos(ctx *pimsim.Ctx, theta int64) (sin, cos int64) {
 	}
 	z0 := ctx.I64Sub(theta, phi)
 	x, y, _ := la.tail.Rotate(ctx, x0, y0, z0)
+	return y, x
+}
+
+// SinCosHost is the unmetered host twin of SinCos, bit-identical in
+// value.
+func (la *LUTAssist) SinCosHost(theta int64) (sin, cos int64) {
+	idx := theta >> la.shiftAmt
+	if idx < 0 {
+		idx = 0
+	}
+	if int(idx) >= la.entries {
+		idx = int64(la.entries - 1)
+	}
+	x0, y0, phi := la.hx[idx], la.hy[idx], la.hphi[idx]
+	x, y, _ := la.tail.t.RotateHost(x0, y0, theta-phi)
 	return y, x
 }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+
+	"transpimlib/internal/cordic"
+	"transpimlib/internal/pimsim"
+	"transpimlib/internal/rangered"
+)
+
+// The batch-evaluation fast path replaces the per-op interpreted walk
+// through a kernel with (a) an unmetered host mirror that reproduces
+// the device's float32/fixed-point arithmetic bit-for-bit and (b) a
+// set of pre-recorded cost signatures, one per control-flow class of
+// the kernel. Every supported kernel's charge sequence depends only on
+// the input operand — which quadrant a trig argument folds into, the
+// exponent parity of a sqrt argument, the sign of a symmetric fixed-
+// point input, the L/D routing of a DL-LUT — never on loaded table
+// values, so a handful of straight-line traces covers the whole input
+// space exactly. EvalBatch classifies each element, evaluates it
+// through the mirror, and bulk-charges signature × count.
+
+// maxCostClasses bounds the control-flow classes of any one kernel:
+// the four trigonometric quadrants are the widest case (domain guards
+// replace, not extend, the inner classes they shadow — but composed
+// guard + parity reaches 3, and quadrants reach 4).
+const maxCostClasses = 4
+
+// opMirror is the host-side twin of an Operator's eval: a fused
+// evaluate-and-classify function plus one representative input per
+// cost class, used once at build time to record the signatures.
+type opMirror struct {
+	n    int // number of cost classes, ≤ maxCostClasses
+	eval func(x float32) (float32, int)
+	reps [maxCostClasses]float32
+	// many, when set on a single-class mirror, is a fused slice kernel
+	// (the table's MirrorMany) that skips the per-element closure
+	// dispatch and classification. Only consulted when n == 1.
+	many func(xs, ys []float32)
+}
+
+// mirror1 wraps a single-class (straight-line) mirror.
+func mirror1(f func(float32) float32, rep float32) *opMirror {
+	return &opMirror{
+		n:    1,
+		eval: func(x float32) (float32, int) { return f(x), 0 },
+		reps: [maxCostClasses]float32{rep},
+	}
+}
+
+// quadrantReps returns one representative angle per quadrant of
+// [0, 2π), the classes of the quadrant-folded trig kernels.
+func quadrantReps() [maxCostClasses]float32 {
+	return [maxCostClasses]float32{
+		0.7,
+		float32(0.7 + math.Pi/2),
+		float32(0.7 + math.Pi),
+		float32(0.7 + 3*math.Pi/2),
+	}
+}
+
+// fix64FromF32 mirrors Ctx.F32ToFix64 with cordic.FracBits.
+func fix64FromF32(f float32) int64 {
+	return int64(float64(f) * float64(uint64(1)<<cordic.FracBits))
+}
+
+// fix64ToF32 mirrors Ctx.Fix64ToF32 with cordic.FracBits.
+func fix64ToF32(v int64) float32 {
+	return float32(float64(v) / float64(uint64(1)<<cordic.FracBits))
+}
+
+// foldQuadrant64Host mirrors foldQuadrant64.
+func foldQuadrant64Host(theta int64) (int64, rangered.Quadrant) {
+	var q rangered.Quadrant
+	for q = 0; q < 3; q++ {
+		if theta < halfPi64 {
+			break
+		}
+		theta -= halfPi64
+	}
+	return theta, q
+}
+
+// sqrtParityMirror composes SplitSqrtHost → core → JoinSqrtHost with
+// the exponent-parity branch as the class split: even exponents skip
+// the fold, odd ones pay one extra ldexp.
+func sqrtParityMirror(core func(float32) float32) *opMirror {
+	return &opMirror{
+		n:    2,
+		reps: [maxCostClasses]float32{0.5, 1}, // frexp exponents 0 (even) and 1 (odd)
+		eval: func(x float32) (float32, int) {
+			m, h, odd := rangered.SplitSqrtHost(x)
+			v := rangered.JoinSqrtHost(core(m), h)
+			if odd {
+				return v, 1
+			}
+			return v, 0
+		},
+	}
+}
+
+// wrapLogGuard composes the Log domain-guard branch onto a mirror: one
+// extra class for non-positive (and NaN) inputs, which short-circuit
+// after the guard's compare.
+func wrapLogGuard(m *opMirror) *opMirror {
+	if m == nil {
+		return nil
+	}
+	inner, n := m.eval, m.n
+	w := &opMirror{n: n + 1, reps: m.reps}
+	w.reps[n] = -1
+	w.eval = func(x float32) (float32, int) {
+		if !(x > 0) { // FCmp(x, 0) <= 0, with NaN landing here too
+			if x == 0 {
+				return float32(math.Inf(-1)), n
+			}
+			return float32(math.NaN()), n
+		}
+		return inner(x)
+	}
+	return w
+}
+
+// wrapSqrtGuard composes the Sqrt domain-guard branch: negative inputs
+// (NaN result) and zero short-circuit with identical guard cost, so
+// they share one class.
+func wrapSqrtGuard(m *opMirror) *opMirror {
+	if m == nil {
+		return nil
+	}
+	inner, n := m.eval, m.n
+	w := &opMirror{n: n + 1, reps: m.reps}
+	w.reps[n] = -1
+	w.eval = func(x float32) (float32, int) {
+		if x < 0 {
+			return float32(math.NaN()), n
+		}
+		if x == 0 {
+			return 0, n
+		}
+		return inner(x)
+	}
+	return w
+}
+
+// recordSigs runs the interpreted eval once per cost class on a
+// throwaway recorder core and stores the resulting signatures. When a
+// representative input fails to classify as its own class (a kernel
+// whose control flow the mirror mispredicts), the fast path is
+// disabled rather than risk wrong accounting.
+func (o *Operator) recordSigs(model pimsim.CostModel) {
+	m := o.mirror
+	if m == nil {
+		return
+	}
+	if m.n < 1 || m.n > maxCostClasses {
+		o.mirror = nil
+		return
+	}
+	rec := pimsim.NewSigRecorder(model)
+	for c := 0; c < m.n; c++ {
+		rep := m.reps[c]
+		if _, got := m.eval(rep); got != c {
+			o.mirror = nil
+			return
+		}
+		rec.TakeSig() // discard anything charged so far
+		o.eval(rec, rep)
+		o.sigs[c] = rec.TakeSig()
+	}
+}
+
+// HasFastPath reports whether EvalBatch runs through the fused mirror
+// (true for every built operator except WideRange trig, which falls
+// back to the interpreted path).
+func (o *Operator) HasFastPath() bool { return o.mirror != nil }
+
+// DisableFastPath forces EvalBatch through the per-element interpreted
+// reference path — the escape hatch the differential tests and the
+// engine's Reference mode use.
+func (o *Operator) DisableFastPath() { o.mirror = nil }
+
+// EvalBatch evaluates fn over xs into ys (len(ys) must be ≥ len(xs)),
+// bit-identical in outputs and cycle accounting to calling Eval per
+// element. With a fast path it runs the unmetered mirror per element
+// and charges the per-class cost signatures in bulk; otherwise it
+// falls back to the interpreted loop.
+func (o *Operator) EvalBatch(ctx *pimsim.Ctx, xs, ys []float32) {
+	m := o.mirror
+	if m == nil {
+		for i, x := range xs {
+			ys[i] = o.eval(ctx, x)
+		}
+		return
+	}
+	ys = ys[:len(xs)]
+	if m.n == 1 && m.many != nil {
+		m.many(xs, ys)
+		ctx.ChargeSig(&o.sigs[0], uint64(len(xs)))
+		return
+	}
+	var counts [maxCostClasses]uint64
+	f := m.eval
+	for i, x := range xs {
+		v, c := f(x)
+		ys[i] = v
+		counts[c]++
+	}
+	for c := 0; c < m.n; c++ {
+		if counts[c] != 0 {
+			ctx.ChargeSig(&o.sigs[c], counts[c])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"transpimlib/internal/cordic"
 	"transpimlib/internal/fixed"
+	"transpimlib/internal/fpbits"
 	"transpimlib/internal/lut"
 	"transpimlib/internal/pimsim"
 	"transpimlib/internal/poly"
@@ -22,6 +23,13 @@ type Operator struct {
 	Par Params
 
 	eval func(*pimsim.Ctx, float32) float32
+
+	// mirror and sigs drive the batch-evaluation fast path (batch.go):
+	// an unmetered bit-exact host twin of eval plus one pre-recorded
+	// cost signature per control-flow class. mirror is nil when only
+	// the interpreted path is available.
+	mirror *opMirror
+	sigs   [maxCostClasses]pimsim.CostSig
 
 	tableBytes      int
 	buildSeconds    float64
@@ -87,6 +95,9 @@ func Build(fn Function, p Params, dpu *pimsim.DPU) (*Operator, error) {
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				return inner(ctx, rangered.To2Pi(ctx, x))
 			}
+			// To2Pi has a data-dependent guard-correction branch on top of
+			// the quadrant classes; keep the interpreted path.
+			o.mirror = nil
 		}
 	}
 	// Domain guards: logarithm and square root of non-positive inputs
@@ -105,6 +116,7 @@ func Build(fn Function, p Params, dpu *pimsim.DPU) (*Operator, error) {
 			}
 			return inner(ctx, x)
 		}
+		o.mirror = wrapLogGuard(o.mirror)
 	case Sqrt:
 		inner := o.eval
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
@@ -117,7 +129,9 @@ func Build(fn Function, p Params, dpu *pimsim.DPU) (*Operator, error) {
 			}
 			return inner(ctx, x)
 		}
+		o.mirror = wrapSqrtGuard(o.mirror)
 	}
+	o.recordSigs(dpu.Model())
 	o.buildSeconds = time.Since(start).Seconds()
 	// Table transfer to a single PIM core's DRAM bank proceeds at the
 	// serial (single-bank) bandwidth.
@@ -160,16 +174,35 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 			c := ctx.Fix64ToF32(c64, cordic.FracBits)
 			return rangered.ApplySinQuadrant(ctx, s, c, q), rangered.ApplyCosQuadrant(ctx, s, c, q)
 		}
+		sincosM := func(x float32) (float32, float32, rangered.Quadrant) {
+			theta, q := foldQuadrant64Host(fix64FromF32(x))
+			s64, c64 := tb.SinCosHost(theta)
+			s := fix64ToF32(s64)
+			c := fix64ToF32(c64)
+			return rangered.ApplySinQuadrantHost(s, c, q), rangered.ApplyCosQuadrantHost(s, c, q), q
+		}
 		switch o.Fn {
 		case Sin:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 { s, _ := sincos(ctx, x); return s }
+			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+				s, _, q := sincosM(x)
+				return s, int(q)
+			}}
 		case Cos:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 { _, c := sincos(ctx, x); return c }
+			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+				_, c, q := sincosM(x)
+				return c, int(q)
+			}}
 		default: // Tan: sine, cosine and one float division (§4.2.4)
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				s, c := sincos(ctx, x)
 				return ctx.FDiv(s, c)
 			}
+			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+				s, c, q := sincosM(x)
+				return s / c, int(q)
+			}}
 		}
 		return nil
 
@@ -186,6 +219,9 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 			z := dev.Atan(ctx, ctx.F32ToFix64(x, cordic.FracBits))
 			return ctx.Fix64ToF32(z, cordic.FracBits)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			return fix64ToF32(tb.AtanHost(fix64FromF32(x)))
+		}, 0.7)
 		return nil
 
 	case Sinh, Cosh, Tanh, Exp, Log, Sqrt, Sigmoid:
@@ -200,45 +236,75 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 			er := ctx.Fix64ToF32(dev.Exp(ctx, ctx.F32ToFix64(r, cordic.FracBits)), cordic.FracBits)
 			return rangered.JoinExp(ctx, er, k)
 		}
+		expCoreM := func(x float32) float32 {
+			r, k := rangered.SplitExpHost(x)
+			er := fix64ToF32(tb.ExpHost(fix64FromF32(r)))
+			return rangered.JoinExpHost(er, k)
+		}
 		switch o.Fn {
 		case Exp:
 			o.eval = expCore
+			o.mirror = mirror1(expCoreM, 0.7)
 		case Sinh:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				ex := expCore(ctx, x)
 				emx := ctx.FDiv(1, ex)
 				return ctx.FMul(0.5, ctx.FSub(ex, emx))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				ex := expCoreM(x)
+				return 0.5 * (ex - 1/ex)
+			}, 0.5)
 		case Cosh:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				ex := expCore(ctx, x)
 				emx := ctx.FDiv(1, ex)
 				return ctx.FMul(0.5, ctx.FAdd(ex, emx))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				ex := expCoreM(x)
+				return 0.5 * (ex + 1/ex)
+			}, 0.5)
 		case Tanh:
 			// tanh x = 1 − 2/(e^{2x}+1), valid over the whole line.
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				e2 := expCore(ctx, ctx.FAdd(x, x))
 				return ctx.FSub(1, ctx.FDiv(2, ctx.FAdd(e2, 1)))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				e2 := expCoreM(x + x)
+				return 1 - 2/(e2+1)
+			}, 0.5)
 		case Sigmoid:
 			// S(x) = 1/(1+e^{−x}).
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				e := expCore(ctx, ctx.FNeg(x))
 				return ctx.FDiv(1, ctx.FAdd(1, e))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				e := expCoreM(-x)
+				return 1 / (1 + e)
+			}, 0.5)
 		case Log:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				m, e := rangered.SplitLog(ctx, x)
 				lm := ctx.Fix64ToF32(dev.Ln(ctx, ctx.F32ToFix64(m, cordic.FracBits)), cordic.FracBits)
 				return rangered.JoinLog(ctx, lm, e)
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				m, e := rangered.SplitLogHost(x)
+				lm := fix64ToF32(tb.LnHost(fix64FromF32(m)))
+				return rangered.JoinLogHost(lm, e)
+			}, 0.7)
 		default: // Sqrt
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				m, h := rangered.SplitSqrt(ctx, x)
 				sm := ctx.Fix64ToF32(dev.Sqrt(ctx, ctx.F32ToFix64(m, cordic.FracBits)), cordic.FracBits)
 				return rangered.JoinSqrt(ctx, sm, h)
 			}
+			o.mirror = sqrtParityMirror(func(m float32) float32 {
+				return fix64ToF32(tb.SqrtHost(fix64FromF32(m)))
+			})
 		}
 		return nil
 	}
@@ -259,16 +325,35 @@ func (o *Operator) buildCORDICLUT(dpu *pimsim.DPU) error {
 		c := ctx.Fix64ToF32(c64, cordic.FracBits)
 		return rangered.ApplySinQuadrant(ctx, s, c, q), rangered.ApplyCosQuadrant(ctx, s, c, q)
 	}
+	sincosM := func(x float32) (float32, float32, rangered.Quadrant) {
+		theta, q := foldQuadrant64Host(fix64FromF32(x))
+		s64, c64 := la.SinCosHost(theta)
+		s := fix64ToF32(s64)
+		c := fix64ToF32(c64)
+		return rangered.ApplySinQuadrantHost(s, c, q), rangered.ApplyCosQuadrantHost(s, c, q), q
+	}
 	switch o.Fn {
 	case Sin:
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 { s, _ := sincos(ctx, x); return s }
+		o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+			s, _, q := sincosM(x)
+			return s, int(q)
+		}}
 	case Cos:
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 { _, c := sincos(ctx, x); return c }
+		o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+			_, c, q := sincosM(x)
+			return c, int(q)
+		}}
 	case Tan:
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 			s, c := sincos(ctx, x)
 			return ctx.FDiv(s, c)
 		}
+		o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+			s, c, q := sincosM(x)
+			return s / c, int(q)
+		}}
 	default:
 		return fmt.Errorf("core: cordic+lut cannot compute %v", o.Fn)
 	}
@@ -278,30 +363,31 @@ func (o *Operator) buildCORDICLUT(dpu *pimsim.DPU) error {
 // ---------- float LUTs (M-LUT, L-LUT) ----------
 
 // floatLUTFor builds one table of ref over [lo, hi] for the configured
-// method and returns its device evaluator and byte size.
-func (o *Operator) floatLUTFor(dpu *pimsim.DPU, ref func(float64) float64, lo, hi float64) (func(*pimsim.Ctx, float32) float32, int, error) {
+// method and returns its device evaluator, its unmetered bit-exact
+// mirror (scalar and fused-slice forms), and byte size.
+func (o *Operator) floatLUTFor(dpu *pimsim.DPU, ref func(float64) float64, lo, hi float64) (func(*pimsim.Ctx, float32) float32, func(float32) float32, func(xs, ys []float32), int, error) {
 	if o.Par.Method == MLUT {
 		entries := 1 << o.Par.SizeLog2
 		t, err := lut.BuildMLUT(ref, lo, hi, entries, o.Par.Interp)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		dev, err := t.Load(dpu, o.Par.Placement)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, nil, 0, err
 		}
-		return dev.Eval, t.Bytes(), nil
+		return dev.Eval, dev.Mirror, dev.MirrorMany, t.Bytes(), nil
 	}
 	n := densityExp(lo, hi, o.Par.SizeLog2)
 	t, err := lut.BuildLLUT(ref, lo, hi, n, o.Par.Interp)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	dev, err := t.Load(dpu, o.Par.Placement)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, nil, 0, err
 	}
-	return dev.Eval, t.Bytes(), nil
+	return dev.Eval, dev.Mirror, dev.MirrorMany, t.Bytes(), nil
 }
 
 // densityExp picks the power-of-two density exponent so that about
@@ -314,11 +400,11 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 	lo, hi := o.Fn.CoreRange()
 	switch o.Fn {
 	case Tan:
-		sinEval, sinBytes, err := o.floatLUTFor(dpu, math.Sin, lo, hi)
+		sinEval, sinM, _, sinBytes, err := o.floatLUTFor(dpu, math.Sin, lo, hi)
 		if err != nil {
 			return err
 		}
-		cosEval, cosBytes, err := o.floatLUTFor(dpu, math.Cos, lo, hi)
+		cosEval, cosM, _, cosBytes, err := o.floatLUTFor(dpu, math.Cos, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -326,9 +412,12 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 			return ctx.FDiv(sinEval(ctx, x), cosEval(ctx, x))
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			return sinM(x) / cosM(x)
+		}, float32((lo+hi)/2))
 		return nil
 	case Exp:
-		eval, bytes, err := o.floatLUTFor(dpu, math.Exp, lo, hi)
+		eval, evalM, _, bytes, err := o.floatLUTFor(dpu, math.Exp, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -337,9 +426,13 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 			r, k := rangered.SplitExp(ctx, x)
 			return rangered.JoinExp(ctx, eval(ctx, r), k)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			r, k := rangered.SplitExpHost(x)
+			return rangered.JoinExpHost(evalM(r), k)
+		}, 0.7)
 		return nil
 	case Log:
-		eval, bytes, err := o.floatLUTFor(dpu, math.Log, lo, hi)
+		eval, evalM, _, bytes, err := o.floatLUTFor(dpu, math.Log, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -348,9 +441,13 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 			m, e := rangered.SplitLog(ctx, x)
 			return rangered.JoinLog(ctx, eval(ctx, m), e)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			m, e := rangered.SplitLogHost(x)
+			return rangered.JoinLogHost(evalM(m), e)
+		}, 0.7)
 		return nil
 	case Sqrt:
-		eval, bytes, err := o.floatLUTFor(dpu, math.Sqrt, lo, hi)
+		eval, evalM, _, bytes, err := o.floatLUTFor(dpu, math.Sqrt, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -359,14 +456,17 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 			m, h := rangered.SplitSqrt(ctx, x)
 			return rangered.JoinSqrt(ctx, eval(ctx, m), h)
 		}
+		o.mirror = sqrtParityMirror(evalM)
 		return nil
 	default: // direct-domain functions
-		eval, bytes, err := o.floatLUTFor(dpu, o.Fn.Ref(), lo, hi)
+		eval, evalM, evalMany, bytes, err := o.floatLUTFor(dpu, o.Fn.Ref(), lo, hi)
 		if err != nil {
 			return err
 		}
 		o.tableBytes = bytes
 		o.eval = eval
+		o.mirror = mirror1(evalM, float32((lo+hi)/2))
+		o.mirror.many = evalMany
 		return nil
 	}
 }
@@ -428,6 +528,27 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			}
 			return ctx.QToF(v)
 		}
+		o.mirror = &opMirror{n: 2, reps: [maxCostClasses]float32{1, -1}, eval: func(x float32) (float32, int) {
+			xq := fixed.FromFloat32(x)
+			neg := int32(xq) < 0
+			ax := xq
+			if neg {
+				ax = fixed.Q3_28(0).Sub(xq)
+			}
+			v := dev.Mirror(ax)
+			if neg {
+				switch fn {
+				case GELU:
+					v = v.Sub(ax)
+				case Sigmoid:
+					v = fixed.One.Sub(v)
+				default:
+					v = fixed.Q3_28(0).Sub(v)
+				}
+				return v.Float32(), 1
+			}
+			return v.Float32(), 0
+		}}
 		return nil
 	case Tan:
 		sinDev, sinBytes, err := o.fixedLUTFor(dpu, math.Sin, lo, hi)
@@ -445,6 +566,12 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			c := ctx.QToF(cosDev.Eval(ctx, xq))
 			return ctx.FDiv(s, c)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			xq := fixed.FromFloat32(x)
+			s := sinDev.Mirror(xq).Float32()
+			c := cosDev.Mirror(xq).Float32()
+			return s / c
+		}, float32((lo+hi)/2))
 		return nil
 	case Exp:
 		dev, bytes, err := o.fixedLUTFor(dpu, math.Exp, lo, hi)
@@ -456,6 +583,10 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			r, k := rangered.SplitExp(ctx, x)
 			return rangered.JoinExp(ctx, dev.EvalFloat(ctx, r), k)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			r, k := rangered.SplitExpHost(x)
+			return rangered.JoinExpHost(dev.MirrorFloat(r), k)
+		}, 0.7)
 		return nil
 	case Log:
 		dev, bytes, err := o.fixedLUTFor(dpu, math.Log, lo, hi)
@@ -467,6 +598,10 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			m, e := rangered.SplitLog(ctx, x)
 			return rangered.JoinLog(ctx, dev.EvalFloat(ctx, m), e)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			m, e := rangered.SplitLogHost(x)
+			return rangered.JoinLogHost(dev.MirrorFloat(m), e)
+		}, 0.7)
 		return nil
 	case Sqrt:
 		dev, bytes, err := o.fixedLUTFor(dpu, math.Sqrt, lo, hi)
@@ -478,6 +613,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			m, h := rangered.SplitSqrt(ctx, x)
 			return rangered.JoinSqrt(ctx, dev.EvalFloat(ctx, m), h)
 		}
+		o.mirror = sqrtParityMirror(dev.MirrorFloat)
 		return nil
 	default:
 		dev, bytes, err := o.fixedLUTFor(dpu, o.Fn.Ref(), lo, hi)
@@ -486,6 +622,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 		}
 		o.tableBytes = bytes
 		o.eval = dev.EvalFloat
+		o.mirror = mirror1(dev.MirrorFloat, float32((lo+hi)/2))
 		return nil
 	}
 }
@@ -507,6 +644,7 @@ func (o *Operator) buildDLUT(dpu *pimsim.DPU) error {
 		}
 		o.tableBytes = t.Bytes()
 		o.eval = dev.Eval
+		o.mirror = mirror1(dev.Mirror, 1)
 		return nil
 	}
 	mant := clampInt(o.Par.SizeLog2-4, 1, 16)
@@ -520,6 +658,15 @@ func (o *Operator) buildDLUT(dpu *pimsim.DPU) error {
 	}
 	o.tableBytes = t.Bytes()
 	o.eval = dev.Eval
+	// The L-LUT serves |x| below the split point (2⁻⁴ here), the D-LUT
+	// the rest — two distinct charge traces.
+	o.mirror = &opMirror{n: 2, reps: [maxCostClasses]float32{0.01, 1.5}, eval: func(x float32) (float32, int) {
+		v, l := dev.Mirror(x)
+		if l {
+			return v, 0
+		}
+		return v, 1
+	}}
 	return nil
 }
 
@@ -578,15 +725,54 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			}
 			return v
 		}
+		sinAtH := func(x float32) (float32, rangered.Quadrant) {
+			theta, q := rangered.FoldQuadrantHost(x)
+			var v float32
+			if q&1 == 0 {
+				v = sinP.EvalHost(theta)
+			} else {
+				v = cosP.EvalHost(theta)
+			}
+			if q >= 2 {
+				v = -v
+			}
+			return v, q
+		}
+		cosAtH := func(x float32) (float32, rangered.Quadrant) {
+			theta, q := rangered.FoldQuadrantHost(x)
+			var v float32
+			if q&1 == 0 {
+				v = cosP.EvalHost(theta)
+			} else {
+				v = sinP.EvalHost(theta)
+			}
+			if q == 1 || q == 2 {
+				v = -v
+			}
+			return v, q
+		}
 		switch o.Fn {
 		case Sin:
 			o.eval = sinAt
+			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+				v, q := sinAtH(x)
+				return v, int(q)
+			}}
 		case Cos:
 			o.eval = cosAt
+			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+				v, q := cosAtH(x)
+				return v, int(q)
+			}}
 		default:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				return ctx.FDiv(sinAt(ctx, x), cosAt(ctx, x))
 			}
+			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
+				s, q := sinAtH(x)
+				c, _ := cosAtH(x)
+				return s / c, int(q)
+			}}
 		}
 		return nil
 
@@ -614,6 +800,23 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			}
 			return v
 		}
+		// Classes: (|x| ≤ 1 vs reciprocal-reduced) × (sign negation).
+		o.mirror = &opMirror{n: 4, reps: [maxCostClasses]float32{0.5, 2, -0.5, -2}, eval: func(x float32) (float32, int) {
+			ax := fpbits.FromBits(fpbits.Bits(x) &^ fpbits.SignMask)
+			var v float32
+			cls := 0
+			if !(ax > 1) { // FCmp(ax, 1) <= 0, NaN included
+				v = p.EvalHost(ax)
+			} else {
+				v = rangered.HalfPi - p.EvalHost(1/ax)
+				cls = 1
+			}
+			if x < 0 {
+				v = -v
+				cls += 2
+			}
+			return v, cls
+		}}
 		return nil
 
 	case Exp, Sinh, Cosh, Tanh, Sigmoid:
@@ -627,29 +830,50 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			r, k := rangered.SplitExp(ctx, x)
 			return rangered.JoinExp(ctx, expP.Eval(ctx, r), k)
 		}
+		expCoreM := func(x float32) float32 {
+			r, k := rangered.SplitExpHost(x)
+			return rangered.JoinExpHost(expP.EvalHost(r), k)
+		}
 		switch o.Fn {
 		case Exp:
 			o.eval = expCore
+			o.mirror = mirror1(expCoreM, 0.5)
 		case Sigmoid:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				e := expCore(ctx, ctx.FNeg(x))
 				return ctx.FDiv(1, ctx.FAdd(1, e))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				e := expCoreM(-x)
+				return 1 / (1 + e)
+			}, 0.5)
 		case Sinh:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				ex := expCore(ctx, x)
 				return ctx.FMul(0.5, ctx.FSub(ex, ctx.FDiv(1, ex)))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				ex := expCoreM(x)
+				return 0.5 * (ex - 1/ex)
+			}, 0.5)
 		case Cosh:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				ex := expCore(ctx, x)
 				return ctx.FMul(0.5, ctx.FAdd(ex, ctx.FDiv(1, ex)))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				ex := expCoreM(x)
+				return 0.5 * (ex + 1/ex)
+			}, 0.5)
 		default: // Tanh
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				e2 := expCore(ctx, ctx.FAdd(x, x))
 				return ctx.FSub(1, ctx.FDiv(2, ctx.FAdd(e2, 1)))
 			}
+			o.mirror = mirror1(func(x float32) float32 {
+				e2 := expCoreM(x + x)
+				return 1 - 2/(e2+1)
+			}, 0.5)
 		}
 		return nil
 
@@ -664,6 +888,10 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			m, e := rangered.SplitLog(ctx, x)
 			return rangered.JoinLog(ctx, p.Eval(ctx, m), e)
 		}
+		o.mirror = mirror1(func(x float32) float32 {
+			m, e := rangered.SplitLogHost(x)
+			return rangered.JoinLogHost(p.EvalHost(m), e)
+		}, 0.7)
 		return nil
 
 	case Sqrt:
@@ -677,6 +905,7 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			m, h := rangered.SplitSqrt(ctx, x)
 			return rangered.JoinSqrt(ctx, p.Eval(ctx, m), h)
 		}
+		o.mirror = sqrtParityMirror(p.EvalHost)
 		return nil
 
 	case GELU:
@@ -687,6 +916,7 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 		}
 		o.tableBytes = p.Bytes()
 		o.eval = p.Eval
+		o.mirror = mirror1(p.EvalHost, float32((lo+hi)/2))
 		return nil
 	}
 	return fmt.Errorf("core: poly cannot compute %v", o.Fn)

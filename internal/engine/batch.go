@@ -96,20 +96,44 @@ type batch struct {
 	tr *batchTrace
 }
 
+// batchPool recycles drained batches (and their segment slices) so the
+// steady-state pipeline allocates nothing per batch. Traced batches
+// are retained by request span trees and bypass the pool.
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// newBatch takes a recycled batch from the pool, reset for spec but
+// keeping its segment slice capacity.
+func newBatch(spec Spec) *batch {
+	b := batchPool.Get().(*batch)
+	segs := b.segs[:0]
+	*b = batch{spec: spec, segs: segs}
+	return b
+}
+
+// releaseBatch returns a fully drained batch to the pool. Batches with
+// trace stamps are kept alive by their requests' traces and must not
+// be recycled.
+func releaseBatch(b *batch) {
+	if b.tr != nil {
+		return
+	}
+	batchPool.Put(b)
+}
+
 // planBatches packs same-spec requests into batches of at most
 // maxBatch elements, splitting oversized requests across several
 // batches, and records each request's outstanding segment count. Pure
 // packing logic, separated from the batcher goroutine for testing.
 func planBatches(spec Spec, reqs []*request, maxBatch int) []*batch {
 	var out []*batch
-	b := &batch{spec: spec}
+	b := newBatch(spec)
 	for _, r := range reqs {
 		segments := 0
 		for off := 0; off < len(r.inputs); {
 			space := maxBatch - b.n
 			if space == 0 {
 				out = append(out, b)
-				b = &batch{spec: spec}
+				b = newBatch(spec)
 				space = maxBatch
 			}
 			n := len(r.inputs) - off
@@ -127,6 +151,8 @@ func planBatches(spec Spec, reqs []*request, maxBatch int) []*batch {
 	}
 	if b.n > 0 {
 		out = append(out, b)
+	} else {
+		releaseBatch(b)
 	}
 	return out
 }

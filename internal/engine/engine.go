@@ -68,6 +68,12 @@ type Config struct {
 	// the telemetry registry (pim_* series). Off by default; when off,
 	// the simulator pays one atomic nil-check per launch.
 	Profile bool
+	// Reference forces the compute stage through the per-element
+	// interpreted kernel instead of the fused batch fast path — the
+	// escape hatch for differential debugging. Cycle accounting and
+	// outputs are bit-identical either way (the contract the
+	// differential tests enforce); only host-side wall time differs.
+	Reference bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +115,20 @@ type shard struct {
 	inAddr  [][]int
 	outAddr [][]int
 
+	// inBuf/outBuf are [slot] flat host staging buffers in core-major
+	// order (core k owns [k·perDPU, (k+1)·perDPU)), sized
+	// capPerDPU·cores: segments pack into them with contiguous copies
+	// and each core's chunk moves to/from MRAM in one typed bulk
+	// access. A slot's staging is owned by the batch holding the slot.
+	inBuf  [][]float32
+	outBuf [][]float32
+	// ys is per-local-core kernel scratch for the batch fast path's
+	// outputs; safe because a shard computes one batch at a time.
+	ys [][]float32
+	// issue0/dma0 are the compute stage's per-core cycle baselines,
+	// persistent so steady-state batches allocate nothing.
+	issue0, dma0 []uint64
+
 	slots chan int    // free buffer slots (the double-buffer pool)
 	mid   chan *batch // transfer-in → compute
 	out   chan *batch // compute → transfer-out
@@ -137,6 +157,11 @@ type Engine struct {
 	tel    *telemetry.Telemetry // registry always present; Tracer nil unless TraceDepth > 0
 	met    *metrics
 	tracer *telemetry.Tracer // alias of tel.Tracer, nil when tracing is off
+
+	// streamSig is the per-element streaming overhead of the kernel
+	// loop (WRAM load + store + loop control), recorded once at
+	// construction and bulk-charged by the batch fast path.
+	streamSig pimsim.CostSig
 }
 
 // New builds and starts an engine: the PIM system, the per-shard I/O
@@ -163,6 +188,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Profile {
 		e.sys.SetLaunchObserver(newKernelProfiler(reg, cfg.DPUs).observe)
 	}
+	// Record the per-element streaming overhead signature on a
+	// throwaway core: one WRAM load, one WRAM store, and the loop
+	// counter + branch the interpreted kernel charges per element.
+	rec := pimsim.NewSigRecorder(cfg.Cost)
+	rec.TakeSig()
+	v := rec.LoadStreamedF32(rec.DPU().MRAM, 0)
+	rec.StoreStreamedF32(rec.DPU().MRAM, 0, v)
+	rec.Charge(2)
+	e.streamSig = rec.TakeSig()
+
 	perShard := cfg.DPUs / cfg.Shards
 	capPerDPU := (cfg.MaxBatch + perShard - 1) / perShard
 	zero := make([]byte, capPerDPU*4)
@@ -173,17 +208,24 @@ func New(cfg Config) (*Engine, error) {
 			slots:     make(chan int, cfg.Buffers),
 			mid:       make(chan *batch, 1),
 			out:       make(chan *batch, 1),
+			issue0:    make([]uint64, perShard),
+			dma0:      make([]uint64, perShard),
 		}
 		for k := 0; k < perShard; k++ {
 			id := sID*perShard + k
 			s.ids = append(s.ids, id)
 			s.dpus = append(s.dpus, e.sys.DPU(id))
+			s.ys = append(s.ys, make([]float32, capPerDPU))
 		}
 		s.inAddr = make([][]int, cfg.Buffers)
 		s.outAddr = make([][]int, cfg.Buffers)
+		s.inBuf = make([][]float32, cfg.Buffers)
+		s.outBuf = make([][]float32, cfg.Buffers)
 		for slot := 0; slot < cfg.Buffers; slot++ {
 			s.inAddr[slot] = make([]int, perShard)
 			s.outAddr[slot] = make([]int, perShard)
+			s.inBuf[slot] = make([]float32, capPerDPU*perShard)
+			s.outBuf[slot] = make([]float32, capPerDPU*perShard)
 			for k, d := range s.dpus {
 				s.inAddr[slot][k] = d.MRAM.MustAlloc(capPerDPU * 4)
 				s.outAddr[slot][k] = d.MRAM.MustAlloc(capPerDPU * 4)
@@ -350,10 +392,11 @@ func (e *Engine) batcher() {
 
 // stageTransferIn is a shard's first pipeline stage: claim a buffer
 // slot (blocking until the drain stage recycles one — the
-// double-buffer backpressure), scatter the batch into equal padded
-// per-core chunks, and charge the rank-parallel host→PIM transfer.
-// It overlaps with the compute stage working on the previous batch in
-// another slot.
+// double-buffer backpressure), pack the batch's segments into the
+// slot's flat staging buffer with contiguous copies, push each core's
+// chunk to MRAM in one typed bulk write, and charge the rank-parallel
+// host→PIM transfer. It overlaps with the compute stage working on the
+// previous batch in another slot.
 func (e *Engine) stageTransferIn(s *shard) {
 	defer e.wg.Done()
 	defer close(s.mid)
@@ -366,14 +409,23 @@ func (e *Engine) stageTransferIn(s *shard) {
 		per, padded := shardPlan(b.n, len(s.dpus))
 		b.perDPU = per
 
-		s.memMu.Lock()
+		flat := s.inBuf[b.slot]
 		idx := 0
 		for _, sg := range b.segs {
-			for j := 0; j < sg.n; j++ {
-				d, pos := idx/per, idx%per
-				s.dpus[d].MRAM.PutFloat32(s.inAddr[b.slot][d]+4*pos, sg.req.inputs[sg.off+j])
-				idx++
+			copy(flat[idx:idx+sg.n], sg.req.inputs[sg.off:sg.off+sg.n])
+			idx += sg.n
+		}
+		s.memMu.Lock()
+		for d := range s.dpus {
+			lo := d * per
+			if lo >= b.n {
+				break
 			}
+			hi := lo + per
+			if hi > b.n {
+				hi = b.n
+			}
+			s.dpus[d].MRAM.WriteF32s(s.inAddr[b.slot][d], flat[lo:hi])
 		}
 		s.memMu.Unlock()
 
@@ -411,11 +463,9 @@ func (e *Engine) stageCompute(s *shard) {
 		if b.tr != nil {
 			b.tr.kernStart = time.Now()
 		}
-		issue0 := make([]uint64, len(s.dpus))
-		dma0 := make([]uint64, len(s.dpus))
 		for i, d := range s.dpus {
-			issue0[i] = d.IssueCycles()
-			dma0[i] = d.DMACycles()
+			s.issue0[i] = d.IssueCycles()
+			s.dma0[i] = d.DMACycles()
 		}
 		per := b.perDPU
 		base := s.ids[0]
@@ -428,23 +478,12 @@ func (e *Engine) stageCompute(s *shard) {
 			if count <= 0 {
 				return nil
 			}
-			op := ops[local]
-			m := ctx.DPU().MRAM
-			in, out := s.inAddr[b.slot][local], s.outAddr[b.slot][local]
-			ctx.Charge(4)
-			ctx.ChargeDMA(count * 4)
-			for j := 0; j < count; j++ {
-				x := ctx.LoadStreamedF32(m, in+4*j)
-				y := op.Eval(ctx, x)
-				ctx.StoreStreamedF32(m, out+4*j, y)
-				ctx.Charge(2)
-			}
-			ctx.ChargeDMA(count * 4)
+			e.computeCore(ctx, s, b, ops[local], local, count)
 			return nil
 		})
 		var mx uint64
 		for i, d := range s.dpus {
-			c := pimsim.ClosedFormCycles(d.IssueCycles()-issue0[i], d.DMACycles()-dma0[i], d.Tasklets())
+			c := pimsim.ClosedFormCycles(d.IssueCycles()-s.issue0[i], d.DMACycles()-s.dma0[i], d.Tasklets())
 			if c > mx {
 				mx = c
 			}
@@ -458,20 +497,61 @@ func (e *Engine) stageCompute(s *shard) {
 	}
 }
 
-// gatherOutputs reads a drained batch's results back into its
-// requests' output slices.
-func (s *shard) gatherOutputs(b *batch) {
-	s.memMu.Lock()
-	idx := 0
-	per := b.perDPU
-	for _, sg := range b.segs {
-		for j := 0; j < sg.n; j++ {
-			d, pos := idx/per, idx%per
-			sg.req.outputs[sg.off+j] = s.dpus[d].MRAM.Float32(s.outAddr[b.slot][d] + 4*pos)
-			idx++
+// computeCore runs one core's share of a batch: the streamed kernel of
+// Fig. 3(a) — input DMA, per-element evaluation, output DMA. With the
+// operator's batch fast path it evaluates the staged inputs through
+// the fused mirror, bulk-charges the per-element streaming overhead,
+// and stores the results with one typed bulk write; accounting is
+// bit-identical to the per-element interpreted loop (Config.Reference
+// forces the latter). Allocation-free in steady state.
+func (e *Engine) computeCore(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Operator, local, count int) {
+	m := ctx.DPU().MRAM
+	in, out := s.inAddr[b.slot][local], s.outAddr[b.slot][local]
+	ctx.Charge(4)
+	ctx.ChargeDMA(count * 4)
+	if !e.cfg.Reference && op.HasFastPath() {
+		lo := local * b.perDPU
+		xs := s.inBuf[b.slot][lo : lo+count]
+		ys := s.ys[local][:count]
+		op.EvalBatch(ctx, xs, ys)
+		ctx.ChargeSig(&e.streamSig, uint64(count))
+		m.WriteF32s(out, ys)
+	} else {
+		for j := 0; j < count; j++ {
+			x := ctx.LoadStreamedF32(m, in+4*j)
+			y := op.Eval(ctx, x)
+			ctx.StoreStreamedF32(m, out+4*j, y)
+			ctx.Charge(2)
 		}
 	}
+	ctx.ChargeDMA(count * 4)
+}
+
+// gatherOutputs reads a drained batch's results back into its
+// requests' output slices: one typed bulk read per core into the
+// slot's flat staging buffer, then contiguous copies out to the
+// segments.
+func (s *shard) gatherOutputs(b *batch) {
+	per := b.perDPU
+	flat := s.outBuf[b.slot]
+	s.memMu.Lock()
+	for d := range s.dpus {
+		lo := d * per
+		if lo >= b.n {
+			break
+		}
+		hi := lo + per
+		if hi > b.n {
+			hi = b.n
+		}
+		s.dpus[d].MRAM.ReadF32s(s.outAddr[b.slot][d], flat[lo:hi])
+	}
 	s.memMu.Unlock()
+	idx := 0
+	for _, sg := range b.segs {
+		copy(sg.req.outputs[sg.off:sg.off+sg.n], flat[idx:idx+sg.n])
+		idx += sg.n
+	}
 }
 
 // stageTransferOut is a shard's third stage: gather results, charge
@@ -501,6 +581,7 @@ func (e *Engine) stageTransferOut(s *shard) {
 				e.finishRequest(sg.req)
 			}
 		}
+		releaseBatch(b)
 	}
 }
 

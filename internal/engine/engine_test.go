@@ -333,8 +333,11 @@ func TestShardPlan(t *testing.T) {
 	cases := []struct{ n, k, per, bytes int }{
 		{100, 4, 25, 400},
 		{101, 4, 26, 416}, // padded to equal chunks → parallel transfer
-		{1, 8, 1, 32},
+		{1, 8, 1, 32},     // n == 1: every bank still receives one padded element
 		{8, 8, 1, 32},
+		{3, 8, 1, 32},  // n < cores: padding fills the idle banks
+		{9, 8, 2, 64},  // n % cores != 0: one extra element per chunk
+		{63, 8, 8, 256},
 	}
 	for _, c := range cases {
 		per, bytes := shardPlan(c.n, c.k)

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/stats"
+)
+
+// TestFastPathMatchesReference runs identical request streams through
+// a fast-path engine and a Reference engine and demands bit-identical
+// outputs and identical modeled cycle accounting — the engine-level
+// face of the operator differential tests.
+func TestFastPathMatchesReference(t *testing.T) {
+	specs := []struct {
+		fn  core.Function
+		par core.Params
+		lo  float64
+		hi  float64
+	}{
+		{core.Sigmoid, core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12}, -7.9, 7.9},
+		{core.Sin, core.Params{Method: core.CORDIC}, 0, 2 * math.Pi},
+		{core.Exp, core.Params{Method: core.MLUT, Interp: true, SizeLog2: 10}, -10, 10},
+		{core.Tanh, core.Params{Method: core.Poly}, -7.9, 7.9},
+	}
+	cfg := Config{DPUs: 4, Shards: 1, MaxBatch: 256}
+	fast, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	refCfg := cfg
+	refCfg.Reference = true
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for _, sp := range specs {
+		xs := stats.RandomInputs(sp.lo, sp.hi, 300, 11)
+		fOut, fSt, err := fast.EvaluateBatch(sp.fn, sp.par, xs)
+		if err != nil {
+			t.Fatalf("%v/%v fast: %v", sp.fn, sp.par.Method, err)
+		}
+		rOut, rSt, err := ref.EvaluateBatch(sp.fn, sp.par, xs)
+		if err != nil {
+			t.Fatalf("%v/%v reference: %v", sp.fn, sp.par.Method, err)
+		}
+		for i := range xs {
+			if math.Float32bits(fOut[i]) != math.Float32bits(rOut[i]) {
+				t.Fatalf("%v/%v output %d: fast %v != reference %v (x=%v)",
+					sp.fn, sp.par.Method, i, fOut[i], rOut[i], xs[i])
+			}
+		}
+		if fSt.KernelCycles != rSt.KernelCycles {
+			t.Fatalf("%v/%v kernel cycles: fast %d != reference %d",
+				sp.fn, sp.par.Method, fSt.KernelCycles, rSt.KernelCycles)
+		}
+	}
+
+	fs, rs := fast.Stats(), ref.Stats()
+	if fs.KernelCycles != rs.KernelCycles {
+		t.Fatalf("engine-wide kernel cycles: fast %d != reference %d", fs.KernelCycles, rs.KernelCycles)
+	}
+}
+
+// TestComputeCoreZeroAlloc pins the zero-allocation contract of the
+// compute stage: once the engine is warm (tables resident, staging and
+// scratch buffers constructed), evaluating a core's share of a batch
+// through the fast path allocates nothing.
+func TestComputeCoreZeroAlloc(t *testing.T) {
+	e, err := New(Config{DPUs: 1, Shards: 1, MaxBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	fn, par := llutSpec()
+	xs := stats.RandomInputs(-7.9, 7.9, 256, 3)
+	if _, _, err := e.EvaluateBatch(fn, par, xs); err != nil {
+		t.Fatal(err) // warm: tables built, pools primed
+	}
+
+	s := e.shards[0]
+	ops, hit, _, err := e.cache.ensure(makeSpec(fn, par), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warmup did not populate the table cache")
+	}
+	op := ops[0]
+	if !op.HasFastPath() {
+		t.Fatal("LLUT operator has no batch fast path")
+	}
+
+	// The pipeline is idle (the warmup request completed), so driving
+	// slot 0 directly is safe.
+	b := &batch{spec: makeSpec(fn, par), n: 256, perDPU: 256, slot: 0}
+	copy(s.inBuf[0][:256], xs)
+	s.dpus[0].MRAM.WriteF32s(s.inAddr[0][0], s.inBuf[0][:256])
+	ctx := s.dpus[0].NewCtx()
+
+	if avg := testing.AllocsPerRun(200, func() {
+		e.computeCore(ctx, s, b, op, 0, 256)
+	}); avg != 0 {
+		t.Fatalf("computeCore allocates %.1f objects per batch, want 0", avg)
+	}
+}

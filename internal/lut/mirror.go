@@ -1,0 +1,159 @@
+package lut
+
+import (
+	"math"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/fpbits"
+	"transpimlib/internal/pimsim"
+)
+
+// Mirror methods are the unmetered host-side twins of the device Eval
+// paths, used by the batch-evaluation fast path. Unlike the EvalHost
+// reference implementations (which favor readable float64 math), a
+// Mirror must replay the device's float32 operation order exactly so
+// batch outputs are bit-identical to the interpreted path — including
+// clamp-before/after ordering and out-of-range conversions.
+
+// Mirror mirrors DevMLUT.Eval bit-for-bit without metering.
+func (d *DevMLUT) Mirror(x float32) float32 {
+	tt := (x - d.p) * d.k
+	if !d.t.Interp {
+		idx := clampHost(pimsim.RoundToEven32(tt), len(d.t.Entries))
+		return d.t.Entries[idx]
+	}
+	idx := pimsim.FloorToInt32(tt)
+	delta := tt - float32(idx)
+	idx = clampHost(idx, len(d.t.Entries)-1)
+	l0 := d.t.Entries[idx]
+	l1 := d.t.Entries[idx+1]
+	return l0 + (l1-l0)*delta
+}
+
+// MirrorMany mirrors DevMLUT.Eval over a slice: the same arithmetic as
+// Mirror with the table pointer and mapping constants hoisted out of
+// the per-element loop.
+func (d *DevMLUT) MirrorMany(xs, ys []float32) {
+	entries := d.t.Entries
+	p, k := d.p, d.k
+	if !d.t.Interp {
+		hi := len(entries)
+		for i, x := range xs {
+			ys[i] = entries[clampHost(pimsim.RoundToEven32((x-p)*k), hi)]
+		}
+		return
+	}
+	hi := len(entries) - 1
+	for i, x := range xs {
+		tt := (x - p) * k
+		idx := pimsim.FloorToInt32(tt)
+		delta := tt - float32(idx)
+		idx = clampHost(idx, hi)
+		l0 := entries[idx]
+		l1 := entries[idx+1]
+		ys[i] = l0 + (l1-l0)*delta
+	}
+}
+
+// ldexpSlow is the out-of-line fallback for the hand-inlined ldexp in
+// MirrorMany: zero/subnormal/Inf/NaN inputs and over/underflowing
+// results go through the full fpbits.Ldexp routine.
+//
+//go:noinline
+func ldexpSlow(x float32, n int) float32 { return fpbits.Ldexp(x, n) }
+
+// Mirror mirrors DevLLUT.Eval bit-for-bit without metering.
+func (d *DevLLUT) Mirror(x float32) float32 {
+	if !d.pZero {
+		x = x - d.p
+	}
+	tt := fpbits.Ldexp(x, d.t.N)
+	if !d.t.Interp {
+		// truncIndex: floor through float64, exactly as the device does.
+		idx := clampHost(int32(math.Floor(float64(tt))), len(d.t.Entries))
+		return d.t.Entries[idx]
+	}
+	f := math.Floor(float64(tt))
+	idx := int32(f)
+	delta := float32(float64(tt) - f)
+	idx = clampHost(idx, len(d.t.Entries)-1)
+	l0 := d.t.Entries[idx]
+	l1 := d.t.Entries[idx+1]
+	return l0 + (l1-l0)*delta
+}
+
+// MirrorMany mirrors DevLLUT.Eval over a slice, hoisting the table and
+// addressing parameters out of the per-element loop and using the
+// inline ldexp fast path.
+func (d *DevLLUT) MirrorMany(xs, ys []float32) {
+	entries := d.t.Entries
+	n := d.t.N
+	p, pZero := d.p, d.pZero
+	if !d.t.Interp {
+		hi := len(entries)
+		for i, x := range xs {
+			if !pZero {
+				x -= p
+			}
+			// Hand-inlined normal→normal ldexp fast path (a single add on
+			// the exponent field), bit-identical to fpbits.Ldexp.
+			b := fpbits.Bits(x)
+			e := int(b>>fpbits.MantBits)&0xFF + n
+			var tt float32
+			if e-n != 0 && e-n != fpbits.ExpMax && e >= 1 && e < fpbits.ExpMax {
+				tt = fpbits.FromBits(b&^uint32(fpbits.ExpMask) | uint32(e)<<fpbits.MantBits)
+			} else {
+				tt = ldexpSlow(x, n)
+			}
+			ys[i] = entries[clampHost(int32(math.Floor(float64(tt))), hi)]
+		}
+		return
+	}
+	hi := len(entries) - 1
+	for i, x := range xs {
+		if !pZero {
+			x -= p
+		}
+		b := fpbits.Bits(x)
+		e := int(b>>fpbits.MantBits)&0xFF + n
+		var ttf float32
+		if e-n != 0 && e-n != fpbits.ExpMax && e >= 1 && e < fpbits.ExpMax {
+			ttf = fpbits.FromBits(b&^uint32(fpbits.ExpMask) | uint32(e)<<fpbits.MantBits)
+		} else {
+			ttf = ldexpSlow(x, n)
+		}
+		tt := float64(ttf)
+		f := math.Floor(tt)
+		idx := clampHost(int32(f), hi)
+		delta := float32(tt - f)
+		l0 := entries[idx]
+		l1 := entries[idx+1]
+		ys[i] = l0 + (l1-l0)*delta
+	}
+}
+
+// Mirror mirrors DevFixedLLUT.Eval (the fixed-point path) bit-for-bit
+// without metering; FixedLLUT.EvalHost already replays the device
+// integer arithmetic exactly.
+func (d *DevFixedLLUT) Mirror(x fixed.Q3_28) fixed.Q3_28 { return d.t.EvalHost(x) }
+
+// MirrorFloat mirrors DevFixedLLUT.EvalFloat bit-for-bit.
+func (d *DevFixedLLUT) MirrorFloat(x float32) float32 {
+	return d.t.EvalHost(fixed.FromFloat32(x)).Float32()
+}
+
+// Mirror mirrors DevDLUT.Eval bit-for-bit without metering;
+// DLUT.EvalHost already replays the device bit extraction and float32
+// interpolation exactly.
+func (d *DevDLUT) Mirror(x float32) float32 { return d.t.EvalHost(x) }
+
+// Mirror mirrors DevDLLUT.Eval bit-for-bit without metering and
+// reports which component served the lookup (true for the L-LUT), the
+// branch the batch cost accounting needs.
+func (d *DevDLLUT) Mirror(x float32) (v float32, lPath bool) {
+	ax := fpbits.FromBits(fpbits.Bits(x) &^ fpbits.SignMask)
+	if ax < d.t.Split {
+		return d.l.Mirror(x), true
+	}
+	return d.d.Mirror(x), false
+}

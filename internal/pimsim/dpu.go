@@ -117,6 +117,10 @@ func (d *DPU) ResetCycles() {
 type Ctx struct {
 	d *DPU
 	m CostModel
+
+	// dma is the reusable staging buffer for MramRead/MramWrite, so the
+	// simulated bulk DMAs do not allocate on every call.
+	dma []byte
 }
 
 // NewCtx returns an execution context for d.
@@ -295,7 +299,7 @@ func (c *Ctx) FCmp(a, b float32) int {
 // FToIRound converts a float32 to the nearest int32 (ties to even).
 func (c *Ctx) FToIRound(a float32) int32 {
 	c.charge(OpConv, c.m.FToI)
-	return roundToEven32(a)
+	return RoundToEven32(a)
 }
 
 // FToITrunc converts a float32 to int32 truncating toward zero.
@@ -304,11 +308,7 @@ func (c *Ctx) FToITrunc(a float32) int32 { c.charge(OpConv, c.m.FToI); return in
 // FToIFloor converts a float32 to int32 rounding toward -∞.
 func (c *Ctx) FToIFloor(a float32) int32 {
 	c.charge(OpConv, c.m.FToI)
-	i := int32(a)
-	if float32(i) > a {
-		i--
-	}
-	return i
+	return FloorToInt32(a)
 }
 
 // IToF converts an int32 to float32.
@@ -415,7 +415,7 @@ func (c *Ctx) MramLoadI64(addr int) int64 {
 // bytes into the scratchpad at wramAddr.
 func (c *Ctx) MramRead(mramAddr, wramAddr, n int) {
 	c.mramAccess(n)
-	buf := make([]byte, n)
+	buf := c.dmaBuf(n)
 	c.d.MRAM.Read(mramAddr, buf)
 	c.d.WRAM.Write(wramAddr, buf)
 }
@@ -423,9 +423,19 @@ func (c *Ctx) MramRead(mramAddr, wramAddr, n int) {
 // MramWrite models a bulk DMA of n bytes from scratchpad to DRAM bank.
 func (c *Ctx) MramWrite(wramAddr, mramAddr, n int) {
 	c.mramAccess(n)
-	buf := make([]byte, n)
+	buf := c.dmaBuf(n)
 	c.d.WRAM.Read(wramAddr, buf)
 	c.d.MRAM.Write(mramAddr, buf)
+}
+
+// dmaBuf returns the Ctx's staging buffer sized to n bytes, growing it
+// when a larger DMA comes through. The contents are fully overwritten
+// by the caller before use.
+func (c *Ctx) dmaBuf(n int) []byte {
+	if cap(c.dma) < n {
+		c.dma = make([]byte, n)
+	}
+	return c.dma[:n]
 }
 
 func (c *Ctx) mramAccess(bytes int) {
@@ -433,15 +443,27 @@ func (c *Ctx) mramAccess(bytes int) {
 	c.d.dmaCycles += uint64(c.m.MRAMLatency) + uint64(float64(bytes)*c.m.MRAMPerByte)
 }
 
-func roundToEven32(a float32) int32 {
-	// Round half to even, matching the conversion sequence the software
-	// float library performs.
+// RoundToEven32 converts a float32 to the nearest int32, ties to even,
+// matching the conversion sequence the software float library performs.
+// It is the unmetered value function behind Ctx.FToIRound, exported so
+// host-side mirrors of device kernels reproduce the exact conversion.
+func RoundToEven32(a float32) int32 {
 	i := int32(a)
 	frac := a - float32(i)
 	switch {
 	case frac > 0.5 || (frac == 0.5 && i&1 != 0):
 		i++
 	case frac < -0.5 || (frac == -0.5 && i&1 != 0):
+		i--
+	}
+	return i
+}
+
+// FloorToInt32 converts a float32 to int32 rounding toward -∞; the
+// unmetered value function behind Ctx.FToIFloor.
+func FloorToInt32(a float32) int32 {
+	i := int32(a)
+	if float32(i) > a {
 		i--
 	}
 	return i

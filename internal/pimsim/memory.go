@@ -71,12 +71,19 @@ func (m *Mem) MustAlloc(n int) int {
 	return a
 }
 
-// Reset frees all allocations and zeroes the backing store.
+// Reset frees all allocations and zeroes the backing store. Only the
+// region up to the allocator high-water mark can hold allocated data,
+// but raw Write/Put calls may have touched bytes beyond it, so the
+// backing store is truncated to the high-water mark: anything past it
+// is re-zeroed by ensure on the next growth.
 func (m *Mem) Reset() {
-	m.brk = 0
-	for i := range m.data {
-		m.data[i] = 0
+	n := m.brk
+	if n > len(m.data) {
+		n = len(m.data)
 	}
+	clear(m.data[:n])
+	m.data = m.data[:n]
+	m.brk = 0
 }
 
 func (m *Mem) ensure(end int) {
@@ -150,20 +157,10 @@ func (m *Mem) PutInt64(addr int, v int64) { m.PutUint64(addr, uint64(v)) }
 func (m *Mem) Int64(addr int) int64 { return int64(m.Uint64(addr)) }
 
 // WriteFloat32s bulk-stores a float32 slice starting at addr.
-func (m *Mem) WriteFloat32s(addr int, vs []float32) {
-	m.ensure(addr + 4*len(vs))
-	for i, v := range vs {
-		binary.LittleEndian.PutUint32(m.data[addr+4*i:], math.Float32bits(v))
-	}
-}
+func (m *Mem) WriteFloat32s(addr int, vs []float32) { m.WriteF32s(addr, vs) }
 
 // ReadFloat32s bulk-loads len(out) float32 values starting at addr.
-func (m *Mem) ReadFloat32s(addr int, out []float32) {
-	m.ensure(addr + 4*len(out))
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(m.data[addr+4*i:]))
-	}
-}
+func (m *Mem) ReadFloat32s(addr int, out []float32) { m.ReadF32s(addr, out) }
 
 // WriteInt32s bulk-stores an int32 slice starting at addr.
 func (m *Mem) WriteInt32s(addr int, vs []int32) {

@@ -1,0 +1,48 @@
+package pimsim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundToEven32 pins the device round-to-nearest-even conversion
+// against math.RoundToEven over the int32-representable float32 range,
+// including the ±0.5 ties the integer-frac implementation handles
+// explicitly.
+func FuzzRoundToEven32(f *testing.F) {
+	seeds := []float32{
+		0, 0.5, -0.5, 1.5, -1.5, 2.5, -2.5, 0.49999997, -0.49999997,
+		1, -1, 123456.5, -123456.5, 8388608.5, 2147483520,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, a float32) {
+		// The device conversion is only defined where the result fits
+		// an int32; 2147483520 is the largest float32 below 2^31.
+		if math.IsNaN(float64(a)) || a < -2147483648 || a > 2147483520 {
+			t.Skip()
+		}
+		want := int32(math.RoundToEven(float64(a)))
+		if got := RoundToEven32(a); got != want {
+			t.Fatalf("RoundToEven32(%v) = %d, want %d", a, got, want)
+		}
+	})
+}
+
+// TestRoundToEven32Ties pins the tie cases deterministically (the fuzz
+// seeds only guarantee coverage under -fuzz).
+func TestRoundToEven32Ties(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want int32
+	}{
+		{0.5, 0}, {-0.5, 0}, {1.5, 2}, {-1.5, -2}, {2.5, 2}, {-2.5, -2},
+		{3.5, 4}, {-3.5, -4}, {0, 0}, {1, 1}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := RoundToEven32(c.in); got != c.want {
+			t.Errorf("RoundToEven32(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

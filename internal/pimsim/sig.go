@@ -1,0 +1,52 @@
+package pimsim
+
+// CostSig is the recorded cost of one straight-line trace through a
+// device kernel: per-class operation and cycle counts plus the DMA-
+// engine busy cycles the trace incurred. Batch evaluators charge a
+// signature n times in one call instead of replaying n × per-op
+// charges, with bit-identical accounting.
+type CostSig struct {
+	Ops   Counters
+	Issue uint64 // total pipeline-issue cycles (sum of Ops.Cycles)
+	DMA   uint64 // DMA-engine busy cycles
+}
+
+// NewSigRecorder returns a Ctx on a throwaway core used purely to
+// record cost signatures: run a representative trace through it, then
+// harvest with TakeSig. Its memories start empty, so table loads read
+// zeros — harmless for cost recording because charge sequences on the
+// supported kernels depend only on the input operand, never on loaded
+// table values.
+func NewSigRecorder(model CostModel) *Ctx {
+	return NewDPU(-1, model, DefaultTasklets).NewCtx()
+}
+
+// TakeSig snapshots everything charged on the context's core since the
+// last TakeSig (or creation) as a CostSig and resets the accounting.
+func (c *Ctx) TakeSig() CostSig {
+	s := CostSig{Ops: c.d.counters, Issue: c.d.issueCycles, DMA: c.d.dmaCycles}
+	c.d.ResetCycles()
+	return s
+}
+
+// ChargeOps bulk-merges pre-aggregated per-class counts into the
+// core's accounting, exactly as if each op had been charged
+// individually.
+func (c *Ctx) ChargeOps(ops Counters) {
+	c.d.counters.Add(&ops)
+	c.d.issueCycles += ops.TotalCycles()
+}
+
+// ChargeSig charges a recorded signature n times in one step.
+func (c *Ctx) ChargeSig(sig *CostSig, n uint64) {
+	if n == 0 {
+		return
+	}
+	cnt := &c.d.counters
+	for i := range cnt.Ops {
+		cnt.Ops[i] += sig.Ops.Ops[i] * n
+		cnt.Cycles[i] += sig.Ops.Cycles[i] * n
+	}
+	c.d.issueCycles += sig.Issue * n
+	c.d.dmaCycles += sig.DMA * n
+}

@@ -296,11 +296,13 @@ func (s *System) ScatterToMRAM(bufs [][]byte) []int {
 }
 
 // GatherFromMRAM reads n bytes from every core's DRAM bank at addr into
-// out[i], charging parallel transfer time.
+// out[i], charging parallel transfer time. The per-core slices share
+// one backing allocation (callers may retain them; they stay valid).
 func (s *System) GatherFromMRAM(addr, n int) [][]byte {
 	out := make([][]byte, len(s.dpus))
+	backing := make([]byte, n*len(s.dpus))
 	for i, d := range s.dpus {
-		out[i] = make([]byte, n)
+		out[i] = backing[i*n : (i+1)*n : (i+1)*n]
 		d.MRAM.Read(addr, out[i])
 	}
 	s.ChargePIMToHost(n*len(s.dpus), true)
@@ -308,20 +310,26 @@ func (s *System) GatherFromMRAM(addr, n int) [][]byte {
 }
 
 // GatherFromMRAMAt reads per-core regions (addr[i], n[i]); parallel
-// when all sizes match, serial otherwise.
+// when all sizes match, serial otherwise. The per-core slices share
+// one backing allocation.
 func (s *System) GatherFromMRAMAt(addrs, ns []int) [][]byte {
 	if len(addrs) != len(s.dpus) || len(ns) != len(s.dpus) {
 		panic("pimsim: gather needs one region per DPU")
 	}
 	out := make([][]byte, len(s.dpus))
 	total, equal := 0, true
-	for i, d := range s.dpus {
-		out[i] = make([]byte, ns[i])
-		d.MRAM.Read(addrs[i], out[i])
-		total += ns[i]
-		if ns[i] != ns[0] {
+	for _, n := range ns {
+		total += n
+		if n != ns[0] {
 			equal = false
 		}
+	}
+	backing := make([]byte, total)
+	off := 0
+	for i, d := range s.dpus {
+		out[i] = backing[off : off+ns[i] : off+ns[i]]
+		d.MRAM.Read(addrs[i], out[i])
+		off += ns[i]
 	}
 	s.ChargePIMToHost(total, equal)
 	return out

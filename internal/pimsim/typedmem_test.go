@@ -1,0 +1,69 @@
+package pimsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTypedF32RoundTrip cross-checks the bulk typed accessors against
+// the scalar Put/Float32 path, including negative zero and NaN
+// payloads, which must survive bit-exactly.
+func TestTypedF32RoundTrip(t *testing.T) {
+	m := NewMem("test", 4096, 4)
+	vs := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1, 0.5,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		math.Float32frombits(0x7fc00001), // NaN with payload
+		3.1415927, -2.7182817,
+	}
+	m.WriteF32s(64, vs)
+	for i, want := range vs {
+		if got := m.Float32(64 + 4*i); math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("scalar read %d: %v (%#x) != %v (%#x)", i, got, math.Float32bits(got), want, math.Float32bits(want))
+		}
+	}
+	out := make([]float32, len(vs))
+	m.ReadF32s(64, out)
+	for i, want := range vs {
+		if math.Float32bits(out[i]) != math.Float32bits(want) {
+			t.Fatalf("bulk read %d: %v != %v", i, out[i], want)
+		}
+	}
+	// Bulk read of values stored through the scalar path.
+	for i, v := range vs {
+		m.PutFloat32(256+4*i, v)
+	}
+	m.ReadF32s(256, out)
+	for i, want := range vs {
+		if math.Float32bits(out[i]) != math.Float32bits(want) {
+			t.Fatalf("bulk-after-scalar %d: %v != %v", i, out[i], want)
+		}
+	}
+	// Empty slices are no-ops, not panics.
+	m.WriteF32s(0, nil)
+	m.ReadF32s(0, nil)
+}
+
+// TestMemResetTruncates pins the Reset contract: contents up to the
+// allocator high-water mark are zeroed, the backing store is truncated
+// to it, and bytes raw-written beyond it (never allocated) read back
+// as zero after the next growth.
+func TestMemResetTruncates(t *testing.T) {
+	m := NewMem("test", 1<<20, 8)
+	m.MustAlloc(16)
+	m.PutUint32(0, 0xdeadbeef)
+	// Raw write far beyond the high-water mark grows the backing store.
+	m.PutUint32(1<<16, 0xcafebabe)
+	m.Reset()
+	if m.Used() != 0 {
+		t.Fatalf("Used after Reset = %d", m.Used())
+	}
+	if got := m.Uint32(0); got != 0 {
+		t.Fatalf("allocated region not zeroed: %#x", got)
+	}
+	// The region beyond brk was dropped by truncation; the re-grown
+	// backing store must read zero there too.
+	if got := m.Uint32(1 << 16); got != 0 {
+		t.Fatalf("beyond-brk region survived Reset: %#x", got)
+	}
+}

@@ -1,0 +1,88 @@
+package rangered
+
+import (
+	"transpimlib/internal/fpbits"
+	"transpimlib/internal/pimsim"
+)
+
+// Unmetered host twins of the device reductions, for the batch-
+// evaluation fast path. Each replays the float32 operation order of
+// its device form exactly, so values are bit-identical; the quadrant /
+// parity results double as the cost-class discriminators the batch
+// accounting charges per branch.
+
+// FoldQuadrantHost mirrors FoldQuadrant.
+func FoldQuadrantHost(r float32) (float32, Quadrant) {
+	var q Quadrant
+	for q = 0; q < 3; q++ {
+		if r < HalfPi {
+			break
+		}
+		r = r - HalfPi
+	}
+	return r, q
+}
+
+// ApplySinQuadrantHost mirrors ApplySinQuadrant.
+func ApplySinQuadrantHost(sin, cos float32, q Quadrant) float32 {
+	switch q & 3 {
+	case 0:
+		return sin
+	case 1:
+		return cos
+	case 2:
+		return -sin
+	default:
+		return -cos
+	}
+}
+
+// ApplyCosQuadrantHost mirrors ApplyCosQuadrant.
+func ApplyCosQuadrantHost(sin, cos float32, q Quadrant) float32 {
+	switch q & 3 {
+	case 0:
+		return cos
+	case 1:
+		return -sin
+	case 2:
+		return -cos
+	default:
+		return sin
+	}
+}
+
+// SplitExpHost mirrors SplitExp.
+func SplitExpHost(x float32) (r float32, k int32) {
+	k = pimsim.RoundToEven32(x * Log2E)
+	kf := float32(k)
+	r = x - kf*Ln2Hi
+	r = r - kf*Ln2Lo
+	return r, k
+}
+
+// JoinExpHost mirrors JoinExp.
+func JoinExpHost(expR float32, k int32) float32 { return fpbits.Ldexp(expR, int(k)) }
+
+// SplitLogHost mirrors SplitLog.
+func SplitLogHost(x float32) (m float32, e int32) {
+	mf, ei := fpbits.Frexp(x)
+	return mf, int32(ei)
+}
+
+// JoinLogHost mirrors JoinLog.
+func JoinLogHost(logM float32, e int32) float32 { return logM + float32(e)*Ln2 }
+
+// SplitSqrtHost mirrors SplitSqrt; odd reports whether the exponent-
+// parity fold ran (the branch the batch cost accounting charges).
+func SplitSqrtHost(x float32) (m float32, h int32, odd bool) {
+	mf, e := fpbits.Frexp(x)
+	if e&1 != 0 {
+		mf = fpbits.Ldexp(mf, 1)
+		e--
+		odd = true
+	}
+	return mf, int32(e / 2), odd
+}
+
+// JoinSqrtHost mirrors JoinSqrt.
+func JoinSqrtHost(sqrtM float32, h int32) float32 { return fpbits.Ldexp(sqrtM, int(h)) }
