@@ -23,6 +23,7 @@ import (
 	"transpimlib/internal/cordic"
 	"transpimlib/internal/core"
 	"transpimlib/internal/engine"
+	"transpimlib/internal/faultsim"
 	"transpimlib/internal/pimsim"
 	"transpimlib/internal/rangered"
 	"transpimlib/internal/stats"
@@ -43,6 +44,7 @@ var (
 	flagCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flagJSON    = flag.Bool("json", false, "emit one JSON document with the sweep metrics (cycles/element, RMSE, setup time, table bytes) plus Fig. 8 cycles")
 	flagProfile = flag.String("profile", "upmem", "machine profile: upmem | hbm-pim | fp32")
+	flagFaults  = flag.String("faults", "", "fault-injection plan for the -json engine snapshot (faultsim syntax)")
 )
 
 func main() {
@@ -339,7 +341,16 @@ type jsonEngine struct {
 // returns the engine-wide counter snapshot.
 func engineSnapshot(n int) *jsonEngine {
 	const dpus, shards, rounds = 8, 2, 2
-	eng, err := engine.New(engine.Config{DPUs: dpus, Shards: shards, Cost: profileCost})
+	var plan *faultsim.Plan
+	if *flagFaults != "" {
+		p, err := faultsim.ParsePlan(*flagFaults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "engine snapshot:", err)
+			return nil
+		}
+		plan = &p
+	}
+	eng, err := engine.New(engine.Config{DPUs: dpus, Shards: shards, Cost: profileCost, Faults: plan})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "engine snapshot:", err)
 		return nil

@@ -1,0 +1,224 @@
+// Command tplchaos is the reliability scenario runner: it drives a
+// deterministic chaos experiment against the serving engine and
+// verifies the two properties the fault subsystem guarantees.
+//
+// The same workload runs three times — once on a clean engine (the
+// bit-exact reference), twice on fault-injected engines built from
+// the same plan. The runner then checks that
+//
+//  1. every chaos-run output is bit-identical to the clean run
+//     (recovery is lossless: retries, remaps, hedges and host-mirror
+//     degradation all reproduce the exact device results), and
+//  2. the two chaos runs produced identical fault-event logs
+//     (injection is a pure function of the plan seed).
+//
+// Any wrong output or log divergence is a non-zero exit. With -out
+// the canonical event log plus a scenario summary is written as a
+// JSON artifact for CI retention.
+//
+// Usage:
+//
+//	tplchaos [-dpus 4] [-shards 1] [-requests 40] [-elems 512]
+//	         [-seed 42] [-hedge 0] [-out events.json]
+//	         [-faults "seed=42,dpufail=0.05,dpuslow=0.05x4,bitflip=0.02,tin=0.05,tout=0.05"]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"time"
+
+	"transpimlib"
+)
+
+const defaultPlan = "seed=42,dpufail=0.05,dpuslow=0.05x4,bitflip=0.02,tin=0.05,tout=0.05"
+
+type chaosJob struct {
+	name string
+	fn   transpimlib.Function
+	cfg  transpimlib.Config
+}
+
+// workload mixes methods and placements: the MRAM-resident tables are
+// what the bit-flip class corrupts (WRAM tables are out of its scope).
+func workload() []chaosJob {
+	return []chaosJob{
+		{"sigmoid/L-LUT-i/mram", transpimlib.Sigmoid,
+			transpimlib.Config{Method: transpimlib.LLUT, Interpolated: true, SizeLog2: 12, Placement: transpimlib.InMRAM}},
+		{"gelu/DL-LUT-i/wram", transpimlib.GELU,
+			transpimlib.Config{Method: transpimlib.DLLUT, Interpolated: true, SizeLog2: 12}},
+		{"exp/fxL-LUT-i/mram", transpimlib.Exp,
+			transpimlib.Config{Method: transpimlib.LLUTFixed, Interpolated: true, SizeLog2: 12, Placement: transpimlib.InMRAM}},
+	}
+}
+
+type runResult struct {
+	outs     [][]float32
+	degraded []bool
+	stats    transpimlib.EngineStats
+	events   []transpimlib.FaultEvent
+	health   []transpimlib.LaneHealth
+	wall     time.Duration
+}
+
+// runScenario replays the deterministic workload sequentially through
+// a fresh engine. faults=="" builds the clean reference engine.
+func runScenario(faults string, dpus, shards, requests, elems int, seed int64, hedge float64) (*runResult, error) {
+	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
+		DPUs: dpus, Shards: shards, Faults: faults,
+		Reliability: transpimlib.ReliabilityConfig{HedgeRatio: hedge},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	jobs := workload()
+	rng := rand.New(rand.NewSource(seed))
+	res := &runResult{wall: 0}
+	start := time.Now()
+	for r := 0; r < requests; r++ {
+		j := jobs[r%len(jobs)]
+		xs := make([]float32, elems)
+		for i := range xs {
+			xs[i] = -2 + 4*rng.Float32()
+		}
+		ys, st, err := eng.EvaluateBatch(j.fn, j.cfg, xs)
+		if err != nil {
+			return nil, fmt.Errorf("request %d (%s): %w", r, j.name, err)
+		}
+		out := make([]float32, len(ys))
+		copy(out, ys)
+		res.outs = append(res.outs, out)
+		res.degraded = append(res.degraded, st.Degraded)
+	}
+	res.wall = time.Since(start)
+	res.stats = eng.Stats()
+	res.events = eng.FaultEvents()
+	res.health = eng.Health()
+	return res, nil
+}
+
+// artifact is the JSON document -out writes: enough to re-run the
+// scenario (plan + seeds + shape), the verdicts, the recovery-ladder
+// counters, and the canonical event log.
+type artifact struct {
+	Plan        string                   `json:"plan"`
+	DPUs        int                      `json:"dpus"`
+	Shards      int                      `json:"shards"`
+	Requests    int                      `json:"requests"`
+	Elems       int                      `json:"elems"`
+	InputSeed   int64                    `json:"input_seed"`
+	AllCorrect  bool                     `json:"all_correct"`
+	ReplayOK    bool                     `json:"replay_ok"`
+	Degraded    int                      `json:"degraded_requests"`
+	Stats       transpimlib.EngineStats  `json:"stats"`
+	Health      []transpimlib.LaneHealth `json:"health"`
+	FaultEvents []transpimlib.FaultEvent `json:"fault_events"`
+}
+
+func main() {
+	dpus := flag.Int("dpus", 4, "simulated PIM cores")
+	shards := flag.Int("shards", 1, "pipeline shards (keep 1 for reproducible event logs)")
+	requests := flag.Int("requests", 40, "sequential requests to replay")
+	elems := flag.Int("elems", 512, "elements per request")
+	seed := flag.Int64("seed", 42, "input RNG seed")
+	hedge := flag.Float64("hedge", 0, "hedged-launch ratio (0 disables hedging)")
+	faults := flag.String("faults", defaultPlan, "fault-injection plan (faultsim syntax)")
+	out := flag.String("out", "", "write the event log + scenario summary as JSON to this path")
+	flag.Parse()
+
+	if *faults == "" {
+		fmt.Fprintln(os.Stderr, "tplchaos: -faults must be a non-empty plan")
+		os.Exit(2)
+	}
+
+	fmt.Printf("tplchaos: %d cores / %d shards, %d requests × %d elems\n", *dpus, *shards, *requests, *elems)
+	fmt.Printf("plan: %s\n", *faults)
+
+	clean, err := runScenario("", *dpus, *shards, *requests, *elems, *seed, *hedge)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplchaos: clean run:", err)
+		os.Exit(1)
+	}
+	chaos, err := runScenario(*faults, *dpus, *shards, *requests, *elems, *seed, *hedge)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplchaos: chaos run:", err)
+		os.Exit(1)
+	}
+	replay, err := runScenario(*faults, *dpus, *shards, *requests, *elems, *seed, *hedge)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplchaos: replay run:", err)
+		os.Exit(1)
+	}
+
+	wrong, degraded := 0, 0
+	for r := range chaos.outs {
+		if !reflect.DeepEqual(chaos.outs[r], clean.outs[r]) {
+			wrong++
+			if wrong <= 5 {
+				fmt.Fprintf(os.Stderr, "tplchaos: request %d output diverges from clean run (degraded=%v)\n",
+					r, chaos.degraded[r])
+			}
+		}
+		if chaos.degraded[r] {
+			degraded++
+		}
+	}
+	replayOK := reflect.DeepEqual(chaos.events, replay.events)
+
+	st := chaos.stats
+	fmt.Printf("\nclean run:  %d requests in %v\n", *requests, clean.wall.Round(time.Microsecond))
+	fmt.Printf("chaos run:  %d requests in %v, %d faults injected\n",
+		*requests, chaos.wall.Round(time.Microsecond), st.FaultsInjected)
+	fmt.Printf("recovery ladder: %d launch retries | %d transfer retries | %d timeouts | %d remaps | %d hedges | %d degraded batches\n",
+		st.LaunchRetries, st.TransferRetries, st.LaunchTimeouts, st.Remaps, st.Hedges, st.DegradedBatches)
+	fmt.Printf("table scrub: %d corruptions detected, %d repairs\n", st.TableCorruptions, st.TableRepairs)
+	quar, prob := 0, 0
+	for _, h := range chaos.health {
+		if h.Quarantined {
+			quar++
+		}
+		if h.Probation {
+			prob++
+		}
+	}
+	fmt.Printf("health: %d cores quarantined, %d on probation\n", quar, prob)
+	fmt.Printf("verdict: %d/%d outputs bit-identical to clean (%d served degraded), replay %s\n",
+		*requests-wrong, *requests, degraded, map[bool]string{true: "identical", false: "DIVERGED"}[replayOK])
+
+	if *out != "" {
+		doc := artifact{
+			Plan: *faults, DPUs: *dpus, Shards: *shards, Requests: *requests,
+			Elems: *elems, InputSeed: *seed,
+			AllCorrect: wrong == 0, ReplayOK: replayOK, Degraded: degraded,
+			Stats: st, Health: chaos.health, FaultEvents: chaos.events,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tplchaos:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tplchaos:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("event log: %s (%d events, %d bytes)\n", *out, len(chaos.events), len(buf))
+	}
+
+	if wrong > 0 || !replayOK {
+		if wrong > 0 {
+			fmt.Fprintf(os.Stderr, "tplchaos: FAIL — %d wrong outputs\n", wrong)
+		}
+		if !replayOK {
+			fmt.Fprintf(os.Stderr, "tplchaos: FAIL — event log not reproducible (%d vs %d events)\n",
+				len(chaos.events), len(replay.events))
+		}
+		os.Exit(1)
+	}
+	fmt.Println("tplchaos: PASS")
+}

@@ -10,14 +10,21 @@
 // trace_event document) — and with -hold it keeps serving after the
 // workload finishes so the endpoints can be scraped.
 //
+// With -faults it injects deterministic faults (the faultsim plan
+// language) and reports the engine's recovery activity. SIGINT or
+// SIGTERM shuts down gracefully: clients stop submitting, in-flight
+// batches drain, and the final summary still prints.
+//
 // Usage:
 //
 //	tplserve [-dpus 8] [-shards 2] [-clients 6] [-requests 24]
 //	         [-elems 1024] [-window 200us] [-seed 1]
 //	         [-listen :9090] [-hold 0s] [-trace 32] [-profile]
+//	         [-faults "seed=42,dpufail=0.05,transfer=0.02"]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -25,7 +32,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"transpimlib"
@@ -64,11 +73,18 @@ func main() {
 	hold := flag.Duration("hold", 0, "keep the HTTP endpoints up this long after the workload (requires -listen)")
 	traceDepth := flag.Int("trace", 32, "request traces to retain (0 disables tracing)")
 	profile := flag.Bool("profile", false, "per-DPU kernel-launch profiling (pim_* metrics)")
+	faults := flag.String("faults", "", "fault-injection plan (e.g. \"seed=42,dpufail=0.05,transfer=0.02\")")
 	flag.Parse()
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels ctx — clients
+	// stop submitting, in-flight batches drain through eng.Close, and
+	// the summary still prints. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
-		TraceDepth: *traceDepth, Profile: *profile,
+		TraceDepth: *traceDepth, Profile: *profile, Faults: *faults,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tplserve:", err)
@@ -113,6 +129,9 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			for r := 0; r < *requests; r++ {
+				if ctx.Err() != nil {
+					return // shutdown requested: stop submitting
+				}
 				j := jobs[(c+r)%len(jobs)]
 				xs := make([]float32, *elems)
 				for i := range xs {
@@ -120,7 +139,9 @@ func main() {
 				}
 				ys, st, err := eng.EvaluateBatch(j.fn, j.cfg, xs)
 				if err != nil {
-					failures.Store(fmt.Sprintf("client %d req %d", c, r), err)
+					if ctx.Err() == nil {
+						failures.Store(fmt.Sprintf("client %d req %d", c, r), err)
+					}
 					return
 				}
 				var worst float64
@@ -140,6 +161,10 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if ctx.Err() != nil {
+		fmt.Println("\ntplserve: shutdown requested, draining in-flight batches…")
+	}
+	eng.Close() // drain in-flight batches and settle counters before the summary
 
 	bad := 0
 	failures.Range(func(k, v any) bool {
@@ -180,14 +205,34 @@ func main() {
 	if st.RequestErrors > 0 {
 		fmt.Printf("request errors: %d\n", st.RequestErrors)
 	}
+	if *faults != "" {
+		fmt.Printf("reliability: %d faults injected | %d launch retries | %d transfer retries | %d timeouts\n",
+			st.FaultsInjected, st.LaunchRetries, st.TransferRetries, st.LaunchTimeouts)
+		fmt.Printf("recovery: %d remaps | %d hedges | %d degraded batches | %d table repairs | %d quarantined cores\n",
+			st.Remaps, st.Hedges, st.DegradedBatches, st.TableRepairs, st.QuarantinedDPUs)
+		var quarantined, probation int
+		for _, h := range eng.Health() {
+			if h.Quarantined {
+				quarantined++
+			}
+			if h.Probation {
+				probation++
+			}
+		}
+		fmt.Printf("health: %d cores quarantined, %d on probation, %d fault events logged\n",
+			quarantined, probation, len(eng.FaultEvents()))
+	}
 	if tr, ok := eng.TraceLast(); ok {
 		root := tr.Root
 		fmt.Printf("last trace: #%d %s wall %v, %d spans (GET /debug/trace for the tree)\n",
 			tr.ID, root.Name, root.Wall().Round(time.Microsecond), countSpans(root))
 	}
-	if *listen != "" && *hold > 0 {
-		fmt.Printf("holding telemetry endpoints for %v…\n", *hold)
-		time.Sleep(*hold)
+	if *listen != "" && *hold > 0 && ctx.Err() == nil {
+		fmt.Printf("holding telemetry endpoints for %v (SIGINT to stop)…\n", *hold)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*hold):
+		}
 	}
 }
 

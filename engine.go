@@ -5,8 +5,12 @@ import (
 	"time"
 
 	"transpimlib/internal/engine"
+	"transpimlib/internal/faultsim"
 	"transpimlib/internal/telemetry"
 )
+
+// ErrEngineClosed is returned by Engine.EvaluateBatch after Close.
+var ErrEngineClosed = engine.ErrEngineClosed
 
 // EngineConfig configures a serving Engine. The zero value is an
 // 8-core system split into 2 shards with double-buffered pipelines.
@@ -42,7 +46,31 @@ type EngineConfig struct {
 	// are bit-identical either way; only host wall time differs.
 	// Default off (fast path).
 	Reference bool
+	// Faults, when non-empty, enables deterministic fault injection
+	// with the engine's recovery ladder (retry → remap → hedge →
+	// host-mirror degrade). The syntax is the faultsim plan language,
+	// e.g. "seed=42,dpufail=0.05,dpuslow=0.1x4,bitflip=0.01,transfer=0.02"
+	// or deterministic triggers "failat=3:1;4:1". Empty (the default)
+	// disables injection entirely — the pipeline is then bit-identical
+	// to earlier releases.
+	Faults string
+	// Reliability tunes the recovery ladder (zero value: defaults);
+	// only consulted when Faults is set.
+	Reliability ReliabilityConfig
 }
+
+// ReliabilityConfig tunes the engine's recovery ladder under fault
+// injection: retry counts and modeled backoff, quarantine/probation
+// thresholds, the straggler launch timeout, and the hedge ratio.
+type ReliabilityConfig = engine.ReliabilityConfig
+
+// FaultEvent is one injected fault, identified by its deterministic
+// coordinates (class, batch sequence, lane, attempt) so identical
+// seeds yield identical logs.
+type FaultEvent = faultsim.Event
+
+// LaneHealth is one PIM core's row of the engine's health scoreboard.
+type LaneHealth = engine.LaneHealth
 
 // RequestStats is the per-request cost report of Engine.EvaluateBatch:
 // wall-clock latency plus modeled per-stage (transfer-in / compute /
@@ -78,6 +106,14 @@ type Engine struct {
 
 // NewEngine builds and starts a serving engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
+	var plan *faultsim.Plan
+	if cfg.Faults != "" {
+		p, err := faultsim.ParsePlan(cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("transpimlib: %w", err)
+		}
+		plan = &p
+	}
 	e, err := engine.New(engine.Config{
 		DPUs:        cfg.DPUs,
 		Shards:      cfg.Shards,
@@ -88,6 +124,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		TraceDepth:  cfg.TraceDepth,
 		Profile:     cfg.Profile,
 		Reference:   cfg.Reference,
+		Faults:      plan,
+		Reliability: cfg.Reliability,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transpimlib: %w", err)
@@ -129,6 +167,15 @@ func (e *Engine) Traces() []*Trace { return e.e.Traces() }
 // CachedSpecs returns how many (function, method) configurations
 // currently hold resident tables.
 func (e *Engine) CachedSpecs() int { return e.e.CachedSpecs() }
+
+// FaultEvents returns the canonically sorted injected-fault log (nil
+// when fault injection is disabled). For a single-shard engine fed
+// sequentially, identical seeds reproduce identical logs.
+func (e *Engine) FaultEvents() []FaultEvent { return e.e.FaultEvents() }
+
+// Health returns the per-DPU health scoreboard (nil when fault
+// injection is disabled).
+func (e *Engine) Health() []LaneHealth { return e.e.Health() }
 
 // Close drains in-flight work and stops the engine.
 func (e *Engine) Close() { e.e.Close() }

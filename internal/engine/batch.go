@@ -53,6 +53,16 @@ func (r *request) complete(b *batch, shardID int) (last bool) {
 	r.stats.ComputeSeconds += b.tcomp
 	r.stats.TransferOutSeconds += b.tout
 	r.stats.KernelCycles += b.cycles
+	if b.degraded {
+		r.stats.Degraded = true
+	}
+	r.stats.Retries += b.retries
+	if b.remapped {
+		r.stats.Remaps++
+	}
+	if b.hedged {
+		r.stats.Hedges++
+	}
 	if b.tr != nil {
 		r.batchTraces = append(r.batchTraces, batchRef{b: b, tr: b.tr})
 	}
@@ -80,6 +90,10 @@ type batch struct {
 	segs []seg
 	n    int // total elements
 
+	// seq is the batch's dispatch sequence number — the deterministic
+	// clock fault-injection decisions key on. Assigned by the batcher.
+	seq uint64
+
 	// Set by the pipeline stages.
 	slot   int     // shard buffer slot held while in flight
 	perDPU int     // elements per core after shard planning
@@ -90,6 +104,15 @@ type batch struct {
 	tout   float64 // modeled PIM→host seconds
 	cycles uint64  // modeled kernel cycles (slowest core)
 	err    error
+
+	// Reliability outcomes (fault injection only; see reliability.go).
+	lanes    []int // healthy-lane chunk layout when remapped
+	retries  int   // launch + transfer retries spent on this batch
+	remapped bool  // served by a subset of the shard's cores
+	hedged   bool  // slowest lane relaunched
+	degraded bool  // completed via the recovery ladder's last rung
+	hostEval bool  // outputs produced by the host mirror (staging only)
+	inFailed bool  // transfer-in exhausted its retries
 
 	// tr holds the wall-clock stage stamps when tracing is enabled;
 	// nil otherwise, so the disabled path skips every time.Now call.
@@ -106,7 +129,8 @@ var batchPool = sync.Pool{New: func() any { return new(batch) }}
 func newBatch(spec Spec) *batch {
 	b := batchPool.Get().(*batch)
 	segs := b.segs[:0]
-	*b = batch{spec: spec, segs: segs}
+	lanes := b.lanes[:0]
+	*b = batch{spec: spec, segs: segs, lanes: lanes}
 	return b
 }
 

@@ -24,14 +24,19 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"transpimlib/internal/core"
+	"transpimlib/internal/faultsim"
 	"transpimlib/internal/pimsim"
 	"transpimlib/internal/telemetry"
 )
+
+// ErrEngineClosed is returned by submit paths after Close.
+var ErrEngineClosed = errors.New("engine: closed")
 
 // Config describes an engine.
 type Config struct {
@@ -74,6 +79,16 @@ type Config struct {
 	// outputs are bit-identical either way (the contract the
 	// differential tests enforce); only host-side wall time differs.
 	Reference bool
+	// Faults, when non-nil and enabled, installs a deterministic fault
+	// injector (see internal/faultsim) and activates the engine's
+	// recovery ladder: retry with modeled backoff, health-aware shard
+	// remapping, optional hedged launches, and host-mirror degradation.
+	// Nil (or a plan that never fires) leaves the pipeline bit-identical
+	// to the fault-free engine.
+	Faults *faultsim.Plan
+	// Reliability tunes the recovery ladder; zero value = defaults.
+	// Only consulted when Faults is enabled.
+	Reliability ReliabilityConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +152,24 @@ type shard struct {
 	// builds) against the transfer stages that read/write the
 	// pre-touched I/O buffers concurrently with kernels.
 	memMu sync.Mutex
+
+	// Reliability state, allocated only when fault injection is on
+	// (see reliability.go). rec is a throwaway recorder Ctx for
+	// host-mirror degraded evaluation; ioEnd[k] marks the end of lane
+	// k's pre-touched I/O region, so [ioEnd, MRAM.Used()) is the
+	// resident-table region that golden/goldenSum scrub against.
+	rec          *pimsim.Ctx
+	ioEnd        []int
+	goldenEnd    []int
+	golden       [][]byte
+	goldenSum    []uint64
+	scratch      []byte
+	lanesScratch []int
+	launchIDs    []int
+	chunkOf      []int  // local lane -> chunk index in the current launch
+	failedLane   []bool // lanes that failed within the current batch
+	deltas       []uint64
+	medScratch   []uint64
 }
 
 // Engine is the serving runtime. Create with New, submit with
@@ -162,6 +195,14 @@ type Engine struct {
 	// loop (WRAM load + store + loop control), recorded once at
 	// construction and bulk-charged by the batch fast path.
 	streamSig pimsim.CostSig
+
+	// Reliability subsystem, nil unless Config.Faults enables
+	// injection. seq is the batcher-owned batch sequence counter — the
+	// deterministic clock every injection decision keys on.
+	inj    *faultsim.Injector
+	rel    ReliabilityConfig
+	health *healthTracker
+	seq    uint64
 }
 
 // New builds and starts an engine: the PIM system, the per-shard I/O
@@ -197,6 +238,13 @@ func New(cfg Config) (*Engine, error) {
 	rec.StoreStreamedF32(rec.DPU().MRAM, 0, v)
 	rec.Charge(2)
 	e.streamSig = rec.TakeSig()
+
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		e.inj = faultsim.NewInjector(*cfg.Faults)
+		e.rel = cfg.Reliability.withDefaults()
+		e.health = newHealthTracker(cfg.DPUs, e.rel)
+		e.sys.SetFaultAgent(&engineFaultAgent{inj: e.inj, met: e.met})
+	}
 
 	perShard := cfg.DPUs / cfg.Shards
 	capPerDPU := (cfg.MaxBatch + perShard - 1) / perShard
@@ -235,6 +283,25 @@ func New(cfg Config) (*Engine, error) {
 				d.MRAM.Write(s.outAddr[slot][k], zero)
 			}
 			s.slots <- slot
+		}
+		if e.inj != nil {
+			s.rec = pimsim.NewSigRecorder(cfg.Cost)
+			s.ioEnd = make([]int, perShard)
+			s.goldenEnd = make([]int, perShard)
+			s.golden = make([][]byte, perShard)
+			s.goldenSum = make([]uint64, perShard)
+			s.lanesScratch = make([]int, 0, perShard)
+			s.launchIDs = make([]int, 0, perShard)
+			s.chunkOf = make([]int, perShard)
+			s.failedLane = make([]bool, perShard)
+			s.deltas = make([]uint64, perShard)
+			s.medScratch = make([]uint64, 0, perShard)
+			for k, d := range s.dpus {
+				// Everything below this brk is the pre-touched I/O
+				// region; tables built later live above it.
+				s.ioEnd[k] = d.MRAM.Used()
+				s.goldenEnd[k] = s.ioEnd[k]
+			}
 		}
 		e.shards = append(e.shards, s)
 	}
@@ -300,7 +367,7 @@ func (e *Engine) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return nil, RequestStats{}, fmt.Errorf("engine: closed")
+		return nil, RequestStats{}, ErrEngineClosed
 	}
 	e.met.requests.Inc()
 	e.submit <- r
@@ -378,6 +445,8 @@ func (e *Engine) batcher() {
 		}
 		for _, spec := range order {
 			for _, b := range planBatches(spec, bySpec[spec], e.cfg.MaxBatch) {
+				e.seq++
+				b.seq = e.seq
 				if e.tracer != nil {
 					b.tr = &batchTrace{}
 				}
@@ -429,8 +498,12 @@ func (e *Engine) stageTransferIn(s *shard) {
 		}
 		s.memMu.Unlock()
 
-		e.sys.ChargeHostToPIM(padded, true)
-		b.tin = float64(padded) / e.sys.Config().HostToPIMBandwidth
+		if e.inj != nil {
+			e.chargeTransferIn(s, b, padded)
+		} else {
+			e.sys.ChargeHostToPIM(padded, true)
+			b.tin = float64(padded) / e.sys.Config().HostToPIMBandwidth
+		}
 		if b.tr != nil {
 			b.tr.inEnd = time.Now()
 		}
@@ -445,6 +518,11 @@ func (e *Engine) stageCompute(s *shard) {
 	defer e.wg.Done()
 	defer close(s.out)
 	for b := range s.mid {
+		if e.inj != nil {
+			e.computeShardFaulty(s, b)
+			s.out <- b
+			continue
+		}
 		if b.tr != nil {
 			b.tr.setupStart = time.Now()
 		}
@@ -505,26 +583,7 @@ func (e *Engine) stageCompute(s *shard) {
 // bit-identical to the per-element interpreted loop (Config.Reference
 // forces the latter). Allocation-free in steady state.
 func (e *Engine) computeCore(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Operator, local, count int) {
-	m := ctx.DPU().MRAM
-	in, out := s.inAddr[b.slot][local], s.outAddr[b.slot][local]
-	ctx.Charge(4)
-	ctx.ChargeDMA(count * 4)
-	if !e.cfg.Reference && op.HasFastPath() {
-		lo := local * b.perDPU
-		xs := s.inBuf[b.slot][lo : lo+count]
-		ys := s.ys[local][:count]
-		op.EvalBatch(ctx, xs, ys)
-		ctx.ChargeSig(&e.streamSig, uint64(count))
-		m.WriteF32s(out, ys)
-	} else {
-		for j := 0; j < count; j++ {
-			x := ctx.LoadStreamedF32(m, in+4*j)
-			y := op.Eval(ctx, x)
-			ctx.StoreStreamedF32(m, out+4*j, y)
-			ctx.Charge(2)
-		}
-	}
-	ctx.ChargeDMA(count * 4)
+	e.computeCoreAt(ctx, s, b, op, local, local, b.perDPU, count)
 }
 
 // gatherOutputs reads a drained batch's results back into its
@@ -534,19 +593,40 @@ func (e *Engine) computeCore(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Opera
 func (s *shard) gatherOutputs(b *batch) {
 	per := b.perDPU
 	flat := s.outBuf[b.slot]
-	s.memMu.Lock()
-	for d := range s.dpus {
-		lo := d * per
-		if lo >= b.n {
-			break
+	switch {
+	case b.hostEval:
+		// Degraded: the host mirror already wrote the results into the
+		// staging buffer; there is nothing to read back from MRAM.
+	case b.remapped:
+		// Remapped: chunk j lives on healthy lane b.lanes[j].
+		s.memMu.Lock()
+		for j, k := range b.lanes {
+			lo := j * per
+			if lo >= b.n {
+				break
+			}
+			hi := lo + per
+			if hi > b.n {
+				hi = b.n
+			}
+			s.dpus[k].MRAM.ReadF32s(s.outAddr[b.slot][k], flat[lo:hi])
 		}
-		hi := lo + per
-		if hi > b.n {
-			hi = b.n
+		s.memMu.Unlock()
+	default:
+		s.memMu.Lock()
+		for d := range s.dpus {
+			lo := d * per
+			if lo >= b.n {
+				break
+			}
+			hi := lo + per
+			if hi > b.n {
+				hi = b.n
+			}
+			s.dpus[d].MRAM.ReadF32s(s.outAddr[b.slot][d], flat[lo:hi])
 		}
-		s.dpus[d].MRAM.ReadF32s(s.outAddr[b.slot][d], flat[lo:hi])
+		s.memMu.Unlock()
 	}
-	s.memMu.Unlock()
 	idx := 0
 	for _, sg := range b.segs {
 		copy(sg.req.outputs[sg.off:sg.off+sg.n], flat[idx:idx+sg.n])
@@ -567,9 +647,22 @@ func (e *Engine) stageTransferOut(s *shard) {
 		if b.err == nil {
 			s.gatherOutputs(b)
 			_, padded := shardPlan(b.n, len(s.dpus))
-			e.sys.ChargePIMToHost(padded, true)
-			b.tout = float64(padded) / e.sys.Config().PIMToHostBandwidth
-			bytesIn, bytesOut = padded, padded
+			bytesIn = padded
+			switch {
+			case b.hostEval:
+				// Degraded results come from host memory: nothing to
+				// transfer back from the cores.
+			case e.inj != nil:
+				if b.remapped {
+					padded = b.perDPU * 4 * len(b.lanes)
+				}
+				e.chargeTransferOut(s, b, padded)
+				bytesOut = padded
+			default:
+				e.sys.ChargePIMToHost(padded, true)
+				b.tout = float64(padded) / e.sys.Config().PIMToHostBandwidth
+				bytesOut = padded
+			}
 		}
 		if b.tr != nil {
 			b.tr.outEnd = time.Now()

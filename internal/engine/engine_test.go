@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -291,8 +292,8 @@ func TestClose(t *testing.T) {
 	}
 	e.Close()
 	e.Close() // idempotent
-	if _, _, err := e.EvaluateBatch(fn, par, []float32{0.5}); err == nil {
-		t.Fatal("EvaluateBatch after Close should fail")
+	if _, _, err := e.EvaluateBatch(fn, par, []float32{0.5}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("EvaluateBatch after Close = %v, want ErrEngineClosed", err)
 	}
 }
 

@@ -1,0 +1,192 @@
+package engine
+
+import "sync"
+
+// ReliabilityConfig tunes the engine's recovery ladder when fault
+// injection is enabled (Config.Faults). The zero value selects the
+// defaults noted per field. All durations are modeled simulator
+// seconds, not wall clock — recovery costs show up in the same
+// accounting as the work they protect, and tests stay fast and
+// scheduler-independent.
+type ReliabilityConfig struct {
+	// MaxRetries bounds launch and transfer retries per batch (default
+	// 3). When exhausted the batch degrades to the host mirror.
+	MaxRetries int
+	// RetryBackoff is the modeled pause before the first retry (default
+	// 1µs); it doubles per subsequent attempt.
+	RetryBackoff float64
+	// LaunchTimeout, when > 0, fails a launch attempt whose modeled
+	// kernel time (slowest lane) exceeds it — the straggler cutoff. The
+	// slowest lane is blamed on the health tracker. Zero disables.
+	LaunchTimeout float64
+	// QuarantineAfter quarantines a DPU after this many consecutive
+	// failures (default 3). A failure during probation re-quarantines
+	// immediately.
+	QuarantineAfter int
+	// ProbationAfter is how many batch sequence numbers a DPU sits
+	// quarantined before it is re-admitted on probation (default 16).
+	// The penalty doubles on every re-quarantine.
+	ProbationAfter uint64
+	// ProbationSuccesses is how many clean launches a probationary DPU
+	// needs for full re-admission (default 2).
+	ProbationSuccesses int
+	// HedgeRatio, when > 1, relaunches a batch's slowest lane on its
+	// own when that lane's modeled cycles exceed HedgeRatio times the
+	// lane median, keeping the cheaper of the two runs. Zero disables.
+	HedgeRatio float64
+}
+
+func (c ReliabilityConfig) withDefaults() ReliabilityConfig {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 1e-6
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.ProbationAfter == 0 {
+		c.ProbationAfter = 16
+	}
+	if c.ProbationSuccesses <= 0 {
+		c.ProbationSuccesses = 2
+	}
+	return c
+}
+
+// backoff returns the modeled pause before retry attempt n (1-based):
+// RetryBackoff doubling per attempt.
+func (c ReliabilityConfig) backoff(attempt uint64) float64 {
+	d := c.RetryBackoff
+	for i := uint64(1); i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// LaneHealth is one DPU's row of the health scoreboard.
+type LaneHealth struct {
+	DPU         int    // global core id
+	Errors      uint64 // lifetime failures (injected hard fails, timeouts)
+	Consecutive int    // current consecutive-failure streak
+	Quarantined bool   // excluded from launches until the penalty lapses
+	Probation   bool   // re-admitted, needs clean launches to clear
+}
+
+// healthTracker is the per-DPU error/latency scoreboard driving shard
+// remapping: consecutive failures quarantine a core, quarantined cores
+// are excluded from launch plans, and after a (doubling) penalty the
+// core is re-admitted on probation — a failure there re-quarantines it
+// immediately, successes clear it. Quarantine time is measured in
+// batch sequence numbers, the engine's deterministic clock.
+type healthTracker struct {
+	rel ReliabilityConfig
+
+	mu    sync.Mutex
+	lanes []laneState
+}
+
+type laneState struct {
+	errors      uint64
+	consecutive int
+	quarantined bool
+	probation   bool
+	since       uint64 // seq at quarantine entry
+	penalty     uint64 // quarantine length in seqs; doubles per re-entry
+	probationOK int    // clean launches accumulated on probation
+}
+
+func newHealthTracker(dpus int, rel ReliabilityConfig) *healthTracker {
+	return &healthTracker{rel: rel, lanes: make([]laneState, dpus)}
+}
+
+// recordFailure charges one failure (hard fail or timeout) against a
+// DPU at batch seq. Reaching the consecutive threshold — or any
+// failure while on probation — quarantines the core, doubling the
+// penalty on every re-entry.
+func (h *healthTracker) recordFailure(dpu int, seq uint64) {
+	h.mu.Lock()
+	st := &h.lanes[dpu]
+	st.errors++
+	st.consecutive++
+	if st.probation || st.consecutive >= h.rel.QuarantineAfter {
+		st.quarantined = true
+		st.probation = false
+		st.probationOK = 0
+		st.since = seq
+		if st.penalty == 0 {
+			st.penalty = h.rel.ProbationAfter
+		} else {
+			st.penalty *= 2
+		}
+	}
+	h.mu.Unlock()
+}
+
+// recordSuccess clears a DPU's failure streak; enough successes on
+// probation fully re-admit it.
+func (h *healthTracker) recordSuccess(dpu int) {
+	h.mu.Lock()
+	st := &h.lanes[dpu]
+	st.consecutive = 0
+	if st.probation {
+		st.probationOK++
+		if st.probationOK >= h.rel.ProbationSuccesses {
+			st.probation = false
+			st.probationOK = 0
+		}
+	}
+	h.mu.Unlock()
+}
+
+// available reports whether a DPU may serve the batch at seq. A
+// quarantined core whose penalty has lapsed transitions to probation
+// (and becomes available) here.
+func (h *healthTracker) available(dpu int, seq uint64) bool {
+	h.mu.Lock()
+	st := &h.lanes[dpu]
+	if st.quarantined {
+		if seq >= st.since+st.penalty {
+			st.quarantined = false
+			st.probation = true
+			st.probationOK = 0
+		} else {
+			h.mu.Unlock()
+			return false
+		}
+	}
+	h.mu.Unlock()
+	return true
+}
+
+// quarantinedCount returns how many DPUs are currently quarantined.
+func (h *healthTracker) quarantinedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for i := range h.lanes {
+		if h.lanes[i].quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot returns the scoreboard, one row per DPU.
+func (h *healthTracker) snapshot() []LaneHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]LaneHealth, len(h.lanes))
+	for i := range h.lanes {
+		st := &h.lanes[i]
+		out[i] = LaneHealth{
+			DPU:         i,
+			Errors:      st.errors,
+			Consecutive: st.consecutive,
+			Quarantined: st.quarantined,
+			Probation:   st.probation,
+		}
+	}
+	return out
+}

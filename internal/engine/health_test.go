@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testRel() ReliabilityConfig {
+	return ReliabilityConfig{}.withDefaults() // QuarantineAfter 3, ProbationAfter 16, ProbationSuccesses 2
+}
+
+// TestQuarantineEntry: a DPU is quarantined exactly at the consecutive-
+// failure threshold, and a success before it resets the streak.
+func TestQuarantineEntry(t *testing.T) {
+	h := newHealthTracker(2, testRel())
+	h.recordFailure(0, 1)
+	h.recordFailure(0, 2)
+	if !h.available(0, 3) {
+		t.Fatal("dpu 0 quarantined below the threshold")
+	}
+	h.recordSuccess(0) // streak reset
+	h.recordFailure(0, 4)
+	h.recordFailure(0, 5)
+	if !h.available(0, 6) {
+		t.Fatal("dpu 0 quarantined after a reset streak of 2")
+	}
+	h.recordFailure(0, 6) // third consecutive → quarantine
+	if h.available(0, 7) {
+		t.Fatal("dpu 0 available at the quarantine threshold")
+	}
+	if h.quarantinedCount() != 1 {
+		t.Fatalf("quarantinedCount = %d, want 1", h.quarantinedCount())
+	}
+	if h.available(1, 7) != true {
+		t.Fatal("healthy dpu 1 unavailable")
+	}
+}
+
+// TestQuarantineExitAndProbation: the penalty lapses after
+// ProbationAfter seqs, the core returns on probation, and
+// ProbationSuccesses clean launches fully re-admit it.
+func TestQuarantineExitAndProbation(t *testing.T) {
+	rel := testRel()
+	h := newHealthTracker(1, rel)
+	for i := uint64(1); i <= 3; i++ {
+		h.recordFailure(0, 10)
+	}
+	if h.available(0, 10+rel.ProbationAfter-1) {
+		t.Fatal("available before the penalty lapsed")
+	}
+	if !h.available(0, 10+rel.ProbationAfter) {
+		t.Fatal("not re-admitted on probation after the penalty")
+	}
+	sn := h.snapshot()[0]
+	if !sn.Probation || sn.Quarantined {
+		t.Fatalf("post-penalty state = %+v, want probation", sn)
+	}
+	h.recordSuccess(0)
+	if sn := h.snapshot()[0]; !sn.Probation {
+		t.Fatal("probation cleared after one success, want two")
+	}
+	h.recordSuccess(0)
+	if sn := h.snapshot()[0]; sn.Probation || sn.Quarantined {
+		t.Fatalf("state after full re-admission = %+v", sn)
+	}
+}
+
+// TestProbationFailureRequarantines: any failure on probation
+// re-quarantines immediately with a doubled penalty.
+func TestProbationFailureRequarantines(t *testing.T) {
+	rel := testRel()
+	h := newHealthTracker(1, rel)
+	for i := 0; i < 3; i++ {
+		h.recordFailure(0, 10)
+	}
+	if !h.available(0, 10+rel.ProbationAfter) {
+		t.Fatal("not on probation")
+	}
+	h.recordFailure(0, 30) // single probation failure
+	if h.available(0, 31) {
+		t.Fatal("probation failure did not re-quarantine")
+	}
+	// Penalty doubled: 2×ProbationAfter from seq 30.
+	if h.available(0, 30+2*rel.ProbationAfter-1) {
+		t.Fatal("re-quarantine penalty did not double")
+	}
+	if !h.available(0, 30+2*rel.ProbationAfter) {
+		t.Fatal("not re-admitted after the doubled penalty")
+	}
+}
+
+// TestHealthDeterminism: identical failure/success sequences produce
+// identical scoreboards — the property that makes chaos-run remapping
+// replayable.
+func TestHealthDeterminism(t *testing.T) {
+	run := func() []LaneHealth {
+		h := newHealthTracker(4, testRel())
+		script := []struct {
+			dpu  int
+			seq  uint64
+			fail bool
+		}{
+			{0, 1, true}, {1, 1, false}, {0, 2, true}, {0, 3, true},
+			{2, 4, true}, {1, 5, true}, {0, 20, false}, {3, 21, true},
+		}
+		for _, s := range script {
+			if s.fail {
+				h.recordFailure(s.dpu, s.seq)
+			} else {
+				h.recordSuccess(s.dpu)
+			}
+			h.available(s.dpu, s.seq)
+		}
+		return h.snapshot()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical scripts diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestBackoffSchedule: the modeled backoff doubles per attempt and is
+// a pure function of the config (deterministic across identical
+// seeds/plans).
+func TestBackoffSchedule(t *testing.T) {
+	rel := ReliabilityConfig{RetryBackoff: 2e-6}.withDefaults()
+	want := []float64{2e-6, 4e-6, 8e-6, 16e-6}
+	for i, w := range want {
+		if got := rel.backoff(uint64(i + 1)); got != w {
+			t.Errorf("backoff(%d) = %g, want %g", i+1, got, w)
+		}
+	}
+	again := ReliabilityConfig{RetryBackoff: 2e-6}.withDefaults()
+	for n := uint64(1); n < 8; n++ {
+		if rel.backoff(n) != again.backoff(n) {
+			t.Fatalf("backoff(%d) not deterministic", n)
+		}
+	}
+}

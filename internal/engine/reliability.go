@@ -1,0 +1,489 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/faultsim"
+	"transpimlib/internal/pimsim"
+)
+
+// This file is the engine's recovery ladder, active only when
+// Config.Faults enables the injector (e.inj != nil): launch retries
+// with modeled exponential backoff, health-driven shard remapping onto
+// the surviving cores, optional hedged relaunches for stragglers,
+// MRAM table scrubbing with checksum repair, and — when everything
+// else is exhausted — graceful degradation onto the bit-exact host
+// mirrors. With injection disabled none of these paths run and the
+// pipeline is bit-identical to the fault-free engine.
+
+// engineFaultAgent adapts the faultsim injector to the simulator's
+// FaultAgent hook, counting injected faults into the engine metrics.
+// It keeps faultsim free of pimsim imports.
+type engineFaultAgent struct {
+	inj *faultsim.Injector
+	met *metrics
+}
+
+func (a *engineFaultAgent) Launch(seq, attempt uint64, lane int) pimsim.LaunchVerdict {
+	fail, slow := a.inj.LaunchDecision(seq, uint64(lane), attempt)
+	if fail {
+		a.met.faults[faultsim.DPUFail].Inc()
+		return pimsim.LaunchVerdict{Fail: true}
+	}
+	if slow > 1 {
+		a.met.faults[faultsim.DPUSlow].Inc()
+		return pimsim.LaunchVerdict{SlowFactor: slow}
+	}
+	return pimsim.LaunchVerdict{}
+}
+
+func (a *engineFaultAgent) Transfer(seq, attempt uint64, out bool) bool {
+	c := faultsim.TransferIn
+	if out {
+		c = faultsim.TransferOut
+	}
+	if a.inj.TransferDecision(c, seq, attempt) {
+		a.met.faults[c].Inc()
+		return true
+	}
+	return false
+}
+
+// chargeTransferIn is the checked host→PIM charge with bounded retry:
+// every attempt (failed ones included) costs the transfer time, each
+// retry adds the modeled backoff. Exhaustion marks the batch so the
+// compute stage degrades it to the host mirror — the inputs are still
+// in host staging, so no result is lost.
+func (e *Engine) chargeTransferIn(s *shard, b *batch, padded int) {
+	bw := e.sys.Config().HostToPIMBandwidth
+	for attempt := uint64(0); ; attempt++ {
+		err := e.sys.TryChargeHostToPIM(b.seq, attempt, padded, true)
+		b.tin += float64(padded) / bw
+		if err == nil {
+			return
+		}
+		e.met.transferRetries.Inc()
+		if attempt >= uint64(e.rel.MaxRetries) {
+			b.inFailed = true
+			return
+		}
+		b.retries++
+		b.tin += e.rel.backoff(attempt + 1)
+	}
+}
+
+// chargeTransferOut mirrors chargeTransferIn for PIM→host. On
+// exhaustion the results — already gathered into host staging and
+// bit-exact by construction — stand in for a host-mirror re-evaluation
+// and the batch is marked degraded.
+func (e *Engine) chargeTransferOut(s *shard, b *batch, padded int) {
+	bw := e.sys.Config().PIMToHostBandwidth
+	for attempt := uint64(0); ; attempt++ {
+		err := e.sys.TryChargePIMToHost(b.seq, attempt, padded, true)
+		b.tout += float64(padded) / bw
+		if err == nil {
+			return
+		}
+		e.met.transferRetries.Inc()
+		if attempt >= uint64(e.rel.MaxRetries) {
+			if !b.degraded {
+				b.degraded = true
+				e.met.degraded.Inc()
+			}
+			return
+		}
+		b.retries++
+		b.tout += e.rel.backoff(attempt + 1)
+	}
+}
+
+// fnv1a is the per-lane table checksum (FNV-1a 64).
+func fnv1a(p []byte) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for _, b := range p {
+		h = (h ^ uint64(b)) * 0x1099511628211
+	}
+	return h
+}
+
+// captureGolden refreshes each lane's golden table image — the MRAM
+// region between the pre-touched I/O buffers and the allocation brk,
+// i.e. every table resident on the core — whenever a build grew it.
+// The golden copy plus its checksum are the scrub reference.
+func (e *Engine) captureGolden(s *shard) {
+	for k, d := range s.dpus {
+		end := d.MRAM.Used()
+		if end == s.goldenEnd[k] {
+			continue
+		}
+		n := end - s.ioEnd[k]
+		if cap(s.golden[k]) < n {
+			s.golden[k] = make([]byte, n)
+		}
+		s.golden[k] = s.golden[k][:n]
+		d.MRAM.Read(s.ioEnd[k], s.golden[k])
+		s.goldenSum[k] = fnv1a(s.golden[k])
+		s.goldenEnd[k] = end
+	}
+}
+
+// flipAndRepair injects this batch's scheduled MRAM bit-flips into the
+// lanes' table regions, then scrubs every lane: a checksum mismatch
+// rewrites the golden image (charged as a serial host→PIM re-stage
+// into the batch's setup time). Tables are verified-clean when it
+// returns, so kernels and mirror-nil fallbacks never read corrupted
+// entries. The region is pre-backed and disjoint from the I/O
+// buffers, so no memory lock is needed.
+func (e *Engine) flipAndRepair(s *shard, b *batch) {
+	bw := e.sys.Config().HostToPIMBandwidth
+	for k, d := range s.dpus {
+		region := s.golden[k]
+		if off, bit, ok := e.inj.FlipBit(b.seq, uint64(k), len(region)); ok {
+			e.met.faults[faultsim.BitFlip].Inc()
+			addr := s.ioEnd[k] + off
+			var one [1]byte
+			d.MRAM.Read(addr, one[:])
+			one[0] ^= 1 << bit
+			d.MRAM.Write(addr, one[:])
+		}
+		if len(region) == 0 {
+			continue
+		}
+		if cap(s.scratch) < len(region) {
+			s.scratch = make([]byte, len(region))
+		}
+		cur := s.scratch[:len(region)]
+		d.MRAM.Read(s.ioEnd[k], cur)
+		if fnv1a(cur) == s.goldenSum[k] {
+			continue
+		}
+		e.met.corruptions.Inc()
+		d.MRAM.Write(s.ioEnd[k], region)
+		e.sys.ChargeHostToPIM(len(region), false)
+		b.setup += float64(len(region)) / bw
+		e.met.repairs.Inc()
+	}
+}
+
+// healthyLanes returns the shard-local indices of the cores allowed to
+// serve seq (probation re-admissions happen inside available).
+func (e *Engine) healthyLanes(s *shard, seq uint64) []int {
+	lanes := s.lanesScratch[:0]
+	for k, id := range s.ids {
+		if e.health.available(id, seq) {
+			lanes = append(lanes, k)
+		}
+	}
+	s.lanesScratch = lanes
+	return lanes
+}
+
+// restage rewrites the batch's inputs into the healthy lanes' MRAM
+// input buffers under the remapped ceil(n/len(lanes)) layout and
+// charges the extra rank-parallel transfer into the batch.
+func (e *Engine) restage(s *shard, b *batch, lanes []int, per int) {
+	flat := s.inBuf[b.slot]
+	for j, k := range lanes {
+		lo := j * per
+		if lo >= b.n {
+			break
+		}
+		hi := lo + per
+		if hi > b.n {
+			hi = b.n
+		}
+		s.dpus[k].MRAM.WriteF32s(s.inAddr[b.slot][k], flat[lo:hi])
+	}
+	padded := per * 4 * len(lanes)
+	e.sys.ChargeHostToPIM(padded, true)
+	b.tin += float64(padded) / e.sys.Config().HostToPIMBandwidth
+}
+
+// computeShardFaulty is the compute stage's body under fault
+// injection: ensure tables, scrub them, then walk the recovery ladder
+// — retry (fresh injector draws per attempt), remap onto healthy
+// lanes, hedge stragglers, and finally degrade to the host mirror.
+func (e *Engine) computeShardFaulty(s *shard, b *batch) {
+	if b.tr != nil {
+		b.tr.setupStart = time.Now()
+	}
+	ops, hit, setup, err := e.cache.ensure(b.spec, s)
+	if b.tr != nil {
+		b.tr.setupEnd = time.Now()
+	}
+	e.met.cachedSpecs.Set(int64(e.cache.size()))
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.hit, b.setup = hit, setup
+
+	if b.tr != nil {
+		b.tr.kernStart = time.Now()
+		defer func() { b.tr.kernEnd = time.Now() }()
+	}
+	if e.inj.Active(faultsim.BitFlip) {
+		e.captureGolden(s)
+		e.flipAndRepair(s, b)
+	}
+	if b.inFailed {
+		// Transfer-in never delivered the inputs to the cores; the host
+		// staging copy still has them.
+		e.degradeBatch(s, b, ops)
+		return
+	}
+
+	base := s.ids[0]
+	minLanes := (b.n + s.capPerDPU - 1) / s.capPerDPU
+	staged := -1 // number of lanes the current MRAM layout targets; -1 = original full layout
+	for i := range s.failedLane {
+		s.failedLane[i] = false
+	}
+	for attempt := uint64(0); ; attempt++ {
+		lanes := e.healthyLanes(s, b.seq)
+		if len(lanes) < minLanes {
+			e.degradeBatch(s, b, ops)
+			return
+		}
+		per := (b.n + len(lanes) - 1) / len(lanes)
+		remapped := len(lanes) < len(s.ids)
+		if remapped && len(lanes) != staged {
+			e.restage(s, b, lanes, per)
+			staged = len(lanes)
+			if !b.remapped {
+				b.remapped = true
+				e.met.remaps.Inc()
+			}
+		}
+
+		ids := s.launchIDs[:0]
+		for i := range s.chunkOf {
+			s.chunkOf[i] = -1
+		}
+		for j, k := range lanes {
+			ids = append(ids, s.ids[k])
+			s.chunkOf[k] = j
+			d := s.dpus[k]
+			s.issue0[j] = d.IssueCycles()
+			s.dma0[j] = d.DMACycles()
+		}
+		s.launchIDs = ids
+
+		err := e.sys.LaunchShardSeq(b.seq, attempt, ids, func(ctx *pimsim.Ctx, id int) error {
+			ln := id - base
+			j := s.chunkOf[ln]
+			count := b.n - j*per
+			if count > per {
+				count = per
+			}
+			if count <= 0 {
+				return nil
+			}
+			e.computeCoreAt(ctx, s, b, ops[ln], ln, j, per, count)
+			return nil
+		})
+
+		// Account the attempt — failed attempts still burned the
+		// surviving lanes' cycles.
+		var mx uint64
+		slowest := 0
+		for j, k := range lanes {
+			d := s.dpus[k]
+			c := pimsim.ClosedFormCycles(d.IssueCycles()-s.issue0[j], d.DMACycles()-s.dma0[j], d.Tasklets())
+			s.deltas[j] = c
+			if c > mx {
+				mx, slowest = c, j
+			}
+		}
+
+		retry := false
+		var le *pimsim.LaunchError
+		switch {
+		case errors.As(err, &le):
+			for _, p := range le.Lanes {
+				s.failedLane[lanes[p]] = true
+				e.health.recordFailure(s.ids[lanes[p]], b.seq)
+			}
+			retry = true
+		case err != nil:
+			// A genuine kernel error is not recoverable by retry.
+			b.cycles += mx
+			b.tcomp += float64(mx) / e.sys.Config().ClockHz
+			b.err = err
+			return
+		case e.rel.LaunchTimeout > 0 && float64(mx)/e.sys.Config().ClockHz > e.rel.LaunchTimeout:
+			e.met.timeouts.Inc()
+			s.failedLane[lanes[slowest]] = true
+			e.health.recordFailure(s.ids[lanes[slowest]], b.seq)
+			retry = true
+		}
+
+		if retry {
+			b.cycles += mx
+			b.tcomp += float64(mx) / e.sys.Config().ClockHz
+			e.met.quarantined.Set(int64(e.health.quarantinedCount()))
+			if attempt >= uint64(e.rel.MaxRetries) {
+				e.degradeBatch(s, b, ops)
+				return
+			}
+			b.retries++
+			e.met.launchRetries.Inc()
+			b.tcomp += e.rel.backoff(attempt + 1)
+			continue
+		}
+
+		mx = e.maybeHedge(s, b, ops, lanes, per, mx)
+		b.cycles += mx
+		b.tcomp += float64(mx) / e.sys.Config().ClockHz
+		for _, k := range lanes {
+			// A lane that failed earlier in this batch keeps its streak:
+			// a retry succeeding elsewhere says nothing good about it.
+			if !s.failedLane[k] {
+				e.health.recordSuccess(s.ids[k])
+			}
+		}
+		e.met.quarantined.Set(int64(e.health.quarantinedCount()))
+		if b.remapped {
+			b.lanes = append(b.lanes[:0], lanes...)
+			b.perDPU = per
+		}
+		return
+	}
+}
+
+// maybeHedge relaunches the slowest lane of a successful launch when
+// its cycle delta exceeds HedgeRatio × the lane median, keeping the
+// cheaper of the two runs (the kernel is idempotent: the relaunch
+// rewrites the same outputs). Returns the batch's effective
+// slowest-lane cycles.
+func (e *Engine) maybeHedge(s *shard, b *batch, ops []*core.Operator, lanes []int, per int, mx uint64) uint64 {
+	if e.rel.HedgeRatio <= 1 || len(lanes) < 2 {
+		return mx
+	}
+	deltas := s.deltas[:len(lanes)]
+	slowest := 0
+	for j := range deltas {
+		if deltas[j] > deltas[slowest] {
+			slowest = j
+		}
+	}
+	med := medianCycles(deltas, s.medScratch)
+	if med == 0 || float64(deltas[slowest]) < e.rel.HedgeRatio*float64(med) {
+		return mx
+	}
+	k := lanes[slowest]
+	j := slowest
+	count := b.n - j*per
+	if count > per {
+		count = per
+	}
+	if count <= 0 {
+		return mx
+	}
+	d := s.dpus[k]
+	i0, d0 := d.IssueCycles(), d.DMACycles()
+	// A large attempt bias gives the hedge a fresh, independent draw
+	// stream that ordinary retries never reach.
+	err := e.sys.LaunchShardSeq(b.seq, uint64(e.rel.MaxRetries)+1000, []int{s.ids[k]}, func(ctx *pimsim.Ctx, id int) error {
+		e.computeCoreAt(ctx, s, b, ops[k], k, j, per, count)
+		return nil
+	})
+	e.met.hedges.Inc()
+	b.hedged = true
+	if err != nil {
+		// The hedge itself failed; the original run's outputs stand.
+		return mx
+	}
+	hedged := pimsim.ClosedFormCycles(d.IssueCycles()-i0, d.DMACycles()-d0, d.Tasklets())
+	eff := deltas[slowest]
+	if hedged < eff {
+		eff = hedged
+	}
+	// The batch's critical path is the slower of the other lanes and
+	// the better of the two runs of the straggler's chunk.
+	best := eff
+	for jj := range deltas {
+		if jj != slowest && deltas[jj] > best {
+			best = deltas[jj]
+		}
+	}
+	return best
+}
+
+// medianCycles computes the lower median of deltas using scratch for
+// the sort (insertion sort: lane counts are small). Lower median so a
+// single straggler among few lanes cannot drag the reference up to
+// itself and mask the comparison.
+func medianCycles(deltas, scratch []uint64) uint64 {
+	sc := scratch[:0]
+	sc = append(sc, deltas...)
+	for i := 1; i < len(sc); i++ {
+		for j := i; j > 0 && sc[j] < sc[j-1]; j-- {
+			sc[j], sc[j-1] = sc[j-1], sc[j]
+		}
+	}
+	return sc[(len(sc)-1)/2]
+}
+
+// degradeBatch is the ladder's last rung: evaluate the batch on the
+// host-side mirrors (bit-exact with the device kernels by the PR-3
+// differential contract), charging a throwaway recorder so no device
+// cycles are accounted. Results land directly in the output staging
+// buffer and the batch is marked degraded.
+func (e *Engine) degradeBatch(s *shard, b *batch, ops []*core.Operator) {
+	xs := s.inBuf[b.slot][:b.n]
+	ys := s.outBuf[b.slot][:b.n]
+	ops[0].EvalBatch(s.rec, xs, ys)
+	b.degraded, b.hostEval = true, true
+	e.met.degraded.Inc()
+}
+
+// computeCoreAt is computeCore generalized for remapping and hedging:
+// the serving lane ln (MRAM buffers, scratch, operator) is decoupled
+// from the batch chunk j it evaluates. computeCore is the ln == j
+// case.
+func (e *Engine) computeCoreAt(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Operator, ln, j, per, count int) {
+	m := ctx.DPU().MRAM
+	in, out := s.inAddr[b.slot][ln], s.outAddr[b.slot][ln]
+	ctx.Charge(4)
+	ctx.ChargeDMA(count * 4)
+	if !e.cfg.Reference && op.HasFastPath() {
+		lo := j * per
+		xs := s.inBuf[b.slot][lo : lo+count]
+		ys := s.ys[ln][:count]
+		op.EvalBatch(ctx, xs, ys)
+		ctx.ChargeSig(&e.streamSig, uint64(count))
+		m.WriteF32s(out, ys)
+	} else {
+		for i := 0; i < count; i++ {
+			x := ctx.LoadStreamedF32(m, in+4*i)
+			y := op.Eval(ctx, x)
+			ctx.StoreStreamedF32(m, out+4*i, y)
+			ctx.Charge(2)
+		}
+	}
+	ctx.ChargeDMA(count * 4)
+}
+
+// FaultEvents returns the canonical injected-fault log (nil when
+// injection is disabled). For a single-shard engine fed sequentially,
+// re-running the same workload under the same plan reproduces the log
+// byte for byte; with concurrent shards the retry attempt counts can
+// depend on batch routing.
+func (e *Engine) FaultEvents() []faultsim.Event {
+	if e.inj == nil {
+		return nil
+	}
+	return e.inj.Events()
+}
+
+// Health returns the per-DPU health scoreboard (nil when fault
+// injection is disabled).
+func (e *Engine) Health() []LaneHealth {
+	if e.health == nil {
+		return nil
+	}
+	return e.health.snapshot()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"transpimlib/internal/faultsim"
 	"transpimlib/internal/telemetry"
 )
 
@@ -43,6 +44,19 @@ type RequestStats struct {
 	// trace ring (Engine.TraceLast / /debug/trace). Zero when tracing
 	// is disabled.
 	TraceID uint64
+
+	// Degraded marks a request whose outputs (in part) came from the
+	// recovery ladder's last rung — host-mirror evaluation after
+	// retries and remapping were exhausted. The values are bit-exact
+	// with a healthy device run; the marker records that the PIM side
+	// did not produce them. Only set under fault injection.
+	Degraded bool
+	// Retries is the launch + transfer retries spent on the request's
+	// batches; Remaps/Hedges count its batches that were remapped onto
+	// a core subset or had a straggler lane hedged.
+	Retries int
+	Remaps  int
+	Hedges  int
 }
 
 // ModeledSeconds returns the total modeled pipeline time of the
@@ -83,6 +97,18 @@ type Stats struct {
 
 	BytesIn  uint64 // host→PIM payload bytes (padded, rank-parallel)
 	BytesOut uint64 // PIM→host payload bytes
+
+	// Reliability counters (all zero unless fault injection is on).
+	FaultsInjected   uint64 // faults fired across all classes
+	LaunchRetries    uint64 // kernel launch attempts beyond the first
+	TransferRetries  uint64 // transfer attempts beyond the first
+	LaunchTimeouts   uint64 // launches failed by the straggler cutoff
+	Remaps           uint64 // batches remapped onto a healthy core subset
+	Hedges           uint64 // straggler lanes relaunched
+	DegradedBatches  uint64 // batches completed on the host mirror
+	TableCorruptions uint64 // checksum mismatches found by scrubbing
+	TableRepairs     uint64 // table regions rewritten from golden copies
+	QuarantinedDPUs  uint64 // cores currently quarantined
 }
 
 // metrics is the atomic-counter accumulator behind Stats, registered
@@ -108,6 +134,19 @@ type metrics struct {
 	kernelCycles *telemetry.Counter
 	bytesIn      *telemetry.Counter
 	bytesOut     *telemetry.Counter
+
+	// Reliability series (registered unconditionally; they only move
+	// when fault injection is on).
+	faults          [faultsim.NumClasses]*telemetry.Counter
+	launchRetries   *telemetry.Counter
+	transferRetries *telemetry.Counter
+	timeouts        *telemetry.Counter
+	remaps          *telemetry.Counter
+	hedges          *telemetry.Counter
+	degraded        *telemetry.Counter
+	corruptions     *telemetry.Counter
+	repairs         *telemetry.Counter
+	quarantined     *telemetry.Gauge
 
 	cachedSpecs *telemetry.Gauge
 	queueDepth  *telemetry.Gauge
@@ -150,6 +189,20 @@ func newMetrics(reg *telemetry.Registry, shards int) *metrics {
 		queueDepth:    reg.Gauge("engine_queue_depth", "requests waiting in the submit queue"),
 		latency:       reg.Histogram("engine_request_latency_seconds", "wall-clock request latency", telemetry.LatencyBuckets()),
 		batchElems:    reg.Histogram("engine_batch_elements", "elements per dispatched batch", telemetry.SizeBuckets()),
+
+		launchRetries:   reg.Counter("engine_launch_retries_total", "kernel launch attempts beyond the first"),
+		transferRetries: reg.Counter("engine_transfer_retries_total", "host-PIM transfer attempts beyond the first"),
+		timeouts:        reg.Counter("engine_launch_timeouts_total", "launches failed by the modeled straggler cutoff"),
+		remaps:          reg.Counter("engine_remaps_total", "batches remapped onto a healthy core subset"),
+		hedges:          reg.Counter("engine_hedges_total", "straggler lanes relaunched"),
+		degraded:        reg.Counter("engine_degraded_total", "batches completed on the bit-exact host mirror"),
+		corruptions:     reg.Counter("engine_table_corruptions_total", "table checksum mismatches found by scrubbing"),
+		repairs:         reg.Counter("engine_table_repairs_total", "table regions rewritten from golden copies"),
+		quarantined:     reg.Gauge("engine_quarantined_dpus", "cores currently quarantined by the health tracker"),
+	}
+	for c := 0; c < faultsim.NumClasses; c++ {
+		lb := fmt.Sprintf("{class=%q}", faultsim.Class(c).String())
+		m.faults[c] = reg.Counter("engine_faults_injected_total"+lb, "injected faults fired, by class")
 	}
 	for s := 0; s < shards; s++ {
 		lb := fmt.Sprintf("{shard=%q}", fmt.Sprint(s))
@@ -224,5 +277,24 @@ func (m *metrics) snapshot() Stats {
 		KernelCycles:       m.kernelCycles.Load(),
 		BytesIn:            m.bytesIn.Load(),
 		BytesOut:           m.bytesOut.Load(),
+
+		FaultsInjected:   m.faultsTotal(),
+		LaunchRetries:    m.launchRetries.Load(),
+		TransferRetries:  m.transferRetries.Load(),
+		LaunchTimeouts:   m.timeouts.Load(),
+		Remaps:           m.remaps.Load(),
+		Hedges:           m.hedges.Load(),
+		DegradedBatches:  m.degraded.Load(),
+		TableCorruptions: m.corruptions.Load(),
+		TableRepairs:     m.repairs.Load(),
+		QuarantinedDPUs:  uint64(m.quarantined.Load()),
 	}
+}
+
+func (m *metrics) faultsTotal() uint64 {
+	var n uint64
+	for _, c := range m.faults {
+		n += c.Load()
+	}
+	return n
 }

@@ -69,6 +69,20 @@ func buildTrace(r *request, id uint64, end time.Time) *telemetry.Trace {
 		}
 		bs.SetAttr("elements", fmt.Sprint(b.n))
 		bs.SetAttr("requests", fmt.Sprint(len(b.segs)))
+		// Recovery outcomes, attached only when something happened so
+		// fault-free traces stay unchanged.
+		if b.retries > 0 {
+			bs.SetAttr("retries", fmt.Sprint(b.retries))
+		}
+		if b.remapped {
+			bs.SetAttr("remapped", "true")
+		}
+		if b.hedged {
+			bs.SetAttr("hedged", "true")
+		}
+		if b.degraded {
+			bs.SetAttr("degraded", "true")
+		}
 		if b.err != nil {
 			bs.Err = b.err.Error()
 		}

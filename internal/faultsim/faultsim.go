@@ -1,0 +1,306 @@
+// Package faultsim is a deterministic, seed-reproducible fault
+// injector for the PIM simulator. It models the failure classes a
+// 2500-DPU deployment actually exhibits — hard DPU failures, straggler
+// slowdowns, MRAM bit-flips in resident tables, and host↔PIM transfer
+// faults — each driven by an injection schedule (a probability, a
+// deterministic trigger list, and/or a sequence window) under a single
+// PRNG seed.
+//
+// Determinism discipline: every injection decision is a pure function
+// of (seed, class, seq, lane, attempt) through a counter-based hash —
+// there is no shared sequential PRNG — so a verdict does not depend on
+// the order in which concurrent pipeline stages happen to consult the
+// injector. Retries pass a fresh attempt index and therefore get fresh
+// draws. The event log records only those deterministic coordinates
+// (never scheduling-dependent ids such as the serving shard), and
+// Events returns it canonically sorted, so a replay of the same
+// workload under the same seed reproduces the identical log.
+package faultsim
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// DPUFail is a hard core failure: the kernel for that lane does
+	// not run and the launch reports the lane as failed.
+	DPUFail Class = iota
+	// DPUSlow is the straggler model: the lane's kernel runs but its
+	// modeled cycle delta is scaled by the plan's SlowFactor.
+	DPUSlow
+	// BitFlip corrupts one bit of a lane's resident table region in
+	// MRAM (detected by the engine's per-table checksums).
+	BitFlip
+	// TransferIn fails a host→PIM transfer after its time was charged.
+	TransferIn
+	// TransferOut fails a PIM→host transfer after its time was charged.
+	TransferOut
+
+	// NumClasses is the number of fault classes.
+	NumClasses int = iota
+)
+
+var classNames = [NumClasses]string{
+	"dpu_fail", "dpu_slow", "bit_flip", "transfer_in", "transfer_out",
+}
+
+// String returns the canonical snake_case class name used in event
+// logs and metric labels.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return "unknown"
+	}
+	return classNames[c]
+}
+
+// Trigger deterministically fires a fault at one (seq, lane)
+// coordinate, independent of any probability. Triggers apply to
+// attempt 0 only: a retry escapes a triggered fault.
+type Trigger struct {
+	Seq  uint64
+	Lane uint64
+}
+
+// Window restricts a schedule's probabilistic draws to sequence
+// numbers in [From, To). The zero value (To == From) means no window:
+// draws apply everywhere. Triggers are not windowed.
+type Window struct {
+	From uint64
+	To   uint64
+}
+
+func (w Window) active() bool { return w.To > w.From }
+
+func (w Window) contains(seq uint64) bool {
+	return !w.active() || (seq >= w.From && seq < w.To)
+}
+
+// Schedule describes when one fault class fires: a per-opportunity
+// probability (gated by the optional window) plus a deterministic
+// trigger list.
+type Schedule struct {
+	Rate     float64 // probability per opportunity, in [0, 1]
+	Triggers []Trigger
+	Window   Window
+}
+
+func (s Schedule) active() bool { return s.Rate > 0 || len(s.Triggers) > 0 }
+
+// Plan is a full injection configuration: one schedule per fault
+// class under one seed. The zero value injects nothing.
+type Plan struct {
+	Seed uint64
+
+	DPUFail     Schedule
+	DPUSlow     Schedule
+	BitFlip     Schedule
+	TransferIn  Schedule
+	TransferOut Schedule
+
+	// SlowFactor is the cycle multiplier applied by DPUSlow faults
+	// (default 4 when a slow schedule is active).
+	SlowFactor float64
+}
+
+// Enabled reports whether any schedule can fire.
+func (p *Plan) Enabled() bool {
+	return p.DPUFail.active() || p.DPUSlow.active() || p.BitFlip.active() ||
+		p.TransferIn.active() || p.TransferOut.active()
+}
+
+func (p *Plan) schedule(c Class) *Schedule {
+	switch c {
+	case DPUFail:
+		return &p.DPUFail
+	case DPUSlow:
+		return &p.DPUSlow
+	case BitFlip:
+		return &p.BitFlip
+	case TransferIn:
+		return &p.TransferIn
+	default:
+		return &p.TransferOut
+	}
+}
+
+// Event is one injected fault, identified purely by its deterministic
+// coordinates so identical seeds produce identical logs regardless of
+// pipeline scheduling.
+type Event struct {
+	Class   string `json:"class"`
+	Seq     uint64 `json:"seq"`
+	Lane    uint64 `json:"lane"`
+	Attempt uint64 `json:"attempt"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Injector makes seeded injection decisions and records the faults
+// that fired. Decision methods are pure functions of their arguments
+// (safe for concurrent use); the event log is mutex-guarded.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	events []Event
+	counts [NumClasses]uint64
+}
+
+// DefaultSlowFactor is the straggler cycle multiplier applied when a
+// plan enables DPUSlow without choosing a factor.
+const DefaultSlowFactor = 4.0
+
+// NewInjector builds an injector for the plan, applying defaults.
+func NewInjector(p Plan) *Injector {
+	if p.SlowFactor <= 1 {
+		p.SlowFactor = DefaultSlowFactor
+	}
+	return &Injector{plan: p}
+}
+
+// Plan returns the injector's plan with defaults applied.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Active reports whether class c's schedule can ever fire — callers
+// use it to skip per-opportunity work (e.g. table scrubbing) for
+// classes the plan never injects.
+func (in *Injector) Active(c Class) bool { return in.plan.schedule(c).active() }
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over the
+// full 64-bit state.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// draw hashes one decision coordinate into a uniform 64-bit value.
+// salt separates independent streams sharing a coordinate (the
+// fire/no-fire draw vs. the bit-flip payload draw).
+func (in *Injector) draw(c Class, seq, lane, attempt, salt uint64) uint64 {
+	h := in.plan.Seed
+	h = mix64(h ^ (uint64(c)+1)*0x9E3779B97F4A7C15)
+	h = mix64(h ^ (seq+1)*0xD6E8FEB86659FD93)
+	h = mix64(h ^ (lane+1)*0xA3EC647659359ACD)
+	h = mix64(h ^ (attempt+1)*0xC2B2AE3D27D4EB4F)
+	h = mix64(h ^ salt*0x165667B19E3779F9)
+	return h
+}
+
+// fires decides whether class c fires at (seq, lane, attempt):
+// triggers (attempt 0 only) take precedence, then the windowed
+// probability draw.
+func (in *Injector) fires(c Class, seq, lane, attempt uint64) bool {
+	sch := in.plan.schedule(c)
+	if attempt == 0 {
+		for _, t := range sch.Triggers {
+			if t.Seq == seq && t.Lane == lane {
+				return true
+			}
+		}
+	}
+	if sch.Rate <= 0 || !sch.Window.contains(seq) {
+		return false
+	}
+	// Top 53 bits → uniform in [0, 1).
+	u := float64(in.draw(c, seq, lane, attempt, 0)>>11) / (1 << 53)
+	return u < sch.Rate
+}
+
+func (in *Injector) record(ev Event, c Class) {
+	in.mu.Lock()
+	in.events = append(in.events, ev)
+	in.counts[c]++
+	in.mu.Unlock()
+}
+
+// LaunchDecision returns the launch-time verdict for one lane of one
+// kernel launch: a hard failure, or a slowdown factor (> 1) for the
+// straggler model, or neither. Fired faults are recorded.
+func (in *Injector) LaunchDecision(seq, lane, attempt uint64) (fail bool, slowFactor float64) {
+	if in.fires(DPUFail, seq, lane, attempt) {
+		in.record(Event{Class: DPUFail.String(), Seq: seq, Lane: lane, Attempt: attempt}, DPUFail)
+		return true, 0
+	}
+	if in.fires(DPUSlow, seq, lane, attempt) {
+		in.record(Event{
+			Class: DPUSlow.String(), Seq: seq, Lane: lane, Attempt: attempt,
+			Detail: "x" + formatFloat(in.plan.SlowFactor),
+		}, DPUSlow)
+		return false, in.plan.SlowFactor
+	}
+	return false, 0
+}
+
+// TransferDecision reports whether the transfer in direction c
+// (TransferIn or TransferOut) fails at (seq, attempt). Fired faults
+// are recorded.
+func (in *Injector) TransferDecision(c Class, seq, attempt uint64) bool {
+	if c != TransferIn && c != TransferOut {
+		return false
+	}
+	if !in.fires(c, seq, 0, attempt) {
+		return false
+	}
+	in.record(Event{Class: c.String(), Seq: seq, Attempt: attempt}, c)
+	return true
+}
+
+// FlipBit decides whether a bit-flip hits lane's resident table region
+// at seq, and if so derives a deterministic (offset, bit) within
+// regionBytes. Fired faults are recorded with the flip coordinates.
+func (in *Injector) FlipBit(seq, lane uint64, regionBytes int) (offset int, bit uint, ok bool) {
+	if regionBytes <= 0 || !in.fires(BitFlip, seq, lane, 0) {
+		return 0, 0, false
+	}
+	h := in.draw(BitFlip, seq, lane, 0, 1)
+	offset = int(h % uint64(regionBytes))
+	bit = uint((h >> 32) & 7)
+	in.record(Event{
+		Class: BitFlip.String(), Seq: seq, Lane: lane,
+		Detail: "off=" + formatUint(uint64(offset)) + " bit=" + formatUint(uint64(bit)),
+	}, BitFlip)
+	return offset, bit, true
+}
+
+// Events returns a canonically sorted copy of the fault log (by seq,
+// class, lane, attempt) — the replay-comparable artifact.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		return a.Attempt < b.Attempt
+	})
+	return out
+}
+
+// EventsJSON returns the canonical event log as indented JSON.
+func (in *Injector) EventsJSON() ([]byte, error) {
+	return json.MarshalIndent(in.Events(), "", "  ")
+}
+
+// Counts returns how many faults of each class fired.
+func (in *Injector) Counts() [NumClasses]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}

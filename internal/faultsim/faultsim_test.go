@@ -1,0 +1,193 @@
+package faultsim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDecisionDeterminism: injection decisions are pure functions of
+// (seed, class, seq, lane, attempt) — two injectors with the same plan
+// agree on every coordinate, and a different seed must disagree
+// somewhere.
+func TestDecisionDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, DPUFail: Schedule{Rate: 0.3}, DPUSlow: Schedule{Rate: 0.3}}
+	a, b := NewInjector(plan), NewInjector(plan)
+	other := NewInjector(Plan{Seed: 43, DPUFail: Schedule{Rate: 0.3}, DPUSlow: Schedule{Rate: 0.3}})
+	diff := false
+	for seq := uint64(0); seq < 64; seq++ {
+		for lane := uint64(0); lane < 4; lane++ {
+			for attempt := uint64(0); attempt < 3; attempt++ {
+				fa, sa := a.LaunchDecision(seq, lane, attempt)
+				fb, sb := b.LaunchDecision(seq, lane, attempt)
+				if fa != fb || sa != sb {
+					t.Fatalf("same seed disagrees at (%d,%d,%d)", seq, lane, attempt)
+				}
+				fo, so := other.LaunchDecision(seq, lane, attempt)
+				if fo != fa || so != sa {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds never disagreed over 768 draws")
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Error("same seed produced different event logs")
+	}
+}
+
+// TestRateExtremes: rate 0 never fires, rate 1 always fires.
+func TestRateExtremes(t *testing.T) {
+	never := NewInjector(Plan{Seed: 7})
+	always := NewInjector(Plan{Seed: 7, DPUFail: Schedule{Rate: 1}})
+	for seq := uint64(0); seq < 100; seq++ {
+		if fail, slow := never.LaunchDecision(seq, 0, 0); fail || slow > 0 {
+			t.Fatalf("zero plan fired at seq %d", seq)
+		}
+		if fail, _ := always.LaunchDecision(seq, 0, 0); !fail {
+			t.Fatalf("rate-1 plan missed seq %d", seq)
+		}
+	}
+	if n := len(never.Events()); n != 0 {
+		t.Errorf("zero plan logged %d events", n)
+	}
+	if n := len(always.Events()); n != 100 {
+		t.Errorf("rate-1 plan logged %d events, want 100", n)
+	}
+}
+
+// TestRateStatistics: a 20% rate over many draws lands near 20%.
+func TestRateStatistics(t *testing.T) {
+	in := NewInjector(Plan{Seed: 123, DPUFail: Schedule{Rate: 0.2}})
+	fired := 0
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		if fail, _ := in.LaunchDecision(seq, 0, 0); fail {
+			fired++
+		}
+	}
+	frac := float64(fired) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Errorf("rate 0.2 fired %.3f of draws", frac)
+	}
+}
+
+// TestTriggers: a trigger fires exactly at its (seq, lane) on attempt
+// 0, and a retry (attempt > 0) escapes it.
+func TestTriggers(t *testing.T) {
+	in := NewInjector(Plan{DPUFail: Schedule{Triggers: []Trigger{{Seq: 5, Lane: 1}}}})
+	for seq := uint64(0); seq < 10; seq++ {
+		for lane := uint64(0); lane < 3; lane++ {
+			fail, _ := in.LaunchDecision(seq, lane, 0)
+			want := seq == 5 && lane == 1
+			if fail != want {
+				t.Errorf("trigger at (%d,%d) = %v, want %v", seq, lane, fail, want)
+			}
+		}
+	}
+	if fail, _ := in.LaunchDecision(5, 1, 1); fail {
+		t.Error("trigger fired on a retry attempt")
+	}
+}
+
+// TestWindow: rate-1 draws fire only inside [From, To).
+func TestWindow(t *testing.T) {
+	in := NewInjector(Plan{TransferIn: Schedule{Rate: 1, Window: Window{From: 10, To: 20}}})
+	for seq := uint64(0); seq < 30; seq++ {
+		got := in.TransferDecision(TransferIn, seq, 0)
+		want := seq >= 10 && seq < 20
+		if got != want {
+			t.Errorf("windowed fault at seq %d = %v, want %v", seq, got, want)
+		}
+	}
+}
+
+// TestSlowFactor: DPUSlow verdicts carry the plan's factor, defaulting
+// to DefaultSlowFactor.
+func TestSlowFactor(t *testing.T) {
+	def := NewInjector(Plan{DPUSlow: Schedule{Rate: 1}})
+	if _, slow := def.LaunchDecision(0, 0, 0); slow != DefaultSlowFactor {
+		t.Errorf("default slow factor %g, want %g", slow, DefaultSlowFactor)
+	}
+	custom := NewInjector(Plan{DPUSlow: Schedule{Rate: 1}, SlowFactor: 8})
+	if _, slow := custom.LaunchDecision(0, 0, 0); slow != 8 {
+		t.Errorf("slow factor %g, want 8", slow)
+	}
+}
+
+// TestFlipBit: flip coordinates stay inside the region and are
+// deterministic per seed.
+func TestFlipBit(t *testing.T) {
+	a := NewInjector(Plan{Seed: 9, BitFlip: Schedule{Rate: 1}})
+	b := NewInjector(Plan{Seed: 9, BitFlip: Schedule{Rate: 1}})
+	const region = 4096
+	for seq := uint64(0); seq < 50; seq++ {
+		offA, bitA, okA := a.FlipBit(seq, 2, region)
+		offB, bitB, okB := b.FlipBit(seq, 2, region)
+		if !okA || !okB {
+			t.Fatalf("rate-1 flip missed seq %d", seq)
+		}
+		if offA != offB || bitA != bitB {
+			t.Fatalf("flip coordinates diverged at seq %d", seq)
+		}
+		if offA < 0 || offA >= region || bitA > 7 {
+			t.Fatalf("flip out of range: off=%d bit=%d", offA, bitA)
+		}
+	}
+	if _, _, ok := a.FlipBit(0, 0, 0); ok {
+		t.Error("flip fired on an empty region")
+	}
+}
+
+// TestEventsCanonical: events recorded from concurrent goroutines in
+// arbitrary order come back canonically sorted, so logs from two runs
+// with different schedules compare equal.
+func TestEventsCanonical(t *testing.T) {
+	mk := func(shuffle bool) []Event {
+		in := NewInjector(Plan{Seed: 5, DPUFail: Schedule{Rate: 0.5}, TransferOut: Schedule{Rate: 0.5}})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for seq := uint64(0); seq < 40; seq++ {
+					s := seq
+					if shuffle {
+						s = 39 - seq
+					}
+					in.LaunchDecision(s, uint64(w), 0)
+					if w == 0 {
+						in.TransferDecision(TransferOut, s, 0)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return in.Events()
+	}
+	fwd, rev := mk(false), mk(true)
+	if len(fwd) == 0 {
+		t.Fatal("no events fired")
+	}
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Error("canonical event logs differ across consultation orders")
+	}
+}
+
+// TestCounts: per-class counters match the event log.
+func TestCounts(t *testing.T) {
+	in := NewInjector(Plan{Seed: 11, DPUFail: Schedule{Rate: 1}})
+	for seq := uint64(0); seq < 7; seq++ {
+		in.LaunchDecision(seq, 0, 0)
+	}
+	counts := in.Counts()
+	if counts[DPUFail] != 7 {
+		t.Errorf("DPUFail count %d, want 7", counts[DPUFail])
+	}
+	if counts[DPUSlow] != 0 {
+		t.Errorf("DPUSlow count %d, want 0", counts[DPUSlow])
+	}
+}

@@ -1,0 +1,33 @@
+package faultsim
+
+import "testing"
+
+// FuzzParsePlan: the schedule parser must never panic, and any plan it
+// accepts must round-trip through the canonical String rendering to a
+// fixed point (String → ParsePlan → String is the identity).
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=42,dpufail=0.05,dpuslow=0.1x4,transfer=0.02",
+		"bitflip=0.01@10-20,failat=1:0;2:3",
+		"tin=1,tout=0,slowfactor=8",
+		"dpufail=0.5@0-1,slowat=9:9",
+		"seed=18446744073709551615,dpufail=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", canon, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, got)
+		}
+	})
+}

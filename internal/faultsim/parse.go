@@ -1,0 +1,213 @@
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the compact plan syntax used by the -faults CLI
+// flags: comma-separated key=value pairs. An empty string is the zero
+// (disabled) plan.
+//
+// Keys:
+//
+//	seed=N                 PRNG seed
+//	dpufail=R[@A-B]        hard-failure rate, optional seq window [A, B)
+//	dpuslow=R[xF][@A-B]    straggler rate, optional cycle factor F
+//	bitflip=R[@A-B]        table bit-flip rate (per lane per batch)
+//	tin=R[@A-B]            host→PIM transfer-fault rate
+//	tout=R[@A-B]           PIM→host transfer-fault rate
+//	transfer=R[@A-B]       shorthand: sets both tin and tout
+//	slowfactor=F           straggler cycle multiplier (default 4)
+//	failat=S:L[;S:L...]    deterministic DPUFail triggers at (seq, lane)
+//	slowat=S:L[;S:L...]    deterministic DPUSlow triggers
+//	flipat=S:L[;S:L...]    deterministic BitFlip triggers
+//
+// Example: "seed=42,dpufail=0.05,dpuslow=0.1x4,transfer=0.02".
+// Rates must be finite and in [0, 1]; windows require A < B.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faultsim: %q: want key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "dpufail":
+			err = parseRate(val, &p.DPUFail, nil)
+		case "dpuslow":
+			err = parseRate(val, &p.DPUSlow, &p.SlowFactor)
+		case "bitflip":
+			err = parseRate(val, &p.BitFlip, nil)
+		case "tin":
+			err = parseRate(val, &p.TransferIn, nil)
+		case "tout":
+			err = parseRate(val, &p.TransferOut, nil)
+		case "transfer":
+			if err = parseRate(val, &p.TransferIn, nil); err == nil {
+				p.TransferOut.Rate = p.TransferIn.Rate
+				p.TransferOut.Window = p.TransferIn.Window
+			}
+		case "slowfactor":
+			var f float64
+			f, err = strconv.ParseFloat(val, 64)
+			if err == nil && (!isFinite(f) || f <= 1) {
+				err = fmt.Errorf("factor must be > 1")
+			}
+			p.SlowFactor = f
+		case "failat":
+			p.DPUFail.Triggers, err = parseTriggers(val)
+		case "slowat":
+			p.DPUSlow.Triggers, err = parseTriggers(val)
+		case "flipat":
+			p.BitFlip.Triggers, err = parseTriggers(val)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultsim: %q: %v", field, err)
+		}
+	}
+	return p, nil
+}
+
+// parseRate parses "R", "RxF" (when factor is non-nil) and an optional
+// "@A-B" window suffix into sch.
+func parseRate(val string, sch *Schedule, factor *float64) error {
+	if at := strings.IndexByte(val, '@'); at >= 0 {
+		w, err := parseWindow(val[at+1:])
+		if err != nil {
+			return err
+		}
+		sch.Window = w
+		val = val[:at]
+	}
+	if factor != nil {
+		if x := strings.IndexByte(val, 'x'); x >= 0 {
+			f, err := strconv.ParseFloat(val[x+1:], 64)
+			if err != nil {
+				return fmt.Errorf("bad factor %q", val[x+1:])
+			}
+			if !isFinite(f) || f <= 1 {
+				return fmt.Errorf("factor must be > 1")
+			}
+			*factor = f
+			val = val[:x]
+		}
+	}
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad rate %q", val)
+	}
+	if !isFinite(r) || r < 0 || r > 1 {
+		return fmt.Errorf("rate must be in [0, 1]")
+	}
+	sch.Rate = r
+	return nil
+}
+
+func parseWindow(val string) (Window, error) {
+	a, b, ok := strings.Cut(val, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("bad window %q: want from-to", val)
+	}
+	from, err := strconv.ParseUint(strings.TrimSpace(a), 10, 64)
+	if err != nil {
+		return Window{}, fmt.Errorf("bad window start %q", a)
+	}
+	to, err := strconv.ParseUint(strings.TrimSpace(b), 10, 64)
+	if err != nil {
+		return Window{}, fmt.Errorf("bad window end %q", b)
+	}
+	if to <= from {
+		return Window{}, fmt.Errorf("window end must exceed start")
+	}
+	return Window{From: from, To: to}, nil
+}
+
+func parseTriggers(val string) ([]Trigger, error) {
+	if strings.TrimSpace(val) == "" {
+		return nil, nil
+	}
+	var out []Trigger
+	for _, pair := range strings.Split(val, ";") {
+		a, b, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad trigger %q: want seq:lane", pair)
+		}
+		seq, err := strconv.ParseUint(strings.TrimSpace(a), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad trigger seq %q", a)
+		}
+		lane, err := strconv.ParseUint(strings.TrimSpace(b), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad trigger lane %q", b)
+		}
+		out = append(out, Trigger{Seq: seq, Lane: lane})
+	}
+	return out, nil
+}
+
+// String renders the plan in the canonical ParsePlan syntax:
+// ParsePlan(p.String()) reproduces p exactly (the property the fuzz
+// target checks).
+func (p Plan) String() string {
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	if p.Seed != 0 {
+		add("seed", formatUint(p.Seed))
+	}
+	rate := func(key string, sch Schedule) {
+		if sch.Rate <= 0 {
+			return
+		}
+		v := formatFloat(sch.Rate)
+		if sch.Window.active() {
+			v += "@" + formatUint(sch.Window.From) + "-" + formatUint(sch.Window.To)
+		}
+		add(key, v)
+	}
+	rate("dpufail", p.DPUFail)
+	rate("dpuslow", p.DPUSlow)
+	rate("bitflip", p.BitFlip)
+	rate("tin", p.TransferIn)
+	rate("tout", p.TransferOut)
+	if p.SlowFactor > 1 {
+		add("slowfactor", formatFloat(p.SlowFactor))
+	}
+	trig := func(key string, ts []Trigger) {
+		if len(ts) == 0 {
+			return
+		}
+		ss := make([]string, len(ts))
+		for i, t := range ts {
+			ss[i] = formatUint(t.Seq) + ":" + formatUint(t.Lane)
+		}
+		add(key, strings.Join(ss, ";"))
+	}
+	trig("failat", p.DPUFail.Triggers)
+	trig("slowat", p.DPUSlow.Triggers)
+	trig("flipat", p.BitFlip.Triggers)
+	return strings.Join(parts, ",")
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,79 @@
+package faultsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Plan
+	}{
+		{"", Plan{}},
+		{"seed=42", Plan{Seed: 42}},
+		{"seed=42,dpufail=0.05", Plan{Seed: 42, DPUFail: Schedule{Rate: 0.05}}},
+		{"dpuslow=0.1x4", Plan{DPUSlow: Schedule{Rate: 0.1}, SlowFactor: 4}},
+		{"bitflip=0.01@10-20", Plan{BitFlip: Schedule{Rate: 0.01, Window: Window{From: 10, To: 20}}}},
+		{"transfer=0.02", Plan{TransferIn: Schedule{Rate: 0.02}, TransferOut: Schedule{Rate: 0.02}}},
+		{"tin=0.1,tout=0.2", Plan{TransferIn: Schedule{Rate: 0.1}, TransferOut: Schedule{Rate: 0.2}}},
+		{"failat=1:0;2:3", Plan{DPUFail: Schedule{Triggers: []Trigger{{1, 0}, {2, 3}}}}},
+		{"slowfactor=8,slowat=5:1", Plan{SlowFactor: 8, DPUSlow: Schedule{Triggers: []Trigger{{5, 1}}}}},
+		{" seed=1 , dpufail=0.5 ", Plan{Seed: 1, DPUFail: Schedule{Rate: 0.5}}},
+	}
+	for _, c := range cases {
+		got, err := ParsePlan(c.in)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus",
+		"unknown=1",
+		"seed=abc",
+		"dpufail=1.5",
+		"dpufail=-0.1",
+		"dpufail=NaN",
+		"dpuslow=0.1x0.5",
+		"bitflip=0.1@20-10",
+		"bitflip=0.1@x-y",
+		"failat=1",
+		"failat=a:b",
+		"slowfactor=1",
+	} {
+		if _, err := ParsePlan(in); err == nil {
+			t.Errorf("ParsePlan(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestPlanStringRoundTrip: String renders the canonical syntax and
+// ParsePlan inverts it.
+func TestPlanStringRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{},
+		{Seed: 42, DPUFail: Schedule{Rate: 0.05}},
+		{Seed: 7, DPUSlow: Schedule{Rate: 0.125}, SlowFactor: 4},
+		{BitFlip: Schedule{Rate: 0.01, Window: Window{From: 3, To: 9}}},
+		{TransferIn: Schedule{Rate: 0.1}, TransferOut: Schedule{Rate: 0.1}},
+		{DPUFail: Schedule{Rate: 0.5, Triggers: []Trigger{{1, 2}, {3, 0}}}},
+	}
+	for _, p := range plans {
+		s := p.String()
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Errorf("reparse of %q: %v", s, err)
+			continue
+		}
+		if got.String() != s {
+			t.Errorf("round trip of %q gave %q", s, got.String())
+		}
+	}
+}

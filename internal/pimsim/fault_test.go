@@ -1,0 +1,148 @@
+package pimsim
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptedAgent is a deterministic test FaultAgent: fail/slow specific
+// lanes, fail transfers on specific attempts.
+type scriptedAgent struct {
+	failLanes    map[int]bool
+	slowLanes    map[int]float64
+	failTransfer func(seq, attempt uint64, out bool) bool
+}
+
+func (a scriptedAgent) Launch(seq, attempt uint64, lane int) LaunchVerdict {
+	if a.failLanes[lane] {
+		return LaunchVerdict{Fail: true}
+	}
+	if f, ok := a.slowLanes[lane]; ok {
+		return LaunchVerdict{SlowFactor: f}
+	}
+	return LaunchVerdict{}
+}
+
+func (a scriptedAgent) Transfer(seq, attempt uint64, out bool) bool {
+	if a.failTransfer == nil {
+		return false
+	}
+	return a.failTransfer(seq, attempt, out)
+}
+
+func burnKernel(ctx *Ctx, _ int) error {
+	for i := 0; i < 100; i++ {
+		ctx.FAdd(1, 2)
+	}
+	return nil
+}
+
+// TestLaunchShardSeqFail: failed lanes skip their kernel (no cycles
+// charged), surviving lanes run, and the error identifies the lanes.
+func TestLaunchShardSeqFail(t *testing.T) {
+	sys := NewSystem(Config{DPUs: 4})
+	sys.SetFaultAgent(scriptedAgent{failLanes: map[int]bool{1: true, 3: true}})
+	err := sys.LaunchShardSeq(7, 0, []int{0, 1, 2, 3}, burnKernel)
+	if err == nil {
+		t.Fatal("launch with failed lanes returned nil")
+	}
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T, want *LaunchError", err)
+	}
+	if !errors.Is(err, ErrDPUFailed) {
+		t.Error("LaunchError does not match ErrDPUFailed")
+	}
+	if le.Seq != 7 || le.Attempt != 0 {
+		t.Errorf("LaunchError identity (%d,%d), want (7,0)", le.Seq, le.Attempt)
+	}
+	if len(le.Lanes) != 2 || le.Lanes[0] != 1 || le.Lanes[1] != 3 {
+		t.Errorf("failed lanes %v, want [1 3]", le.Lanes)
+	}
+	for i := 0; i < 4; i++ {
+		cycles := sys.DPU(i).Cycles()
+		failed := i == 1 || i == 3
+		if failed && cycles != 0 {
+			t.Errorf("failed dpu %d charged %d cycles", i, cycles)
+		}
+		if !failed && cycles == 0 {
+			t.Errorf("surviving dpu %d charged no cycles", i)
+		}
+	}
+}
+
+// TestLaunchShardSeqSlow: a slowed lane's cycle delta is scaled by the
+// factor relative to a clean lane.
+func TestLaunchShardSeqSlow(t *testing.T) {
+	sys := NewSystem(Config{DPUs: 2})
+	sys.SetFaultAgent(scriptedAgent{slowLanes: map[int]float64{1: 3}})
+	if err := sys.LaunchShardSeq(0, 0, []int{0, 1}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	clean, slow := sys.DPU(0).IssueCycles(), sys.DPU(1).IssueCycles()
+	if slow != clean*3 {
+		t.Errorf("slowed lane issue cycles %d, want %d (3x %d)", slow, clean*3, clean)
+	}
+}
+
+// TestLaunchNilAgentUnchanged: with no agent, LaunchShardSeq charges
+// exactly what LaunchShard does.
+func TestLaunchNilAgentUnchanged(t *testing.T) {
+	a := NewSystem(Config{DPUs: 2})
+	b := NewSystem(Config{DPUs: 2})
+	if err := a.LaunchShard([]int{0, 1}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LaunchShardSeq(99, 5, []int{0, 1}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if a.DPU(i).Cycles() != b.DPU(i).Cycles() {
+			t.Errorf("dpu %d cycles diverge: %d vs %d", i, a.DPU(i).Cycles(), b.DPU(i).Cycles())
+		}
+	}
+}
+
+// TestKernelErrorOutranksInjected: a genuine kernel error is returned
+// even when other lanes had injected failures.
+func TestKernelErrorOutranksInjected(t *testing.T) {
+	sys := NewSystem(Config{DPUs: 2})
+	sys.SetFaultAgent(scriptedAgent{failLanes: map[int]bool{0: true}})
+	boom := errors.New("boom")
+	err := sys.LaunchShardSeq(0, 0, []int{0, 1}, func(ctx *Ctx, id int) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v, want the kernel error", err)
+	}
+}
+
+// TestTryChargeTransfer: injected transfer faults surface as
+// ErrTransferFault but the transfer time is still charged.
+func TestTryChargeTransfer(t *testing.T) {
+	sys := NewSystem(Config{DPUs: 1})
+	sys.SetFaultAgent(scriptedAgent{failTransfer: func(seq, attempt uint64, out bool) bool {
+		return attempt == 0 // first attempt fails, retry succeeds
+	}})
+	if err := sys.TryChargeHostToPIM(1, 0, 4096, true); !errors.Is(err, ErrTransferFault) {
+		t.Errorf("host→PIM fault = %v, want ErrTransferFault", err)
+	}
+	if err := sys.TryChargeHostToPIM(1, 1, 4096, true); err != nil {
+		t.Errorf("retry failed: %v", err)
+	}
+	wantIn := 2 * 4096 / DefaultHostToPIMBandwidth
+	if got := sys.HostToPIMSeconds(); got != wantIn {
+		t.Errorf("host→PIM seconds %g, want %g (failed attempts still cost)", got, wantIn)
+	}
+	if err := sys.TryChargePIMToHost(2, 0, 1024, true); !errors.Is(err, ErrTransferFault) {
+		t.Errorf("PIM→host fault = %v, want ErrTransferFault", err)
+	}
+	if got, want := sys.PIMToHostSeconds(), 1024/DefaultPIMToHostBandwidth; got != want {
+		t.Errorf("PIM→host seconds %g, want %g", got, want)
+	}
+	// Removing the agent restores the unchecked behavior.
+	sys.SetFaultAgent(nil)
+	if err := sys.TryChargePIMToHost(3, 0, 1024, true); err != nil {
+		t.Errorf("nil agent injected a fault: %v", err)
+	}
+}

@@ -84,6 +84,10 @@ type System struct {
 	// LaunchShard (see SetLaunchObserver). Atomic so installing or
 	// removing it races safely with in-flight launches.
 	observer atomic.Pointer[launchObserverBox]
+
+	// faultAgent, when set, injects faults at the launch and transfer
+	// points (see SetFaultAgent). Same atomic discipline as observer.
+	faultAgent atomic.Pointer[faultAgentBox]
 }
 
 // NewSystem builds a system from cfg (zero fields take defaults).
@@ -134,9 +138,34 @@ func (s *System) Launch(kernel func(ctx *Ctx, dpuID int) error) error {
 // ownership discipline): a core's memories and counters are touched
 // only by its own kernel.
 func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) error {
+	return s.launchShard(0, 0, ids, kernel)
+}
+
+// launchShard is the shared implementation behind LaunchShard and
+// LaunchShardSeq: the worker pool plus the optional observer snapshot
+// and fault-agent consultation.
+func (s *System) launchShard(seq, attempt uint64, ids []int, kernel func(ctx *Ctx, dpuID int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(ids) {
 		workers = len(ids)
+	}
+	// Consult the fault agent once per lane before the kernels start.
+	// Verdicts are applied on the launching goroutine (which owns the
+	// cores): failed lanes skip their kernel entirely; slowed lanes
+	// have their cycle delta scaled after the kernels finish.
+	agent := s.loadFaultAgent()
+	var verdicts []LaunchVerdict
+	var preIssue, preDMA []uint64
+	if agent != nil {
+		verdicts = make([]LaunchVerdict, len(ids))
+		preIssue = make([]uint64, len(ids))
+		preDMA = make([]uint64, len(ids))
+		for k := range ids {
+			verdicts[k] = agent.Launch(seq, attempt, k)
+			d := s.dpus[ids[k]]
+			preIssue[k] = d.issueCycles
+			preDMA[k] = d.dmaCycles
+		}
 	}
 	// Snapshot the shard's accounting before the kernels start when a
 	// launch observer is installed. The launching goroutine owns these
@@ -176,6 +205,9 @@ func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) 
 				if k >= len(ids) {
 					return
 				}
+				if verdicts != nil && verdicts[k].Fail {
+					continue // injected hard failure: the kernel never runs
+				}
 				i := ids[k]
 				if e := kernel(s.dpus[i].NewCtx(), i); e != nil {
 					mu.Lock()
@@ -188,6 +220,23 @@ func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) 
 		}()
 	}
 	wg.Wait()
+	// Apply the straggler verdicts before the observer snapshot so a
+	// profiler sees the slowed (modeled) cycles, and collect the lanes
+	// that suffered injected hard failures.
+	var failed []int
+	if agent != nil {
+		for k, v := range verdicts {
+			if v.Fail {
+				failed = append(failed, k)
+				continue
+			}
+			if v.SlowFactor > 1 {
+				d := s.dpus[ids[k]]
+				d.issueCycles = preIssue[k] + uint64(float64(d.issueCycles-preIssue[k])*v.SlowFactor)
+				d.dmaCycles = preDMA[k] + uint64(float64(d.dmaCycles-preDMA[k])*v.SlowFactor)
+			}
+		}
+	}
 	if obs != nil {
 		prof := LaunchProfile{Cores: make([]CoreProfile, len(ids))}
 		for k, i := range ids {
@@ -207,7 +256,13 @@ func (s *System) LaunchShard(ids []int, kernel func(ctx *Ctx, dpuID int) error) 
 		}
 		obs(prof)
 	}
-	return err
+	if err != nil {
+		return err // a genuine kernel error outranks injected failures
+	}
+	if len(failed) > 0 {
+		return &LaunchError{Seq: seq, Attempt: attempt, Lanes: failed}
+	}
+	return nil
 }
 
 // KernelCycles returns the cycle count of the slowest PIM core — the
