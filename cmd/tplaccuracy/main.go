@@ -8,9 +8,16 @@
 //	tplaccuracy                  # default size knobs
 //	tplaccuracy -size 14 -n 65536
 //	tplaccuracy -fn exp          # one function only
+//	tplaccuracy -json            # machine-readable rows
+//
+// -json emits one JSON document: an array of rows whose error objects
+// share their shape (and their stats.Deviation error math) with the
+// serving engine's online /debug/accuracy snapshot, so offline and
+// online numbers are directly comparable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +33,18 @@ var (
 	flagDeg  = flag.Int("deg", 11, "polynomial baseline degree")
 	flagN    = flag.Int("n", 1<<14, "inputs per function")
 	flagFn   = flag.String("fn", "", "restrict to one function (empty = all)")
+	flagJSON = flag.Bool("json", false, "emit JSON rows instead of the table")
 )
+
+// row is one measured (function, method) combination. Errors reuses
+// stats.Errors' JSON shape — the same object /debug/accuracy embeds
+// per series.
+type row struct {
+	Function     string       `json:"function"`
+	Method       string       `json:"method"` // "l-lut", "l-lut(i)", …
+	Errors       stats.Errors `json:"errors"`
+	CyclesPerElt float64      `json:"cycles_per_elem"`
+}
 
 func main() {
 	flag.Parse()
@@ -39,8 +57,11 @@ func main() {
 		}
 		fns = []core.Function{fn}
 	}
-	fmt.Printf("%-8s %-22s %12s %12s %12s %10s %10s\n",
-		"fn", "method", "rmse", "rel-rmse", "max-abs", "max-ulp", "cyc/elem")
+	var rows []row
+	if !*flagJSON {
+		fmt.Printf("%-8s %-22s %12s %12s %12s %10s %10s\n",
+			"fn", "method", "rmse", "rel-rmse", "max-abs", "max-ulp", "cyc/elem")
+	}
 	for _, fn := range fns {
 		lo, hi := fn.Domain()
 		inputs := stats.RandomInputs(lo, hi, *flagN, 0xACC)
@@ -67,17 +88,36 @@ func main() {
 					pt, err = core.MeasureOperator(fn, p, inputs)
 				}
 				if err != nil {
-					fmt.Printf("%-6s %-22s ERROR: %v\n", fn, p.Label(), err)
+					fmt.Fprintf(os.Stderr, "%-6s %-22s ERROR: %v\n", fn, p.Label(), err)
 					continue
 				}
 				label := m.String()
 				if interp {
 					label += "(i)"
 				}
+				if *flagJSON {
+					rows = append(rows, row{
+						Function:     fn.String(),
+						Method:       label,
+						Errors:       pt.Errors,
+						CyclesPerElt: pt.CyclesPerElem,
+					})
+					continue
+				}
 				fmt.Printf("%-8s %-22s %12.3g %12.3g %12.3g %10.1f %10.1f\n",
 					fn, label, pt.Errors.RMSE, pt.Errors.RelRMSE, pt.Errors.MaxAbs, pt.Errors.MaxULP, pt.CyclesPerElem)
 			}
 		}
-		fmt.Println()
+		if !*flagJSON {
+			fmt.Println()
+		}
+	}
+	if *flagJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -2,13 +2,25 @@
 // concurrent clients firing mixed sigmoid/GELU/exp batches at a
 // multi-core PIM system through transpimlib.Engine. It reports
 // throughput, request latency, batching/coalescing behaviour, the
-// table-cache hit rate, and the modeled per-stage costs.
+// table-cache hit rate, and the modeled per-stage costs. All output is
+// structured log/slog — human-readable text by default, one JSON
+// object per line with -logfmt=json.
 //
 // With -listen it also exposes the engine's telemetry over HTTP —
-// /metrics in Prometheus text format and /debug/trace returning the
+// /metrics in Prometheus text format, /debug/trace returning the
 // retained request span trees (?format=chrome for a Chrome
-// trace_event document) — and with -hold it keeps serving after the
+// trace_event document), and /debug/accuracy with the shadow sampler's
+// accuracy snapshot — and with -hold it keeps serving after the
 // workload finishes so the endpoints can be scraped.
+//
+// With -accuracy the engine shadow-samples that fraction of every
+// request's elements against the float64 host reference and keeps
+// per-(function, method, tenant) error statistics; each workload job
+// runs under its own tenant name so the series separate. -slo installs
+// accuracy objectives ("fn=sigmoid,method=l-lut(i),mae=1e-3;…"),
+// -acc-gate makes cumulative SLO violations fatal at exit (the CI
+// accuracy gate), and -acc-out writes the final accuracy snapshot to a
+// JSON file.
 //
 // With -faults it injects deterministic faults (the faultsim plan
 // language) and reports the engine's recovery activity. SIGINT or
@@ -20,24 +32,32 @@
 //	tplserve [-dpus 8] [-shards 2] [-clients 6] [-requests 24]
 //	         [-elems 1024] [-window 200us] [-seed 1]
 //	         [-listen :9090] [-hold 0s] [-trace 32] [-profile]
+//	         [-logfmt text|json]
+//	         [-accuracy 0.01] [-slo "method=l-lut(i),mae=1e-3"]
+//	         [-acc-gate] [-acc-out accuracy.json]
 //	         [-faults "seed=42,dpufail=0.05,transfer=0.02"]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"transpimlib"
+	"transpimlib/internal/stats"
 )
 
 type job struct {
@@ -61,6 +81,72 @@ func mixedWorkload() []job {
 	}
 }
 
+// tenant derives the accuracy-series tenant tag from a job name
+// ("sigmoid/L-LUT-i" → "sigmoid").
+func (j job) tenant() string {
+	if i := strings.IndexByte(j.name, '/'); i > 0 {
+		return j.name[:i]
+	}
+	return j.name
+}
+
+// parseSLOs parses the -slo flag: semicolon-separated objectives, each
+// a comma-separated list of fn=, method=, tenant=, mae=, ulp= fields.
+func parseSLOs(s string) ([]transpimlib.AccuracySLO, error) {
+	var out []transpimlib.AccuracySLO
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		var o transpimlib.AccuracySLO
+		for _, kv := range strings.Split(clause, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("bad SLO field %q (want key=value)", kv)
+			}
+			switch key {
+			case "fn", "function":
+				o.Function = val
+			case "method":
+				o.Method = val
+			case "tenant":
+				o.Tenant = val
+			case "mae":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad SLO mae %q: %v", val, err)
+				}
+				o.MaxMAE = f
+			case "ulp":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad SLO ulp %q: %v", val, err)
+				}
+				o.MaxULP = f
+			default:
+				return nil, fmt.Errorf("unknown SLO field %q", key)
+			}
+		}
+		if o.MaxMAE == 0 && o.MaxULP == 0 {
+			return nil, fmt.Errorf("SLO %q sets no bound (mae= or ulp=)", clause)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stdout, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stdout, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -logfmt %q (want text or json)", format)
+	}
+}
+
 func main() {
 	dpus := flag.Int("dpus", 8, "simulated PIM cores")
 	shards := flag.Int("shards", 2, "pipeline shards (dpus must divide evenly)")
@@ -69,12 +155,35 @@ func main() {
 	elems := flag.Int("elems", 1024, "elements per request")
 	window := flag.Duration("window", 200*time.Microsecond, "batcher coalescing window")
 	seed := flag.Int64("seed", 1, "input RNG seed")
-	listen := flag.String("listen", "", "serve /metrics and /debug/trace on this address (e.g. :9090)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/trace and /debug/accuracy on this address (e.g. :9090)")
 	hold := flag.Duration("hold", 0, "keep the HTTP endpoints up this long after the workload (requires -listen)")
 	traceDepth := flag.Int("trace", 32, "request traces to retain (0 disables tracing)")
 	profile := flag.Bool("profile", false, "per-DPU kernel-launch profiling (pim_* metrics)")
 	faults := flag.String("faults", "", "fault-injection plan (e.g. \"seed=42,dpufail=0.05,transfer=0.02\")")
+	logfmt := flag.String("logfmt", "text", "log output format: text or json")
+	accuracy := flag.Float64("accuracy", 0, "shadow-sample this fraction of every request against the float64 reference (0 disables)")
+	sloSpec := flag.String("slo", "", "accuracy SLOs, e.g. \"fn=sigmoid,method=l-lut(i),mae=1e-3;method=cordic,ulp=4096\"")
+	accGate := flag.Bool("acc-gate", false, "exit nonzero when a cumulative accuracy SLO is violated at shutdown")
+	accOut := flag.String("acc-out", "", "write the final accuracy snapshot to this JSON file")
 	flag.Parse()
+
+	log, err := newLogger(*logfmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplserve:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	slos, err := parseSLOs(*sloSpec)
+	if err != nil {
+		fatal("bad -slo", "err", err)
+	}
+	if len(slos) > 0 && *accuracy <= 0 {
+		fatal("-slo requires -accuracy > 0")
+	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels ctx — clients
 	// stop submitting, in-flight batches drain through eng.Close, and
@@ -85,33 +194,40 @@ func main() {
 	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
 		TraceDepth: *traceDepth, Profile: *profile, Faults: *faults,
+		Accuracy: transpimlib.AccuracyConfig{
+			Enabled:    *accuracy > 0,
+			SampleRate: *accuracy,
+			SLOs:       slos,
+		},
+		Log: log,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tplserve:", err)
-		os.Exit(1)
+		fatal("engine start failed", "err", err)
 	}
 	defer eng.Close()
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tplserve:", err)
-			os.Exit(1)
+			fatal("listen failed", "addr", *listen, "err", err)
 		}
 		srv := &http.Server{Handler: eng.Observe().Handler()}
 		go func() {
 			if err := srv.Serve(ln); err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "tplserve: http:", err)
+				log.Error("http server failed", "err", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("telemetry: http://%s/metrics and /debug/trace\n", ln.Addr())
+		log.Info("telemetry listening", "addr", ln.Addr().String(),
+			"endpoints", "/metrics /debug/trace /debug/accuracy")
 	}
 
 	jobs := mixedWorkload()
-	fmt.Printf("tplserve: %d cores / %d shards, %d clients × %d requests × %d elems\n",
-		*dpus, *shards, *clients, *requests, *elems)
-	fmt.Printf("workload mix: %s | %s | %s\n", jobs[0].name, jobs[1].name, jobs[2].name)
+	log.Info("workload starting",
+		"dpus", *dpus, "shards", *shards, "clients", *clients,
+		"requests_per_client", *requests, "elems", *elems,
+		"mix", jobs[0].name+" | "+jobs[1].name+" | "+jobs[2].name,
+		"accuracy_sample_rate", *accuracy, "slos", len(slos))
 
 	type obs struct {
 		lat   time.Duration
@@ -137,20 +253,20 @@ func main() {
 				for i := range xs {
 					xs[i] = -2 + 4*rng.Float32()
 				}
-				ys, st, err := eng.EvaluateBatch(j.fn, j.cfg, xs)
+				ys, st, err := eng.EvaluateBatchAs(j.tenant(), j.fn, j.cfg, xs)
 				if err != nil {
 					if ctx.Err() == nil {
 						failures.Store(fmt.Sprintf("client %d req %d", c, r), err)
 					}
 					return
 				}
-				var worst float64
+				// Client-side spot check with the shared error math —
+				// the same kernel the shadow sampler uses.
+				var col stats.Collector
 				for i, x := range xs {
-					if d := math.Abs(float64(ys[i]) - j.ref(float64(x))); d > worst {
-						worst = d
-					}
+					col.Add(ys[i], j.ref(float64(x)))
 				}
-				if worst > 0.05 {
+				if worst := col.Result().MaxAbs; worst > 0.05 {
 					failures.Store(fmt.Sprintf("client %d req %d", c, r),
 						fmt.Errorf("%s max abs error %.3g", j.name, worst))
 					return
@@ -162,13 +278,13 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 	if ctx.Err() != nil {
-		fmt.Println("\ntplserve: shutdown requested, draining in-flight batches…")
+		log.Info("shutdown requested, draining in-flight batches")
 	}
 	eng.Close() // drain in-flight batches and settle counters before the summary
 
 	bad := 0
 	failures.Range(func(k, v any) bool {
-		fmt.Fprintf(os.Stderr, "tplserve: %v: %v\n", k, v)
+		log.Error("request failed", "where", k, "err", fmt.Sprint(v))
 		bad++
 		return true
 	})
@@ -187,29 +303,36 @@ func main() {
 		}
 	}
 	st := eng.Stats()
-	elemsTotal := st.Elements
-	fmt.Printf("\nengine served %d requests (%d elements) in %v\n",
-		st.Requests, elemsTotal, wall.Round(time.Microsecond))
-	fmt.Printf("throughput: %.1f Melem/s host wall-clock\n",
-		float64(elemsTotal)/wall.Seconds()/1e6)
-	fmt.Printf("latency: p50 %v  p95 %v  max %v\n",
-		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 1.0))
-	fmt.Printf("batching: %d batches for %d requests (%d coalesced multi-request batches)\n",
-		st.Batches, st.Requests, st.CoalescedBatches)
-	fmt.Printf("table cache: %d specs resident, %d hits / %d misses (%d fully warm requests)\n",
-		eng.CachedSpecs(), st.CacheHits, st.CacheMisses, warm)
-	fmt.Printf("modeled stage costs: setup %.3gs | in %.3gs | compute %.3gs (%d kcycles) | out %.3gs\n",
-		st.SetupSeconds, st.TransferInSeconds, st.ComputeSeconds,
-		st.KernelCycles/1000, st.TransferOutSeconds)
-	fmt.Printf("bytes moved: %d host→PIM, %d PIM→host\n", st.BytesIn, st.BytesOut)
+	log.Info("workload complete",
+		"requests", st.Requests, "elements", st.Elements,
+		"wall", wall.Round(time.Microsecond).String(),
+		"throughput_melem_per_s", float64(st.Elements)/wall.Seconds()/1e6)
+	log.Info("latency",
+		"p50", percentile(lats, 0.50).String(),
+		"p95", percentile(lats, 0.95).String(),
+		"max", percentile(lats, 1.0).String())
+	log.Info("batching",
+		"batches", st.Batches, "requests", st.Requests,
+		"coalesced_batches", st.CoalescedBatches)
+	log.Info("table cache",
+		"specs_resident", eng.CachedSpecs(), "hits", st.CacheHits,
+		"misses", st.CacheMisses, "fully_warm_requests", warm)
+	log.Info("modeled stage costs",
+		"setup_s", st.SetupSeconds, "transfer_in_s", st.TransferInSeconds,
+		"compute_s", st.ComputeSeconds, "kernel_kcycles", st.KernelCycles/1000,
+		"transfer_out_s", st.TransferOutSeconds)
+	log.Info("bytes moved", "host_to_pim", st.BytesIn, "pim_to_host", st.BytesOut)
 	if st.RequestErrors > 0 {
-		fmt.Printf("request errors: %d\n", st.RequestErrors)
+		log.Warn("request errors", "count", st.RequestErrors)
 	}
 	if *faults != "" {
-		fmt.Printf("reliability: %d faults injected | %d launch retries | %d transfer retries | %d timeouts\n",
-			st.FaultsInjected, st.LaunchRetries, st.TransferRetries, st.LaunchTimeouts)
-		fmt.Printf("recovery: %d remaps | %d hedges | %d degraded batches | %d table repairs | %d quarantined cores\n",
-			st.Remaps, st.Hedges, st.DegradedBatches, st.TableRepairs, st.QuarantinedDPUs)
+		log.Info("reliability",
+			"faults_injected", st.FaultsInjected, "launch_retries", st.LaunchRetries,
+			"transfer_retries", st.TransferRetries, "timeouts", st.LaunchTimeouts)
+		log.Info("recovery",
+			"remaps", st.Remaps, "hedges", st.Hedges,
+			"degraded_batches", st.DegradedBatches, "table_repairs", st.TableRepairs,
+			"quarantined_dpus", st.QuarantinedDPUs)
 		var quarantined, probation int
 		for _, h := range eng.Health() {
 			if h.Quarantined {
@@ -219,16 +342,57 @@ func main() {
 				probation++
 			}
 		}
-		fmt.Printf("health: %d cores quarantined, %d on probation, %d fault events logged\n",
-			quarantined, probation, len(eng.FaultEvents()))
+		log.Info("health",
+			"quarantined", quarantined, "probation", probation,
+			"fault_events", len(eng.FaultEvents()))
+	}
+	if snap, ok := eng.Accuracy(); ok {
+		log.Info("accuracy",
+			"samples", snap.Samples, "series", len(snap.Series),
+			"slo_breaches", snap.Breaches, "drift_events", snap.Drifts,
+			"out_of_range", snap.OutOfRange)
+		for _, s := range snap.Series {
+			log.Info("accuracy series",
+				"fn", s.Key.Function, "method", s.Key.Method, "tenant", s.Key.Tenant,
+				"samples", s.Samples, "mae", s.Cumulative.MeanAbs,
+				"max_abs", s.Cumulative.MaxAbs, "max_ulp", s.Cumulative.MaxULP)
+		}
+		if *accOut != "" {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*accOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fatal("accuracy snapshot write failed", "path", *accOut, "err", err)
+			}
+			log.Info("accuracy snapshot written", "path", *accOut)
+		}
 	}
 	if tr, ok := eng.TraceLast(); ok {
 		root := tr.Root
-		fmt.Printf("last trace: #%d %s wall %v, %d spans (GET /debug/trace for the tree)\n",
-			tr.ID, root.Name, root.Wall().Round(time.Microsecond), countSpans(root))
+		log.Info("last trace",
+			"id", tr.ID, "name", root.Name,
+			"wall", root.Wall().Round(time.Microsecond).String(),
+			"spans", countSpans(root))
 	}
+
+	// The CI accuracy gate: cumulative per-series errors checked
+	// against every configured SLO, independent of window boundaries.
+	if *accGate {
+		if v := eng.AccuracyViolations(); len(v) > 0 {
+			for _, x := range v {
+				log.Error("accuracy gate violation",
+					"fn", x.Key.Function, "method", x.Key.Method, "tenant", x.Key.Tenant,
+					"metric", x.Metric, "got", x.Got,
+					"max_mae", x.SLO.MaxMAE, "max_ulp", x.SLO.MaxULP)
+			}
+			os.Exit(1)
+		}
+		log.Info("accuracy gate passed", "slos", len(slos))
+	}
+
 	if *listen != "" && *hold > 0 && ctx.Err() == nil {
-		fmt.Printf("holding telemetry endpoints for %v (SIGINT to stop)…\n", *hold)
+		log.Info("holding telemetry endpoints", "for", hold.String())
 		select {
 		case <-ctx.Done():
 		case <-time.After(*hold):

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := parseSLOs("fn=sigmoid,method=l-lut(i),mae=1e-3; method=cordic,ulp=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 {
+		t.Fatalf("parsed %d SLOs, want 2", len(slos))
+	}
+	if slos[0].Function != "sigmoid" || slos[0].Method != "l-lut(i)" || slos[0].MaxMAE != 1e-3 {
+		t.Fatalf("slo[0] = %+v", slos[0])
+	}
+	if slos[1].Method != "cordic" || slos[1].MaxULP != 4096 || slos[1].MaxMAE != 0 {
+		t.Fatalf("slo[1] = %+v", slos[1])
+	}
+
+	if s, err := parseSLOs(""); err != nil || s != nil {
+		t.Fatalf("empty spec: %v, %v", s, err)
+	}
+	for _, bad := range []string{"mae", "mae=abc", "nope=1", "fn=sin"} {
+		if _, err := parseSLOs(bad); err == nil {
+			t.Fatalf("parseSLOs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestJobTenant(t *testing.T) {
+	for _, j := range mixedWorkload() {
+		tn := j.tenant()
+		if tn == "" || tn == j.name {
+			t.Fatalf("tenant(%q) = %q", j.name, tn)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command tplwatch is a terminal dashboard for a serving engine's
+// accuracy observability: it polls a tplserve instance's
+// /debug/accuracy and /metrics endpoints and renders the
+// per-(function, method, tenant) shadow-sampling statistics — sample
+// counts, MAE, worst absolute/ULP errors, rolling-window state, SLO
+// breach and drift counters, and an input-domain coverage sparkline
+// per series (the paper's table-density argument, live: traffic
+// leaving the dense LUT region shifts the sparkline before the error
+// moves).
+//
+// Usage:
+//
+//	tplwatch [-url http://localhost:9090] [-interval 1s] [-once]
+//
+// -once polls a single time and prints without clearing the screen
+// (useful in scripts and CI logs); otherwise the dashboard refreshes
+// every -interval until interrupted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"transpimlib/internal/accwatch"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:9090", "base URL of a tplserve -listen endpoint")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	once := flag.Bool("once", false, "poll once, print, and exit")
+	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		snap, err := fetchSnapshot(*url + "/debug/accuracy")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tplwatch:", err)
+			os.Exit(1)
+		}
+		metrics, err := fetchMetrics(*url + "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tplwatch:", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, snap, metrics)
+		if *once {
+			return
+		}
+		select {
+		case <-sig:
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+func fetchSnapshot(url string) (accwatch.Snapshot, error) {
+	var snap accwatch.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return snap, fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+func fetchMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseProm(string(data))
+}
+
+// parseProm parses Prometheus 0.0.4 text exposition into a
+// series-name → value map. Series names keep their label sets
+// verbatim ("name{k=\"v\"}"); comment and blank lines are skipped;
+// malformed lines are an error (the source is our own registry, so
+// anything unparseable is a bug worth surfacing).
+func parseProm(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the field after the last space outside braces —
+		// label values may themselves contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("metrics line %d: no value in %q", ln+1, line)
+		}
+		name, val := line[:i], line[i+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: bad value %q: %v", ln+1, val, err)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// sparkline renders coverage buckets as a fixed-height bar string,
+// scaled to the largest bucket.
+func sparkline(cover []accwatch.CoverBucket) string {
+	if len(cover) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var max uint64
+	for _, c := range cover {
+		if c.Count > max {
+			max = c.Count
+		}
+	}
+	var sb strings.Builder
+	for _, c := range cover {
+		g := int(uint64(len(glyphs)-1) * c.Count / max)
+		sb.WriteRune(glyphs[g])
+	}
+	return sb.String()
+}
+
+// coverSpan summarizes the occupied coverage range ("2^-3..2^2").
+func coverSpan(cover []accwatch.CoverBucket) string {
+	if len(cover) == 0 {
+		return "-"
+	}
+	if len(cover) == 1 {
+		return cover[0].Label
+	}
+	return cover[0].Label + ".." + cover[len(cover)-1].Label
+}
+
+func render(w io.Writer, snap accwatch.Snapshot, metrics map[string]float64) {
+	fmt.Fprintf(w, "accuracy watch  rate=%.3g  window=%d  samples=%d  breaches=%d  drift=%d  out-of-range=%d\n",
+		snap.SampleRate, snap.Window, snap.Samples, snap.Breaches, snap.Drifts, snap.OutOfRange)
+	if v, ok := metrics["engine_requests_total"]; ok {
+		fmt.Fprintf(w, "engine          requests=%.0f  elements=%.0f  degraded=%.0f\n",
+			v, metrics["engine_elements_total"], metrics["engine_degraded_batches_total"])
+	}
+	fmt.Fprintln(w)
+	if len(snap.Series) == 0 {
+		fmt.Fprintln(w, "no series yet (no sampled traffic)")
+		return
+	}
+
+	fmt.Fprintf(w, "%-10s %-12s %-10s %9s %10s %10s %9s %4s %5s  %-14s %s\n",
+		"FN", "METHOD", "TENANT", "SAMPLES", "MAE", "MAX-ABS", "MAX-ULP", "SLO✗", "DRIFT", "COVER", "")
+	series := append([]accwatch.SeriesSnapshot(nil), snap.Series...)
+	sort.SliceStable(series, func(i, j int) bool { // worst first
+		return series[i].Cumulative.MeanAbs > series[j].Cumulative.MeanAbs
+	})
+	for _, s := range series {
+		fmt.Fprintf(w, "%-10s %-12s %-10s %9d %10.3g %10.3g %9.3g %4d %5d  %-14s %s\n",
+			s.Key.Function, s.Key.Method, s.Key.Tenant,
+			s.Samples, s.Cumulative.MeanAbs, s.Cumulative.MaxAbs, s.Cumulative.MaxULP,
+			s.Breaches, s.Drifts, coverSpan(s.Coverage), sparkline(s.Coverage))
+	}
+
+	for _, s := range series {
+		if s.WorstAbs == nil {
+			continue
+		}
+		e := s.WorstAbs
+		fmt.Fprintf(w, "\nworst %s/%s/%s: f(%v)=%v want %.6g  abs=%.3g ulp=%.3g  (x=0x%08x shard=%d trace=%d)\n",
+			s.Key.Function, s.Key.Method, s.Key.Tenant,
+			e.Input, e.Output, e.Ref, e.AbsErr, e.ULP, e.InputBits, e.Shard, e.TraceID)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"transpimlib/internal/accwatch"
+)
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP engine_requests_total completed requests
+# TYPE engine_requests_total counter
+engine_requests_total 42
+
+engine_accuracy_abs_error{fn="sin",method="l-lut(i)",tenant="a b"}_bucket{le="0.001"} 7
+engine_accuracy_samples_total 9216
+engine_queue_depth -3
+pim_cycles 1.5e+06
+`
+	m, err := parseProm(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["engine_requests_total"] != 42 {
+		t.Fatalf("requests = %v", m["engine_requests_total"])
+	}
+	if m["engine_accuracy_samples_total"] != 9216 {
+		t.Fatalf("samples = %v", m["engine_accuracy_samples_total"])
+	}
+	if m["engine_queue_depth"] != -3 {
+		t.Fatalf("gauge = %v", m["engine_queue_depth"])
+	}
+	if m["pim_cycles"] != 1.5e6 {
+		t.Fatalf("float = %v", m["pim_cycles"])
+	}
+	if m[`engine_accuracy_abs_error{fn="sin",method="l-lut(i)",tenant="a b"}_bucket{le="0.001"}`] != 7 {
+		t.Fatalf("labeled series missing: %v", m)
+	}
+	if len(m) != 5 {
+		t.Fatalf("parsed %d series, want 5", len(m))
+	}
+
+	for _, bad := range []string{"loneword", "name notanumber"} {
+		if _, err := parseProm(bad); err == nil {
+			t.Fatalf("parseProm(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSparklineAndCoverSpan(t *testing.T) {
+	cover := []accwatch.CoverBucket{
+		{Label: "2^-2", Count: 1},
+		{Label: "2^-1", Count: 50},
+		{Label: "2^0", Count: 100},
+	}
+	s := sparkline(cover)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d, want 3 (%q)", len([]rune(s)), s)
+	}
+	r := []rune(s)
+	if r[0] >= r[1] || r[1] >= r[2] {
+		t.Fatalf("sparkline not monotone for increasing counts: %q", s)
+	}
+	if got := coverSpan(cover); got != "2^-2..2^0" {
+		t.Fatalf("coverSpan = %q", got)
+	}
+	if sparkline(nil) != "" || coverSpan(nil) != "-" {
+		t.Fatal("empty coverage not handled")
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	snap := accwatch.Snapshot{
+		SampleRate: 0.01, Window: 4096, Samples: 100,
+		Series: []accwatch.SeriesSnapshot{{
+			Key:     accwatch.Key{Function: "sin", Method: "cordic", Tenant: "t"},
+			Samples: 100,
+			Coverage: []accwatch.CoverBucket{
+				{Label: "2^0", Count: 60}, {Label: "2^1", Count: 40},
+			},
+			WorstAbs: &accwatch.Exemplar{Input: 1, Output: 0.84, Ref: 0.8414},
+		}},
+	}
+	var sb strings.Builder
+	render(&sb, snap, map[string]float64{"engine_requests_total": 5})
+	out := sb.String()
+	for _, want := range []string{"cordic", "requests=5", "worst sin/cordic/t"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output lacks %q:\n%s", want, out)
+		}
+	}
+}

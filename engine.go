@@ -2,8 +2,10 @@ package transpimlib
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
+	"transpimlib/internal/accwatch"
 	"transpimlib/internal/engine"
 	"transpimlib/internal/faultsim"
 	"transpimlib/internal/telemetry"
@@ -57,12 +59,45 @@ type EngineConfig struct {
 	// Reliability tunes the recovery ladder (zero value: defaults);
 	// only consulted when Faults is set.
 	Reliability ReliabilityConfig
+	// Accuracy enables the online accuracy watcher: a deterministic
+	// shadow sampler re-evaluates a configurable fraction of each
+	// request's elements against the float64 host reference and keeps
+	// per-(function, method, tenant) ULP/absolute-error statistics,
+	// input-domain coverage, and rolling-window SLO/drift checks.
+	// Disabled (the default) the serving path is untouched — outputs,
+	// modeled cycles, and allocation behavior are bit-identical to an
+	// engine without the watcher.
+	Accuracy AccuracyConfig
+	// Log receives structured recovery and accuracy events (quarantine
+	// transitions, host-mirror degrades, table repairs, SLO breaches,
+	// drift). Nil disables event logging; metrics are unaffected.
+	Log *slog.Logger
 }
 
 // ReliabilityConfig tunes the engine's recovery ladder under fault
 // injection: retry counts and modeled backoff, quarantine/probation
 // thresholds, the straggler launch timeout, and the hedge ratio.
 type ReliabilityConfig = engine.ReliabilityConfig
+
+// AccuracyConfig tunes the online accuracy watcher: shadow-sampling
+// rate and seed, rolling-window size, series cardinality cap, drift
+// sensitivity, and the accuracy SLOs to enforce.
+type AccuracyConfig = accwatch.Config
+
+// AccuracySLO is one accuracy service-level objective: bounds on mean
+// absolute error and mean ULP error, scoped by function / method /
+// tenant patterns ("" or "*" match anything).
+type AccuracySLO = accwatch.SLO
+
+// AccuracySnapshot is a point-in-time view of the watcher's
+// shadow-sample statistics, one series per observed
+// (function, method, tenant) triple. It is what /debug/accuracy
+// serves as JSON.
+type AccuracySnapshot = accwatch.Snapshot
+
+// AccuracyViolation is one failed SLO check from
+// Engine.AccuracyViolations — the cumulative (whole-session) gate.
+type AccuracyViolation = accwatch.Violation
 
 // FaultEvent is one injected fault, identified by its deterministic
 // coordinates (class, batch sequence, lane, attempt) so identical
@@ -126,6 +161,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Reference:   cfg.Reference,
 		Faults:      plan,
 		Reliability: cfg.Reliability,
+		Accuracy:    cfg.Accuracy,
+		Log:         cfg.Log,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transpimlib: %w", err)
@@ -143,6 +180,18 @@ func (e *Engine) EvaluateBatch(fn Function, spec Config, xs []float32) ([]float3
 		return nil, RequestStats{}, fmt.Errorf("transpimlib: EngineConfig owns its PIM system; Config.PIM must be nil")
 	}
 	return e.e.EvaluateBatch(fn, spec.params(), xs)
+}
+
+// EvaluateBatchAs is EvaluateBatch with a tenant tag: the accuracy
+// watcher attributes the request's shadow samples to the
+// (function, method, tenant) series, so per-client quality is
+// separable in /debug/accuracy. The tag does not affect batching,
+// coalescing, or results; an empty tenant is the anonymous series.
+func (e *Engine) EvaluateBatchAs(tenant string, fn Function, spec Config, xs []float32) ([]float32, RequestStats, error) {
+	if spec.PIM != nil {
+		return nil, RequestStats{}, fmt.Errorf("transpimlib: EngineConfig owns its PIM system; Config.PIM must be nil")
+	}
+	return e.e.EvaluateBatchTenant(tenant, fn, spec.params(), xs)
 }
 
 // Stats returns a snapshot of the engine-wide counters.
@@ -176,6 +225,17 @@ func (e *Engine) FaultEvents() []FaultEvent { return e.e.FaultEvents() }
 // Health returns the per-DPU health scoreboard (nil when fault
 // injection is disabled).
 func (e *Engine) Health() []LaneHealth { return e.e.Health() }
+
+// Accuracy returns a point-in-time snapshot of the accuracy watcher's
+// shadow-sample statistics; ok is false when accuracy monitoring is
+// disabled.
+func (e *Engine) Accuracy() (AccuracySnapshot, bool) { return e.e.Accuracy() }
+
+// AccuracyViolations evaluates the configured accuracy SLOs against
+// the cumulative shadow-sample statistics, returning the failures
+// (nil when monitoring is disabled or every series is within bounds).
+// Use it as an end-of-session accuracy gate.
+func (e *Engine) AccuracyViolations() []AccuracyViolation { return e.e.AccuracyViolations() }
 
 // Close drains in-flight work and stops the engine.
 func (e *Engine) Close() { e.e.Close() }

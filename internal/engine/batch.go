@@ -10,7 +10,11 @@ import (
 // batch with other requests (when coalesced); it completes when its
 // last segment drains.
 type request struct {
-	spec     Spec
+	spec Spec
+	// tenant attributes the request's shadow samples to a
+	// per-(function, method, tenant) accuracy series; "" is the
+	// anonymous series. It does not affect batching or results.
+	tenant   string
 	inputs   []float32
 	outputs  []float32
 	enqueued time.Time
@@ -20,6 +24,12 @@ type request struct {
 	remaining int // segments not yet drained
 	err       error
 	stats     RequestStats
+
+	// sloBreached is set by the drain stage's shadow-sampling hook
+	// when this request's samples closed a window that failed an
+	// accuracy SLO; buildTrace annotates the root span with it. The
+	// request is quiescent when it is written (see finishRequest).
+	sloBreached bool
 
 	// batchTraces collects the stage stamps of every batch the request
 	// rode in, in completion order; nil unless tracing is enabled.

@@ -26,9 +26,11 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
+	"transpimlib/internal/accwatch"
 	"transpimlib/internal/core"
 	"transpimlib/internal/faultsim"
 	"transpimlib/internal/pimsim"
@@ -89,6 +91,19 @@ type Config struct {
 	// Reliability tunes the recovery ladder; zero value = defaults.
 	// Only consulted when Faults is enabled.
 	Reliability ReliabilityConfig
+	// Accuracy enables the online accuracy observability layer: a
+	// deterministic shadow-sampler re-evaluates a fraction of each
+	// request's elements against the float64 host reference and feeds
+	// per-(function, method, tenant) error/coverage series with SLO
+	// gating (see internal/accwatch). Disabled (the zero value), the
+	// serving path is bit-identical to an engine without it — one nil
+	// check per completed request, no allocation.
+	Accuracy accwatch.Config
+	// Log, when non-nil, receives structured events from the recovery
+	// ladder (degrades, quarantines, table repairs) and the accuracy
+	// watcher (SLO breaches, drift). Nil disables logging; counters
+	// and snapshots still move.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +218,12 @@ type Engine struct {
 	rel    ReliabilityConfig
 	health *healthTracker
 	seq    uint64
+
+	// acc is the accuracy watcher, nil unless Config.Accuracy.Enabled
+	// — the disabled serving path pays one nil check per request.
+	// log is the structured event sink (nil = no logging).
+	acc *accwatch.Watcher
+	log *slog.Logger
 }
 
 // New builds and starts an engine: the PIM system, the per-shard I/O
@@ -239,11 +260,16 @@ func New(cfg Config) (*Engine, error) {
 	rec.Charge(2)
 	e.streamSig = rec.TakeSig()
 
+	e.log = cfg.Log
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		e.inj = faultsim.NewInjector(*cfg.Faults)
 		e.rel = cfg.Reliability.withDefaults()
 		e.health = newHealthTracker(cfg.DPUs, e.rel)
 		e.sys.SetFaultAgent(&engineFaultAgent{inj: e.inj, met: e.met})
+	}
+	if cfg.Accuracy.Enabled {
+		e.acc = accwatch.New(cfg.Accuracy, reg, cfg.Log)
+		e.tel.AccuracyJSON = func() any { return e.acc.Snapshot() }
 	}
 
 	perShard := cfg.DPUs / cfg.Shards
@@ -342,12 +368,44 @@ func (e *Engine) Traces() []*telemetry.Trace { return e.tracer.Traces() }
 // resident tables.
 func (e *Engine) CachedSpecs() int { return e.cache.size() }
 
+// Accuracy returns a point-in-time snapshot of the accuracy watcher's
+// shadow-sample statistics; ok is false when accuracy monitoring is
+// disabled (Config.Accuracy.Enabled false).
+func (e *Engine) Accuracy() (accwatch.Snapshot, bool) {
+	if e.acc == nil {
+		return accwatch.Snapshot{}, false
+	}
+	return e.acc.Snapshot(), true
+}
+
+// AccuracyViolations evaluates the configured accuracy SLOs against
+// the cumulative shadow-sample statistics and returns the failures
+// (nil when monitoring is disabled or every series is within bounds).
+// This is the batch-gate check: unlike the rolling-window breach
+// counter it judges the whole session, so CI can fail a run whose
+// final error exceeds the bounds even if no single window tripped.
+func (e *Engine) AccuracyViolations() []accwatch.Violation {
+	if e.acc == nil {
+		return nil
+	}
+	return e.acc.CheckSLOs()
+}
+
 // EvaluateBatch evaluates fn(x) for every x under the given method
 // parameters and returns the outputs with the request's cost report.
 // It blocks until the result is complete (internally the work is
 // batched, sharded and pipelined with concurrent callers). Safe for
 // concurrent use.
 func (e *Engine) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, error) {
+	return e.EvaluateBatchTenant("", fn, p, xs)
+}
+
+// EvaluateBatchTenant is EvaluateBatch with a tenant tag: the
+// accuracy watcher attributes the request's shadow samples to the
+// (function, method, tenant) series, so per-client quality is
+// separable in /debug/accuracy. The tag does not affect batching,
+// coalescing, or results; an empty tenant is the anonymous series.
+func (e *Engine) EvaluateBatchTenant(tenant string, fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, error) {
 	spec := makeSpec(fn, p)
 	if !spec.Par.Method.Supports(fn) {
 		return nil, RequestStats{}, fmt.Errorf("engine: %v does not support %v (see Table 2)", spec.Par.Method, fn)
@@ -357,6 +415,7 @@ func (e *Engine) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([
 	}
 	r := &request{
 		spec:     spec,
+		tenant:   tenant,
 		inputs:   xs,
 		outputs:  make([]float32, len(xs)),
 		enqueued: time.Now(),
@@ -681,20 +740,52 @@ func (e *Engine) stageTransferOut(s *shard) {
 // finishRequest runs on the drain stage after a request's last
 // segment completed and before its caller is released: observe the
 // latency, count request-level errors (the per-request view the batch
-// counter can't give), assemble and publish the trace, then close
-// done. The request is quiescent here — every other stage is finished
-// with it and the caller is still parked on done — so the reads and
-// the TraceID write need no lock.
+// counter can't give), shadow-sample the outputs for accuracy
+// monitoring, assemble and publish the trace, then close done. The
+// request is quiescent here — every other stage is finished with it
+// and the caller is still parked on done — so the reads and the
+// TraceID write need no lock.
 func (e *Engine) finishRequest(r *request) {
 	end := time.Now()
 	e.met.latency.Observe(r.stats.Latency.Seconds())
 	if r.err != nil {
 		e.met.requestErrors.Inc()
 	}
+	var traceID uint64
 	if e.tracer != nil {
-		id := e.tracer.NextID()
-		r.stats.TraceID = id
-		e.tracer.Push(buildTrace(r, id, end))
+		traceID = e.tracer.NextID()
+		r.stats.TraceID = traceID
+	}
+	if e.acc != nil && r.err == nil {
+		// The shadow sampler only reads inputs/outputs; it never
+		// touches the pipeline, so modeled cycles and outputs are
+		// untouched whether it runs or not.
+		lo, hi := r.spec.Fn.Domain()
+		out := e.acc.Sample(accwatch.Request{
+			Key: accwatch.Key{
+				Function: r.spec.Fn.String(),
+				Method:   methodLabel(r.spec.Par),
+				Tenant:   r.tenant,
+			},
+			Ref: r.spec.Fn.Ref(),
+			Lo:  lo, Hi: hi,
+			Shard:   r.stats.ShardID,
+			TraceID: traceID,
+		}, r.inputs, r.outputs)
+		r.sloBreached = out.Breached
+	}
+	if e.tracer != nil {
+		e.tracer.Push(buildTrace(r, traceID, end))
 	}
 	close(r.done)
+}
+
+// methodLabel renders a request's method the way tplaccuracy labels
+// it — "l-lut(i)" for the interpolated variant — so online series and
+// offline reports key identically.
+func methodLabel(p core.Params) string {
+	if p.Interp {
+		return p.Method.String() + "(i)"
+	}
+	return p.Method.String()
 }

@@ -104,13 +104,15 @@ func newHealthTracker(dpus int, rel ReliabilityConfig) *healthTracker {
 // recordFailure charges one failure (hard fail or timeout) against a
 // DPU at batch seq. Reaching the consecutive threshold — or any
 // failure while on probation — quarantines the core, doubling the
-// penalty on every re-entry.
-func (h *healthTracker) recordFailure(dpu int, seq uint64) {
+// penalty on every re-entry. It reports whether this call moved the
+// core into quarantine, so the engine can log the transition.
+func (h *healthTracker) recordFailure(dpu int, seq uint64) (quarantined bool) {
 	h.mu.Lock()
 	st := &h.lanes[dpu]
 	st.errors++
 	st.consecutive++
 	if st.probation || st.consecutive >= h.rel.QuarantineAfter {
+		quarantined = !st.quarantined
 		st.quarantined = true
 		st.probation = false
 		st.probationOK = 0
@@ -122,6 +124,7 @@ func (h *healthTracker) recordFailure(dpu int, seq uint64) {
 		}
 	}
 	h.mu.Unlock()
+	return quarantined
 }
 
 // recordSuccess clears a DPU's failure streak; enough successes on

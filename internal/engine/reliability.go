@@ -164,6 +164,11 @@ func (e *Engine) flipAndRepair(s *shard, b *batch) {
 		e.sys.ChargeHostToPIM(len(region), false)
 		b.setup += float64(len(region)) / bw
 		e.met.repairs.Inc()
+		if e.log != nil {
+			e.log.Warn("table corruption repaired",
+				"shard", s.id, "dpu", s.ids[k], "seq", b.seq,
+				"region_bytes", len(region))
+		}
 	}
 }
 
@@ -304,7 +309,11 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 		case errors.As(err, &le):
 			for _, p := range le.Lanes {
 				s.failedLane[lanes[p]] = true
-				e.health.recordFailure(s.ids[lanes[p]], b.seq)
+				if e.health.recordFailure(s.ids[lanes[p]], b.seq) && e.log != nil {
+					e.log.Warn("dpu quarantined",
+						"dpu", s.ids[lanes[p]], "shard", s.id, "seq", b.seq,
+						"cause", "launch_failure")
+				}
 			}
 			retry = true
 		case err != nil:
@@ -316,7 +325,17 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 		case e.rel.LaunchTimeout > 0 && float64(mx)/e.sys.Config().ClockHz > e.rel.LaunchTimeout:
 			e.met.timeouts.Inc()
 			s.failedLane[lanes[slowest]] = true
-			e.health.recordFailure(s.ids[lanes[slowest]], b.seq)
+			if e.log != nil {
+				e.log.Warn("launch timeout",
+					"dpu", s.ids[lanes[slowest]], "shard", s.id, "seq", b.seq,
+					"modeled_s", float64(mx)/e.sys.Config().ClockHz,
+					"cutoff_s", e.rel.LaunchTimeout)
+			}
+			if e.health.recordFailure(s.ids[lanes[slowest]], b.seq) && e.log != nil {
+				e.log.Warn("dpu quarantined",
+					"dpu", s.ids[lanes[slowest]], "shard", s.id, "seq", b.seq,
+					"cause", "timeout")
+			}
 			retry = true
 		}
 
@@ -438,6 +457,12 @@ func (e *Engine) degradeBatch(s *shard, b *batch, ops []*core.Operator) {
 	ops[0].EvalBatch(s.rec, xs, ys)
 	b.degraded, b.hostEval = true, true
 	e.met.degraded.Inc()
+	if e.log != nil {
+		e.log.Warn("batch degraded to host mirror",
+			"shard", s.id, "seq", b.seq, "elements", b.n,
+			"fn", b.spec.Fn.String(), "method", b.spec.Par.Method.String(),
+			"retries", b.retries)
+	}
 }
 
 // computeCoreAt is computeCore generalized for remapping and hedging:

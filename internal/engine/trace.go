@@ -48,6 +48,14 @@ func buildTrace(r *request, id uint64, end time.Time) *telemetry.Trace {
 	root.SetAttr("elements", fmt.Sprint(len(r.inputs)))
 	root.SetAttr("batches", fmt.Sprint(r.stats.Batches))
 	root.SetAttr("cache_hit", fmt.Sprint(r.stats.CacheHit))
+	if r.tenant != "" {
+		root.SetAttr("tenant", r.tenant)
+	}
+	if r.sloBreached {
+		// The accuracy watcher tripped an SLO window on this request's
+		// shadow samples; fault-free, SLO-clean traces stay unchanged.
+		root.SetAttr("accuracy_slo_breached", "true")
+	}
 
 	if len(r.batchTraces) > 0 {
 		q := &telemetry.Span{

@@ -12,18 +12,21 @@ import (
 )
 
 // Errors summarizes the deviation of a set of computed values from
-// their references.
+// their references. The JSON tags make it directly embeddable in
+// accuracy snapshots (the /debug/accuracy endpoint and the offline
+// tplaccuracy -json report share this shape, so the numbers are
+// bit-comparable).
 type Errors struct {
-	N       int
-	RMSE    float64 // √(mean of squared absolute errors)
-	MaxAbs  float64
-	MeanAbs float64
-	MaxULP  float64 // max |error| / ulp(reference), reference in float32
+	N       int     `json:"n"`
+	RMSE    float64 `json:"rmse"`    // √(mean of squared absolute errors)
+	MaxAbs  float64 `json:"max_abs"`
+	MeanAbs float64 `json:"mean_abs"`
+	MaxULP  float64 `json:"max_ulp"` // max |error| / ulp(reference), reference in float32
 	// RelRMSE is the root-mean-square of |error|/|reference| over
 	// references of meaningful magnitude (|ref| > 1e-30) — the metric
 	// of choice for functions whose outputs span decades (tan near its
 	// poles, exp over wide ranges).
-	RelRMSE float64
+	RelRMSE float64 `json:"rel_rmse"`
 }
 
 // String formats the metrics compactly.
@@ -43,35 +46,52 @@ type Collector struct {
 	nRel     int
 }
 
-// Add records one (computed, reference) pair. Non-finite pairs where
-// both sides agree (both +Inf, both NaN) count as exact; disagreeing
-// non-finite pairs count as the worst observed error so far plus one
-// ULP step, keeping the collector finite.
-func (c *Collector) Add(got float32, want float64) {
-	c.n++
+// Deviation is the single error-math kernel every accuracy surface in
+// the repo shares — the offline Collector (tplaccuracy, sweeps) and
+// the online shadow sampler (internal/accwatch) both call it, so
+// their numbers are bit-comparable by construction. It returns the
+// absolute error and the error in units of last place of the float32
+// reference. exact reports a non-finite pair where both sides agree
+// (both +Inf, both NaN): such pairs count as error-free and carry no
+// meaningful relative error. Disagreeing non-finite pairs saturate
+// the absolute error at MaxFloat32, keeping downstream aggregates
+// finite.
+func Deviation(got float32, want float64) (abs, ulps float64, exact bool) {
 	g := float64(got)
 	if math.IsNaN(g) && math.IsNaN(want) {
-		return
+		return 0, 0, true
 	}
 	if math.IsInf(g, 1) && math.IsInf(want, 1) || math.IsInf(g, -1) && math.IsInf(want, -1) {
-		return
+		return 0, 0, true
 	}
-	err := math.Abs(g - want)
-	if math.IsNaN(err) || math.IsInf(err, 0) {
-		err = math.MaxFloat32
-	}
-	c.sumSq += err * err
-	c.sumAbs += err
-	if err > c.maxAbs {
-		c.maxAbs = err
+	abs = math.Abs(g - want)
+	if math.IsNaN(abs) || math.IsInf(abs, 0) {
+		abs = math.MaxFloat32
 	}
 	if u := float64(fpbits.ULP(float32(want))); u > 0 && !math.IsNaN(u) {
-		if ulps := err / u; ulps > c.maxULP {
-			c.maxULP = ulps
-		}
+		ulps = abs / u
+	}
+	return abs, ulps, false
+}
+
+// Add records one (computed, reference) pair using Deviation's error
+// math.
+func (c *Collector) Add(got float32, want float64) {
+	c.n++
+	abs, ulps, exact := Deviation(got, want)
+	if exact {
+		return
+	}
+	c.sumSq += abs * abs
+	c.sumAbs += abs
+	if abs > c.maxAbs {
+		c.maxAbs = abs
+	}
+	if ulps > c.maxULP {
+		c.maxULP = ulps
 	}
 	if a := math.Abs(want); a > 1e-30 {
-		rel := err / a
+		rel := abs / a
 		c.sumRelSq += rel * rel
 		c.nRel++
 	}

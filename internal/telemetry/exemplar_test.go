@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramExemplarLastWorst(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+
+	h.ObserveExemplar(0.5, `trace_id="1"`)
+	h.ObserveExemplar(0.2, `trace_id="2"`) // smaller: must not displace
+	h.ObserveExemplar(0.9, `trace_id="3"`) // worse: must displace
+	h.ObserveExemplar(42, `trace_id="4"`)  // overflow bucket
+
+	s := h.Snapshot()
+	if s.Count != 4 || s.Counts[0] != 3 || s.Counts[2] != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if len(s.Exemplars) != 3 {
+		t.Fatalf("want 3 exemplar slots, got %d", len(s.Exemplars))
+	}
+	if ex := s.Exemplars[0]; ex == nil || ex.Value != 0.9 || ex.Labels != `trace_id="3"` {
+		t.Fatalf("bucket 0 exemplar: %+v, want worst value 0.9 from trace 3", ex)
+	}
+	if s.Exemplars[1] != nil {
+		t.Fatalf("empty bucket grew an exemplar: %+v", s.Exemplars[1])
+	}
+	if ex := s.Exemplars[2]; ex == nil || ex.Value != 42 {
+		t.Fatalf("overflow bucket exemplar: %+v", ex)
+	}
+}
+
+func TestHistogramExemplarTieKeepsLatest(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveExemplar(0.5, "first")
+	h.ObserveExemplar(0.5, "second")
+	if ex := h.Snapshot().Exemplars[0]; ex.Labels != "second" {
+		t.Fatalf("tie must keep the latest observation, got %+v", ex)
+	}
+}
+
+func TestHistogramExemplarBounded(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3})
+	for i := 0; i < 10000; i++ {
+		h.ObserveExemplar(float64(i%5), fmt.Sprintf(`i="%d"`, i))
+	}
+	s := h.Snapshot()
+	if len(s.Exemplars) != 4 {
+		t.Fatalf("exemplar storage must stay one-per-bucket, got %d slots", len(s.Exemplars))
+	}
+	for i, ex := range s.Exemplars {
+		if ex == nil {
+			t.Fatalf("bucket %d lost its exemplar", i)
+		}
+	}
+}
+
+func TestHistogramExemplarConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{100, 1000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveExemplar(float64(g*1000+i), fmt.Sprintf(`g="%d"`, g))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	// The overflow bucket's exemplar must be the global worst.
+	last := s.Exemplars[len(s.Exemplars)-1]
+	if last == nil || last.Value != 7999 {
+		t.Fatalf("overflow exemplar %+v, want value 7999", last)
+	}
+}
+
+func TestRegistryCardinalityGuard(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSeriesPerFamily(3)
+
+	c0 := r.Counter(`acc_samples_total{tenant="a"}`, "samples")
+	c1 := r.Counter(`acc_samples_total{tenant="b"}`, "samples")
+	over1 := r.Counter(`acc_samples_total{tenant="c"}`, "samples") // 3rd series: becomes the overflow slot? No — it's within cap.
+	over2 := r.Counter(`acc_samples_total{tenant="d"}`, "samples") // beyond cap: overflow
+	over3 := r.Counter(`acc_samples_total{tenant="e"}`, "samples") // beyond cap: same overflow series
+
+	if c0 == c1 || c0 == over1 {
+		t.Fatal("within-cap series must stay distinct")
+	}
+	if over2 != over3 {
+		t.Fatal("beyond-cap registrations must collapse into one overflow series")
+	}
+	// Re-registering an existing series is not an overflow.
+	if again := r.Counter(`acc_samples_total{tenant="a"}`, "samples"); again != c0 {
+		t.Fatal("existing series must not be redirected")
+	}
+	if n := r.OverflowedSeries(); n != 2 {
+		t.Fatalf("overflowed series = %d, want 2", n)
+	}
+
+	over2.Add(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `acc_samples_total{overflow="true"} 5`) {
+		t.Fatalf("exposition missing overflow series:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), `tenant="d"`) {
+		t.Fatalf("capped label set leaked into exposition:\n%s", b.String())
+	}
+
+	// Unlabeled singletons and other families are unaffected.
+	if g := r.Gauge("acc_queue_depth", "depth"); g == nil {
+		t.Fatal("unlabeled registration failed under guard")
+	}
+	// Histograms share the guard.
+	h1 := r.Histogram(`acc_err{tenant="a"}`, "err", []float64{1})
+	r.Histogram(`acc_err{tenant="b"}`, "err", []float64{1})
+	r.Histogram(`acc_err{tenant="c"}`, "err", []float64{1})
+	h4 := r.Histogram(`acc_err{tenant="d"}`, "err", []float64{1})
+	h5 := r.Histogram(`acc_err{tenant="e"}`, "err", []float64{1})
+	if h4 != h5 || h4 == h1 {
+		t.Fatal("histogram registrations must share the cardinality guard")
+	}
+}

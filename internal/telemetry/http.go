@@ -8,20 +8,25 @@ import (
 )
 
 // Telemetry bundles a process's observability handles: the metrics
-// registry (always cheap, always on) and the optional request tracer
-// (nil when tracing is disabled).
+// registry (always cheap, always on), the optional request tracer
+// (nil when tracing is disabled), and the optional accuracy snapshot
+// source (nil unless the engine's shadow sampler is enabled).
 type Telemetry struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// AccuracyJSON, when non-nil, supplies the /debug/accuracy
+	// document — the engine wires it to the accwatch snapshot.
+	AccuracyJSON func() any
 }
 
-// Handler returns an http.Handler exposing the standard endpoint
-// pair:
+// Handler returns an http.Handler exposing the standard endpoints:
 //
-//	/metrics      Prometheus text exposition of the registry
-//	/debug/trace  retained request span trees as JSON
-//	              (?n=K limits to the K most recent; ?format=chrome
-//	              emits the Chrome trace_event form instead)
+//	/metrics         Prometheus text exposition of the registry
+//	/debug/trace     retained request span trees as JSON
+//	                 (?n=K limits to the K most recent; ?format=chrome
+//	                 emits the Chrome trace_event form instead)
+//	/debug/accuracy  the shadow sampler's accuracy snapshot as JSON
+//	                 (404 when accuracy monitoring is disabled)
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -64,6 +69,18 @@ func (t *Telemetry) Handler() http.Handler {
 			}
 		default:
 			http.Error(w, "format must be json or chrome", http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/accuracy", func(w http.ResponseWriter, _ *http.Request) {
+		if t == nil || t.AccuracyJSON == nil {
+			http.Error(w, "accuracy monitoring disabled (enable the shadow sampler)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.AccuracyJSON()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	return mux

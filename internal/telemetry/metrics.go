@@ -107,6 +107,16 @@ func (g *Gauge) Load() int64 {
 	return g.v.Load()
 }
 
+// Exemplar is one concrete observation attached to a histogram
+// bucket: the observed value plus a short label block identifying it
+// (trace id, input bits, …). Exemplar storage is bounded — one per
+// bucket, holding the worst (largest) value the bucket has seen, with
+// ties going to the most recent observation ("last-worst").
+type Exemplar struct {
+	Value  float64 `json:"value"`
+	Labels string  `json:"labels,omitempty"` // e.g. `trace_id="7",x="0x40490fdb"`
+}
+
 // Histogram is a fixed-bucket cumulative histogram in the Prometheus
 // style: Observe finds the first upper bound ≥ v with a linear scan
 // (bucket counts are small and fixed at construction) and bumps one
@@ -116,6 +126,14 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
 	sum    FloatCounter
 	count  Counter
+
+	// exemplars is allocated lazily on the first ObserveExemplar; a
+	// histogram that never sees exemplars pays one nil pointer load.
+	exemplars atomic.Pointer[exemplarSet]
+}
+
+type exemplarSet struct {
+	slots []atomic.Pointer[Exemplar] // len(bounds)+1, parallel to counts
 }
 
 // NewHistogram builds a histogram over the given strictly increasing
@@ -136,13 +154,54 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.counts[h.bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Inc()
+}
+
+func (h *Histogram) bucketOf(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// ObserveExemplar records one value and attaches an exemplar to its
+// bucket when the value is at least as large as the bucket's current
+// exemplar (last-worst retention, one exemplar per bucket — bounded
+// storage no matter how many observations arrive). The replacement is
+// a CAS loop on the bucket's slot; a lost race means a concurrent
+// writer installed an exemplar at least as bad, which satisfies the
+// retention contract.
+func (h *Histogram) ObserveExemplar(v float64, labels string) {
+	if h == nil {
+		return
+	}
+	i := h.bucketOf(v)
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Inc()
+
+	set := h.exemplars.Load()
+	if set == nil {
+		fresh := &exemplarSet{slots: make([]atomic.Pointer[Exemplar], len(h.counts))}
+		if !h.exemplars.CompareAndSwap(nil, fresh) {
+			set = h.exemplars.Load()
+		} else {
+			set = fresh
+		}
+	}
+	ex := &Exemplar{Value: v, Labels: labels}
+	for {
+		cur := set.slots[i].Load()
+		if cur != nil && cur.Value > v {
+			return
+		}
+		if set.slots[i].CompareAndSwap(cur, ex) {
+			return
+		}
+	}
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram.
@@ -151,6 +210,10 @@ type HistogramSnapshot struct {
 	Counts []uint64  // per-bucket counts, len(Bounds)+1
 	Sum    float64
 	Count  uint64
+	// Exemplars holds each bucket's retained worst observation;
+	// len(Bounds)+1 entries, nil where the bucket has none. Nil when
+	// the histogram never saw ObserveExemplar.
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram's current state. Individual bucket
@@ -168,6 +231,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	if set := h.exemplars.Load(); set != nil {
+		s.Exemplars = make([]*Exemplar, len(set.slots))
+		for i := range set.slots {
+			if ex := set.slots[i].Load(); ex != nil {
+				cp := *ex
+				s.Exemplars[i] = &cp
+			}
+		}
 	}
 	return s
 }
