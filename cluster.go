@@ -1,0 +1,184 @@
+package transpimlib
+
+import (
+	"fmt"
+	"log/slog"
+
+	"transpimlib/internal/cluster"
+	"transpimlib/internal/engine"
+)
+
+// ErrOverloaded is the cluster's typed load-shedding error: the
+// request was refused before any work happened, either because the
+// tenant's token bucket was empty or because every candidate replica's
+// backlog exceeded ClusterConfig.MaxQueue. Detect it with errors.Is
+// and back off before retrying.
+var ErrOverloaded = cluster.ErrOverloaded
+
+// ErrClusterClosed is returned by cluster submit paths after Close.
+var ErrClusterClosed = cluster.ErrClusterClosed
+
+// TenantQuota is one tenant's admission token bucket, denominated in
+// elements: a request for n elements consumes n tokens. Rate refills
+// per second; Burst caps the bucket (default: one second of Rate).
+type TenantQuota = cluster.Quota
+
+// ClusterStats is the cluster-wide routing counter snapshot: requests,
+// sheds by reason, failovers, spills off the primary, degraded serves,
+// and the per-replica routed counts.
+type ClusterStats = cluster.Stats
+
+// ReplicaHealth is one replica's row of the cluster health scoreboard.
+type ReplicaHealth = cluster.ReplicaHealth
+
+// ClusterConfig configures a replicated serving cluster. The zero
+// value (with Replicas defaulted to 1) behaves exactly like a single
+// Engine: no quotas, no backlog bound, no faults — the differential
+// tests pin bit-identity with the single-engine path.
+type ClusterConfig struct {
+	// Replicas is the engine replica count N (default 1, max 64). Each
+	// replica is a full Engine with its own simulated PIM system.
+	Replicas int
+	// Engine is the per-replica engine template.
+	Engine EngineConfig
+	// ReplicaFaults overrides the template's fault plan for specific
+	// replicas (index → faultsim plan string) — the knob the cluster
+	// smoke tests use to fail one replica out of N. An entry with an
+	// empty string disables injection on that replica.
+	ReplicaFaults map[int]string
+	// Replication is K, the size of each key's candidate set on the
+	// consistent-hash ring: the replicas its tables may become resident
+	// on and the fallback targets for least-loaded placement. Default
+	// min(2, Replicas), capped at 16.
+	Replication int
+	// VirtualNodes is the number of ring points per replica (default
+	// 64); more points smooth the key distribution.
+	VirtualNodes int
+	// Seed perturbs the ring and key hashes (default 1). Identical
+	// seeds and request sequences yield identical placements.
+	Seed uint64
+	// Quotas are per-tenant admission token buckets; nil disables quota
+	// admission. DefaultQuota, when non-nil, applies to tenants absent
+	// from Quotas.
+	Quotas       map[string]TenantQuota
+	DefaultQuota *TenantQuota
+	// MaxQueue, when > 0, sheds a request (ErrOverloaded) when every
+	// healthy candidate replica's batcher backlog is at or above it.
+	MaxQueue int
+	// Health tunes replica-granularity quarantine: QuarantineAfter
+	// consecutive replica failures (errors or host-mirror degrades)
+	// quarantine it, ProbationAfter requests later it is re-admitted on
+	// probation, ProbationSuccesses clean serves clear it. Zero values
+	// pick defaults (3 / 64 / 2).
+	Health ReliabilityConfig
+	// Log receives replica quarantine and failover events (and is also
+	// passed to each replica engine unless Engine.Log is set).
+	Log *slog.Logger
+}
+
+// Cluster is a replicated serving front end: N engine replicas behind
+// a consistent-hash router with least-loaded fallback, per-tenant
+// admission control, load shedding, and replica-granularity failover.
+// Safe for concurrent use.
+type Cluster struct {
+	c *cluster.Cluster
+}
+
+// NewCluster builds and starts a cluster of cfg.Replicas engines.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	n := cfg.Replicas
+	if n <= 0 {
+		n = 1
+	}
+	ecfg := cfg.Engine
+	if ecfg.Log == nil {
+		ecfg.Log = cfg.Log
+	}
+	engines := make([]engine.Config, n)
+	for i := range engines {
+		per := ecfg
+		if plan, ok := cfg.ReplicaFaults[i]; ok {
+			per.Faults = plan
+		}
+		icfg, err := per.internal()
+		if err != nil {
+			return nil, fmt.Errorf("transpimlib: replica %d: %w", i, err)
+		}
+		engines[i] = icfg
+	}
+	c, err := cluster.New(cluster.Config{
+		Engines:      engines,
+		Replication:  cfg.Replication,
+		VirtualNodes: cfg.VirtualNodes,
+		Seed:         cfg.Seed,
+		Quotas:       cfg.Quotas,
+		DefaultQuota: cfg.DefaultQuota,
+		MaxQueue:     cfg.MaxQueue,
+		Health:       cfg.Health,
+		Log:          cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transpimlib: %w", err)
+	}
+	return &Cluster{c: c}, nil
+}
+
+// EvaluateBatch routes fn over xs through the cluster with the
+// anonymous tenant. See EvaluateBatchAs.
+func (c *Cluster) EvaluateBatch(fn Function, spec Config, xs []float32) ([]float32, RequestStats, error) {
+	return c.EvaluateBatchAs("", fn, spec, xs)
+}
+
+// EvaluateBatchAs routes one tenant-tagged request: admission (quota
+// shed with ErrOverloaded), consistent-hash placement with
+// least-loaded fallback and backlog shedding, execution on the chosen
+// replica, and failover — a replica that fails is penalized on the
+// cluster health tracker and the request re-placed among the
+// survivors. Results are bit-identical regardless of which replica
+// serves (the engine differential contract).
+func (c *Cluster) EvaluateBatchAs(tenant string, fn Function, spec Config, xs []float32) ([]float32, RequestStats, error) {
+	if spec.PIM != nil {
+		return nil, RequestStats{}, fmt.Errorf("transpimlib: a Cluster owns its PIM systems; Config.PIM must be nil")
+	}
+	return c.c.EvaluateBatchTenant(tenant, fn, spec.params(), xs)
+}
+
+// Prewarm eagerly builds the spec's tables on every replica in the
+// (function, method, tenant) key's candidate set, so the first real
+// request hits a warm setup cache wherever the router places it.
+func (c *Cluster) Prewarm(fn Function, spec Config, tenant string) error {
+	if spec.PIM != nil {
+		return fmt.Errorf("transpimlib: a Cluster owns its PIM systems; Config.PIM must be nil")
+	}
+	return c.c.Prewarm(fn, spec.params(), tenant)
+}
+
+// Replicas returns the replica count N.
+func (c *Cluster) Replicas() int { return c.c.Replicas() }
+
+// Stats snapshots the cluster-wide routing counters.
+func (c *Cluster) Stats() ClusterStats { return c.c.Stats() }
+
+// ReplicaStats snapshots each replica's engine-wide counters.
+func (c *Cluster) ReplicaStats() []EngineStats { return c.c.ReplicaStats() }
+
+// CachedSpecs sums the replicas' resident table configurations; with
+// replication one spec can count on several replicas.
+func (c *Cluster) CachedSpecs() int { return c.c.CachedSpecs() }
+
+// Health returns the replica health scoreboard: lifetime errors,
+// consecutive-failure streaks, and quarantine/probation state.
+func (c *Cluster) Health() []ReplicaHealth { return c.c.Health() }
+
+// Observe returns the cluster's telemetry handle: the registry behind
+// Stats with the cluster_* series (per-replica routed counts, queue
+// depths, health gauges). Per-replica engine telemetry is reachable
+// through ReplicaObserve.
+func (c *Cluster) Observe() *Telemetry { return c.c.Observe() }
+
+// ReplicaObserve returns replica i's engine telemetry handle (nil for
+// an out-of-range index).
+func (c *Cluster) ReplicaObserve(i int) *Telemetry { return c.c.ReplicaObserve(i) }
+
+// Close drains and stops every replica.
+func (c *Cluster) Close() { c.c.Close() }

@@ -27,10 +27,24 @@
 // SIGTERM shuts down gracefully: clients stop submitting, in-flight
 // batches drain, and the final summary still prints.
 //
+// With -replicas N > 1 the workload runs against a replicated cluster
+// (transpimlib.Cluster) instead of a single engine: requests route by
+// consistent hashing with least-loaded fallback and replica-level
+// failover, and the summary adds per-replica routing shares and
+// health. -listen then serves the cluster's telemetry — cluster_*
+// series (per-replica routed counts, queue depths, health gauges) at
+// /metrics, with each replica's full engine telemetry mounted under
+// /replica/<i>/ (so tplwatch can follow either the cluster or one
+// replica).
+//
+// Exit codes: 0 success; 1 workload or gate failure; 2 bad usage;
+// 3 the -listen address is already in use.
+//
 // Usage:
 //
 //	tplserve [-dpus 8] [-shards 2] [-clients 6] [-requests 24]
 //	         [-elems 1024] [-window 200us] [-seed 1]
+//	         [-replicas 1] [-replication 2]
 //	         [-listen :9090] [-hold 0s] [-trace 32] [-profile]
 //	         [-logfmt text|json]
 //	         [-accuracy 0.01] [-slo "method=l-lut(i),mae=1e-3"]
@@ -41,6 +55,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -136,6 +151,48 @@ func parseSLOs(s string) ([]transpimlib.AccuracySLO, error) {
 	return out, nil
 }
 
+// listenExitCode maps a -listen failure to the process exit code: 3
+// when the address is already in use (the caller can pick another
+// port or wait for the previous instance), 1 for anything else.
+func listenExitCode(err error) int {
+	if errors.Is(err, syscall.EADDRINUSE) {
+		return 3
+	}
+	return 1
+}
+
+// sumStats adds up the printed fields of per-replica engine stats for
+// the cluster-mode summary.
+func sumStats(list []transpimlib.EngineStats) transpimlib.EngineStats {
+	var t transpimlib.EngineStats
+	for _, s := range list {
+		t.Requests += s.Requests
+		t.Batches += s.Batches
+		t.Elements += s.Elements
+		t.RequestErrors += s.RequestErrors
+		t.CoalescedBatches += s.CoalescedBatches
+		t.CacheHits += s.CacheHits
+		t.CacheMisses += s.CacheMisses
+		t.SetupSeconds += s.SetupSeconds
+		t.TransferInSeconds += s.TransferInSeconds
+		t.ComputeSeconds += s.ComputeSeconds
+		t.TransferOutSeconds += s.TransferOutSeconds
+		t.KernelCycles += s.KernelCycles
+		t.BytesIn += s.BytesIn
+		t.BytesOut += s.BytesOut
+		t.FaultsInjected += s.FaultsInjected
+		t.LaunchRetries += s.LaunchRetries
+		t.TransferRetries += s.TransferRetries
+		t.LaunchTimeouts += s.LaunchTimeouts
+		t.Remaps += s.Remaps
+		t.Hedges += s.Hedges
+		t.DegradedBatches += s.DegradedBatches
+		t.TableRepairs += s.TableRepairs
+		t.QuarantinedDPUs += s.QuarantinedDPUs
+	}
+	return t
+}
+
 func newLogger(format string) (*slog.Logger, error) {
 	switch format {
 	case "", "text":
@@ -155,7 +212,9 @@ func main() {
 	elems := flag.Int("elems", 1024, "elements per request")
 	window := flag.Duration("window", 200*time.Microsecond, "batcher coalescing window")
 	seed := flag.Int64("seed", 1, "input RNG seed")
-	listen := flag.String("listen", "", "serve /metrics, /debug/trace and /debug/accuracy on this address (e.g. :9090)")
+	replicas := flag.Int("replicas", 1, "engine replicas; >1 serves through a routed cluster")
+	replication := flag.Int("replication", 2, "cluster candidate-set size K per key (with -replicas > 1)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/trace and /debug/accuracy on this address (e.g. :9090); exit code 3 when already in use")
 	hold := flag.Duration("hold", 0, "keep the HTTP endpoints up this long after the workload (requires -listen)")
 	traceDepth := flag.Int("trace", 32, "request traces to retain (0 disables tracing)")
 	profile := flag.Bool("profile", false, "per-DPU kernel-launch profiling (pim_* metrics)")
@@ -191,7 +250,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
+	ecfg := transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
 		TraceDepth: *traceDepth, Profile: *profile, Faults: *faults,
 		Accuracy: transpimlib.AccuracyConfig{
@@ -200,18 +259,64 @@ func main() {
 			SLOs:       slos,
 		},
 		Log: log,
-	})
-	if err != nil {
-		fatal("engine start failed", "err", err)
 	}
-	defer eng.Close()
+	var (
+		eng *transpimlib.Engine
+		cl  *transpimlib.Cluster
+	)
+	if *replicas > 1 {
+		cl, err = transpimlib.NewCluster(transpimlib.ClusterConfig{
+			Replicas:    *replicas,
+			Replication: *replication,
+			Engine:      ecfg,
+			Seed:        uint64(*seed),
+			Log:         log,
+		})
+		if err != nil {
+			fatal("cluster start failed", "err", err)
+		}
+		defer cl.Close()
+	} else {
+		eng, err = transpimlib.NewEngine(ecfg)
+		if err != nil {
+			fatal("engine start failed", "err", err)
+		}
+		defer eng.Close()
+	}
+	evaluate := func(tenant string, fn transpimlib.Function, cfg transpimlib.Config, xs []float32) ([]float32, transpimlib.RequestStats, error) {
+		if cl != nil {
+			return cl.EvaluateBatchAs(tenant, fn, cfg, xs)
+		}
+		return eng.EvaluateBatchAs(tenant, fn, cfg, xs)
+	}
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
-			fatal("listen failed", "addr", *listen, "err", err)
+			code := listenExitCode(err)
+			if code == 3 {
+				log.Error("listen address already in use (is another tplserve running?)",
+					"addr", *listen, "err", err)
+			} else {
+				log.Error("listen failed", "addr", *listen, "err", err)
+			}
+			os.Exit(code)
 		}
-		srv := &http.Server{Handler: eng.Observe().Handler()}
+		var handler http.Handler
+		if cl != nil {
+			// Cluster telemetry at the root (cluster_* series), each
+			// replica's full engine telemetry under /replica/<i>/.
+			mux := http.NewServeMux()
+			mux.Handle("/", cl.Observe().Handler())
+			for i := 0; i < cl.Replicas(); i++ {
+				prefix := fmt.Sprintf("/replica/%d", i)
+				mux.Handle(prefix+"/", http.StripPrefix(prefix, cl.ReplicaObserve(i).Handler()))
+			}
+			handler = mux
+		} else {
+			handler = eng.Observe().Handler()
+		}
+		srv := &http.Server{Handler: handler}
 		go func() {
 			if err := srv.Serve(ln); err != http.ErrServerClosed {
 				log.Error("http server failed", "err", err)
@@ -224,7 +329,7 @@ func main() {
 
 	jobs := mixedWorkload()
 	log.Info("workload starting",
-		"dpus", *dpus, "shards", *shards, "clients", *clients,
+		"dpus", *dpus, "shards", *shards, "replicas", *replicas, "clients", *clients,
 		"requests_per_client", *requests, "elems", *elems,
 		"mix", jobs[0].name+" | "+jobs[1].name+" | "+jobs[2].name,
 		"accuracy_sample_rate", *accuracy, "slos", len(slos))
@@ -253,7 +358,7 @@ func main() {
 				for i := range xs {
 					xs[i] = -2 + 4*rng.Float32()
 				}
-				ys, st, err := eng.EvaluateBatchAs(j.tenant(), j.fn, j.cfg, xs)
+				ys, st, err := evaluate(j.tenant(), j.fn, j.cfg, xs)
 				if err != nil {
 					if ctx.Err() == nil {
 						failures.Store(fmt.Sprintf("client %d req %d", c, r), err)
@@ -280,7 +385,12 @@ func main() {
 	if ctx.Err() != nil {
 		log.Info("shutdown requested, draining in-flight batches")
 	}
-	eng.Close() // drain in-flight batches and settle counters before the summary
+	// Drain in-flight batches and settle counters before the summary.
+	if cl != nil {
+		cl.Close()
+	} else {
+		eng.Close()
+	}
 
 	bad := 0
 	failures.Range(func(k, v any) bool {
@@ -302,7 +412,12 @@ func main() {
 			}
 		}
 	}
-	st := eng.Stats()
+	var st transpimlib.EngineStats
+	if cl != nil {
+		st = sumStats(cl.ReplicaStats())
+	} else {
+		st = eng.Stats()
+	}
 	log.Info("workload complete",
 		"requests", st.Requests, "elements", st.Elements,
 		"wall", wall.Round(time.Microsecond).String(),
@@ -314,8 +429,14 @@ func main() {
 	log.Info("batching",
 		"batches", st.Batches, "requests", st.Requests,
 		"coalesced_batches", st.CoalescedBatches)
+	specsResident := 0
+	if cl != nil {
+		specsResident = cl.CachedSpecs()
+	} else {
+		specsResident = eng.CachedSpecs()
+	}
 	log.Info("table cache",
-		"specs_resident", eng.CachedSpecs(), "hits", st.CacheHits,
+		"specs_resident", specsResident, "hits", st.CacheHits,
 		"misses", st.CacheMisses, "fully_warm_requests", warm)
 	log.Info("modeled stage costs",
 		"setup_s", st.SetupSeconds, "transfer_in_s", st.TransferInSeconds,
@@ -333,53 +454,75 @@ func main() {
 			"remaps", st.Remaps, "hedges", st.Hedges,
 			"degraded_batches", st.DegradedBatches, "table_repairs", st.TableRepairs,
 			"quarantined_dpus", st.QuarantinedDPUs)
-		var quarantined, probation int
-		for _, h := range eng.Health() {
-			if h.Quarantined {
-				quarantined++
+		if eng != nil {
+			var quarantined, probation int
+			for _, h := range eng.Health() {
+				if h.Quarantined {
+					quarantined++
+				}
+				if h.Probation {
+					probation++
+				}
 			}
-			if h.Probation {
-				probation++
-			}
-		}
-		log.Info("health",
-			"quarantined", quarantined, "probation", probation,
-			"fault_events", len(eng.FaultEvents()))
-	}
-	if snap, ok := eng.Accuracy(); ok {
-		log.Info("accuracy",
-			"samples", snap.Samples, "series", len(snap.Series),
-			"slo_breaches", snap.Breaches, "drift_events", snap.Drifts,
-			"out_of_range", snap.OutOfRange)
-		for _, s := range snap.Series {
-			log.Info("accuracy series",
-				"fn", s.Key.Function, "method", s.Key.Method, "tenant", s.Key.Tenant,
-				"samples", s.Samples, "mae", s.Cumulative.MeanAbs,
-				"max_abs", s.Cumulative.MaxAbs, "max_ulp", s.Cumulative.MaxULP)
-		}
-		if *accOut != "" {
-			data, err := json.MarshalIndent(snap, "", "  ")
-			if err == nil {
-				err = os.WriteFile(*accOut, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fatal("accuracy snapshot write failed", "path", *accOut, "err", err)
-			}
-			log.Info("accuracy snapshot written", "path", *accOut)
+			log.Info("health",
+				"quarantined", quarantined, "probation", probation,
+				"fault_events", len(eng.FaultEvents()))
 		}
 	}
-	if tr, ok := eng.TraceLast(); ok {
-		root := tr.Root
-		log.Info("last trace",
-			"id", tr.ID, "name", root.Name,
-			"wall", root.Wall().Round(time.Microsecond).String(),
-			"spans", countSpans(root))
+	if cl != nil {
+		cs := cl.Stats()
+		log.Info("cluster routing",
+			"requests", cs.Requests, "shed", cs.Shed,
+			"shed_quota", cs.ShedQuota, "shed_queue", cs.ShedQueue,
+			"failovers", cs.Failovers, "spills", cs.Spills,
+			"degraded", cs.Degraded, "quarantined_replicas", cs.QuarantinedReplicas)
+		for i, h := range cl.Health() {
+			log.Info("replica",
+				"replica", i, "routed", cs.Routed[i], "errors", h.Errors,
+				"quarantined", h.Quarantined, "probation", h.Probation)
+		}
+		if *accuracy > 0 {
+			log.Info("per-replica accuracy snapshots served at /replica/<i>/debug/accuracy")
+		}
+	}
+	if eng != nil {
+		if snap, ok := eng.Accuracy(); ok {
+			log.Info("accuracy",
+				"samples", snap.Samples, "series", len(snap.Series),
+				"slo_breaches", snap.Breaches, "drift_events", snap.Drifts,
+				"out_of_range", snap.OutOfRange)
+			for _, s := range snap.Series {
+				log.Info("accuracy series",
+					"fn", s.Key.Function, "method", s.Key.Method, "tenant", s.Key.Tenant,
+					"samples", s.Samples, "mae", s.Cumulative.MeanAbs,
+					"max_abs", s.Cumulative.MaxAbs, "max_ulp", s.Cumulative.MaxULP)
+			}
+			if *accOut != "" {
+				data, err := json.MarshalIndent(snap, "", "  ")
+				if err == nil {
+					err = os.WriteFile(*accOut, append(data, '\n'), 0o644)
+				}
+				if err != nil {
+					fatal("accuracy snapshot write failed", "path", *accOut, "err", err)
+				}
+				log.Info("accuracy snapshot written", "path", *accOut)
+			}
+		}
+		if tr, ok := eng.TraceLast(); ok {
+			root := tr.Root
+			log.Info("last trace",
+				"id", tr.ID, "name", root.Name,
+				"wall", root.Wall().Round(time.Microsecond).String(),
+				"spans", countSpans(root))
+		}
 	}
 
 	// The CI accuracy gate: cumulative per-series errors checked
 	// against every configured SLO, independent of window boundaries.
 	if *accGate {
-		if v := eng.AccuracyViolations(); len(v) > 0 {
+		if cl != nil {
+			log.Warn("-acc-gate is per-engine; cluster mode skips the gate — read /replica/<i>/debug/accuracy")
+		} else if v := eng.AccuracyViolations(); len(v) > 0 {
 			for _, x := range v {
 				log.Error("accuracy gate violation",
 					"fn", x.Key.Function, "method", x.Key.Method, "tenant", x.Key.Tenant,
@@ -387,8 +530,9 @@ func main() {
 					"max_mae", x.SLO.MaxMAE, "max_ulp", x.SLO.MaxULP)
 			}
 			os.Exit(1)
+		} else {
+			log.Info("accuracy gate passed", "slos", len(slos))
 		}
-		log.Info("accuracy gate passed", "slos", len(slos))
 	}
 
 	if *listen != "" && *hold > 0 && ctx.Err() == nil {

@@ -1,6 +1,30 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"net"
+	"testing"
+)
+
+func TestListenExitCode(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Binding the same address again must map to the dedicated exit
+	// code so scripts can distinguish "port taken" from other failures.
+	_, err = net.Listen("tcp", ln.Addr().String())
+	if err == nil {
+		t.Fatal("second bind unexpectedly succeeded")
+	}
+	if code := listenExitCode(err); code != 3 {
+		t.Fatalf("listenExitCode(EADDRINUSE) = %d, want 3", code)
+	}
+	if code := listenExitCode(errors.New("some other failure")); code != 1 {
+		t.Fatalf("listenExitCode(other) = %d, want 1", code)
+	}
+}
 
 func TestParseSLOs(t *testing.T) {
 	slos, err := parseSLOs("fn=sigmoid,method=l-lut(i),mae=1e-3; method=cordic,ulp=4096")

@@ -139,17 +139,19 @@ type Engine struct {
 	e *engine.Engine
 }
 
-// NewEngine builds and starts a serving engine.
-func NewEngine(cfg EngineConfig) (*Engine, error) {
+// internal converts the public EngineConfig to the internal engine
+// configuration, parsing the fault plan. Shared by NewEngine and
+// NewCluster (which stamps one internal config per replica).
+func (cfg EngineConfig) internal() (engine.Config, error) {
 	var plan *faultsim.Plan
 	if cfg.Faults != "" {
 		p, err := faultsim.ParsePlan(cfg.Faults)
 		if err != nil {
-			return nil, fmt.Errorf("transpimlib: %w", err)
+			return engine.Config{}, err
 		}
 		plan = &p
 	}
-	e, err := engine.New(engine.Config{
+	return engine.Config{
 		DPUs:        cfg.DPUs,
 		Shards:      cfg.Shards,
 		MaxBatch:    cfg.MaxBatch,
@@ -163,7 +165,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Reliability: cfg.Reliability,
 		Accuracy:    cfg.Accuracy,
 		Log:         cfg.Log,
-	})
+	}, nil
+}
+
+// NewEngine builds and starts a serving engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, fmt.Errorf("transpimlib: %w", err)
+	}
+	e, err := engine.New(icfg)
 	if err != nil {
 		return nil, fmt.Errorf("transpimlib: %w", err)
 	}

@@ -1,0 +1,407 @@
+// Package cluster is the horizontal-scale serving layer: a front-end
+// Cluster owns N engine replicas — each a full serving engine with its
+// own simulated PIM system — and routes (function, method, tenant)
+// keys onto them with consistent hashing, falling back to the
+// least-loaded healthy candidate when the primary is quarantined or
+// backlogged. Hot table state replicates to a key's K-replica
+// candidate set through each engine's ordinary setup cache (the first
+// request a replica sees for a spec builds its tables there; Prewarm
+// forces it eagerly). Admission control sheds load with typed
+// ErrOverloaded — per-tenant token-bucket quotas in elements, plus a
+// backlog bound — and a replica-granularity health tracker (the PR-4
+// engine tracker reused one level up) quarantines replicas that keep
+// failing or degrading, re-routing their work to the survivors.
+//
+// With one replica, no quotas, and no faults, the cluster is a
+// pass-through: outputs, modeled cycles, and the engine's
+// zero-allocation steady state are bit-identical to calling the
+// engine directly — the differential tests pin this.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/engine"
+	"transpimlib/internal/telemetry"
+)
+
+// ErrClusterClosed is returned by submit paths after Close.
+var ErrClusterClosed = errors.New("cluster: closed")
+
+// Config describes a cluster.
+type Config struct {
+	// Engines configures one engine replica each; len(Engines) is the
+	// replica count N (1 ≤ N ≤ 64). Replicas may differ — e.g. a fault
+	// plan injected into one replica only.
+	Engines []engine.Config
+	// Replication is K, the size of each key's candidate set on the
+	// ring: the replicas a key's tables may become resident on and the
+	// fallback targets for least-loaded placement. Default min(2, N),
+	// capped at 16.
+	Replication int
+	// VirtualNodes is the number of ring points per replica (default
+	// 64); more points smooth the key distribution.
+	VirtualNodes int
+	// Seed perturbs the ring and key hashes (default 1). Identical
+	// seeds and request sequences yield identical placements.
+	Seed uint64
+	// Quotas are per-tenant token buckets in elements; nil disables
+	// quota admission entirely. DefaultQuota, when non-nil, applies to
+	// tenants absent from Quotas.
+	Quotas       map[string]Quota
+	DefaultQuota *Quota
+	// MaxQueue, when > 0, is the backlog bound: a request is shed when
+	// every healthy candidate replica's queue depth is at or above it.
+	MaxQueue int
+	// Health tunes replica-granularity quarantine (the engine
+	// reliability knobs reused one level up): QuarantineAfter
+	// consecutive failures quarantine a replica, ProbationAfter
+	// sequence numbers later it is re-admitted on probation, and
+	// ProbationSuccesses clean requests clear it. Zero values pick
+	// defaults (3 / 64 / 2).
+	Health engine.ReliabilityConfig
+	// Clock supplies the token buckets' notion of now (default
+	// time.Now); tests inject a deterministic clock.
+	Clock func() time.Time
+	// Log, when non-nil, receives replica quarantine/failover events.
+	Log *slog.Logger
+	// OnPlace, when non-nil, observes every routing decision (including
+	// sheds) — the hook the determinism tests record through. It is
+	// called on the request goroutine; keep it cheap.
+	OnPlace func(placement)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if n := len(c.Engines); c.Replication > n {
+		c.Replication = n
+	}
+	if c.Replication > maxReplication {
+		c.Replication = maxReplication
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Health.QuarantineAfter <= 0 {
+		c.Health.QuarantineAfter = 3
+	}
+	if c.Health.ProbationAfter == 0 {
+		c.Health.ProbationAfter = 64
+	}
+	if c.Health.ProbationSuccesses <= 0 {
+		c.Health.ProbationSuccesses = 2
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// ReplicaHealth is one replica's row of the cluster health scoreboard.
+type ReplicaHealth struct {
+	Replica     int
+	Errors      uint64 // lifetime failures (errors, degrades)
+	Consecutive int    // current consecutive-failure streak
+	Quarantined bool   // excluded from routing until the penalty lapses
+	Probation   bool   // re-admitted, needs clean requests to clear
+}
+
+// Cluster is the replicated serving front end. Create with New (or
+// NewWithExecutors for tests), submit with EvaluateBatchTenant, and
+// Close when done. Safe for concurrent use.
+type Cluster struct {
+	cfg     Config
+	execs   []engine.Executor
+	engines []*engine.Engine // parallel to execs; nil for injected fakes
+	ring    *ring
+	adm     *admission // nil when no quotas are configured
+	health  *engine.HealthTracker
+	met     *metrics
+	tel     *telemetry.Telemetry
+	log     *slog.Logger
+
+	seq    atomic.Uint64
+	closed atomic.Bool
+}
+
+// New builds and starts a cluster: one engine per Config.Engines
+// entry, each with its own simulated PIM system.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Engines) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas configured")
+	}
+	if len(cfg.Engines) > 64 {
+		return nil, fmt.Errorf("cluster: %d replicas exceeds the 64-replica cap", len(cfg.Engines))
+	}
+	engines := make([]*engine.Engine, len(cfg.Engines))
+	execs := make([]engine.Executor, len(cfg.Engines))
+	for i, ecfg := range cfg.Engines {
+		e, err := engine.New(ecfg)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				engines[j].Close()
+			}
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		engines[i] = e
+		execs[i] = e
+	}
+	c, err := NewWithExecutors(cfg, execs)
+	if err != nil {
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	c.engines = engines
+	return c, nil
+}
+
+// NewWithExecutors builds a cluster over caller-supplied execution
+// stages — the seam the router tests feed fake replicas through. The
+// cluster takes ownership: Close closes every executor.
+func NewWithExecutors(cfg Config, execs []engine.Executor) (*Cluster, error) {
+	if len(execs) == 0 {
+		return nil, fmt.Errorf("cluster: no executors")
+	}
+	if len(execs) > 64 {
+		return nil, fmt.Errorf("cluster: %d executors exceeds the 64-replica cap", len(execs))
+	}
+	cfg.Engines = cfg.Engines[:0:0]
+	for range execs {
+		cfg.Engines = append(cfg.Engines, engine.Config{})
+	}
+	cfg = cfg.withDefaults()
+	reg := telemetry.NewRegistry()
+	c := &Cluster{
+		cfg:    cfg,
+		execs:  execs,
+		ring:   newRing(len(execs), cfg.VirtualNodes, cfg.Seed),
+		health: engine.NewHealthTracker(len(execs), cfg.Health),
+		met:    newMetrics(reg, len(execs)),
+		log:    cfg.Log,
+	}
+	if cfg.Quotas != nil || cfg.DefaultQuota != nil {
+		c.adm = newAdmission(cfg.Quotas, cfg.DefaultQuota)
+	}
+	c.tel = &telemetry.Telemetry{Registry: reg}
+	return c, nil
+}
+
+// Replicas returns the replica count N.
+func (c *Cluster) Replicas() int { return len(c.execs) }
+
+// EvaluateBatch is EvaluateBatchTenant with the anonymous tenant.
+func (c *Cluster) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([]float32, engine.RequestStats, error) {
+	return c.EvaluateBatchTenant("", fn, p, xs)
+}
+
+// EvaluateBatchTenant routes one request: admission (quota shed),
+// placement (consistent hash, least-loaded fallback, backlog shed),
+// execution on the chosen replica, and failover — a replica that
+// fails at the infrastructure level is penalized on the health
+// tracker and the request re-placed among the survivors. A replica
+// that serves the request but had to degrade to its host mirror
+// returns correct bits (the engine contract) and is penalized so
+// sustained degradation quarantines it.
+func (c *Cluster) EvaluateBatchTenant(tenant string, fn core.Function, p core.Params, xs []float32) ([]float32, engine.RequestStats, error) {
+	if c.closed.Load() {
+		return nil, engine.RequestStats{}, ErrClusterClosed
+	}
+	seq := c.seq.Add(1)
+	c.met.requests.Inc()
+
+	if c.adm != nil && !c.adm.admit(tenant, len(xs), c.cfg.Clock()) {
+		c.met.shedQuota.Inc()
+		if c.cfg.OnPlace != nil {
+			c.cfg.OnPlace(placement{Seq: seq, Primary: -1, Replica: -1, Shed: true})
+		}
+		return nil, engine.RequestStats{}, overloadQuota(tenant)
+	}
+
+	h := keyHash(c.cfg.Seed, fn, p.Normalized(), tenant)
+	var tried uint64
+	var lastErr error
+	for attempt := 0; attempt < len(c.execs); attempt++ {
+		pl := c.place(h, seq, tried)
+		if c.cfg.OnPlace != nil {
+			c.cfg.OnPlace(pl)
+		}
+		if pl.Shed {
+			c.met.shedQueue.Inc()
+			return nil, engine.RequestStats{}, overloadQueue()
+		}
+		if pl.Replica < 0 {
+			break // every replica tried and failed
+		}
+		if pl.Spilled {
+			c.met.spills.Inc()
+		}
+		out, st, err := c.execs[pl.Replica].EvaluateBatchTenant(tenant, fn, p, xs)
+		switch {
+		case err == nil:
+			c.met.routed[pl.Replica].Inc()
+			if st.Degraded {
+				c.met.degraded.Inc()
+				c.noteFailure(pl.Replica, seq, "degraded")
+			} else {
+				c.health.RecordSuccess(pl.Replica)
+			}
+			return out, st, nil
+		case errors.Is(err, engine.ErrEngineClosed):
+			// Infrastructure failure: penalize, mark tried, re-place.
+			c.noteFailure(pl.Replica, seq, "replica_error")
+			c.met.failovers.Inc()
+			tried |= 1 << uint(pl.Replica)
+			lastErr = err
+			if c.log != nil {
+				c.log.Warn("replica failed, re-routing",
+					"replica", pl.Replica, "seq", seq, "err", err)
+			}
+		default:
+			// Deterministic request error (unsupported method, table too
+			// large): every replica would answer the same — no failover,
+			// no health penalty.
+			return nil, engine.RequestStats{}, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrClusterClosed
+	}
+	return nil, engine.RequestStats{}, fmt.Errorf("cluster: all replicas failed: %w", lastErr)
+}
+
+// noteFailure records a replica-level failure, logging and gauging a
+// quarantine transition.
+func (c *Cluster) noteFailure(replica int, seq uint64, cause string) {
+	if c.health.RecordFailure(replica, seq) {
+		if c.log != nil {
+			c.log.Warn("replica quarantined",
+				"replica", replica, "seq", seq, "cause", cause)
+		}
+		c.met.quarantined.Set(int64(c.health.QuarantinedCount()))
+		c.updateHealthGauges()
+	}
+}
+
+// updateHealthGauges refreshes the per-replica health gauges from the
+// tracker scoreboard.
+func (c *Cluster) updateHealthGauges() {
+	for _, row := range c.health.Snapshot() {
+		v := int64(0)
+		switch {
+		case row.Quarantined:
+			v = 2
+		case row.Probation:
+			v = 1
+		}
+		c.met.replicaHealth[row.DPU].Set(v)
+	}
+	c.met.quarantined.Set(int64(c.health.QuarantinedCount()))
+}
+
+// Prewarm eagerly replicates a spec's tables to every replica in its
+// key's candidate set by evaluating one in-domain element there — the
+// explicit form of the hot-table replication that least-loaded
+// fallback performs lazily. It bypasses admission and health
+// bookkeeping; use it before opening traffic.
+func (c *Cluster) Prewarm(fn core.Function, p core.Params, tenant string) error {
+	if c.closed.Load() {
+		return ErrClusterClosed
+	}
+	lo, hi := fn.Domain()
+	x := []float32{float32((lo + hi) / 2)}
+	h := keyHash(c.cfg.Seed, fn, p.Normalized(), tenant)
+	var scratch [maxReplication]int
+	for _, rep := range c.ring.candidates(h, c.cfg.Replication, scratch[:0]) {
+		if _, _, err := c.execs[rep].EvaluateBatchTenant(tenant, fn, p, x); err != nil {
+			return fmt.Errorf("cluster: prewarm replica %d: %w", rep, err)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the cluster-wide routing counters.
+func (c *Cluster) Stats() Stats { return c.met.snapshot(len(c.execs)) }
+
+// ReplicaStats snapshots each replica's engine counters.
+func (c *Cluster) ReplicaStats() []engine.Stats {
+	out := make([]engine.Stats, len(c.execs))
+	for i, e := range c.execs {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// CachedSpecs sums the replicas' resident table configurations —
+// replication means one spec can count on several replicas. Injected
+// executors without an engine contribute zero.
+func (c *Cluster) CachedSpecs() int {
+	n := 0
+	for _, e := range c.engines {
+		if e != nil {
+			n += e.CachedSpecs()
+		}
+	}
+	return n
+}
+
+// Health returns the replica health scoreboard.
+func (c *Cluster) Health() []ReplicaHealth {
+	rows := c.health.Snapshot()
+	out := make([]ReplicaHealth, len(rows))
+	for i, r := range rows {
+		out[i] = ReplicaHealth{
+			Replica:     r.DPU,
+			Errors:      r.Errors,
+			Consecutive: r.Consecutive,
+			Quarantined: r.Quarantined,
+			Probation:   r.Probation,
+		}
+	}
+	return out
+}
+
+// Observe returns the cluster's telemetry handle: the registry behind
+// Stats and the cluster /metrics exposition. Per-replica engine
+// telemetry is reachable through ReplicaObserve.
+func (c *Cluster) Observe() *telemetry.Telemetry { return c.tel }
+
+// ReplicaObserve returns replica i's engine telemetry handle, or nil
+// when the replica is an injected executor without one.
+func (c *Cluster) ReplicaObserve(i int) *telemetry.Telemetry {
+	if i < 0 || i >= len(c.engines) || c.engines[i] == nil {
+		return nil
+	}
+	return c.engines[i].Observe()
+}
+
+// Replica returns replica i's engine, or nil for injected executors —
+// the escape hatch tplserve uses for per-replica accuracy snapshots.
+func (c *Cluster) Replica(i int) *engine.Engine {
+	if i < 0 || i >= len(c.engines) {
+		return nil
+	}
+	return c.engines[i]
+}
+
+// Close drains and stops every replica. Subsequent calls fail with
+// ErrClusterClosed.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, e := range c.execs {
+		e.Close()
+	}
+}

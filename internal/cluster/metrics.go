@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+
+	"transpimlib/internal/telemetry"
+)
+
+// Stats is the cluster-wide accumulated view: what the router did with
+// the traffic. Per-replica engine counters live in the replicas' own
+// Stats (Cluster.ReplicaStats).
+type Stats struct {
+	Requests  uint64 // calls entering the cluster front-end
+	Shed      uint64 // requests refused with ErrOverloaded
+	ShedQuota uint64 // …of which by a tenant token bucket
+	ShedQueue uint64 // …of which by the backlog bound
+	Failovers uint64 // re-routes after a replica-level failure
+	Spills    uint64 // placements away from the key's primary replica
+	Degraded  uint64 // served requests whose replica degraded to the host mirror
+
+	QuarantinedReplicas uint64 // replicas currently quarantined
+
+	Routed []uint64 // requests served, per replica
+}
+
+// metrics is the atomic accumulator behind Stats, registered on the
+// cluster's telemetry registry so /metrics and Stats() agree.
+type metrics struct {
+	requests  *telemetry.Counter
+	shedQuota *telemetry.Counter
+	shedQueue *telemetry.Counter
+	failovers *telemetry.Counter
+	spills    *telemetry.Counter
+	degraded  *telemetry.Counter
+
+	quarantined *telemetry.Gauge
+
+	routed        []*telemetry.Counter
+	replicaQueue  []*telemetry.Gauge
+	replicaHealth []*telemetry.Gauge // 0 healthy, 1 probation, 2 quarantined
+}
+
+func newMetrics(reg *telemetry.Registry, replicas int) *metrics {
+	m := &metrics{
+		requests:    reg.Counter("cluster_requests_total", "requests entering the cluster front-end"),
+		shedQuota:   reg.Counter("cluster_shed_total{reason=\"quota\"}", "requests shed, by reason"),
+		shedQueue:   reg.Counter("cluster_shed_total{reason=\"queue\"}", "requests shed, by reason"),
+		failovers:   reg.Counter("cluster_failovers_total", "requests re-routed after a replica-level failure"),
+		spills:      reg.Counter("cluster_spills_total", "placements away from the key's primary replica"),
+		degraded:    reg.Counter("cluster_degraded_observed_total", "served requests whose replica degraded to the host mirror"),
+		quarantined: reg.Gauge("cluster_quarantined_replicas", "replicas currently quarantined by the health tracker"),
+	}
+	for r := 0; r < replicas; r++ {
+		lb := fmt.Sprintf("{replica=%q}", fmt.Sprint(r))
+		m.routed = append(m.routed, reg.Counter("cluster_routed_total"+lb, "requests served, per replica"))
+		m.replicaQueue = append(m.replicaQueue, reg.Gauge("cluster_replica_queue_depth"+lb, "coalescing-batcher backlog, per replica"))
+		m.replicaHealth = append(m.replicaHealth, reg.Gauge("cluster_replica_health"+lb, "replica health: 0 healthy, 1 probation, 2 quarantined"))
+	}
+	return m
+}
+
+func (m *metrics) snapshot(replicas int) Stats {
+	s := Stats{
+		Requests:            m.requests.Load(),
+		ShedQuota:           m.shedQuota.Load(),
+		ShedQueue:           m.shedQueue.Load(),
+		Failovers:           m.failovers.Load(),
+		Spills:              m.spills.Load(),
+		Degraded:            m.degraded.Load(),
+		QuarantinedReplicas: uint64(m.quarantined.Load()),
+	}
+	s.Shed = s.ShedQuota + s.ShedQueue
+	s.Routed = make([]uint64, replicas)
+	for r := 0; r < replicas; r++ {
+		s.Routed[r] = m.routed[r].Load()
+	}
+	return s
+}

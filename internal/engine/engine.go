@@ -195,6 +195,13 @@ type Engine struct {
 	shards []*shard
 	cache  *tableCache
 
+	// bplan/splan are the pipeline's stage seams (see stages.go): the
+	// batcher plans batches through bplan, the transfer stages plan
+	// lane layouts through splan. New installs the defaults; they are
+	// behavioral constants of a running engine, never swapped live.
+	bplan BatchPlanner
+	splan ShardPlanner
+
 	submit   chan *request
 	dispatch chan *batch
 
@@ -216,7 +223,7 @@ type Engine struct {
 	// deterministic clock every injection decision keys on.
 	inj    *faultsim.Injector
 	rel    ReliabilityConfig
-	health *healthTracker
+	health *HealthTracker
 	seq    uint64
 
 	// acc is the accuracy watcher, nil unless Config.Accuracy.Enabled
@@ -238,6 +245,8 @@ func New(cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		sys:      pimsim.NewSystem(pimsim.Config{DPUs: cfg.DPUs, Cost: cfg.Cost}),
 		cache:    newTableCache(),
+		bplan:    coalescePlanner{},
+		splan:    paddedPlanner{},
 		submit:   make(chan *request, cfg.QueueDepth),
 		dispatch: make(chan *batch, cfg.Shards),
 	}
@@ -264,7 +273,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		e.inj = faultsim.NewInjector(*cfg.Faults)
 		e.rel = cfg.Reliability.withDefaults()
-		e.health = newHealthTracker(cfg.DPUs, e.rel)
+		e.health = NewHealthTracker(cfg.DPUs, e.rel)
 		e.sys.SetFaultAgent(&engineFaultAgent{inj: e.inj, met: e.met})
 	}
 	if cfg.Accuracy.Enabled {
@@ -349,7 +358,16 @@ func (e *Engine) System() *pimsim.System { return e.sys }
 // Stats returns a snapshot of the engine-wide counters. Individual
 // fields are read atomically; the struct is not a consistent cut
 // under concurrent traffic.
-func (e *Engine) Stats() Stats { return e.met.snapshot() }
+func (e *Engine) Stats() Stats {
+	s := e.met.snapshot()
+	s.QueueDepth = len(e.submit)
+	return s
+}
+
+// QueueDepth returns the current coalescing-batcher backlog: requests
+// accepted but not yet pulled into a batching round. It is the load
+// signal the cluster router's least-loaded placement reads.
+func (e *Engine) QueueDepth() int { return len(e.submit) }
 
 // Observe returns the engine's telemetry handle: the metrics registry
 // behind Stats and /metrics, plus the request tracer when TraceDepth
@@ -502,8 +520,9 @@ func (e *Engine) batcher() {
 				break drain
 			}
 		}
+		e.met.queueDepth.Set(int64(len(e.submit)))
 		for _, spec := range order {
-			for _, b := range planBatches(spec, bySpec[spec], e.cfg.MaxBatch) {
+			for _, b := range e.bplan.Plan(spec, bySpec[spec], e.cfg.MaxBatch) {
 				e.seq++
 				b.seq = e.seq
 				if e.tracer != nil {
@@ -534,7 +553,7 @@ func (e *Engine) stageTransferIn(s *shard) {
 			b.tr.shard = s.id
 			b.tr.inStart = time.Now()
 		}
-		per, padded := shardPlan(b.n, len(s.dpus))
+		per, padded := e.splan.Plan(b.n, len(s.dpus))
 		b.perDPU = per
 
 		flat := s.inBuf[b.slot]
@@ -705,7 +724,7 @@ func (e *Engine) stageTransferOut(s *shard) {
 		var bytesIn, bytesOut int
 		if b.err == nil {
 			s.gatherOutputs(b)
-			_, padded := shardPlan(b.n, len(s.dpus))
+			_, padded := e.splan.Plan(b.n, len(s.dpus))
 			bytesIn = padded
 			switch {
 			case b.hostEval:

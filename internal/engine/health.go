@@ -74,13 +74,13 @@ type LaneHealth struct {
 	Probation   bool   // re-admitted, needs clean launches to clear
 }
 
-// healthTracker is the per-DPU error/latency scoreboard driving shard
+// HealthTracker is the per-DPU error/latency scoreboard driving shard
 // remapping: consecutive failures quarantine a core, quarantined cores
 // are excluded from launch plans, and after a (doubling) penalty the
 // core is re-admitted on probation — a failure there re-quarantines it
 // immediately, successes clear it. Quarantine time is measured in
 // batch sequence numbers, the engine's deterministic clock.
-type healthTracker struct {
+type HealthTracker struct {
 	rel ReliabilityConfig
 
 	mu    sync.Mutex
@@ -97,16 +97,16 @@ type laneState struct {
 	probationOK int    // clean launches accumulated on probation
 }
 
-func newHealthTracker(dpus int, rel ReliabilityConfig) *healthTracker {
-	return &healthTracker{rel: rel, lanes: make([]laneState, dpus)}
+func NewHealthTracker(dpus int, rel ReliabilityConfig) *HealthTracker {
+	return &HealthTracker{rel: rel, lanes: make([]laneState, dpus)}
 }
 
-// recordFailure charges one failure (hard fail or timeout) against a
+// RecordFailure charges one failure (hard fail or timeout) against a
 // DPU at batch seq. Reaching the consecutive threshold — or any
 // failure while on probation — quarantines the core, doubling the
 // penalty on every re-entry. It reports whether this call moved the
 // core into quarantine, so the engine can log the transition.
-func (h *healthTracker) recordFailure(dpu int, seq uint64) (quarantined bool) {
+func (h *HealthTracker) RecordFailure(dpu int, seq uint64) (quarantined bool) {
 	h.mu.Lock()
 	st := &h.lanes[dpu]
 	st.errors++
@@ -127,9 +127,9 @@ func (h *healthTracker) recordFailure(dpu int, seq uint64) (quarantined bool) {
 	return quarantined
 }
 
-// recordSuccess clears a DPU's failure streak; enough successes on
+// RecordSuccess clears a DPU's failure streak; enough successes on
 // probation fully re-admit it.
-func (h *healthTracker) recordSuccess(dpu int) {
+func (h *HealthTracker) RecordSuccess(dpu int) {
 	h.mu.Lock()
 	st := &h.lanes[dpu]
 	st.consecutive = 0
@@ -143,10 +143,10 @@ func (h *healthTracker) recordSuccess(dpu int) {
 	h.mu.Unlock()
 }
 
-// available reports whether a DPU may serve the batch at seq. A
+// Available reports whether a DPU may serve the batch at seq. A
 // quarantined core whose penalty has lapsed transitions to probation
 // (and becomes available) here.
-func (h *healthTracker) available(dpu int, seq uint64) bool {
+func (h *HealthTracker) Available(dpu int, seq uint64) bool {
 	h.mu.Lock()
 	st := &h.lanes[dpu]
 	if st.quarantined {
@@ -163,8 +163,8 @@ func (h *healthTracker) available(dpu int, seq uint64) bool {
 	return true
 }
 
-// quarantinedCount returns how many DPUs are currently quarantined.
-func (h *healthTracker) quarantinedCount() int {
+// QuarantinedCount returns how many DPUs are currently quarantined.
+func (h *HealthTracker) QuarantinedCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := 0
@@ -176,8 +176,8 @@ func (h *healthTracker) quarantinedCount() int {
 	return n
 }
 
-// snapshot returns the scoreboard, one row per DPU.
-func (h *healthTracker) snapshot() []LaneHealth {
+// Snapshot returns the scoreboard, one row per DPU.
+func (h *HealthTracker) Snapshot() []LaneHealth {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make([]LaneHealth, len(h.lanes))

@@ -12,26 +12,26 @@ func testRel() ReliabilityConfig {
 // TestQuarantineEntry: a DPU is quarantined exactly at the consecutive-
 // failure threshold, and a success before it resets the streak.
 func TestQuarantineEntry(t *testing.T) {
-	h := newHealthTracker(2, testRel())
-	h.recordFailure(0, 1)
-	h.recordFailure(0, 2)
-	if !h.available(0, 3) {
+	h := NewHealthTracker(2, testRel())
+	h.RecordFailure(0, 1)
+	h.RecordFailure(0, 2)
+	if !h.Available(0, 3) {
 		t.Fatal("dpu 0 quarantined below the threshold")
 	}
-	h.recordSuccess(0) // streak reset
-	h.recordFailure(0, 4)
-	h.recordFailure(0, 5)
-	if !h.available(0, 6) {
+	h.RecordSuccess(0) // streak reset
+	h.RecordFailure(0, 4)
+	h.RecordFailure(0, 5)
+	if !h.Available(0, 6) {
 		t.Fatal("dpu 0 quarantined after a reset streak of 2")
 	}
-	h.recordFailure(0, 6) // third consecutive → quarantine
-	if h.available(0, 7) {
+	h.RecordFailure(0, 6) // third consecutive → quarantine
+	if h.Available(0, 7) {
 		t.Fatal("dpu 0 available at the quarantine threshold")
 	}
-	if h.quarantinedCount() != 1 {
-		t.Fatalf("quarantinedCount = %d, want 1", h.quarantinedCount())
+	if h.QuarantinedCount() != 1 {
+		t.Fatalf("quarantinedCount = %d, want 1", h.QuarantinedCount())
 	}
-	if h.available(1, 7) != true {
+	if h.Available(1, 7) != true {
 		t.Fatal("healthy dpu 1 unavailable")
 	}
 }
@@ -41,26 +41,26 @@ func TestQuarantineEntry(t *testing.T) {
 // ProbationSuccesses clean launches fully re-admit it.
 func TestQuarantineExitAndProbation(t *testing.T) {
 	rel := testRel()
-	h := newHealthTracker(1, rel)
+	h := NewHealthTracker(1, rel)
 	for i := uint64(1); i <= 3; i++ {
-		h.recordFailure(0, 10)
+		h.RecordFailure(0, 10)
 	}
-	if h.available(0, 10+rel.ProbationAfter-1) {
+	if h.Available(0, 10+rel.ProbationAfter-1) {
 		t.Fatal("available before the penalty lapsed")
 	}
-	if !h.available(0, 10+rel.ProbationAfter) {
+	if !h.Available(0, 10+rel.ProbationAfter) {
 		t.Fatal("not re-admitted on probation after the penalty")
 	}
-	sn := h.snapshot()[0]
+	sn := h.Snapshot()[0]
 	if !sn.Probation || sn.Quarantined {
 		t.Fatalf("post-penalty state = %+v, want probation", sn)
 	}
-	h.recordSuccess(0)
-	if sn := h.snapshot()[0]; !sn.Probation {
+	h.RecordSuccess(0)
+	if sn := h.Snapshot()[0]; !sn.Probation {
 		t.Fatal("probation cleared after one success, want two")
 	}
-	h.recordSuccess(0)
-	if sn := h.snapshot()[0]; sn.Probation || sn.Quarantined {
+	h.RecordSuccess(0)
+	if sn := h.Snapshot()[0]; sn.Probation || sn.Quarantined {
 		t.Fatalf("state after full re-admission = %+v", sn)
 	}
 }
@@ -69,22 +69,22 @@ func TestQuarantineExitAndProbation(t *testing.T) {
 // re-quarantines immediately with a doubled penalty.
 func TestProbationFailureRequarantines(t *testing.T) {
 	rel := testRel()
-	h := newHealthTracker(1, rel)
+	h := NewHealthTracker(1, rel)
 	for i := 0; i < 3; i++ {
-		h.recordFailure(0, 10)
+		h.RecordFailure(0, 10)
 	}
-	if !h.available(0, 10+rel.ProbationAfter) {
+	if !h.Available(0, 10+rel.ProbationAfter) {
 		t.Fatal("not on probation")
 	}
-	h.recordFailure(0, 30) // single probation failure
-	if h.available(0, 31) {
+	h.RecordFailure(0, 30) // single probation failure
+	if h.Available(0, 31) {
 		t.Fatal("probation failure did not re-quarantine")
 	}
 	// Penalty doubled: 2×ProbationAfter from seq 30.
-	if h.available(0, 30+2*rel.ProbationAfter-1) {
+	if h.Available(0, 30+2*rel.ProbationAfter-1) {
 		t.Fatal("re-quarantine penalty did not double")
 	}
-	if !h.available(0, 30+2*rel.ProbationAfter) {
+	if !h.Available(0, 30+2*rel.ProbationAfter) {
 		t.Fatal("not re-admitted after the doubled penalty")
 	}
 }
@@ -94,7 +94,7 @@ func TestProbationFailureRequarantines(t *testing.T) {
 // replayable.
 func TestHealthDeterminism(t *testing.T) {
 	run := func() []LaneHealth {
-		h := newHealthTracker(4, testRel())
+		h := NewHealthTracker(4, testRel())
 		script := []struct {
 			dpu  int
 			seq  uint64
@@ -105,13 +105,13 @@ func TestHealthDeterminism(t *testing.T) {
 		}
 		for _, s := range script {
 			if s.fail {
-				h.recordFailure(s.dpu, s.seq)
+				h.RecordFailure(s.dpu, s.seq)
 			} else {
-				h.recordSuccess(s.dpu)
+				h.RecordSuccess(s.dpu)
 			}
-			h.available(s.dpu, s.seq)
+			h.Available(s.dpu, s.seq)
 		}
-		return h.snapshot()
+		return h.Snapshot()
 	}
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {

@@ -177,7 +177,7 @@ func (e *Engine) flipAndRepair(s *shard, b *batch) {
 func (e *Engine) healthyLanes(s *shard, seq uint64) []int {
 	lanes := s.lanesScratch[:0]
 	for k, id := range s.ids {
-		if e.health.available(id, seq) {
+		if e.health.Available(id, seq) {
 			lanes = append(lanes, k)
 		}
 	}
@@ -309,7 +309,7 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 		case errors.As(err, &le):
 			for _, p := range le.Lanes {
 				s.failedLane[lanes[p]] = true
-				if e.health.recordFailure(s.ids[lanes[p]], b.seq) && e.log != nil {
+				if e.health.RecordFailure(s.ids[lanes[p]], b.seq) && e.log != nil {
 					e.log.Warn("dpu quarantined",
 						"dpu", s.ids[lanes[p]], "shard", s.id, "seq", b.seq,
 						"cause", "launch_failure")
@@ -331,7 +331,7 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 					"modeled_s", float64(mx)/e.sys.Config().ClockHz,
 					"cutoff_s", e.rel.LaunchTimeout)
 			}
-			if e.health.recordFailure(s.ids[lanes[slowest]], b.seq) && e.log != nil {
+			if e.health.RecordFailure(s.ids[lanes[slowest]], b.seq) && e.log != nil {
 				e.log.Warn("dpu quarantined",
 					"dpu", s.ids[lanes[slowest]], "shard", s.id, "seq", b.seq,
 					"cause", "timeout")
@@ -342,7 +342,7 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 		if retry {
 			b.cycles += mx
 			b.tcomp += float64(mx) / e.sys.Config().ClockHz
-			e.met.quarantined.Set(int64(e.health.quarantinedCount()))
+			e.met.quarantined.Set(int64(e.health.QuarantinedCount()))
 			if attempt >= uint64(e.rel.MaxRetries) {
 				e.degradeBatch(s, b, ops)
 				return
@@ -360,10 +360,10 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 			// A lane that failed earlier in this batch keeps its streak:
 			// a retry succeeding elsewhere says nothing good about it.
 			if !s.failedLane[k] {
-				e.health.recordSuccess(s.ids[k])
+				e.health.RecordSuccess(s.ids[k])
 			}
 		}
-		e.met.quarantined.Set(int64(e.health.quarantinedCount()))
+		e.met.quarantined.Set(int64(e.health.QuarantinedCount()))
 		if b.remapped {
 			b.lanes = append(b.lanes[:0], lanes...)
 			b.perDPU = per
@@ -510,5 +510,5 @@ func (e *Engine) Health() []LaneHealth {
 	if e.health == nil {
 		return nil
 	}
-	return e.health.snapshot()
+	return e.health.Snapshot()
 }

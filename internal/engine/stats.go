@@ -98,6 +98,12 @@ type Stats struct {
 	BytesIn  uint64 // host→PIM payload bytes (padded, rank-parallel)
 	BytesOut uint64 // PIM→host payload bytes
 
+	// QueueDepth is the coalescing-batcher backlog at snapshot time:
+	// requests accepted but not yet pulled into a batching round. A
+	// point-in-time gauge, not a counter — the cluster router's
+	// least-loaded placement and tplwatch both read it.
+	QueueDepth int
+
 	// Reliability counters (all zero unless fault injection is on).
 	FaultsInjected   uint64 // faults fired across all classes
 	LaunchRetries    uint64 // kernel launch attempts beyond the first
