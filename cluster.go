@@ -65,6 +65,27 @@ type ClusterConfig struct {
 	// MaxQueue, when > 0, sheds a request (ErrOverloaded) when every
 	// healthy candidate replica's batcher backlog is at or above it.
 	MaxQueue int
+	// TraceDepth retains the span trees of the last N routed requests,
+	// readable via TraceLast/Traces and served at the cluster handler's
+	// /debug/trace. Each trace is one connected tree: the cluster root
+	// span, a child per placement-ladder step (attempts, sheds,
+	// failovers), and the serving replica's engine pipeline spans
+	// grafted underneath. Replica engines whose template leaves
+	// TraceDepth unset inherit it, along with a "replica/<i>" process
+	// name for Chrome exports. Default 0: tracing disabled.
+	TraceDepth int
+	// Ledger enables cluster-wide per-tenant cost accounting: each
+	// replica engine charges served requests to (tenant, function,
+	// method) rows and the router charges sheds and failovers;
+	// Cluster.Ledger() merges everything into one snapshot whose cycle
+	// totals reconcile ±0 with the simulators'. Off by default.
+	Ledger bool
+	// Timeline enables the cluster registry's windowed metrics store,
+	// served at the cluster handler's /debug/timeline. It covers the
+	// cluster_* and tenant_* series; per-replica engines keep their own
+	// stores if their template enables one. Timeline.Enabled false (the
+	// default) disables it.
+	Timeline TimelineConfig
 	// Health tunes replica-granularity quarantine: QuarantineAfter
 	// consecutive replica failures (errors or host-mirror degrades)
 	// quarantine it, ProbationAfter requests later it is re-admitted on
@@ -108,6 +129,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c, err := cluster.New(cluster.Config{
 		Engines:      engines,
+		TraceDepth:   cfg.TraceDepth,
+		Ledger:       cfg.Ledger,
+		Timeline:     cfg.Timeline,
 		Replication:  cfg.Replication,
 		VirtualNodes: cfg.VirtualNodes,
 		Seed:         cfg.Seed,
@@ -169,6 +193,21 @@ func (c *Cluster) CachedSpecs() int { return c.c.CachedSpecs() }
 // Health returns the replica health scoreboard: lifetime errors,
 // consecutive-failure streaks, and quarantine/probation state.
 func (c *Cluster) Health() []ReplicaHealth { return c.c.Health() }
+
+// TraceLast returns the span tree of the most recently routed request
+// — cluster placement spans with the serving replica's pipeline spans
+// grafted underneath — or false when tracing is disabled
+// (TraceDepth 0) or no request has completed yet.
+func (c *Cluster) TraceLast() (*Trace, bool) { return c.c.TraceLast() }
+
+// Traces returns the retained request traces, oldest first (nil when
+// tracing is disabled).
+func (c *Cluster) Traces() []*Trace { return c.c.Traces() }
+
+// Ledger merges the router's cost rows (sheds, failovers) with every
+// replica engine's ledger into one cluster-wide per-tenant snapshot
+// (empty when ClusterConfig.Ledger is off).
+func (c *Cluster) Ledger() LedgerSnapshot { return c.c.Ledger() }
 
 // Observe returns the cluster's telemetry handle: the registry behind
 // Stats with the cluster_* series (per-replica routed counts, queue

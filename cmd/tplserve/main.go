@@ -22,6 +22,13 @@
 // accuracy gate), and -acc-out writes the final accuracy snapshot to a
 // JSON file.
 //
+// With -ledger every request is charged to its (tenant, function,
+// method) row of the cost ledger — elements, modeled kernel cycles,
+// host↔PIM bytes, degrade/shed/failover counts — served at
+// /debug/ledger and summarized at exit. With -timeline D the registry
+// is sampled into D-wide windows served at /debug/timeline (per-window
+// rates and histogram percentiles); cmd/tpltop renders both live.
+//
 // With -faults it injects deterministic faults (the faultsim plan
 // language) and reports the engine's recovery activity. SIGINT or
 // SIGTERM shuts down gracefully: clients stop submitting, in-flight
@@ -46,6 +53,7 @@
 //	         [-elems 1024] [-window 200us] [-seed 1]
 //	         [-replicas 1] [-replication 2]
 //	         [-listen :9090] [-hold 0s] [-trace 32] [-profile]
+//	         [-ledger] [-timeline 1s]
 //	         [-logfmt text|json]
 //	         [-accuracy 0.01] [-slo "method=l-lut(i),mae=1e-3"]
 //	         [-acc-gate] [-acc-out accuracy.json]
@@ -65,6 +73,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -161,6 +170,44 @@ func listenExitCode(err error) int {
 	return 1
 }
 
+// clusterHandler mounts the cluster's telemetry at the root — the
+// cluster_* (and, with -ledger, tenant_*) series at /metrics plus the
+// /debug/trace, /debug/timeline and /debug/ledger documents — and each
+// replica's full engine telemetry under /replica/<i>/, so a scraper
+// can follow either the whole cluster or one replica.
+func clusterHandler(cl *transpimlib.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", cl.Observe().Handler())
+	for i := 0; i < cl.Replicas(); i++ {
+		prefix := fmt.Sprintf("/replica/%d", i)
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, cl.ReplicaObserve(i).Handler()))
+	}
+	return mux
+}
+
+// logLedger prints the cost ledger's per-(tenant, function, method)
+// rows, highest modeled kernel cycles first.
+func logLedger(log *slog.Logger, snap transpimlib.LedgerSnapshot) {
+	rows := append([]transpimlib.LedgerRow(nil), snap.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].KernelCycles > rows[j].KernelCycles })
+	for _, r := range rows {
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "(anonymous)"
+		}
+		log.Info("ledger row",
+			"tenant", tenant, "fn", r.Function, "method", r.Method,
+			"requests", r.Requests, "elements", r.Elements,
+			"kernel_kcycles", r.KernelCycles/1000,
+			"bytes_in", r.BytesIn, "bytes_out", r.BytesOut,
+			"modeled_s", r.ModeledSeconds,
+			"degraded", r.Degraded, "shed", r.Shed, "failovers", r.Failovers)
+	}
+	if snap.Overflowed > 0 {
+		log.Warn("ledger overflow", "dropped_rows", snap.Overflowed)
+	}
+}
+
 // sumStats adds up the printed fields of per-replica engine stats for
 // the cluster-mode summary.
 func sumStats(list []transpimlib.EngineStats) transpimlib.EngineStats {
@@ -218,6 +265,8 @@ func main() {
 	hold := flag.Duration("hold", 0, "keep the HTTP endpoints up this long after the workload (requires -listen)")
 	traceDepth := flag.Int("trace", 32, "request traces to retain (0 disables tracing)")
 	profile := flag.Bool("profile", false, "per-DPU kernel-launch profiling (pim_* metrics)")
+	ledger := flag.Bool("ledger", false, "per-tenant cost ledger (/debug/ledger, tenant_* series, exit summary)")
+	timeline := flag.Duration("timeline", 0, "windowed metrics store bucket width (/debug/timeline; 0 disables)")
 	faults := flag.String("faults", "", "fault-injection plan (e.g. \"seed=42,dpufail=0.05,transfer=0.02\")")
 	logfmt := flag.String("logfmt", "text", "log output format: text or json")
 	accuracy := flag.Float64("accuracy", 0, "shadow-sample this fraction of every request against the float64 reference (0 disables)")
@@ -250,6 +299,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	tlcfg := transpimlib.TimelineConfig{Enabled: *timeline > 0, BucketWidth: *timeline}
 	ecfg := transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
 		TraceDepth: *traceDepth, Profile: *profile, Faults: *faults,
@@ -265,11 +315,18 @@ func main() {
 		cl  *transpimlib.Cluster
 	)
 	if *replicas > 1 {
+		// The ledger and timeline attach at the cluster layer: replica
+		// engines inherit the ledger (so Cluster.Ledger reconciles) while
+		// the timeline samples the cluster registry's cluster_*/tenant_*
+		// series.
 		cl, err = transpimlib.NewCluster(transpimlib.ClusterConfig{
 			Replicas:    *replicas,
 			Replication: *replication,
 			Engine:      ecfg,
 			Seed:        uint64(*seed),
+			TraceDepth:  *traceDepth,
+			Ledger:      *ledger,
+			Timeline:    tlcfg,
 			Log:         log,
 		})
 		if err != nil {
@@ -277,6 +334,8 @@ func main() {
 		}
 		defer cl.Close()
 	} else {
+		ecfg.Ledger = *ledger
+		ecfg.Timeline = tlcfg
 		eng, err = transpimlib.NewEngine(ecfg)
 		if err != nil {
 			fatal("engine start failed", "err", err)
@@ -304,15 +363,7 @@ func main() {
 		}
 		var handler http.Handler
 		if cl != nil {
-			// Cluster telemetry at the root (cluster_* series), each
-			// replica's full engine telemetry under /replica/<i>/.
-			mux := http.NewServeMux()
-			mux.Handle("/", cl.Observe().Handler())
-			for i := 0; i < cl.Replicas(); i++ {
-				prefix := fmt.Sprintf("/replica/%d", i)
-				mux.Handle(prefix+"/", http.StripPrefix(prefix, cl.ReplicaObserve(i).Handler()))
-			}
-			handler = mux
+			handler = clusterHandler(cl)
 		} else {
 			handler = eng.Observe().Handler()
 		}
@@ -324,7 +375,7 @@ func main() {
 		}()
 		defer srv.Close()
 		log.Info("telemetry listening", "addr", ln.Addr().String(),
-			"endpoints", "/metrics /debug/trace /debug/accuracy")
+			"endpoints", "/metrics /debug/trace /debug/accuracy /debug/timeline /debug/ledger")
 	}
 
 	jobs := mixedWorkload()
@@ -443,6 +494,16 @@ func main() {
 		"compute_s", st.ComputeSeconds, "kernel_kcycles", st.KernelCycles/1000,
 		"transfer_out_s", st.TransferOutSeconds)
 	log.Info("bytes moved", "host_to_pim", st.BytesIn, "pim_to_host", st.BytesOut)
+	if *ledger {
+		var snap transpimlib.LedgerSnapshot
+		if cl != nil {
+			snap = cl.Ledger()
+		} else {
+			snap = eng.Ledger()
+		}
+		log.Info("cost ledger", "rows", len(snap.Rows))
+		logLedger(log, snap)
+	}
 	if st.RequestErrors > 0 {
 		log.Warn("request errors", "count", st.RequestErrors)
 	}

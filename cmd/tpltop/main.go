@@ -1,0 +1,314 @@
+// Command tpltop is a live terminal cost view for a tplserve
+// instance: it polls /debug/ledger, /debug/timeline and /metrics and
+// renders per-tenant cost rates — requests, elements, modeled kernel
+// cycles and host↔PIM bytes per second, attributed by the cost
+// ledger's exact batch partitioning — plus per-replica utilization
+// (routed share, backlog, modeled-busy ratio) when the target is a
+// cluster, and a request-rate sparkline from the windowed timeline.
+//
+// Rates are deltas between consecutive polls, so the first frame
+// shows cumulative totals; run tplserve with -ledger (and ideally
+// -timeline 1s) so the endpoints exist.
+//
+// Usage:
+//
+//	tpltop [-url http://localhost:9090] [-interval 1s] [-once]
+//
+// -once polls a single time and prints cumulative totals without
+// clearing the screen (useful in scripts and CI logs).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"transpimlib"
+	"transpimlib/internal/telemetry/promparse"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:9090", "base URL of a tplserve -listen endpoint")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	once := flag.Bool("once", false, "poll once, print totals, and exit")
+	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var prev *poll
+	for {
+		cur, err := fetch(*url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpltop:", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, prev, cur)
+		if *once {
+			return
+		}
+		prev = cur
+		select {
+		case <-sig:
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// poll is one scrape of the target: the cost ledger, the windowed
+// timeline (nil-equivalent zero value when the store is off), the
+// cluster/engine registry, and each replica's engine registry.
+type poll struct {
+	at       time.Time
+	ledger   transpimlib.LedgerSnapshot
+	timeline transpimlib.TimelineSnapshot
+	metrics  map[string]float64
+	replicas map[int]map[string]float64
+}
+
+func fetch(base string) (*poll, error) {
+	p := &poll{at: time.Now()}
+	if err := getJSON(base+"/debug/ledger", &p.ledger); err != nil {
+		return nil, fmt.Errorf("%w (run tplserve with -ledger)", err)
+	}
+	// The timeline is optional: a 404 just leaves the sparkline out.
+	_ = getJSON(base+"/debug/timeline", &p.timeline)
+	var err error
+	if p.metrics, err = getMetrics(base + "/metrics"); err != nil {
+		return nil, err
+	}
+	p.replicas = map[int]map[string]float64{}
+	for _, i := range replicaIDs(p.metrics) {
+		m, err := getMetrics(fmt.Sprintf("%s/replica/%d/metrics", base, i))
+		if err != nil {
+			return nil, err
+		}
+		p.replicas[i] = m
+	}
+	return p, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func getMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return promparse.Parse(string(data))
+}
+
+// replicaIDs lists the replica indices present in a cluster
+// exposition (empty for a single-engine target).
+func replicaIDs(metrics map[string]float64) []int {
+	var ids []int
+	for name := range metrics {
+		if promparse.Family(name) != "cluster_replica_queue_depth" {
+			continue
+		}
+		if i, err := strconv.Atoi(promparse.Label(name, "replica")); err == nil {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// tenantRow is one rendered ledger line: per-second rates between two
+// polls, or cumulative totals when prev is nil.
+type tenantRow struct {
+	transpimlib.LedgerKey
+	reqs, elems, kcycles float64
+	mbIn, mbOut          float64
+	degraded, shed, fail float64
+}
+
+// ledgerRows diffs two ledger snapshots into per-second rates (rows
+// present only in cur are rated against a zero row; rows that
+// disappeared are dropped). With prev nil it returns cumulative
+// totals, dt 1.
+func ledgerRows(prev, cur transpimlib.LedgerSnapshot, dt float64) []tenantRow {
+	if dt <= 0 {
+		dt = 1
+	}
+	base := map[transpimlib.LedgerKey]transpimlib.LedgerEntry{}
+	for _, r := range prev.Rows {
+		base[r.LedgerKey] = r.LedgerEntry
+	}
+	var out []tenantRow
+	for _, r := range cur.Rows {
+		b := base[r.LedgerKey]
+		row := tenantRow{
+			LedgerKey: r.LedgerKey,
+			reqs:      float64(r.Requests-b.Requests) / dt,
+			elems:     float64(r.Elements-b.Elements) / dt,
+			kcycles:   float64(r.KernelCycles-b.KernelCycles) / dt / 1e3,
+			mbIn:      float64(r.BytesIn-b.BytesIn) / dt / 1e6,
+			mbOut:     float64(r.BytesOut-b.BytesOut) / dt / 1e6,
+			degraded:  float64(r.Degraded-b.Degraded) / dt,
+			shed:      float64(r.Shed-b.Shed) / dt,
+			fail:      float64(r.Failovers-b.Failovers) / dt,
+		}
+		out = append(out, row)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].kcycles > out[j].kcycles })
+	return out
+}
+
+// replicaRow is one replica's utilization line: routed requests per
+// second, current backlog, and the modeled-busy ratio — modeled
+// pipeline seconds (transfer + compute + drain) accumulated per wall
+// second, which can exceed 1 because the simulator outruns its model.
+type replicaRow struct {
+	id            int
+	routed        float64
+	queue         float64
+	modeledBusy   float64
+	kcyclesPerSec float64
+}
+
+// busySeconds sums a replica's modeled pipeline seconds.
+func busySeconds(m map[string]float64) float64 {
+	return m["engine_transfer_in_seconds_total"] +
+		m["engine_compute_seconds_total"] +
+		m["engine_transfer_out_seconds_total"]
+}
+
+// replicaRows diffs per-replica registries into utilization rows.
+// With prev nil the routed / cycle columns are cumulative totals.
+func replicaRows(prev, cur *poll, dt float64) []replicaRow {
+	if dt <= 0 {
+		dt = 1
+	}
+	var ids []int
+	for i := range cur.replicas {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	var out []replicaRow
+	for _, i := range ids {
+		m := cur.replicas[i]
+		row := replicaRow{
+			id:            i,
+			routed:        cur.metrics[fmt.Sprintf("cluster_routed_total{replica=%q}", strconv.Itoa(i))],
+			queue:         cur.metrics[fmt.Sprintf("cluster_replica_queue_depth{replica=%q}", strconv.Itoa(i))],
+			modeledBusy:   busySeconds(m),
+			kcyclesPerSec: m["engine_kernel_cycles_total"] / 1e3,
+		}
+		if prev != nil {
+			pm := prev.replicas[i]
+			row.routed = (row.routed - prev.metrics[fmt.Sprintf("cluster_routed_total{replica=%q}", strconv.Itoa(i))]) / dt
+			row.modeledBusy = (row.modeledBusy - busySeconds(pm)) / dt
+			row.kcyclesPerSec = (row.kcyclesPerSec - pm["engine_kernel_cycles_total"]/1e3) / dt
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// rateSparkline renders the timeline's per-window values of one
+// series as a bar string, scaled to the largest window.
+func rateSparkline(tl transpimlib.TimelineSnapshot, series string) string {
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var vals []float64
+	var max float64
+	for _, w := range tl.Windows {
+		v := w.Values[series]
+		vals = append(vals, v)
+		if v > max {
+			max = v
+		}
+	}
+	if len(vals) == 0 || max == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteRune(glyphs[int(float64(len(glyphs)-1)*v/max)])
+	}
+	return sb.String()
+}
+
+func render(w io.Writer, prev, cur *poll) {
+	dt := 1.0
+	unit := "total"
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+		unit = "/s"
+	}
+	fmt.Fprintf(w, "tpltop  tenants=%d  replicas=%d  (%s)\n",
+		len(cur.ledger.Rows), len(cur.replicas), unit)
+	for _, series := range []string{"cluster_requests_total:rate", "engine_requests_total:rate"} {
+		if sl := rateSparkline(cur.timeline, series); sl != "" {
+			fmt.Fprintf(w, "req/s timeline  %s\n", sl)
+			break
+		}
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%-10s %-10s %-14s %8s %9s %11s %8s %8s %6s %5s %5s\n",
+		"TENANT", "FN", "METHOD", "REQ"+unit, "ELEM"+unit, "KCYC"+unit, "MB-IN", "MB-OUT", "DEGR", "SHED", "FAIL")
+	rows := ledgerRows(func() transpimlib.LedgerSnapshot {
+		if prev != nil {
+			return prev.ledger
+		}
+		return transpimlib.LedgerSnapshot{}
+	}(), cur.ledger, dt)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no ledger rows yet (no attributed traffic)")
+	}
+	for _, r := range rows {
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "(anon)"
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-14s %8.1f %9.0f %11.1f %8.2f %8.2f %6.0f %5.0f %5.0f\n",
+			tenant, r.Function, r.Method, r.reqs, r.elems, r.kcycles,
+			r.mbIn, r.mbOut, r.degraded, r.shed, r.fail)
+	}
+	if n := cur.ledger.Overflowed; n > 0 {
+		fmt.Fprintf(w, "(+%d rows collapsed into the overflow bucket)\n", n)
+	}
+
+	reps := replicaRows(prev, cur, dt)
+	if len(reps) > 0 {
+		fmt.Fprintf(w, "\n%-8s %10s %7s %10s %12s\n",
+			"REPLICA", "ROUTED"+unit, "QUEUE", "BUSY(x)", "KCYC"+unit)
+		for _, r := range reps {
+			fmt.Fprintf(w, "%-8d %10.1f %7.0f %10.3f %12.1f\n",
+				r.id, r.routed, r.queue, r.modeledBusy, r.kcyclesPerSec)
+		}
+	}
+}

@@ -7,11 +7,17 @@
 // the double-buffer overlap between consecutive batches are visible
 // on a real timeline.
 //
+// With -replicas N > 1 the workload runs through a routed cluster
+// instead: each trace is then one connected tree — the cluster root
+// span, its placement-ladder attempts, and the serving replica's
+// pipeline spans grafted underneath — and the Chrome encoding lays
+// the rows out per process ("cluster", "replica/<i>").
+//
 // Usage:
 //
 //	tpltrace [-o trace.json] [-dpus 8] [-shards 2] [-clients 4]
 //	         [-requests 8] [-elems 2048] [-window 200us] [-seed 1]
-//	         [-json] [-summary]
+//	         [-replicas 1] [-json] [-summary]
 //
 // -json writes the raw span-tree JSON (the /debug/trace form) instead
 // of the Chrome encoding; -summary prints a per-stage wall/modeled
@@ -39,20 +45,40 @@ func main() {
 	elems := flag.Int("elems", 2048, "elements per request")
 	window := flag.Duration("window", 200*time.Microsecond, "batcher coalescing window")
 	seed := flag.Int64("seed", 1, "input RNG seed")
+	replicas := flag.Int("replicas", 1, "engine replicas; >1 traces routed cluster requests end to end")
 	rawJSON := flag.Bool("json", false, "emit the span-tree JSON instead of the Chrome encoding")
 	summary := flag.Bool("summary", true, "print a per-stage summary to stderr")
 	flag.Parse()
 
 	total := *clients * *requests
-	eng, err := transpimlib.NewEngine(transpimlib.EngineConfig{
+	ecfg := transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
 		TraceDepth: total, Profile: true,
-	})
+	}
+	var (
+		eng *transpimlib.Engine
+		cl  *transpimlib.Cluster
+		err error
+	)
+	if *replicas > 1 {
+		cl, err = transpimlib.NewCluster(transpimlib.ClusterConfig{
+			Replicas: *replicas, Engine: ecfg,
+			Seed: uint64(*seed), TraceDepth: total,
+		})
+	} else {
+		eng, err = transpimlib.NewEngine(ecfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpltrace:", err)
 		os.Exit(1)
 	}
-	defer eng.Close()
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		} else {
+			eng.Close()
+		}
+	}()
 
 	jobs := []struct {
 		fn  transpimlib.Function
@@ -77,7 +103,13 @@ func main() {
 				for i := range xs {
 					xs[i] = -2 + 4*rng.Float32()
 				}
-				if _, _, err := eng.EvaluateBatch(j.fn, j.cfg, xs); err != nil {
+				var err error
+				if cl != nil {
+					_, _, err = cl.EvaluateBatch(j.fn, j.cfg, xs)
+				} else {
+					_, _, err = eng.EvaluateBatch(j.fn, j.cfg, xs)
+				}
+				if err != nil {
 					errs <- fmt.Errorf("client %d req %d: %w", c, r, err)
 					return
 				}
@@ -91,7 +123,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	traces := eng.Traces()
+	var traces []*transpimlib.Trace
+	tel := func() *transpimlib.Telemetry {
+		if cl != nil {
+			return cl.Observe()
+		}
+		return eng.Observe()
+	}()
+	if cl != nil {
+		traces = cl.Traces()
+	} else {
+		traces = eng.Traces()
+	}
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -103,7 +146,7 @@ func main() {
 		w = f
 	}
 	if *rawJSON {
-		err = eng.Observe().Tracer.WriteJSON(w)
+		err = tel.Tracer.WriteJSON(w)
 	} else {
 		err = telemetry.WriteChromeTrace(w, traces)
 	}
@@ -140,6 +183,9 @@ func printSummary(traces []*transpimlib.Trace) {
 		name := s.Name
 		if len(name) > 5 && name[:5] == "batch" {
 			name = "batch"
+		}
+		if len(name) > 7 && name[:7] == "attempt" {
+			name = "attempt"
 		}
 		a, ok := stages[name]
 		if !ok {

@@ -26,12 +26,12 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"transpimlib/internal/accwatch"
+	"transpimlib/internal/telemetry/promparse"
 )
 
 func main() {
@@ -96,35 +96,9 @@ func fetchMetrics(url string) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return parseProm(string(data))
-}
-
-// parseProm parses Prometheus 0.0.4 text exposition into a
-// series-name → value map. Series names keep their label sets
-// verbatim ("name{k=\"v\"}"); comment and blank lines are skipped;
-// malformed lines are an error (the source is our own registry, so
-// anything unparseable is a bug worth surfacing).
-func parseProm(text string) (map[string]float64, error) {
-	out := make(map[string]float64)
-	for ln, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		// The value is the field after the last space outside braces —
-		// label values may themselves contain spaces.
-		i := strings.LastIndexByte(line, ' ')
-		if i <= 0 {
-			return nil, fmt.Errorf("metrics line %d: no value in %q", ln+1, line)
-		}
-		name, val := line[:i], line[i+1:]
-		f, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			return nil, fmt.Errorf("metrics line %d: bad value %q: %v", ln+1, val, err)
-		}
-		out[name] = f
-	}
-	return out, nil
+	// The shared exposition parser (internal/telemetry/promparse) is
+	// the client-side half of our own registry's text format.
+	return promparse.Parse(string(data))
 }
 
 // sparkline renders coverage buckets as a fixed-height bar string,

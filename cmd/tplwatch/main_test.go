@@ -7,46 +7,6 @@ import (
 	"transpimlib/internal/accwatch"
 )
 
-func TestParseProm(t *testing.T) {
-	text := `# HELP engine_requests_total completed requests
-# TYPE engine_requests_total counter
-engine_requests_total 42
-
-engine_accuracy_abs_error{fn="sin",method="l-lut(i)",tenant="a b"}_bucket{le="0.001"} 7
-engine_accuracy_samples_total 9216
-engine_queue_depth -3
-pim_cycles 1.5e+06
-`
-	m, err := parseProm(text)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m["engine_requests_total"] != 42 {
-		t.Fatalf("requests = %v", m["engine_requests_total"])
-	}
-	if m["engine_accuracy_samples_total"] != 9216 {
-		t.Fatalf("samples = %v", m["engine_accuracy_samples_total"])
-	}
-	if m["engine_queue_depth"] != -3 {
-		t.Fatalf("gauge = %v", m["engine_queue_depth"])
-	}
-	if m["pim_cycles"] != 1.5e6 {
-		t.Fatalf("float = %v", m["pim_cycles"])
-	}
-	if m[`engine_accuracy_abs_error{fn="sin",method="l-lut(i)",tenant="a b"}_bucket{le="0.001"}`] != 7 {
-		t.Fatalf("labeled series missing: %v", m)
-	}
-	if len(m) != 5 {
-		t.Fatalf("parsed %d series, want 5", len(m))
-	}
-
-	for _, bad := range []string{"loneword", "name notanumber"} {
-		if _, err := parseProm(bad); err == nil {
-			t.Fatalf("parseProm(%q) accepted", bad)
-		}
-	}
-}
-
 func TestSparklineAndCoverSpan(t *testing.T) {
 	cover := []accwatch.CoverBucket{
 		{Label: "2^-2", Count: 1},

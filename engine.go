@@ -39,6 +39,26 @@ type EngineConfig struct {
 	// /debug/trace (default 0: tracing disabled, no per-stage
 	// timestamps are taken).
 	TraceDepth int
+	// ProcName names this engine's process lane in Chrome trace
+	// exports (e.g. "replica/2"); spans inherit it down the tree.
+	// Empty uses the exporter default. NewCluster stamps one per
+	// replica automatically.
+	ProcName string
+	// Ledger enables the per-tenant cost ledger: every served request
+	// is charged to its (tenant, function, method) row — elements,
+	// modeled kernel cycles, host↔PIM bytes, degraded serves — with
+	// exact integer partitioning of coalesced batches, so the ledger's
+	// cycle total reconciles ±0 with the simulator's. Read it via
+	// Engine.Ledger, /debug/ledger, or the tenant_* metric series.
+	// Off (the default) the serving path is bit-identical to an
+	// unledgered engine.
+	Ledger bool
+	// Timeline enables the windowed metrics store: a background
+	// sampler snapshots the registry's series into a ring of aligned
+	// windows, served at /debug/timeline with per-window rates and
+	// histogram quantiles. Timeline.Enabled false (the default)
+	// disables it entirely.
+	Timeline TimelineConfig
 	// Profile enables per-DPU kernel-launch profiling: instruction-
 	// class and per-core cycle counters accumulate into the telemetry
 	// registry as pim_* series (default off).
@@ -128,6 +148,39 @@ type Trace = telemetry.Trace
 // pipeline, carrying both wall-clock and modeled-seconds durations.
 type Span = telemetry.Span
 
+// TimelineConfig tunes the windowed metrics store: sampling window
+// width, retained window count, and which histogram quantiles the
+// snapshots carry.
+type TimelineConfig = telemetry.TimelineConfig
+
+// TimelineWindow is one closed window of the metrics timeline:
+// derived series values (counter rates, gauge values, histogram
+// quantiles) sampled over [Start, End).
+type TimelineWindow = telemetry.TimelineWindow
+
+// TimelineSnapshot is a point-in-time view of the windowed metrics
+// store — per-series aligned windows with values, rates, and
+// histogram quantiles. It is what /debug/timeline serves as JSON.
+type TimelineSnapshot = telemetry.TimelineSnapshot
+
+// LedgerKey identifies one cost-ledger row: the (tenant, function,
+// method) triple charges accrue to.
+type LedgerKey = telemetry.LedgerKey
+
+// LedgerEntry is the accumulated charges of one ledger row: requests,
+// elements, modeled kernel cycles, host↔PIM bytes, modeled seconds,
+// and degrade/shed/failover counts.
+type LedgerEntry = telemetry.LedgerEntry
+
+// LedgerRow is one key's entry in a ledger snapshot.
+type LedgerRow = telemetry.LedgerRow
+
+// LedgerSnapshot is a point-in-time view of the cost ledger, one row
+// per observed (tenant, function, method) triple plus an overflow row
+// when the cardinality cap was hit. It is what /debug/ledger serves
+// as JSON.
+type LedgerSnapshot = telemetry.LedgerSnapshot
+
 // Engine is a long-lived serving runtime over a multi-core PIM
 // system: a table/setup cache keyed by (function, method, LUT size,
 // placement), request coalescing and sharding, and a pipelined
@@ -159,6 +212,9 @@ func (cfg EngineConfig) internal() (engine.Config, error) {
 		QueueDepth:  cfg.QueueDepth,
 		Buffers:     cfg.Buffers,
 		TraceDepth:  cfg.TraceDepth,
+		ProcName:    cfg.ProcName,
+		Ledger:      cfg.Ledger,
+		Timeline:    cfg.Timeline,
 		Profile:     cfg.Profile,
 		Reference:   cfg.Reference,
 		Faults:      plan,
@@ -223,6 +279,10 @@ func (e *Engine) TraceLast() (*Trace, bool) { return e.e.TraceLast() }
 // Traces returns the retained request traces, oldest first (nil when
 // tracing is disabled).
 func (e *Engine) Traces() []*Trace { return e.e.Traces() }
+
+// Ledger returns a point-in-time snapshot of the per-tenant cost
+// ledger (empty when EngineConfig.Ledger is off).
+func (e *Engine) Ledger() LedgerSnapshot { return e.e.Ledger() }
 
 // CachedSpecs returns how many (function, method) configurations
 // currently hold resident tables.

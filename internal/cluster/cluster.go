@@ -65,6 +65,25 @@ type Config struct {
 	// ProbationSuccesses clean requests clear it. Zero values pick
 	// defaults (3 / 64 / 2).
 	Health engine.ReliabilityConfig
+	// TraceDepth retains the span trees of the last N requests routed
+	// through the cluster front-end (Cluster.TraceLast, /debug/trace).
+	// Each trace is minted at the cluster boundary and shows the whole
+	// placement ladder — primary attempt, spill, shed, failover — with
+	// the serving replica's engine pipeline spans grafted underneath,
+	// one connected tree per request. Replicas whose engine config
+	// leaves TraceDepth unset inherit this value (and a "replica/<i>"
+	// process lane name) so their pipeline spans join the tree. Zero
+	// disables tracing: no spans allocated, no timestamps taken.
+	TraceDepth int
+	// Ledger enables per-tenant cost accounting cluster-wide: every
+	// replica engine charges its batches to (tenant, function, method)
+	// rows, the router adds shed and failover counts, and
+	// Cluster.Ledger() merges it all into one snapshot. Off (the
+	// default), the routing path is unchanged.
+	Ledger bool
+	// Timeline enables the cluster registry's windowed metrics store
+	// (served at /debug/timeline). Zero value: disabled.
+	Timeline telemetry.TimelineConfig
 	// Clock supplies the token buckets' notion of now (default
 	// time.Now); tests inject a deterministic clock.
 	Clock func() time.Time
@@ -130,6 +149,14 @@ type Cluster struct {
 	tel     *telemetry.Telemetry
 	log     *slog.Logger
 
+	// tracer mints cluster-boundary trace IDs and retains the routed
+	// span trees; nil when TraceDepth is 0. led is the router's own
+	// ledger rows (sheds, failovers); timeline the windowed store.
+	// All nil when their config is off.
+	tracer   *telemetry.Tracer
+	led      *telemetry.Ledger
+	timeline *telemetry.Timeline
+
 	seq    atomic.Uint64
 	closed atomic.Bool
 }
@@ -146,6 +173,22 @@ func New(cfg Config) (*Cluster, error) {
 	engines := make([]*engine.Engine, len(cfg.Engines))
 	execs := make([]engine.Executor, len(cfg.Engines))
 	for i, ecfg := range cfg.Engines {
+		// Cluster-level observability inherits down: replicas without
+		// their own trace depth take the cluster's (and a per-replica
+		// process lane name, so grafted pipeline spans render in their
+		// own row), and the ledger is all-or-nothing — merged totals
+		// only reconcile when every replica charges.
+		if cfg.TraceDepth > 0 {
+			if ecfg.TraceDepth <= 0 {
+				ecfg.TraceDepth = cfg.TraceDepth
+			}
+			if ecfg.ProcName == "" {
+				ecfg.ProcName = fmt.Sprintf("replica/%d", i)
+			}
+		}
+		if cfg.Ledger {
+			ecfg.Ledger = true
+		}
 		e, err := engine.New(ecfg)
 		if err != nil {
 			for j := 0; j < i; j++ {
@@ -194,7 +237,20 @@ func NewWithExecutors(cfg Config, execs []engine.Executor) (*Cluster, error) {
 	if cfg.Quotas != nil || cfg.DefaultQuota != nil {
 		c.adm = newAdmission(cfg.Quotas, cfg.DefaultQuota)
 	}
-	c.tel = &telemetry.Telemetry{Registry: reg}
+	if cfg.TraceDepth > 0 {
+		c.tracer = telemetry.NewTracer(cfg.TraceDepth)
+	}
+	if cfg.Ledger {
+		c.led = telemetry.NewLedger(reg, 0)
+	}
+	if cfg.Timeline.Enabled {
+		c.timeline = telemetry.NewTimeline(reg, cfg.Timeline)
+		c.timeline.Start()
+	}
+	c.tel = &telemetry.Telemetry{Registry: reg, Tracer: c.tracer, Timeline: c.timeline}
+	if cfg.Ledger {
+		c.tel.LedgerJSON = func() any { return c.Ledger() }
+	}
 	return c, nil
 }
 
@@ -220,13 +276,20 @@ func (c *Cluster) EvaluateBatchTenant(tenant string, fn core.Function, p core.Pa
 	}
 	seq := c.seq.Add(1)
 	c.met.requests.Inc()
+	tr := c.beginTrace(tenant, fn, p, len(xs)) // nil when tracing is off
 
 	if c.adm != nil && !c.adm.admit(tenant, len(xs), c.cfg.Clock()) {
 		c.met.shedQuota.Inc()
+		c.chargeRoute(tenant, fn, p, telemetry.LedgerEntry{Shed: 1})
 		if c.cfg.OnPlace != nil {
 			c.cfg.OnPlace(placement{Seq: seq, Primary: -1, Replica: -1, Shed: true})
 		}
-		return nil, engine.RequestStats{}, overloadQuota(tenant)
+		err := overloadQuota(tenant)
+		if tr != nil {
+			tr.shed("quota")
+			tr.finish(c, err)
+		}
+		return nil, engine.RequestStats{}, err
 	}
 
 	h := keyHash(c.cfg.Seed, fn, p.Normalized(), tenant)
@@ -239,7 +302,13 @@ func (c *Cluster) EvaluateBatchTenant(tenant string, fn core.Function, p core.Pa
 		}
 		if pl.Shed {
 			c.met.shedQueue.Inc()
-			return nil, engine.RequestStats{}, overloadQueue()
+			c.chargeRoute(tenant, fn, p, telemetry.LedgerEntry{Shed: 1})
+			err := overloadQueue()
+			if tr != nil {
+				tr.shed("queue")
+				tr.finish(c, err)
+			}
+			return nil, engine.RequestStats{}, err
 		}
 		if pl.Replica < 0 {
 			break // every replica tried and failed
@@ -247,7 +316,14 @@ func (c *Cluster) EvaluateBatchTenant(tenant string, fn core.Function, p core.Pa
 		if pl.Spilled {
 			c.met.spills.Inc()
 		}
-		out, st, err := c.execs[pl.Replica].EvaluateBatchTenant(tenant, fn, p, xs)
+		var span *telemetry.Span
+		if tr != nil {
+			span = tr.attempt(pl, attempt)
+		}
+		out, st, err := c.execute(tr, pl.Replica, tenant, fn, p, xs)
+		if span != nil {
+			span.End = time.Now()
+		}
 		switch {
 		case err == nil:
 			c.met.routed[pl.Replica].Inc()
@@ -257,11 +333,25 @@ func (c *Cluster) EvaluateBatchTenant(tenant string, fn core.Function, p core.Pa
 			} else {
 				c.health.RecordSuccess(pl.Replica)
 			}
+			if tr != nil {
+				st.TraceID = tr.id
+				if span != nil {
+					// Prewarm/replication visibility: were the spec's
+					// tables already resident on the serving replica?
+					span.SetAttr("cache_hit", fmt.Sprint(st.CacheHit))
+				}
+				tr.finish(c, nil)
+			}
 			return out, st, nil
 		case errors.Is(err, engine.ErrEngineClosed):
 			// Infrastructure failure: penalize, mark tried, re-place.
 			c.noteFailure(pl.Replica, seq, "replica_error")
 			c.met.failovers.Inc()
+			c.chargeRoute(tenant, fn, p, telemetry.LedgerEntry{Failovers: 1})
+			if span != nil {
+				span.Err = err.Error()
+				span.SetAttr("failover", "true")
+			}
 			tried |= 1 << uint(pl.Replica)
 			lastErr = err
 			if c.log != nil {
@@ -272,13 +362,57 @@ func (c *Cluster) EvaluateBatchTenant(tenant string, fn core.Function, p core.Pa
 			// Deterministic request error (unsupported method, table too
 			// large): every replica would answer the same — no failover,
 			// no health penalty.
+			if span != nil {
+				span.Err = err.Error()
+			}
+			if tr != nil {
+				tr.finish(c, err)
+			}
 			return nil, engine.RequestStats{}, err
 		}
 	}
 	if lastErr == nil {
 		lastErr = ErrClusterClosed
 	}
-	return nil, engine.RequestStats{}, fmt.Errorf("cluster: all replicas failed: %w", lastErr)
+	err := fmt.Errorf("cluster: all replicas failed: %w", lastErr)
+	if tr != nil {
+		tr.finish(c, err)
+	}
+	return nil, engine.RequestStats{}, err
+}
+
+// execute runs the request on one replica. On a traced request it
+// prefers the executor's traced entry point, propagating the
+// cluster-minted trace ID into the replica's pipeline and grafting the
+// returned engine span tree (rendered in the replica's own process
+// lane) under the cluster trace — one connected tree across layers.
+func (c *Cluster) execute(tr *reqTrace, replica int, tenant string, fn core.Function, p core.Params, xs []float32) ([]float32, engine.RequestStats, error) {
+	if tr != nil {
+		if te, ok := c.execs[replica].(engine.TracedExecutor); ok {
+			out, st, etr, err := te.EvaluateBatchTraced(tenant, tr.id, fn, p, xs)
+			if etr != nil && len(tr.root.Child) > 0 {
+				// Graft under the current attempt span. The subtree is
+				// shared with the replica's own trace ring; it is
+				// read-only from here on.
+				tr.root.Child[len(tr.root.Child)-1].AddChild(etr.Root)
+			}
+			return out, st, err
+		}
+	}
+	return c.execs[replica].EvaluateBatchTenant(tenant, fn, p, xs)
+}
+
+// chargeRoute adds router-level ledger deltas (sheds, failovers) to
+// the (tenant, function, method) row. No-op when the ledger is off.
+func (c *Cluster) chargeRoute(tenant string, fn core.Function, p core.Params, d telemetry.LedgerEntry) {
+	if c.led == nil {
+		return
+	}
+	c.led.Add(telemetry.LedgerKey{
+		Tenant:   tenant,
+		Function: fn.String(),
+		Method:   engine.MethodLabel(p),
+	}, d)
 }
 
 // noteFailure records a replica-level failure, logging and gauging a
@@ -333,6 +467,28 @@ func (c *Cluster) Prewarm(fn core.Function, p core.Params, tenant string) error 
 
 // Stats snapshots the cluster-wide routing counters.
 func (c *Cluster) Stats() Stats { return c.met.snapshot(len(c.execs)) }
+
+// Ledger merges the router's own cost rows (sheds, failovers) with
+// every replica engine's per-tenant charges into one cluster-wide
+// snapshot. Empty when Config.Ledger is off.
+func (c *Cluster) Ledger() telemetry.LedgerSnapshot {
+	snaps := make([]telemetry.LedgerSnapshot, 0, len(c.engines)+1)
+	snaps = append(snaps, c.led.Snapshot())
+	for _, e := range c.engines {
+		if e != nil {
+			snaps = append(snaps, e.Ledger())
+		}
+	}
+	return telemetry.MergeLedgers(snaps...)
+}
+
+// TraceLast returns the span tree of the most recently routed request,
+// or false when tracing is disabled or nothing has completed.
+func (c *Cluster) TraceLast() (*telemetry.Trace, bool) { return c.tracer.Last() }
+
+// Traces returns the retained cluster traces, oldest first (nil when
+// tracing is disabled).
+func (c *Cluster) Traces() []*telemetry.Trace { return c.tracer.Traces() }
 
 // ReplicaStats snapshots each replica's engine counters.
 func (c *Cluster) ReplicaStats() []engine.Stats {
@@ -404,4 +560,5 @@ func (c *Cluster) Close() {
 	for _, e := range c.execs {
 		e.Close()
 	}
+	c.timeline.Close()
 }

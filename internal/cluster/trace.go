@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/engine"
+	"transpimlib/internal/telemetry"
+)
+
+// reqTrace carries one routed request's cluster-side span tree while
+// the placement ladder runs. It exists only when tracing is enabled
+// (nil otherwise, so the disabled path takes no timestamps and
+// allocates nothing) and lives entirely on the request goroutine —
+// no locking until the finished tree is pushed into the tracer ring.
+type reqTrace struct {
+	id   uint64
+	root *telemetry.Span
+}
+
+// beginTrace mints the cluster-boundary trace identity and opens the
+// root span. Returns nil when tracing is disabled.
+func (c *Cluster) beginTrace(tenant string, fn core.Function, p core.Params, n int) *reqTrace {
+	if c.tracer == nil {
+		return nil
+	}
+	root := &telemetry.Span{Name: "cluster_request", Proc: "cluster", Start: time.Now()}
+	root.SetAttr("fn", fn.String())
+	root.SetAttr("method", engine.MethodLabel(p))
+	root.SetAttr("elements", fmt.Sprint(n))
+	if tenant != "" {
+		root.SetAttr("tenant", tenant)
+	}
+	return &reqTrace{id: c.tracer.NextID(), root: root}
+}
+
+// shed records a terminal shed span (admission quota or backlog bound)
+// under the root.
+func (t *reqTrace) shed(reason string) {
+	now := time.Now()
+	s := &telemetry.Span{Name: "shed", Start: now, End: now, Err: "overloaded"}
+	s.SetAttr("reason", reason)
+	t.root.AddChild(s)
+}
+
+// attempt opens one placement-ladder rung: the span covers the routing
+// decision and, on a served attempt, the execution on the chosen
+// replica (whose engine span tree is grafted underneath).
+func (t *reqTrace) attempt(pl placement, n int) *telemetry.Span {
+	s := &telemetry.Span{Name: fmt.Sprintf("attempt[%d]", n), Start: time.Now()}
+	s.SetAttr("primary", fmt.Sprint(pl.Primary))
+	s.SetAttr("replica", fmt.Sprint(pl.Replica))
+	if pl.Spilled {
+		s.SetAttr("spilled", "true")
+	}
+	t.root.AddChild(s)
+	return s
+}
+
+// finish closes the root span and publishes the tree. err, when
+// non-nil, marks the whole trace failed.
+func (t *reqTrace) finish(c *Cluster, err error) {
+	t.root.End = time.Now()
+	if err != nil {
+		t.root.Err = err.Error()
+	}
+	c.tracer.Push(&telemetry.Trace{ID: t.id, Root: t.root})
+}

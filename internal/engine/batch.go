@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"time"
+
+	"transpimlib/internal/telemetry"
 )
 
 // request is one in-flight EvaluateBatch call. A request may be split
@@ -34,6 +36,15 @@ type request struct {
 	// batchTraces collects the stage stamps of every batch the request
 	// rode in, in completion order; nil unless tracing is enabled.
 	batchTraces []batchRef
+
+	// extID, when nonzero, is an externally minted trace ID (the
+	// cluster router's) that replaces the tracer's own; wantTrace asks
+	// finishRequest to store the assembled span tree in trace before
+	// releasing the caller (see EvaluateBatchTraced). Both are written
+	// before submit and read only after the request is quiescent.
+	extID     uint64
+	wantTrace bool
+	trace     *telemetry.Trace
 }
 
 // batchRef pairs a drained batch with its wall-clock stage stamps for

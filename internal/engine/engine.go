@@ -99,6 +99,22 @@ type Config struct {
 	// serving path is bit-identical to an engine without it — one nil
 	// check per completed request, no allocation.
 	Accuracy accwatch.Config
+	// Ledger enables the per-tenant cost ledger: every drained batch
+	// charges its modeled kernel cycles, transfer bytes and elements to
+	// the (tenant, function, method) row of the requests it carried,
+	// with exact integer partitioning — the ledger's cycle total
+	// reconciles ±0 against the simulator's attributed cycles. Disabled
+	// (the default), the drain path pays one nil check per batch and
+	// the serving path is bit-identical.
+	Ledger bool
+	// Timeline enables the windowed metrics store: a background ticker
+	// snapshots the registry into fixed-width buckets served at
+	// /debug/timeline. Zero value (disabled) adds nothing.
+	Timeline telemetry.TimelineConfig
+	// ProcName, when set, names this engine's process lane on every
+	// exported trace span tree ("replica/2" under a cluster). Empty,
+	// each trace renders in its own per-trace lane.
+	ProcName string
 	// Log, when non-nil, receives structured events from the recovery
 	// ladder (degrades, quarantines, table repairs) and the accuracy
 	// watcher (SLO breaches, drift). Nil disables logging; counters
@@ -231,6 +247,11 @@ type Engine struct {
 	// log is the structured event sink (nil = no logging).
 	acc *accwatch.Watcher
 	log *slog.Logger
+
+	// led is the per-tenant cost ledger, nil unless Config.Ledger;
+	// timeline is the windowed metrics store, nil unless enabled.
+	led      *telemetry.Ledger
+	timeline *telemetry.Timeline
 }
 
 // New builds and starts an engine: the PIM system, the per-shard I/O
@@ -279,6 +300,19 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Accuracy.Enabled {
 		e.acc = accwatch.New(cfg.Accuracy, reg, cfg.Log)
 		e.tel.AccuracyJSON = func() any { return e.acc.Snapshot() }
+	}
+	if cfg.Ledger {
+		e.led = telemetry.NewLedger(reg, 0)
+		e.tel.LedgerJSON = func() any { return e.led.Snapshot() }
+		// Attribution makes the simulator accumulate per-launch
+		// closed-form cycles, the reconciliation target for the
+		// ledger's cycle totals.
+		e.sys.SetCycleAttribution(true)
+	}
+	if cfg.Timeline.Enabled {
+		e.timeline = telemetry.NewTimeline(reg, cfg.Timeline)
+		e.timeline.Start()
+		e.tel.Timeline = e.timeline
 	}
 
 	perShard := cfg.DPUs / cfg.Shards
@@ -424,27 +458,49 @@ func (e *Engine) EvaluateBatch(fn core.Function, p core.Params, xs []float32) ([
 // separable in /debug/accuracy. The tag does not affect batching,
 // coalescing, or results; an empty tenant is the anonymous series.
 func (e *Engine) EvaluateBatchTenant(tenant string, fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, error) {
+	out, st, _, err := e.evaluate(tenant, 0, false, fn, p, xs)
+	return out, st, err
+}
+
+// EvaluateBatchTraced is EvaluateBatchTenant with an externally minted
+// trace identity: the request's span tree takes traceID instead of an
+// engine-local one, and the assembled trace is returned to the caller
+// (in addition to the engine's own trace ring) so a router can graft
+// it under its placement spans — one connected trace across layers.
+// With tracing disabled (TraceDepth 0) the returned trace is nil and
+// the call behaves exactly like EvaluateBatchTenant.
+func (e *Engine) EvaluateBatchTraced(tenant string, traceID uint64, fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, *telemetry.Trace, error) {
+	return e.evaluate(tenant, traceID, true, fn, p, xs)
+}
+
+// evaluate is the shared submit path behind the EvaluateBatch
+// variants. extID, when nonzero, overrides the trace ring's minted ID;
+// wantTrace asks finishRequest to hand the assembled span tree back on
+// the request.
+func (e *Engine) evaluate(tenant string, extID uint64, wantTrace bool, fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, *telemetry.Trace, error) {
 	spec := makeSpec(fn, p)
 	if !spec.Par.Method.Supports(fn) {
-		return nil, RequestStats{}, fmt.Errorf("engine: %v does not support %v (see Table 2)", spec.Par.Method, fn)
+		return nil, RequestStats{}, nil, fmt.Errorf("engine: %v does not support %v (see Table 2)", spec.Par.Method, fn)
 	}
 	if len(xs) == 0 {
-		return nil, RequestStats{}, nil
+		return nil, RequestStats{}, nil, nil
 	}
 	r := &request{
-		spec:     spec,
-		tenant:   tenant,
-		inputs:   xs,
-		outputs:  make([]float32, len(xs)),
-		enqueued: time.Now(),
-		done:     make(chan struct{}),
+		spec:      spec,
+		tenant:    tenant,
+		inputs:    xs,
+		outputs:   make([]float32, len(xs)),
+		extID:     extID,
+		wantTrace: wantTrace,
+		enqueued:  time.Now(),
+		done:      make(chan struct{}),
 	}
 	r.stats.CacheHit = true // cleared by the first miss
 
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return nil, RequestStats{}, ErrEngineClosed
+		return nil, RequestStats{}, nil, ErrEngineClosed
 	}
 	e.met.requests.Inc()
 	e.submit <- r
@@ -452,7 +508,7 @@ func (e *Engine) EvaluateBatchTenant(tenant string, fn core.Function, p core.Par
 	e.mu.RUnlock()
 
 	<-r.done
-	return r.outputs, r.stats, r.err
+	return r.outputs, r.stats, r.trace, r.err
 }
 
 // Close drains in-flight work and stops the pipeline. Subsequent
@@ -467,6 +523,7 @@ func (e *Engine) Close() {
 	close(e.submit)
 	e.mu.Unlock()
 	e.wg.Wait()
+	e.timeline.Close()
 }
 
 // batcher collects queued requests, groups them by spec, and emits
@@ -747,6 +804,9 @@ func (e *Engine) stageTransferOut(s *shard) {
 		}
 		s.slots <- b.slot
 		e.met.addBatch(b, s.id, bytesIn, bytesOut)
+		if e.led != nil {
+			e.chargeLedger(b, bytesIn, bytesOut)
+		}
 		for _, sg := range b.segs {
 			if sg.req.complete(b, s.id) {
 				e.finishRequest(sg.req)
@@ -772,8 +832,23 @@ func (e *Engine) finishRequest(r *request) {
 	}
 	var traceID uint64
 	if e.tracer != nil {
-		traceID = e.tracer.NextID()
+		if r.extID != 0 {
+			traceID = r.extID // propagated from the router's mint
+		} else {
+			traceID = e.tracer.NextID()
+		}
 		r.stats.TraceID = traceID
+	}
+	if e.led != nil {
+		d := telemetry.LedgerEntry{Requests: 1}
+		if r.stats.Degraded {
+			d.Degraded = 1
+		}
+		e.led.Add(telemetry.LedgerKey{
+			Tenant:   r.tenant,
+			Function: r.spec.Fn.String(),
+			Method:   methodLabel(r.spec.Par),
+		}, d)
 	}
 	if e.acc != nil && r.err == nil {
 		// The shadow sampler only reads inputs/outputs; it never
@@ -794,7 +869,11 @@ func (e *Engine) finishRequest(r *request) {
 		r.sloBreached = out.Breached
 	}
 	if e.tracer != nil {
-		e.tracer.Push(buildTrace(r, traceID, end))
+		tr := buildTrace(r, traceID, end, e.cfg.ProcName)
+		if r.wantTrace {
+			r.trace = tr
+		}
+		e.tracer.Push(tr)
 	}
 	close(r.done)
 }

@@ -1,6 +1,9 @@
 package engine
 
-import "transpimlib/internal/core"
+import (
+	"transpimlib/internal/core"
+	"transpimlib/internal/telemetry"
+)
 
 // This file names the engine's pipeline seams as small interfaces so
 // the stages are separable: a BatchPlanner decides how queued requests
@@ -58,3 +61,15 @@ type Executor interface {
 }
 
 var _ Executor = (*Engine)(nil)
+
+// TracedExecutor is an Executor that accepts an externally minted
+// trace identity and returns the request's assembled span tree, so a
+// router can graft the execution-side spans under its own placement
+// spans — one connected trace across layers. Executors without tracing
+// enabled return a nil trace.
+type TracedExecutor interface {
+	Executor
+	EvaluateBatchTraced(tenant string, traceID uint64, fn core.Function, p core.Params, xs []float32) ([]float32, RequestStats, *telemetry.Trace, error)
+}
+
+var _ TracedExecutor = (*Engine)(nil)

@@ -239,3 +239,50 @@ func BenchmarkEvaluateBatchTelemetry(b *testing.B) {
 		})
 	}
 }
+
+// TestEvaluateBatchTraced: an externally minted trace ID propagates
+// into the request's stats, its span tree (returned to the caller and
+// retained in the engine's own ring), and the configured process lane.
+func TestEvaluateBatchTraced(t *testing.T) {
+	e, err := New(Config{DPUs: 2, Shards: 1, TraceDepth: 4, ProcName: "replica/3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	fn, par := llutSpec()
+	xs := stats.RandomInputs(-7.9, 7.9, 64, 1)
+	const mintID = 0xfeed
+	out, st, tr, err := e.EvaluateBatchTraced("acme", mintID, fn, par, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(xs) {
+		t.Fatalf("outputs = %d, want %d", len(out), len(xs))
+	}
+	if st.TraceID != mintID {
+		t.Fatalf("stats trace id %d, want the minted %d", st.TraceID, mintID)
+	}
+	if tr == nil || tr.ID != mintID {
+		t.Fatalf("returned trace = %+v, want id %d", tr, mintID)
+	}
+	if tr.Root.Proc != "replica/3" {
+		t.Fatalf("root proc = %q, want replica/3", tr.Root.Proc)
+	}
+	last, ok := e.TraceLast()
+	if !ok || last.ID != mintID {
+		t.Fatalf("engine ring trace = %v %v, want the same minted id", last, ok)
+	}
+	// With tracing disabled the traced call degrades gracefully.
+	e2, err := New(Config{DPUs: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	_, st2, tr2, err := e2.EvaluateBatchTraced("acme", mintID, fn, par, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 != nil || st2.TraceID != 0 {
+		t.Fatalf("untraced engine returned trace %v, id %d", tr2, st2.TraceID)
+	}
+}

@@ -36,12 +36,13 @@ type batchTrace struct {
 //
 // It runs on the drain-stage goroutine after the request's last
 // segment completed, so every field it reads is quiescent.
-func buildTrace(r *request, id uint64, end time.Time) *telemetry.Trace {
+func buildTrace(r *request, id uint64, end time.Time, proc string) *telemetry.Trace {
 	root := &telemetry.Span{
 		Name:  "request",
 		Start: r.enqueued,
 		End:   end,
 		Shard: r.stats.ShardID,
+		Proc:  proc,
 	}
 	root.SetAttr("fn", r.spec.Fn.String())
 	root.SetAttr("method", r.spec.Par.Method.String())

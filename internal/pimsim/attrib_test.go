@@ -1,0 +1,81 @@
+package pimsim
+
+import "testing"
+
+// TestCycleAttribution: with attribution on, each launch charges the
+// slowest lane's closed-form cycles — exactly what a caller derives
+// from the counter deltas; off (the default), nothing accumulates.
+func TestCycleAttribution(t *testing.T) {
+	sys := NewSystem(Config{DPUs: 2})
+	if err := sys.LaunchShard([]int{0, 1}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.AttributedKernelCycles(); got != 0 {
+		t.Fatalf("attribution off charged %d cycles", got)
+	}
+
+	sys.SetCycleAttribution(true)
+	issue0 := []uint64{sys.DPU(0).IssueCycles(), sys.DPU(1).IssueCycles()}
+	dma0 := []uint64{sys.DPU(0).DMACycles(), sys.DPU(1).DMACycles()}
+	if err := sys.LaunchShard([]int{0, 1}, func(ctx *Ctx, id int) error {
+		// Unequal lanes: the attribution must follow the slower one.
+		for i := 0; i < 50*(id+1); i++ {
+			ctx.FMul(2, 3)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 0; i < 2; i++ {
+		d := sys.DPU(i)
+		c := ClosedFormCycles(d.IssueCycles()-issue0[i], d.DMACycles()-dma0[i], d.Tasklets())
+		if c > want {
+			want = c
+		}
+	}
+	if want == 0 {
+		t.Fatal("kernel charged no cycles")
+	}
+	if got := sys.AttributedKernelCycles(); got != want {
+		t.Fatalf("attributed %d cycles, want %d", got, want)
+	}
+
+	// A second launch accumulates; disabling stops the accumulation.
+	if err := sys.LaunchShard([]int{0}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.AttributedKernelCycles()
+	if after <= want {
+		t.Fatalf("second launch did not accumulate: %d", after)
+	}
+	sys.SetCycleAttribution(false)
+	if err := sys.LaunchShard([]int{0}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.AttributedKernelCycles(); got != after {
+		t.Fatalf("disabled launch charged %d → %d", after, got)
+	}
+}
+
+// TestCycleAttributionWithFaultAgent: attribution composes with an
+// installed fault agent — slowed lanes charge their scaled delta.
+func TestCycleAttributionWithFaultAgent(t *testing.T) {
+	sys := NewSystem(Config{DPUs: 2})
+	sys.SetCycleAttribution(true)
+	sys.SetFaultAgent(scriptedAgent{slowLanes: map[int]float64{1: 3}})
+	if err := sys.LaunchShardSeq(0, 0, []int{0, 1}, burnKernel); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 0; i < 2; i++ {
+		d := sys.DPU(i)
+		c := ClosedFormCycles(d.IssueCycles(), d.DMACycles(), d.Tasklets())
+		if c > want {
+			want = c
+		}
+	}
+	if got := sys.AttributedKernelCycles(); got != want {
+		t.Fatalf("attributed %d cycles under injection, want %d (post-verdict)", got, want)
+	}
+}

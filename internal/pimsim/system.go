@@ -88,6 +88,15 @@ type System struct {
 	// faultAgent, when set, injects faults at the launch and transfer
 	// points (see SetFaultAgent). Same atomic discipline as observer.
 	faultAgent atomic.Pointer[faultAgentBox]
+
+	// attribOn/attribCycles are the cost ledger's cycle-attribution
+	// plumb-through: when enabled, every launch accumulates its
+	// closed-form cycle count (slowest lane, post-verdict) so a ledger
+	// can reconcile per-tenant charges against the simulator exactly.
+	// Disabled (the default) the launch path pays one atomic load and
+	// allocates nothing.
+	attribOn     atomic.Bool
+	attribCycles atomic.Uint64
 }
 
 // NewSystem builds a system from cfg (zero fields take defaults).
@@ -154,6 +163,7 @@ func (s *System) launchShard(seq, attempt uint64, ids []int, kernel func(ctx *Ct
 	// cores): failed lanes skip their kernel entirely; slowed lanes
 	// have their cycle delta scaled after the kernels finish.
 	agent := s.loadFaultAgent()
+	attrib := s.attribOn.Load()
 	var verdicts []LaunchVerdict
 	var preIssue, preDMA []uint64
 	if agent != nil {
@@ -162,6 +172,16 @@ func (s *System) launchShard(seq, attempt uint64, ids []int, kernel func(ctx *Ct
 		preDMA = make([]uint64, len(ids))
 		for k := range ids {
 			verdicts[k] = agent.Launch(seq, attempt, k)
+			d := s.dpus[ids[k]]
+			preIssue[k] = d.issueCycles
+			preDMA[k] = d.dmaCycles
+		}
+	} else if attrib {
+		// Attribution needs the same pre-launch snapshots the fault agent
+		// takes; allocate them only on this (enabled) path.
+		preIssue = make([]uint64, len(ids))
+		preDMA = make([]uint64, len(ids))
+		for k := range ids {
 			d := s.dpus[ids[k]]
 			preIssue[k] = d.issueCycles
 			preDMA[k] = d.dmaCycles
@@ -237,6 +257,20 @@ func (s *System) launchShard(seq, attempt uint64, ids []int, kernel func(ctx *Ct
 			}
 		}
 	}
+	// Charge the attribution counter after the straggler verdicts so the
+	// accumulated count equals what a caller derives from the post-launch
+	// counters: the slowest lane's closed-form cycles for this launch.
+	if attrib {
+		var worst uint64
+		for k, i := range ids {
+			d := s.dpus[i]
+			c := ClosedFormCycles(d.issueCycles-preIssue[k], d.dmaCycles-preDMA[k], d.tasklets)
+			if c > worst {
+				worst = c
+			}
+		}
+		s.attribCycles.Add(worst)
+	}
 	if obs != nil {
 		prof := LaunchProfile{Cores: make([]CoreProfile, len(ids))}
 		for k, i := range ids {
@@ -264,6 +298,19 @@ func (s *System) launchShard(seq, attempt uint64, ids []int, kernel func(ctx *Ct
 	}
 	return nil
 }
+
+// SetCycleAttribution enables or disables per-launch cycle attribution.
+// While enabled, every LaunchShard adds its closed-form cycle count —
+// the slowest lane's ClosedFormCycles over the launch's counter deltas,
+// after any injected straggler verdicts — to an internal accumulator
+// read by AttributedKernelCycles. Cost ledgers use this to reconcile
+// per-tenant cycle charges against the simulator exactly. Toggling
+// races safely with in-flight launches (per-launch atomic load).
+func (s *System) SetCycleAttribution(on bool) { s.attribOn.Store(on) }
+
+// AttributedKernelCycles returns the total closed-form kernel cycles
+// accumulated across launches while cycle attribution was enabled.
+func (s *System) AttributedKernelCycles() uint64 { return s.attribCycles.Load() }
 
 // KernelCycles returns the cycle count of the slowest PIM core — the
 // kernel completion time in cycles, since all cores run concurrently.

@@ -2,14 +2,17 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 )
 
-// chromeEvent is one entry in the Chrome trace_event JSON format
-// ("X" complete events), loadable in about:tracing and Perfetto.
-// pid groups a trace's spans into one process row; tid is the shard
-// the span ran on, so shard pipelines line up as parallel tracks.
+// chromeEvent is one entry in the Chrome trace_event JSON format,
+// loadable in about:tracing and Perfetto: "X" complete events for
+// spans, "M" metadata events naming the process and thread rows. pid
+// groups spans into one process row per Span.Proc lane (one per trace
+// when no span names a proc); tid is the shard the span ran on, so
+// shard pipelines line up as parallel tracks.
 type chromeEvent struct {
 	Name string            `json:"name"`
 	Ph   string            `json:"ph"`
@@ -25,10 +28,52 @@ type chromeFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// chromeProcs assigns process ids to proc names in first-encounter
+// order and remembers which (pid, tid) thread rows exist, so the
+// encoder can emit process_name/thread_name metadata events and the
+// viewer shows labeled lanes instead of bare numbers.
+type chromeProcs struct {
+	pids      map[string]uint64
+	procOrder []string
+	threads   map[[2]uint64]bool
+	thrOrder  [][2]uint64
+}
+
+func (cp *chromeProcs) pid(proc string) uint64 {
+	if p, ok := cp.pids[proc]; ok {
+		return p
+	}
+	p := uint64(len(cp.procOrder) + 1)
+	cp.pids[proc] = p
+	cp.procOrder = append(cp.procOrder, proc)
+	return p
+}
+
+func (cp *chromeProcs) thread(pid uint64, tid int) {
+	key := [2]uint64{pid, uint64(tid)}
+	if !cp.threads[key] {
+		cp.threads[key] = true
+		cp.thrOrder = append(cp.thrOrder, key)
+	}
+}
+
+// spanProc resolves a span's effective process lane: its own Proc if
+// set, else the inherited one.
+func spanProc(s *Span, inherited string) string {
+	if s.Proc != "" {
+		return s.Proc
+	}
+	return inherited
+}
+
 // WriteChromeTrace renders traces as a Chrome trace_event JSON
 // document. Timestamps are microseconds relative to the earliest span
 // start across all traces, so the file is stable to re-generation of
-// the same workload and small in absolute magnitude.
+// the same workload and small in absolute magnitude. Spans are grouped
+// into process rows by Span.Proc (inherited down the tree; a trace
+// whose spans name no proc gets its own "trace <ID>" row), with
+// process_name and per-shard thread_name metadata events so the rows
+// are labeled in the viewer.
 func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 	var epoch time.Time
 	for _, tr := range traces {
@@ -39,19 +84,24 @@ func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 			epoch = tr.Root.Start
 		}
 	}
-	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	cp := &chromeProcs{pids: make(map[string]uint64), threads: make(map[[2]uint64]bool)}
+	var spans []chromeEvent
 	for _, tr := range traces {
 		if tr == nil || tr.Root == nil {
 			continue
 		}
-		var walk func(s *Span)
-		walk = func(s *Span) {
+		defaultProc := fmt.Sprintf("trace %d", tr.ID)
+		var walk func(s *Span, proc string)
+		walk = func(s *Span, proc string) {
+			proc = spanProc(s, proc)
+			pid := cp.pid(proc)
+			cp.thread(pid, s.Shard)
 			ev := chromeEvent{
 				Name: s.Name,
 				Ph:   "X",
 				Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
 				Dur:  float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
-				Pid:  tr.ID,
+				Pid:  pid,
 				Tid:  s.Shard,
 			}
 			if s.Modeled != 0 || s.Err != "" || len(s.Attrs) > 0 {
@@ -66,13 +116,27 @@ func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 					ev.Args["err"] = s.Err
 				}
 			}
-			file.TraceEvents = append(file.TraceEvents, ev)
+			spans = append(spans, ev)
 			for _, c := range s.Child {
-				walk(c)
+				walk(c, proc)
 			}
 		}
-		walk(tr.Root)
+		walk(tr.Root, defaultProc)
 	}
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, proc := range cp.procOrder {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: cp.pids[proc],
+			Args: map[string]string{"name": proc},
+		})
+	}
+	for _, th := range cp.thrOrder {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: th[0], Tid: int(th[1]),
+			Args: map[string]string{"name": fmt.Sprintf("shard %d", th[1])},
+		})
+	}
+	file.TraceEvents = append(file.TraceEvents, spans...)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(file)

@@ -75,9 +75,33 @@ func TestChromeTraceGolden(t *testing.T) {
 	root.AddChild(batch)
 	root.AddChild(failed)
 
+	// A second, propagated trace: a cluster root span grafting a
+	// replica engine subtree — per-replica process rows via Span.Proc,
+	// inherited down the subtree.
+	croot := &Span{Name: "cluster_request", Proc: "cluster", Shard: 0,
+		Start: t0.Add(6 * time.Millisecond), End: t0.Add(9 * time.Millisecond)}
+	route := &Span{Name: "route", Shard: 0, Start: t0.Add(6 * time.Millisecond),
+		End: t0.Add(6*time.Millisecond + 100*time.Microsecond)}
+	route.SetAttr("replica", "1")
+	engRoot := &Span{Name: "request", Proc: "replica/1", Shard: 1,
+		Start: t0.Add(6*time.Millisecond + 100*time.Microsecond), End: t0.Add(9 * time.Millisecond)}
+	engKern := &Span{Name: "kernel", Shard: 1,
+		Start: t0.Add(7 * time.Millisecond), End: t0.Add(8 * time.Millisecond), Modeled: 0.001}
+	engRoot.AddChild(engKern)
+	croot.AddChild(route)
+	croot.AddChild(engRoot)
+
 	var sb strings.Builder
-	if err := WriteChromeTrace(&sb, []*Trace{{ID: 9, Root: root}}); err != nil {
+	if err := WriteChromeTrace(&sb, []*Trace{{ID: 9, Root: root}, {ID: 10, Root: croot}}); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "trace.chrome.golden", sb.String())
+	out := sb.String()
+	for _, want := range []string{
+		`"process_name"`, `"thread_name"`, `"cluster"`, `"replica/1"`, `"trace 9"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace lacks %s", want)
+		}
+	}
+	checkGolden(t, "trace.chrome.golden", out)
 }

@@ -17,6 +17,12 @@ type Telemetry struct {
 	// AccuracyJSON, when non-nil, supplies the /debug/accuracy
 	// document — the engine wires it to the accwatch snapshot.
 	AccuracyJSON func() any
+	// Timeline, when non-nil, serves windowed rate/percentile views of
+	// the registry at /debug/timeline.
+	Timeline *Timeline
+	// LedgerJSON, when non-nil, supplies the /debug/ledger document —
+	// the per-(tenant, function, method) cost snapshot.
+	LedgerJSON func() any
 }
 
 // Handler returns an http.Handler exposing the standard endpoints:
@@ -27,6 +33,10 @@ type Telemetry struct {
 //	                 emits the Chrome trace_event form instead)
 //	/debug/accuracy  the shadow sampler's accuracy snapshot as JSON
 //	                 (404 when accuracy monitoring is disabled)
+//	/debug/timeline  windowed rate / gauge / percentile views of the
+//	                 registry as JSON (404 when the timeline is off)
+//	/debug/ledger    the per-(tenant, function, method) cost ledger as
+//	                 JSON (404 when the ledger is off)
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -69,6 +79,30 @@ func (t *Telemetry) Handler() http.Handler {
 			}
 		default:
 			http.Error(w, "format must be json or chrome", http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		if t == nil || t.Timeline == nil {
+			http.Error(w, "timeline disabled (enable the windowed store)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.Timeline.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, _ *http.Request) {
+		if t == nil || t.LedgerJSON == nil {
+			http.Error(w, "cost ledger disabled (enable the ledger)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.LedgerJSON()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/debug/accuracy", func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,71 @@
+package promparse
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	text := `# HELP engine_requests_total completed requests
+# TYPE engine_requests_total counter
+engine_requests_total 42
+
+engine_accuracy_abs_error{fn="sin",method="l-lut(i)",tenant="a b"}_bucket{le="0.001"} 7
+engine_accuracy_samples_total 9216
+engine_queue_depth -3
+pim_cycles 1.5e+06
+`
+	m, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["engine_requests_total"] != 42 {
+		t.Fatalf("requests = %v", m["engine_requests_total"])
+	}
+	if m["engine_accuracy_samples_total"] != 9216 {
+		t.Fatalf("samples = %v", m["engine_accuracy_samples_total"])
+	}
+	if m["engine_queue_depth"] != -3 {
+		t.Fatalf("gauge = %v", m["engine_queue_depth"])
+	}
+	if m["pim_cycles"] != 1.5e6 {
+		t.Fatalf("float = %v", m["pim_cycles"])
+	}
+	if m[`engine_accuracy_abs_error{fn="sin",method="l-lut(i)",tenant="a b"}_bucket{le="0.001"}`] != 7 {
+		t.Fatalf("labeled series missing: %v", m)
+	}
+	if len(m) != 5 {
+		t.Fatalf("parsed %d series, want 5", len(m))
+	}
+
+	for _, bad := range []string{"loneword", "name notanumber"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFamily(t *testing.T) {
+	if got := Family(`cluster_routed_total{replica="3"}`); got != "cluster_routed_total" {
+		t.Fatalf("Family = %q", got)
+	}
+	if got := Family("engine_requests_total"); got != "engine_requests_total" {
+		t.Fatalf("Family = %q", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	name := `tenant_kernel_cycles_total{tenant="acme, inc",fn="sin",method="l-lut(i)"}`
+	if got := Label(name, "tenant"); got != "acme, inc" {
+		t.Fatalf("tenant = %q", got)
+	}
+	if got := Label(name, "fn"); got != "sin" {
+		t.Fatalf("fn = %q", got)
+	}
+	if got := Label(name, "method"); got != "l-lut(i)" {
+		t.Fatalf("method = %q", got)
+	}
+	if got := Label(name, "missing"); got != "" {
+		t.Fatalf("missing = %q", got)
+	}
+	if got := Label("unlabeled_total", "tenant"); got != "" {
+		t.Fatalf("unlabeled = %q", got)
+	}
+}

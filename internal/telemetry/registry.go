@@ -196,6 +196,54 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return e.hist
 }
 
+// SeriesPoint is one registered series' current value, as enumerated
+// by Registry.Series — the sampling seam the windowed timeline store
+// reads through. Counters, float counters and gauges carry Value;
+// histograms carry a full Snapshot in Hist.
+type SeriesPoint struct {
+	Name   string // full name including any {labels}
+	Family string // name with labels stripped
+	Kind   string // "counter", "float_counter", "gauge", "histogram"
+	Value  float64
+	Hist   *HistogramSnapshot // non-nil for histograms only
+}
+
+// Series enumerates every registered series in registration order with
+// its current value. Individual loads are atomic; the slice as a whole
+// is not a consistent cut — the standard metrics contract.
+func (r *Registry) Series() []SeriesPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*entry, len(r.order))
+	for i, name := range r.order {
+		entries[i] = r.entries[name]
+	}
+	r.mu.Unlock()
+	out := make([]SeriesPoint, 0, len(entries))
+	for _, e := range entries {
+		p := SeriesPoint{Name: e.name, Family: e.family}
+		switch e.kind {
+		case kindCounter:
+			p.Kind = "counter"
+			p.Value = float64(e.counter.Load())
+		case kindFloatCounter:
+			p.Kind = "float_counter"
+			p.Value = e.fcnt.Load()
+		case kindGauge:
+			p.Kind = "gauge"
+			p.Value = float64(e.gauge.Load())
+		case kindHistogram:
+			p.Kind = "histogram"
+			s := e.hist.Snapshot()
+			p.Hist = &s
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 func formatFloat(v float64) string {
 	switch {
 	case math.IsInf(v, 1):

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimelineConfig configures the windowed time-series store.
+type TimelineConfig struct {
+	// Enabled turns the timeline on; the zero value leaves it off and
+	// the owning subsystem holds a nil *Timeline (one nil check on the
+	// snapshot path, nothing on the serving path).
+	Enabled bool
+	// BucketWidth is the window width (default 1s).
+	BucketWidth time.Duration
+	// Buckets is the ring capacity — how many windows are retained
+	// (default 60: one minute of 1s windows).
+	Buckets int
+}
+
+func (c TimelineConfig) withDefaults() TimelineConfig {
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 60
+	}
+	return c
+}
+
+// TimelineWindow is one closed bucket: derived series values sampled
+// over [Start, End). Counter and float-counter families appear as
+// "<name>:rate" (per-second delta over the window); gauges appear
+// under their own name (value at window close); histograms appear as
+// "<name>:rate" (observations/s) plus "<name>:p50" / ":p95" / ":p99"
+// estimated from the window's bucket deltas. Counter series with no
+// movement in the window are omitted, so idle windows stay small.
+type TimelineWindow struct {
+	Start  time.Time          `json:"start"`
+	End    time.Time          `json:"end"`
+	Values map[string]float64 `json:"values"`
+}
+
+// TimelineSnapshot is the /debug/timeline document: the retained
+// windows, oldest first.
+type TimelineSnapshot struct {
+	BucketSeconds float64          `json:"bucket_seconds"`
+	Windows       []TimelineWindow `json:"windows"`
+}
+
+// Timeline turns a registry's cumulative series into fixed-capacity
+// windowed views: rates for counters, values for gauges, windowed
+// percentiles for histograms. It samples the registry once per bucket
+// (Tick) — the serving hot path never touches it — and keeps the last
+// Buckets windows in a ring. All methods are nil-safe and safe for
+// concurrent use.
+type Timeline struct {
+	reg   *Registry
+	width time.Duration
+
+	mu      sync.Mutex
+	ring    []TimelineWindow
+	next    int
+	n       int
+	last    time.Time           // previous tick time (window start)
+	prevVal map[string]float64  // counter/float_counter cumulative values
+	prevCnt map[string][]uint64 // histogram cumulative bucket counts
+	prevNum map[string]uint64   // histogram cumulative observation counts
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTimeline builds a timeline over reg. It does not start the
+// background ticker — call Start for live operation, or drive Tick
+// directly for deterministic tests. Returns nil when cfg.Enabled is
+// false.
+func NewTimeline(reg *Registry, cfg TimelineConfig) *Timeline {
+	if !cfg.Enabled {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &Timeline{
+		reg:     reg,
+		width:   cfg.BucketWidth,
+		ring:    make([]TimelineWindow, cfg.Buckets),
+		prevVal: make(map[string]float64),
+		prevCnt: make(map[string][]uint64),
+		prevNum: make(map[string]uint64),
+	}
+}
+
+// Start launches the background ticker: one Tick per BucketWidth until
+// Close. Idempotent per timeline; nil-safe.
+func (t *Timeline) Start() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.stop != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	stop, done := t.stop, t.done
+	t.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(t.width)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-ticker.C:
+				t.Tick(now)
+			}
+		}
+	}()
+}
+
+// Close stops the background ticker and seals the final partial
+// window with one last Tick, so a session shorter than BucketWidth
+// still leaves its traffic visible in the retained windows (no-op
+// when Start was never called). The windows stay readable after
+// Close.
+func (t *Timeline) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+		t.Tick(time.Now())
+	}
+}
+
+// Tick closes one window at now: sample the registry, derive rates and
+// percentiles against the previous sample, and push the window into
+// the ring. The first Tick establishes the baseline from process
+// start (deltas are since-construction). Exported so tests can drive
+// deterministic timelines with fixed clocks.
+func (t *Timeline) Tick(now time.Time) {
+	if t == nil {
+		return
+	}
+	points := t.reg.Series()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := t.last
+	if start.IsZero() {
+		start = now.Add(-t.width)
+	}
+	t.last = now
+	secs := now.Sub(start).Seconds()
+	if secs <= 0 {
+		secs = t.width.Seconds()
+	}
+	w := TimelineWindow{Start: start, End: now, Values: make(map[string]float64)}
+	for _, p := range points {
+		switch p.Kind {
+		case "counter", "float_counter":
+			delta := p.Value - t.prevVal[p.Name]
+			t.prevVal[p.Name] = p.Value
+			if delta != 0 {
+				w.Values[p.Name+":rate"] = delta / secs
+			}
+		case "gauge":
+			w.Values[p.Name] = p.Value
+		case "histogram":
+			s := p.Hist
+			prev := t.prevCnt[p.Name]
+			deltas := make([]uint64, len(s.Counts))
+			var total uint64
+			for i, c := range s.Counts {
+				d := c
+				if i < len(prev) {
+					d -= prev[i]
+				}
+				deltas[i] = d
+				total += d
+			}
+			t.prevCnt[p.Name] = s.Counts
+			nd := s.Count - t.prevNum[p.Name]
+			t.prevNum[p.Name] = s.Count
+			if total == 0 {
+				continue
+			}
+			w.Values[p.Name+":rate"] = float64(nd) / secs
+			w.Values[p.Name+":p50"] = bucketQuantile(0.50, s.Bounds, deltas, total)
+			w.Values[p.Name+":p95"] = bucketQuantile(0.95, s.Bounds, deltas, total)
+			w.Values[p.Name+":p99"] = bucketQuantile(0.99, s.Bounds, deltas, total)
+		}
+	}
+	t.ring[t.next] = w
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+}
+
+// bucketQuantile estimates quantile q from a window's bucket deltas
+// the way PromQL's histogram_quantile does: find the bucket the rank
+// falls in and interpolate linearly within it. Ranks landing in the
+// +Inf bucket clamp to the highest finite bound (the standard
+// convention — the histogram cannot resolve beyond its ladder).
+func bucketQuantile(q float64, bounds []float64, deltas []uint64, total uint64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, d := range deltas {
+		prev := cum
+		cum += float64(d)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if d == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(d)
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Snapshot returns the retained windows, oldest first. Nil-safe: a
+// nil timeline returns an empty snapshot.
+func (t *Timeline) Snapshot() TimelineSnapshot {
+	if t == nil {
+		return TimelineSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TimelineSnapshot{
+		BucketSeconds: t.width.Seconds(),
+		Windows:       make([]TimelineWindow, 0, t.n),
+	}
+	start := t.next - t.n
+	for i := 0; i < t.n; i++ {
+		out.Windows = append(out.Windows, t.ring[((start+i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// SeriesNames lists every derived series name present in the retained
+// windows, sorted — the discovery call tpltop uses to build columns.
+func (t *Timeline) SeriesNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	for i := 0; i < t.n; i++ {
+		idx := ((t.next-t.n+i)%len(t.ring) + len(t.ring)) % len(t.ring)
+		for name := range t.ring[idx].Values {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

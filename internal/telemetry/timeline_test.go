@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimelineDisabled(t *testing.T) {
+	if tl := NewTimeline(NewRegistry(), TimelineConfig{}); tl != nil {
+		t.Fatal("disabled config must yield a nil timeline")
+	}
+	var tl *Timeline
+	tl.Start()
+	tl.Tick(time.Now())
+	tl.Close()
+	if s := tl.Snapshot(); len(s.Windows) != 0 || s.BucketSeconds != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if names := tl.SeriesNames(); names != nil {
+		t.Fatalf("nil series names = %v", names)
+	}
+}
+
+// TestTimelineWindows drives deterministic ticks and checks rates,
+// gauge values, and windowed percentiles.
+func TestTimelineWindows(t *testing.T) {
+	reg := NewRegistry()
+	reqs := reg.Counter("requests_total", "requests")
+	depth := reg.Gauge("queue_depth", "queue depth")
+	secs := reg.FloatCounter("seconds_total", "seconds")
+	lat := reg.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+
+	tl := NewTimeline(reg, TimelineConfig{Enabled: true, BucketWidth: 2 * time.Second, Buckets: 3})
+	t0 := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+
+	reqs.Add(10)
+	depth.Set(4)
+	secs.Add(1.5)
+	for i := 0; i < 90; i++ {
+		lat.Observe(0.05) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		lat.Observe(0.5) // second bucket
+	}
+	tl.Tick(t0)
+
+	reqs.Add(30)
+	depth.Set(7)
+	tl.Tick(t0.Add(2 * time.Second))
+
+	snap := tl.Snapshot()
+	if snap.BucketSeconds != 2 {
+		t.Fatalf("bucket seconds = %v", snap.BucketSeconds)
+	}
+	if len(snap.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(snap.Windows))
+	}
+
+	w0 := snap.Windows[0]
+	if got := w0.Values["requests_total:rate"]; got != 5 { // 10 over the 2s synthetic first window
+		t.Fatalf("w0 request rate = %v", got)
+	}
+	if got := w0.Values["queue_depth"]; got != 4 {
+		t.Fatalf("w0 gauge = %v", got)
+	}
+	if got := w0.Values["seconds_total:rate"]; got != 0.75 {
+		t.Fatalf("w0 float rate = %v", got)
+	}
+	if got := w0.Values["latency_seconds:rate"]; got != 50 {
+		t.Fatalf("w0 histogram rate = %v", got)
+	}
+	// p50: rank 50 of 100 falls at the end of the 90-count [0, 0.1)
+	// bucket → 0.1 * 50/90.
+	if got, want := w0.Values["latency_seconds:p50"], 0.1*50.0/90.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("w0 p50 = %v, want %v", got, want)
+	}
+	// p95: rank 95 lands 5 observations into the 10-count (0.1, 1]
+	// bucket → 0.1 + 0.9*5/10.
+	if got, want := w0.Values["latency_seconds:p95"], 0.1+0.9*5.0/10.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("w0 p95 = %v, want %v", got, want)
+	}
+
+	w1 := snap.Windows[1]
+	if got := w1.Values["requests_total:rate"]; got != 15 { // 30 over 2s
+		t.Fatalf("w1 request rate = %v", got)
+	}
+	if got := w1.Values["queue_depth"]; got != 7 {
+		t.Fatalf("w1 gauge = %v", got)
+	}
+	// No new observations or float seconds: those keys are omitted.
+	if _, ok := w1.Values["latency_seconds:p50"]; ok {
+		t.Fatal("idle histogram leaked into w1")
+	}
+	if _, ok := w1.Values["seconds_total:rate"]; ok {
+		t.Fatal("idle float counter leaked into w1")
+	}
+
+	names := tl.SeriesNames()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"requests_total:rate", "queue_depth", "latency_seconds:p95"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("series names %v lack %q", names, want)
+		}
+	}
+
+	// Ring eviction: two more ticks overflow the 3-window ring.
+	reqs.Add(2)
+	tl.Tick(t0.Add(4 * time.Second))
+	reqs.Add(2)
+	tl.Tick(t0.Add(6 * time.Second))
+	snap = tl.Snapshot()
+	if len(snap.Windows) != 3 {
+		t.Fatalf("ring kept %d windows, want 3", len(snap.Windows))
+	}
+	if !snap.Windows[0].Start.Equal(t0) {
+		t.Fatalf("oldest window starts %v, want %v", snap.Windows[0].Start, t0)
+	}
+}
+
+// TestTimelineGolden pins the /debug/timeline JSON document shape.
+func TestTimelineGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("engine_requests_total", "requests")
+	g := reg.Gauge("engine_queue_depth", "queue depth")
+	h := reg.Histogram("engine_request_latency_seconds", "latency", []float64{0.001, 0.01})
+	tl := NewTimeline(reg, TimelineConfig{Enabled: true, BucketWidth: time.Second, Buckets: 4})
+
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	c.Add(8)
+	g.Set(2)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	tl.Tick(t0)
+	c.Add(4)
+	g.Set(1)
+	tl.Tick(t0.Add(time.Second))
+
+	data, err := json.MarshalIndent(tl.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeline.json.golden", string(data)+"\n")
+}
+
+// TestTimelineConcurrent runs ticks against live writers under -race.
+func TestTimelineConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n_total", "n")
+	h := reg.Histogram("v_seconds", "v", []float64{0.5})
+	tl := NewTimeline(reg, TimelineConfig{Enabled: true, BucketWidth: time.Millisecond, Buckets: 8})
+	tl.Start()
+	defer tl.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				h.Observe(0.1)
+			}
+		}()
+	}
+	base := time.Now()
+	for i := 0; i < 50; i++ {
+		tl.Tick(base.Add(time.Duration(i) * time.Millisecond))
+		tl.Snapshot()
+		tl.SeriesNames()
+	}
+	wg.Wait()
+	tl.Close()
+	tl.Close() // idempotent
+}
+
+func TestBucketQuantileEdges(t *testing.T) {
+	bounds := []float64{1, 2}
+	// All mass in the +Inf bucket clamps to the last finite bound.
+	if got := bucketQuantile(0.5, bounds, []uint64{0, 0, 7}, 7); got != 2 {
+		t.Fatalf("inf clamp = %v", got)
+	}
+	// No bounds at all.
+	if got := bucketQuantile(0.5, nil, []uint64{3}, 3); got != 0 {
+		t.Fatalf("no bounds = %v", got)
+	}
+	// Mass entirely in the first bucket interpolates from zero.
+	if got := bucketQuantile(0.5, bounds, []uint64{4, 0, 0}, 4); got != 0.5 {
+		t.Fatalf("first bucket = %v", got)
+	}
+}

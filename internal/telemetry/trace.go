@@ -30,7 +30,13 @@ type Span struct {
 	Err     string    `json:"err,omitempty"`
 	Attrs   []Attr    `json:"attrs,omitempty"`
 	Shard   int       `json:"shard"`
-	Child   []*Span   `json:"children,omitempty"`
+	// Proc names the process lane the span (and, unless overridden,
+	// its subtree) belongs to — "cluster", "replica/2" — so one
+	// propagated trace renders each replica's pipeline as its own
+	// process row in the Chrome export. Empty spans inherit the
+	// nearest ancestor's Proc.
+	Proc  string  `json:"proc,omitempty"`
+	Child []*Span `json:"children,omitempty"`
 }
 
 // Wall returns the span's wall-clock duration.

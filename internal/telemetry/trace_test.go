@@ -107,10 +107,23 @@ func TestChromeTraceShape(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
 		t.Fatalf("chrome trace is not valid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != 8 {
-		t.Fatalf("events = %d, want 8", len(doc.TraceEvents))
+	// 8 X span events plus the labeling metadata: one process_name per
+	// trace (no Span.Proc set, so each trace is its own lane) and one
+	// thread_name per (pid, shard 0) row.
+	if len(doc.TraceEvents) != 12 {
+		t.Fatalf("events = %d, want 12", len(doc.TraceEvents))
 	}
-	ev := doc.TraceEvents[0]
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Errorf("first event = %v, want process_name metadata", meta)
+	}
+	if args := meta["args"].(map[string]any); args["name"] != "trace 1" {
+		t.Errorf("process name = %v, want trace 1", args["name"])
+	}
+	if th := doc.TraceEvents[2]; th["name"] != "thread_name" {
+		t.Errorf("event 2 = %v, want thread_name metadata", th)
+	}
+	ev := doc.TraceEvents[4]
 	for _, k := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
 		if _, ok := ev[k]; !ok {
 			t.Errorf("event missing %q", k)
@@ -121,10 +134,10 @@ func TestChromeTraceShape(t *testing.T) {
 	}
 	// Timestamps are relative to the earliest span: the first trace
 	// starts at 0, the second a second later.
-	if ts := doc.TraceEvents[0]["ts"].(float64); ts != 0 {
+	if ts := ev["ts"].(float64); ts != 0 {
 		t.Errorf("first ts = %v, want 0", ts)
 	}
-	if ts := doc.TraceEvents[4]["ts"].(float64); ts != 1e6 {
+	if ts := doc.TraceEvents[8]["ts"].(float64); ts != 1e6 {
 		t.Errorf("second trace ts = %v, want 1e6", ts)
 	}
 }
@@ -186,6 +199,14 @@ func TestHTTPHandler(t *testing.T) {
 		t.Errorf("bad n = %d, want 400", code)
 	}
 
+	// Timeline and ledger disabled on this handle: both 404.
+	if code, _ := get("/debug/timeline"); code != 404 {
+		t.Errorf("disabled timeline = %d, want 404", code)
+	}
+	if code, _ := get("/debug/ledger"); code != 404 {
+		t.Errorf("disabled ledger = %d, want 404", code)
+	}
+
 	// Tracing disabled: /metrics still works, /debug/trace 404s.
 	off := httptest.NewServer((&Telemetry{Registry: reg}).Handler())
 	defer off.Close()
@@ -196,5 +217,55 @@ func TestHTTPHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 404 {
 		t.Errorf("disabled tracer = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPTimelineLedger serves enabled timeline and ledger documents.
+func TestHTTPTimelineLedger(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "requests").Add(6)
+	tl := NewTimeline(reg, TimelineConfig{Enabled: true, BucketWidth: time.Second, Buckets: 4})
+	tl.Tick(time.Date(2026, 8, 7, 12, 0, 1, 0, time.UTC))
+	led := NewLedger(reg, 0)
+	led.Add(LedgerKey{Tenant: "acme", Function: "sin", Method: "m-lut"}, LedgerEntry{Requests: 1, KernelCycles: 99})
+
+	tel := &Telemetry{Registry: reg, Timeline: tl, LedgerJSON: func() any { return led.Snapshot() }}
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+
+	var snap TimelineSnapshot
+	if err := json.Unmarshal([]byte(get("/debug/timeline")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Windows) != 1 || snap.Windows[0].Values["requests_total:rate"] != 6 {
+		t.Fatalf("timeline = %+v", snap)
+	}
+	var ls LedgerSnapshot
+	if err := json.Unmarshal([]byte(get("/debug/ledger")), &ls); err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Rows) != 1 || ls.Rows[0].Tenant != "acme" || ls.Rows[0].KernelCycles != 99 {
+		t.Fatalf("ledger = %+v", ls)
 	}
 }
