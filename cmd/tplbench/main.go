@@ -314,6 +314,10 @@ type jsonPoint struct {
 	CyclesPerElem float64 `json:"cycles_per_elem"`
 	SetupSeconds  float64 `json:"setup_seconds"`
 	TableBytes    int     `json:"table_bytes"`
+	// HostElemsPerSec is the wall-clock EvalBatch throughput of the
+	// fused host mirror — the serving engine's compute ceiling. Host-
+	// dependent; tracked for trajectory, not comparable across machines.
+	HostElemsPerSec float64 `json:"host_elems_per_sec"`
 }
 
 type jsonReport struct {
@@ -395,12 +399,13 @@ func emitJSON(fns []core.Function, n int) {
 	for _, fn := range fns {
 		for _, p := range sweepAll(fn, n) {
 			rep.Functions[fn.String()] = append(rep.Functions[fn.String()], jsonPoint{
-				Curve:         curveName(p),
-				Size:          sizeOf(p),
-				RMSE:          p.Errors.RMSE,
-				CyclesPerElem: p.CyclesPerElem,
-				SetupSeconds:  p.SetupSeconds,
-				TableBytes:    p.TableBytes,
+				Curve:           curveName(p),
+				Size:            sizeOf(p),
+				RMSE:            p.Errors.RMSE,
+				CyclesPerElem:   p.CyclesPerElem,
+				SetupSeconds:    p.SetupSeconds,
+				TableBytes:      p.TableBytes,
+				HostElemsPerSec: p.HostElemsPerSec,
 			})
 		}
 	}

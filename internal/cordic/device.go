@@ -234,6 +234,37 @@ func (t *Tables) SinCosHost(theta int64) (sin, cos int64) {
 	return y, x
 }
 
+// SinCosHostMany runs SinCosHost over Q23.40 slices with the iteration
+// tables and the mode's step rule hoisted out of the per-element loop;
+// bit-identical to per-element calls.
+func (t *Tables) SinCosHostMany(thetas, sins, coss []int64) {
+	sins = sins[:len(thetas)]
+	coss = coss[:len(thetas)]
+	if t.Mode != Circular {
+		for i, theta := range thetas {
+			sins[i], coss[i] = t.SinCosHost(theta)
+		}
+		return
+	}
+	shifts := t.Shifts
+	angles := t.Angles[:len(shifts)]
+	inv := t.InvGain
+	for i, theta := range thetas {
+		x, y, z := inv, int64(0), theta
+		for j, s := range shifts {
+			phi := angles[j]
+			xs, ys := x>>s, y>>s
+			if z >= 0 {
+				x, y, z = x-ys, y+xs, z-phi
+			} else {
+				x, y, z = x+ys, y-xs, z+phi
+			}
+		}
+		sins[i] = y
+		coss[i] = x
+	}
+}
+
 // SinhCoshHost mirrors Device.SinhCosh.
 func (t *Tables) SinhCoshHost(theta int64) (sinh, cosh int64) {
 	x, y, _ := t.RotateHost(t.InvGain, 0, theta)

@@ -140,3 +140,35 @@ func (la *LUTAssist) SinCosHost(theta int64) (sin, cos int64) {
 	x, y, _ := la.tail.t.RotateHost(x0, y0, theta-phi)
 	return y, x
 }
+
+// SinCosHostMany runs SinCosHost over Q23.40 slices with the head
+// table and tail iteration tables hoisted out of the per-element loop;
+// bit-identical to per-element calls.
+func (la *LUTAssist) SinCosHostMany(thetas, sins, coss []int64) {
+	sins = sins[:len(thetas)]
+	coss = coss[:len(thetas)]
+	hx, hy, hphi := la.hx, la.hy, la.hphi
+	shifts := la.tail.t.Shifts
+	angles := la.tail.t.Angles[:len(shifts)]
+	for i, theta := range thetas {
+		idx := theta >> la.shiftAmt
+		if idx < 0 {
+			idx = 0
+		}
+		if int(idx) >= la.entries {
+			idx = int64(la.entries - 1)
+		}
+		x, y, z := hx[idx], hy[idx], theta-hphi[idx]
+		for j, s := range shifts {
+			phi := angles[j]
+			xs, ys := x>>s, y>>s
+			if z >= 0 {
+				x, y, z = x-ys, y+xs, z-phi
+			} else {
+				x, y, z = x+ys, y-xs, z+phi
+			}
+		}
+		sins[i] = y
+		coss[i] = x
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"transpimlib/internal/cordic"
+	"transpimlib/internal/lut"
 	"transpimlib/internal/pimsim"
 	"transpimlib/internal/rangered"
 )
@@ -26,6 +28,15 @@ import (
 // guard + parity reaches 3, and quadrants reach 4).
 const maxCostClasses = 4
 
+// batchKernel is the fused slice form of a mirror: evaluate xs into ys
+// through straight-line class-partitioned loops over SoA scratch,
+// tallying how many elements ran through each cost class. Kernels may
+// use the XB/YB, IA, QA/QB and TA/TB/TC scratch lanes freely; the
+// XA/YA lanes are reserved for the outermost composition layer
+// (domain-guard gathers, input pre-transforms), so a wrapped kernel
+// can run on a gathered XA sub-batch without clobbering it.
+type batchKernel func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64)
+
 // opMirror is the host-side twin of an Operator's eval: a fused
 // evaluate-and-classify function plus one representative input per
 // cost class, used once at build time to record the signatures.
@@ -33,10 +44,19 @@ type opMirror struct {
 	n    int // number of cost classes, ≤ maxCostClasses
 	eval func(x float32) (float32, int)
 	reps [maxCostClasses]float32
-	// many, when set on a single-class mirror, is a fused slice kernel
-	// (the table's MirrorMany) that skips the per-element closure
-	// dispatch and classification. Only consulted when n == 1.
-	many func(xs, ys []float32)
+	// kernel, when set, replaces the per-element classify loop with a
+	// fused slice pass; it must be bit-identical to eval in both values
+	// and class tallies.
+	kernel batchKernel
+}
+
+// plainKernel adapts a single-class fused slice kernel (a table's
+// MirrorMany) into a batchKernel.
+func plainKernel(f func(xs, ys []float32)) batchKernel {
+	return func(xs, ys []float32, _ *lut.Scratch, counts *[maxCostClasses]uint64) {
+		f(xs, ys)
+		counts[0] += uint64(len(xs))
+	}
 }
 
 // mirror1 wraps a single-class (straight-line) mirror.
@@ -83,9 +103,11 @@ func foldQuadrant64Host(theta int64) (int64, rangered.Quadrant) {
 
 // sqrtParityMirror composes SplitSqrtHost → core → JoinSqrtHost with
 // the exponent-parity branch as the class split: even exponents skip
-// the fold, odd ones pay one extra ldexp.
-func sqrtParityMirror(core func(float32) float32) *opMirror {
-	return &opMirror{
+// the fold, odd ones pay one extra ldexp. A non-nil coreMany adds the
+// fused form: split into the XB/IA lanes, one fused core pass, a
+// per-element ldexp join.
+func sqrtParityMirror(core func(float32) float32, coreMany func(xs, ys []float32)) *opMirror {
+	m := &opMirror{
 		n:    2,
 		reps: [maxCostClasses]float32{0.5, 1}, // frexp exponents 0 (even) and 1 (odd)
 		eval: func(x float32) (float32, int) {
@@ -96,6 +118,153 @@ func sqrtParityMirror(core func(float32) float32) *opMirror {
 			}
 			return v, 0
 		},
+	}
+	if coreMany != nil {
+		m.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+			n := len(xs)
+			sc.Grow(n)
+			ms := sc.XB[:n]
+			hs := sc.IA[:n]
+			var odds uint64
+			for i, x := range xs {
+				mf, h, odd := rangered.SplitSqrtHost(x)
+				ms[i] = mf
+				hs[i] = h
+				if odd {
+					odds++
+				}
+			}
+			coreMany(ms, ys)
+			for i := range ys {
+				ys[i] = rangered.JoinSqrtHost(ys[i], hs[i])
+			}
+			counts[0] += uint64(n) - odds
+			counts[1] += odds
+		}
+	}
+	return m
+}
+
+// expSplitKernel fuses the exp range reduction around a fused core
+// kernel: SplitExpHost into the XB/IA lanes, one core pass, a
+// per-element ldexp join. Single-class, like the scalar composition.
+func expSplitKernel(coreMany func(xs, ys []float32)) batchKernel {
+	return func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+		n := len(xs)
+		sc.Grow(n)
+		rs := sc.XB[:n]
+		ks := sc.IA[:n]
+		rangered.SplitExpHostMany(xs, rs, ks)
+		coreMany(rs, ys)
+		for i := range ys {
+			ys[i] = rangered.JoinExpHost(ys[i], ks[i])
+		}
+		counts[0] += uint64(n)
+	}
+}
+
+// logSplitKernel fuses the log range reduction around a fused core
+// kernel: frexp into the XB/IA lanes, one core pass, a per-element
+// linear join.
+func logSplitKernel(coreMany func(xs, ys []float32)) batchKernel {
+	return func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+		n := len(xs)
+		sc.Grow(n)
+		ms := sc.XB[:n]
+		es := sc.IA[:n]
+		rangered.SplitLogHostMany(xs, ms, es)
+		coreMany(ms, ys)
+		for i := range ys {
+			ys[i] = rangered.JoinLogHost(ys[i], es[i])
+		}
+		counts[0] += uint64(n)
+	}
+}
+
+// divKernel fuses a two-table quotient (the Tan builds): one numerator
+// pass into the XB lane, one denominator pass into ys, one divide
+// sweep.
+func divKernel(numMany, denMany func(xs, ys []float32)) batchKernel {
+	return func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+		n := len(xs)
+		sc.Grow(n)
+		ss := sc.XB[:n]
+		numMany(xs, ss)
+		denMany(xs, ys)
+		for i := range ys {
+			ys[i] = ss[i] / ys[i]
+		}
+		counts[0] += uint64(n)
+	}
+}
+
+// sincosKernel fuses the quadrant-folded CORDIC trig pipeline: fold
+// every angle into the TA lane tagging its quadrant, one fused
+// rotation pass over the Q23.40 lanes, then a per-element quadrant
+// fix-up through finish.
+func sincosKernel(many func(thetas, sins, coss []int64), finish func(s, c float32, q rangered.Quadrant) float32) batchKernel {
+	return func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+		n := len(xs)
+		sc.Grow(n)
+		sc.GrowT(n)
+		ta, sb, cb := sc.TA[:n], sc.TB[:n], sc.TC[:n]
+		cls := sc.Cls[:n]
+		for i, x := range xs {
+			theta, q := foldQuadrant64Host(fix64FromF32(x))
+			ta[i] = theta
+			cls[i] = uint8(q)
+			counts[q]++
+		}
+		many(ta, sb, cb)
+		for i := range ys {
+			s := fix64ToF32(sb[i])
+			c := fix64ToF32(cb[i])
+			ys[i] = finish(s, c, rangered.Quadrant(cls[i]))
+		}
+	}
+}
+
+// guardKernel composes a domain-guard class onto a fused kernel. Clean
+// batches (every element in domain) run the inner kernel unchanged —
+// the common case costs one scan. Otherwise the in-domain elements
+// gather into the reserved XA/YA lanes, the inner kernel runs on the
+// gathered sub-batch (using its own disjoint lanes), and a scatter
+// pass interleaves the guard results back in input order.
+func guardKernel(inner batchKernel, guardClass int, inDomain func(float32) bool, guardVal func(float32) float32) batchKernel {
+	return func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+		clean := true
+		for _, x := range xs {
+			if !inDomain(x) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			inner(xs, ys, sc, counts)
+			return
+		}
+		sc.Grow(len(xs))
+		xa := sc.XA[:0]
+		var g uint64
+		for _, x := range xs {
+			if inDomain(x) {
+				xa = append(xa, x)
+			} else {
+				g++
+			}
+		}
+		ya := sc.YA[:len(xa)]
+		inner(xa, ya, sc, counts)
+		j := 0
+		for i, x := range xs {
+			if inDomain(x) {
+				ys[i] = ya[j]
+				j++
+			} else {
+				ys[i] = guardVal(x)
+			}
+		}
+		counts[guardClass] += g
 	}
 }
 
@@ -118,6 +287,16 @@ func wrapLogGuard(m *opMirror) *opMirror {
 		}
 		return inner(x)
 	}
+	if m.kernel != nil {
+		w.kernel = guardKernel(m.kernel, n,
+			func(x float32) bool { return x > 0 },
+			func(x float32) float32 {
+				if x == 0 {
+					return float32(math.Inf(-1))
+				}
+				return float32(math.NaN())
+			})
+	}
 	return w
 }
 
@@ -139,6 +318,18 @@ func wrapSqrtGuard(m *opMirror) *opMirror {
 			return 0, n
 		}
 		return inner(x)
+	}
+	if m.kernel != nil {
+		// NaN fails both guard compares and falls through to the inner
+		// kernel, exactly like the scalar wrapper.
+		w.kernel = guardKernel(m.kernel, n,
+			func(x float32) bool { return !(x < 0) && x != 0 },
+			func(x float32) float32 {
+				if x < 0 {
+					return float32(math.NaN())
+				}
+				return 0
+			})
 	}
 	return w
 }
@@ -180,12 +371,31 @@ func (o *Operator) HasFastPath() bool { return o.mirror != nil }
 // engine's Reference mode use.
 func (o *Operator) DisableFastPath() { o.mirror = nil }
 
+// scratchPool backs EvalBatch callers that don't carry their own
+// arena; the engine's steady state passes a pre-grown per-lane Scratch
+// through EvalBatchWith instead.
+var scratchPool = sync.Pool{New: func() any { return new(lut.Scratch) }}
+
 // EvalBatch evaluates fn over xs into ys (len(ys) must be ≥ len(xs)),
 // bit-identical in outputs and cycle accounting to calling Eval per
-// element. With a fast path it runs the unmetered mirror per element
-// and charges the per-class cost signatures in bulk; otherwise it
+// element. With a fast path it runs the unmetered mirror — fused slice
+// kernel when available, per-element classify loop otherwise — and
+// charges the per-class cost signatures in bulk; with no fast path it
 // falls back to the interpreted loop.
 func (o *Operator) EvalBatch(ctx *pimsim.Ctx, xs, ys []float32) {
+	if m := o.mirror; m != nil && m.kernel != nil {
+		sc := scratchPool.Get().(*lut.Scratch)
+		o.EvalBatchWith(ctx, xs, ys, sc)
+		scratchPool.Put(sc)
+		return
+	}
+	o.EvalBatchWith(ctx, xs, ys, nil)
+}
+
+// EvalBatchWith is EvalBatch with a caller-provided scratch arena for
+// the fused kernels' SoA lanes. sc may be nil, forcing the per-element
+// mirror loop.
+func (o *Operator) EvalBatchWith(ctx *pimsim.Ctx, xs, ys []float32, sc *lut.Scratch) {
 	m := o.mirror
 	if m == nil {
 		for i, x := range xs {
@@ -194,9 +404,16 @@ func (o *Operator) EvalBatch(ctx *pimsim.Ctx, xs, ys []float32) {
 		return
 	}
 	ys = ys[:len(xs)]
-	if m.n == 1 && m.many != nil {
-		m.many(xs, ys)
-		ctx.ChargeSig(&o.sigs[0], uint64(len(xs)))
+	if m.kernel != nil && sc != nil {
+		// The tally lives in the scratch: its address passes through an
+		// opaque func value, which would heap-allocate a stack array.
+		sc.Counts = [maxCostClasses]uint64{}
+		m.kernel(xs, ys, sc, &sc.Counts)
+		for c := 0; c < m.n; c++ {
+			if n := sc.Counts[c]; n != 0 {
+				ctx.ChargeSig(&o.sigs[c], n)
+			}
+		}
 		return
 	}
 	var counts [maxCostClasses]uint64

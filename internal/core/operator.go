@@ -143,6 +143,12 @@ func Build(fn Function, p Params, dpu *pimsim.DPU) (*Operator, error) {
 
 var halfPi64 = cordic.FromFloat(math.Pi / 2)
 
+// tanQuadrantHost is the quadrant fix-up of the CORDIC Tan mirrors:
+// both trig fix-ups then the quotient, matching the scalar path.
+func tanQuadrantHost(s, c float32, q rangered.Quadrant) float32 {
+	return rangered.ApplySinQuadrantHost(s, c, q) / rangered.ApplyCosQuadrantHost(s, c, q)
+}
+
 // foldQuadrant64 reduces a Q23.40 angle in [0, 2π) to [0, π/2] plus
 // its quadrant using 64-bit compare/subtract steps.
 func foldQuadrant64(ctx *pimsim.Ctx, theta int64) (int64, rangered.Quadrant) {
@@ -188,12 +194,14 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 				s, _, q := sincosM(x)
 				return s, int(q)
 			}}
+			o.mirror.kernel = sincosKernel(tb.SinCosHostMany, rangered.ApplySinQuadrantHost)
 		case Cos:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 { _, c := sincos(ctx, x); return c }
 			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
 				_, c, q := sincosM(x)
 				return c, int(q)
 			}}
+			o.mirror.kernel = sincosKernel(tb.SinCosHostMany, rangered.ApplyCosQuadrantHost)
 		default: // Tan: sine, cosine and one float division (§4.2.4)
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				s, c := sincos(ctx, x)
@@ -203,6 +211,7 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 				s, c, q := sincosM(x)
 				return s / c, int(q)
 			}}
+			o.mirror.kernel = sincosKernel(tb.SinCosHostMany, tanQuadrantHost)
 		}
 		return nil
 
@@ -222,6 +231,11 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 		o.mirror = mirror1(func(x float32) float32 {
 			return fix64ToF32(tb.AtanHost(fix64FromF32(x)))
 		}, 0.7)
+		o.mirror.kernel = plainKernel(func(xs, ys []float32) {
+			for i, x := range xs {
+				ys[i] = fix64ToF32(tb.AtanHost(fix64FromF32(x)))
+			}
+		})
 		return nil
 
 	case Sinh, Cosh, Tanh, Exp, Log, Sqrt, Sigmoid:
@@ -304,7 +318,7 @@ func (o *Operator) buildCORDIC(dpu *pimsim.DPU) error {
 			}
 			o.mirror = sqrtParityMirror(func(m float32) float32 {
 				return fix64ToF32(tb.SqrtHost(fix64FromF32(m)))
-			})
+			}, nil)
 		}
 		return nil
 	}
@@ -339,12 +353,14 @@ func (o *Operator) buildCORDICLUT(dpu *pimsim.DPU) error {
 			s, _, q := sincosM(x)
 			return s, int(q)
 		}}
+		o.mirror.kernel = sincosKernel(la.SinCosHostMany, rangered.ApplySinQuadrantHost)
 	case Cos:
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 { _, c := sincos(ctx, x); return c }
 		o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
 			_, c, q := sincosM(x)
 			return c, int(q)
 		}}
+		o.mirror.kernel = sincosKernel(la.SinCosHostMany, rangered.ApplyCosQuadrantHost)
 	case Tan:
 		o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 			s, c := sincos(ctx, x)
@@ -354,6 +370,7 @@ func (o *Operator) buildCORDICLUT(dpu *pimsim.DPU) error {
 			s, c, q := sincosM(x)
 			return s / c, int(q)
 		}}
+		o.mirror.kernel = sincosKernel(la.SinCosHostMany, tanQuadrantHost)
 	default:
 		return fmt.Errorf("core: cordic+lut cannot compute %v", o.Fn)
 	}
@@ -400,11 +417,11 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 	lo, hi := o.Fn.CoreRange()
 	switch o.Fn {
 	case Tan:
-		sinEval, sinM, _, sinBytes, err := o.floatLUTFor(dpu, math.Sin, lo, hi)
+		sinEval, sinM, sinMany, sinBytes, err := o.floatLUTFor(dpu, math.Sin, lo, hi)
 		if err != nil {
 			return err
 		}
-		cosEval, cosM, _, cosBytes, err := o.floatLUTFor(dpu, math.Cos, lo, hi)
+		cosEval, cosM, cosMany, cosBytes, err := o.floatLUTFor(dpu, math.Cos, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -415,9 +432,10 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 		o.mirror = mirror1(func(x float32) float32 {
 			return sinM(x) / cosM(x)
 		}, float32((lo+hi)/2))
+		o.mirror.kernel = divKernel(sinMany, cosMany)
 		return nil
 	case Exp:
-		eval, evalM, _, bytes, err := o.floatLUTFor(dpu, math.Exp, lo, hi)
+		eval, evalM, evalMany, bytes, err := o.floatLUTFor(dpu, math.Exp, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -430,9 +448,10 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 			r, k := rangered.SplitExpHost(x)
 			return rangered.JoinExpHost(evalM(r), k)
 		}, 0.7)
+		o.mirror.kernel = expSplitKernel(evalMany)
 		return nil
 	case Log:
-		eval, evalM, _, bytes, err := o.floatLUTFor(dpu, math.Log, lo, hi)
+		eval, evalM, evalMany, bytes, err := o.floatLUTFor(dpu, math.Log, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -445,9 +464,10 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 			m, e := rangered.SplitLogHost(x)
 			return rangered.JoinLogHost(evalM(m), e)
 		}, 0.7)
+		o.mirror.kernel = logSplitKernel(evalMany)
 		return nil
 	case Sqrt:
-		eval, evalM, _, bytes, err := o.floatLUTFor(dpu, math.Sqrt, lo, hi)
+		eval, evalM, evalMany, bytes, err := o.floatLUTFor(dpu, math.Sqrt, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -456,7 +476,7 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 			m, h := rangered.SplitSqrt(ctx, x)
 			return rangered.JoinSqrt(ctx, eval(ctx, m), h)
 		}
-		o.mirror = sqrtParityMirror(evalM)
+		o.mirror = sqrtParityMirror(evalM, evalMany)
 		return nil
 	default: // direct-domain functions
 		eval, evalM, evalMany, bytes, err := o.floatLUTFor(dpu, o.Fn.Ref(), lo, hi)
@@ -466,7 +486,7 @@ func (o *Operator) buildFloatLUT(dpu *pimsim.DPU) error {
 		o.tableBytes = bytes
 		o.eval = eval
 		o.mirror = mirror1(evalM, float32((lo+hi)/2))
-		o.mirror.many = evalMany
+		o.mirror.kernel = plainKernel(evalMany)
 		return nil
 	}
 }
@@ -549,6 +569,57 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			}
 			return v.Float32(), 0
 		}}
+		// Fused form: fold the sign into the QA lane tagging negatives,
+		// one fixed-point table pass, then the per-function fix-up
+		// scattered by tag.
+		o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+			n := len(xs)
+			sc.Grow(n)
+			sc.GrowQ(n)
+			qa, qb := sc.QA[:n], sc.QB[:n]
+			cls := sc.Cls[:n]
+			var negs uint64
+			for i, x := range xs {
+				xq := fixed.FromFloat32(x)
+				if int32(xq) < 0 {
+					cls[i] = 1
+					negs++
+					xq = fixed.Q3_28(0).Sub(xq)
+				} else {
+					cls[i] = 0
+				}
+				qa[i] = xq
+			}
+			dev.MirrorMany(qa, qb)
+			switch fn {
+			case GELU:
+				for i := range ys {
+					v := qb[i]
+					if cls[i] != 0 {
+						v = v.Sub(qa[i])
+					}
+					ys[i] = v.Float32()
+				}
+			case Sigmoid:
+				for i := range ys {
+					v := qb[i]
+					if cls[i] != 0 {
+						v = fixed.One.Sub(v)
+					}
+					ys[i] = v.Float32()
+				}
+			default: // odd: Tanh, Atan
+				for i := range ys {
+					v := qb[i]
+					if cls[i] != 0 {
+						v = fixed.Q3_28(0).Sub(v)
+					}
+					ys[i] = v.Float32()
+				}
+			}
+			counts[0] += uint64(n) - negs
+			counts[1] += negs
+		}
 		return nil
 	case Tan:
 		sinDev, sinBytes, err := o.fixedLUTFor(dpu, math.Sin, lo, hi)
@@ -572,6 +643,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			c := cosDev.Mirror(xq).Float32()
 			return s / c
 		}, float32((lo+hi)/2))
+		o.mirror.kernel = divKernel(sinDev.MirrorFloatMany, cosDev.MirrorFloatMany)
 		return nil
 	case Exp:
 		dev, bytes, err := o.fixedLUTFor(dpu, math.Exp, lo, hi)
@@ -587,6 +659,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			r, k := rangered.SplitExpHost(x)
 			return rangered.JoinExpHost(dev.MirrorFloat(r), k)
 		}, 0.7)
+		o.mirror.kernel = expSplitKernel(dev.MirrorFloatMany)
 		return nil
 	case Log:
 		dev, bytes, err := o.fixedLUTFor(dpu, math.Log, lo, hi)
@@ -602,6 +675,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			m, e := rangered.SplitLogHost(x)
 			return rangered.JoinLogHost(dev.MirrorFloat(m), e)
 		}, 0.7)
+		o.mirror.kernel = logSplitKernel(dev.MirrorFloatMany)
 		return nil
 	case Sqrt:
 		dev, bytes, err := o.fixedLUTFor(dpu, math.Sqrt, lo, hi)
@@ -613,7 +687,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 			m, h := rangered.SplitSqrt(ctx, x)
 			return rangered.JoinSqrt(ctx, dev.EvalFloat(ctx, m), h)
 		}
-		o.mirror = sqrtParityMirror(dev.MirrorFloat)
+		o.mirror = sqrtParityMirror(dev.MirrorFloat, dev.MirrorFloatMany)
 		return nil
 	default:
 		dev, bytes, err := o.fixedLUTFor(dpu, o.Fn.Ref(), lo, hi)
@@ -623,6 +697,7 @@ func (o *Operator) buildFixedLUT(dpu *pimsim.DPU) error {
 		o.tableBytes = bytes
 		o.eval = dev.EvalFloat
 		o.mirror = mirror1(dev.MirrorFloat, float32((lo+hi)/2))
+		o.mirror.kernel = plainKernel(dev.MirrorFloatMany)
 		return nil
 	}
 }
@@ -645,6 +720,7 @@ func (o *Operator) buildDLUT(dpu *pimsim.DPU) error {
 		o.tableBytes = t.Bytes()
 		o.eval = dev.Eval
 		o.mirror = mirror1(dev.Mirror, 1)
+		o.mirror.kernel = plainKernel(dev.MirrorMany)
 		return nil
 	}
 	mant := clampInt(o.Par.SizeLog2-4, 1, 16)
@@ -667,6 +743,11 @@ func (o *Operator) buildDLUT(dpu *pimsim.DPU) error {
 		}
 		return v, 1
 	}}
+	o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+		l := dev.MirrorMany(xs, ys, sc)
+		counts[0] += uint64(l)
+		counts[1] += uint64(len(xs) - l)
+	}
 	return nil
 }
 
@@ -751,6 +832,50 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			}
 			return v, q
 		}
+		// polyQuadKernel fuses the quadrant-folded polynomial pipeline:
+		// fold and partition thetas by quadrant parity into the XA
+		// (even → evenP) and XB (odd → oddP) lanes, run each
+		// polynomial once over its gathered sub-batch, then scatter
+		// with the quadrant sign rule.
+		polyQuadKernel := func(evenP, oddP *poly.Poly, negQ func(q uint8) bool) batchKernel {
+			return func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+				n := len(xs)
+				sc.Grow(n)
+				cls := sc.Cls[:n]
+				xa := sc.XA[:0]
+				xb := sc.XB[:0]
+				for i, x := range xs {
+					theta, q := rangered.FoldQuadrantHost(x)
+					cls[i] = uint8(q)
+					counts[q]++
+					if q&1 == 0 {
+						xa = append(xa, theta)
+					} else {
+						xb = append(xb, theta)
+					}
+				}
+				ya := sc.YA[:len(xa)]
+				yb := sc.YB[:len(xb)]
+				evenP.EvalHostMany(xa, ya)
+				oddP.EvalHostMany(xb, yb)
+				j, k := 0, 0
+				for i := range ys {
+					q := cls[i]
+					var v float32
+					if q&1 == 0 {
+						v = ya[j]
+						j++
+					} else {
+						v = yb[k]
+						k++
+					}
+					if negQ(q) {
+						v = -v
+					}
+					ys[i] = v
+				}
+			}
+		}
 		switch o.Fn {
 		case Sin:
 			o.eval = sinAt
@@ -758,12 +883,14 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 				v, q := sinAtH(x)
 				return v, int(q)
 			}}
+			o.mirror.kernel = polyQuadKernel(sinP, cosP, func(q uint8) bool { return q >= 2 })
 		case Cos:
 			o.eval = cosAt
 			o.mirror = &opMirror{n: 4, reps: quadrantReps(), eval: func(x float32) (float32, int) {
 				v, q := cosAtH(x)
 				return v, int(q)
 			}}
+			o.mirror.kernel = polyQuadKernel(cosP, sinP, func(q uint8) bool { return q == 1 || q == 2 })
 		default:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				return ctx.FDiv(sinAt(ctx, x), cosAt(ctx, x))
@@ -773,6 +900,38 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 				c, _ := cosAtH(x)
 				return s / c, int(q)
 			}}
+			// Tan needs both polynomials per element: evaluate each over
+			// all folded thetas, then apply both quadrant rules and divide.
+			o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+				n := len(xs)
+				sc.Grow(n)
+				cls := sc.Cls[:n]
+				ts := sc.XB[:n]
+				for i, x := range xs {
+					theta, q := rangered.FoldQuadrantHost(x)
+					ts[i] = theta
+					cls[i] = uint8(q)
+					counts[q]++
+				}
+				sp := sc.XA[:n]
+				cp := sc.YA[:n]
+				sinP.EvalHostMany(ts, sp)
+				cosP.EvalHostMany(ts, cp)
+				for i := range ys {
+					q := cls[i]
+					s, c := sp[i], cp[i]
+					if q&1 != 0 {
+						s, c = c, s
+					}
+					if q >= 2 {
+						s = -s
+					}
+					if q == 1 || q == 2 {
+						c = -c
+					}
+					ys[i] = s / c
+				}
+			}
 		}
 		return nil
 
@@ -817,6 +976,51 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			}
 			return v, cls
 		}}
+		// Fused form: partition |x| ≤ 1 into the XA lane and the
+		// reciprocal-reduced arguments into XB, one polynomial pass per
+		// partition, then scatter with the reciprocal and sign fix-ups.
+		o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+			n := len(xs)
+			sc.Grow(n)
+			cls := sc.Cls[:n]
+			xa := sc.XA[:0]
+			xb := sc.XB[:0]
+			for i, x := range xs {
+				ax := fpbits.FromBits(fpbits.Bits(x) &^ fpbits.SignMask)
+				c := 0
+				if !(ax > 1) {
+					xa = append(xa, ax)
+				} else {
+					xb = append(xb, 1/ax)
+					c = 1
+				}
+				if x < 0 {
+					c += 2
+				}
+				cls[i] = uint8(c)
+				counts[c]++
+			}
+			ya := sc.YA[:len(xa)]
+			yb := sc.YB[:len(xb)]
+			p.EvalHostMany(xa, ya)
+			p.EvalHostMany(xb, yb)
+			j, k := 0, 0
+			for i := range ys {
+				c := cls[i]
+				var v float32
+				if c&1 == 0 {
+					v = ya[j]
+					j++
+				} else {
+					v = rangered.HalfPi - yb[k]
+					k++
+				}
+				if c&2 != 0 {
+					v = -v
+				}
+				ys[i] = v
+			}
+		}
 		return nil
 
 	case Exp, Sinh, Cosh, Tanh, Sigmoid:
@@ -834,10 +1038,12 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			r, k := rangered.SplitExpHost(x)
 			return rangered.JoinExpHost(expP.EvalHost(r), k)
 		}
+		expKernel := expSplitKernel(expP.EvalHostMany)
 		switch o.Fn {
 		case Exp:
 			o.eval = expCore
 			o.mirror = mirror1(expCoreM, 0.5)
+			o.mirror.kernel = expKernel
 		case Sigmoid:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				e := expCore(ctx, ctx.FNeg(x))
@@ -847,6 +1053,18 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 				e := expCoreM(-x)
 				return 1 / (1 + e)
 			}, 0.5)
+			o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+				n := len(xs)
+				sc.Grow(n)
+				nx := sc.XA[:n]
+				for i, x := range xs {
+					nx[i] = -x
+				}
+				expKernel(nx, ys, sc, counts)
+				for i := range ys {
+					ys[i] = 1 / (1 + ys[i])
+				}
+			}
 		case Sinh:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				ex := expCore(ctx, x)
@@ -856,6 +1074,13 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 				ex := expCoreM(x)
 				return 0.5 * (ex - 1/ex)
 			}, 0.5)
+			o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+				expKernel(xs, ys, sc, counts)
+				for i := range ys {
+					ex := ys[i]
+					ys[i] = 0.5 * (ex - 1/ex)
+				}
+			}
 		case Cosh:
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				ex := expCore(ctx, x)
@@ -865,6 +1090,13 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 				ex := expCoreM(x)
 				return 0.5 * (ex + 1/ex)
 			}, 0.5)
+			o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+				expKernel(xs, ys, sc, counts)
+				for i := range ys {
+					ex := ys[i]
+					ys[i] = 0.5 * (ex + 1/ex)
+				}
+			}
 		default: // Tanh
 			o.eval = func(ctx *pimsim.Ctx, x float32) float32 {
 				e2 := expCore(ctx, ctx.FAdd(x, x))
@@ -874,6 +1106,18 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 				e2 := expCoreM(x + x)
 				return 1 - 2/(e2+1)
 			}, 0.5)
+			o.mirror.kernel = func(xs, ys []float32, sc *lut.Scratch, counts *[maxCostClasses]uint64) {
+				n := len(xs)
+				sc.Grow(n)
+				dx := sc.XA[:n]
+				for i, x := range xs {
+					dx[i] = x + x
+				}
+				expKernel(dx, ys, sc, counts)
+				for i := range ys {
+					ys[i] = 1 - 2/(ys[i]+1)
+				}
+			}
 		}
 		return nil
 
@@ -892,6 +1136,7 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			m, e := rangered.SplitLogHost(x)
 			return rangered.JoinLogHost(p.EvalHost(m), e)
 		}, 0.7)
+		o.mirror.kernel = logSplitKernel(p.EvalHostMany)
 		return nil
 
 	case Sqrt:
@@ -905,7 +1150,7 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 			m, h := rangered.SplitSqrt(ctx, x)
 			return rangered.JoinSqrt(ctx, p.Eval(ctx, m), h)
 		}
-		o.mirror = sqrtParityMirror(p.EvalHost)
+		o.mirror = sqrtParityMirror(p.EvalHost, p.EvalHostMany)
 		return nil
 
 	case GELU:
@@ -917,6 +1162,7 @@ func (o *Operator) buildPoly(dpu *pimsim.DPU) error {
 		o.tableBytes = p.Bytes()
 		o.eval = p.Eval
 		o.mirror = mirror1(p.EvalHost, float32((lo+hi)/2))
+		o.mirror.kernel = plainKernel(p.EvalHostMany)
 		return nil
 	}
 	return fmt.Errorf("core: poly cannot compute %v", o.Fn)

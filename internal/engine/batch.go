@@ -126,6 +126,17 @@ type batch struct {
 	cycles uint64  // modeled kernel cycles (slowest core)
 	err    error
 
+	// Compiled-plan staging decisions, made at transfer-in when a plan
+	// hit resolves the batch's shape (plan.go). direct evaluates a
+	// single-segment batch straight between the request's own
+	// input/output slices — no staging copy, no MRAM round-trip;
+	// hostOut stages coalesced batches through the flat host buffers
+	// but skips MRAM. Modeled charges are identical either way (the
+	// differential contract). Both stay false under fault injection.
+	plan    *batchPlan
+	direct  bool
+	hostOut bool
+
 	// Reliability outcomes (fault injection only; see reliability.go).
 	lanes    []int // healthy-lane chunk layout when remapped
 	retries  int   // launch + transfer retries spent on this batch

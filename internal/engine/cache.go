@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"transpimlib/internal/core"
 )
@@ -30,6 +31,11 @@ func makeSpec(fn core.Function, p core.Params) Spec {
 type tableCache struct {
 	mu      sync.Mutex
 	entries map[Spec]*cacheEntry
+
+	// gen counts invalidations. Compiled batch plans (plan.go) pin the
+	// generation they were built against and self-invalidate when it
+	// moves, so a table hot-swap needs no plan-cache walk.
+	gen atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -95,4 +101,24 @@ func (c *tableCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// generation returns the invalidation counter compiled plans pin.
+func (c *tableCache) generation() uint64 { return c.gen.Load() }
+
+// invalidate drops the spec's residency bookkeeping and bumps the
+// generation, lazily invalidating every compiled plan. The old tables
+// physically stay in the PIM memories (bump allocator, no free), so
+// in-flight batches holding the old operators finish safely; the next
+// request for the spec rebuilds fresh tables above them. Returns
+// whether tables were resident.
+func (c *tableCache) invalidate(spec Spec) bool {
+	c.mu.Lock()
+	_, ok := c.entries[spec]
+	delete(c.entries, spec)
+	c.mu.Unlock()
+	if ok {
+		c.gen.Add(1)
+	}
+	return ok
 }

@@ -33,6 +33,7 @@ import (
 	"transpimlib/internal/accwatch"
 	"transpimlib/internal/core"
 	"transpimlib/internal/faultsim"
+	"transpimlib/internal/lut"
 	"transpimlib/internal/pimsim"
 	"transpimlib/internal/telemetry"
 )
@@ -171,6 +172,11 @@ type shard struct {
 	// ys is per-local-core kernel scratch for the batch fast path's
 	// outputs; safe because a shard computes one batch at a time.
 	ys [][]float32
+	// arena is per-local-core classifier scratch for the fused batch
+	// kernels' SoA lanes, pre-grown to capPerDPU at construction so
+	// steady-state batches allocate nothing. Indexed by serving lane,
+	// so remapped and hedged launches never share an arena.
+	arena []*lut.Scratch
 	// issue0/dma0 are the compute stage's per-core cycle baselines,
 	// persistent so steady-state batches allocate nothing.
 	issue0, dma0 []uint64
@@ -210,6 +216,10 @@ type Engine struct {
 	sys    *pimsim.System
 	shards []*shard
 	cache  *tableCache
+	// plans caches compiled batch plans per (spec, shard, size) so the
+	// steady state skips table-cache locking and shard planning; see
+	// plan.go. Invalidated lazily by the table cache's generation.
+	plans *planCache
 
 	// bplan/splan are the pipeline's stage seams (see stages.go): the
 	// batcher plans batches through bplan, the transfer stages plan
@@ -266,6 +276,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		sys:      pimsim.NewSystem(pimsim.Config{DPUs: cfg.DPUs, Cost: cfg.Cost}),
 		cache:    newTableCache(),
+		plans:    newPlanCache(defaultPlanCacheLimit),
 		bplan:    coalescePlanner{},
 		splan:    paddedPlanner{},
 		submit:   make(chan *request, cfg.QueueDepth),
@@ -333,6 +344,11 @@ func New(cfg Config) (*Engine, error) {
 			s.ids = append(s.ids, id)
 			s.dpus = append(s.dpus, e.sys.DPU(id))
 			s.ys = append(s.ys, make([]float32, capPerDPU))
+			sc := new(lut.Scratch)
+			sc.Grow(capPerDPU)
+			sc.GrowQ(capPerDPU)
+			sc.GrowT(capPerDPU)
+			s.arena = append(s.arena, sc)
 		}
 		s.inAddr = make([][]int, cfg.Buffers)
 		s.outAddr = make([][]int, cfg.Buffers)
@@ -419,6 +435,23 @@ func (e *Engine) Traces() []*telemetry.Trace { return e.tracer.Traces() }
 // CachedSpecs returns how many (function, method) configurations hold
 // resident tables.
 func (e *Engine) CachedSpecs() int { return e.cache.size() }
+
+// CachedPlans returns how many compiled batch plans are live.
+func (e *Engine) CachedPlans() int { return e.plans.size() }
+
+// InvalidateTables drops the resident tables for one configuration —
+// the hot-swap hook for regenerating a function's tables (say, after
+// retuning its fit). The next request for the spec rebuilds; every
+// compiled batch plan self-invalidates via the bumped table-cache
+// generation, so in-flight batches finish on the old tables (which
+// physically remain — PIM memories never free) and no pipeline stage
+// is paused. Returns whether tables were resident. Safe for
+// concurrent use with serving traffic.
+func (e *Engine) InvalidateTables(fn core.Function, p core.Params) bool {
+	ok := e.cache.invalidate(makeSpec(fn, p))
+	e.met.cachedSpecs.Set(int64(e.cache.size()))
+	return ok
+}
 
 // Accuracy returns a point-in-time snapshot of the accuracy watcher's
 // shadow-sample statistics; ok is false when accuracy monitoring is
@@ -533,19 +566,32 @@ func (e *Engine) Close() {
 func (e *Engine) batcher() {
 	defer e.wg.Done()
 	defer close(e.dispatch)
+	// The round-grouping map and its per-spec request slices persist
+	// across rounds (reset in place, requests nil'd so completed work
+	// isn't retained): a steady-state round allocates nothing.
+	bySpec := make(map[Spec][]*request)
+	var order []Spec
+	add := func(r *request) {
+		lst := bySpec[r.spec]
+		if len(lst) == 0 {
+			order = append(order, r.spec)
+		}
+		bySpec[r.spec] = append(lst, r)
+	}
 	for {
 		r, ok := <-e.submit
 		if !ok {
 			return
 		}
-		bySpec := map[Spec][]*request{r.spec: {r}}
-		order := []Spec{r.spec}
-		add := func(r *request) {
-			if _, seen := bySpec[r.spec]; !seen {
-				order = append(order, r.spec)
+		for _, sp := range order {
+			lst := bySpec[sp]
+			for i := range lst {
+				lst[i] = nil
 			}
-			bySpec[r.spec] = append(bySpec[r.spec], r)
+			bySpec[sp] = lst[:0]
 		}
+		order = order[:0]
+		add(r)
 		closed := false
 		if e.cfg.BatchWindow > 0 {
 			timer := time.NewTimer(e.cfg.BatchWindow)
@@ -610,28 +656,51 @@ func (e *Engine) stageTransferIn(s *shard) {
 			b.tr.shard = s.id
 			b.tr.inStart = time.Now()
 		}
-		per, padded := e.splan.Plan(b.n, len(s.dpus))
+		var per, padded int
+		if e.inj == nil {
+			b.plan = e.plans.lookup(planKey{spec: b.spec, shard: s.id, n: b.n}, e.cache.generation())
+			if b.plan != nil {
+				e.met.planHits.Inc()
+			} else {
+				e.met.planMisses.Inc()
+			}
+		}
+		if b.plan != nil {
+			per, padded = b.plan.perDPU, b.plan.padded
+			// A fast plan licenses host-side staging: the fused kernels
+			// read and write host memory while the simulator charges the
+			// exact same DMA/transfer costs, so the MRAM round-trip (and
+			// for single-segment batches, the pack copy too) is elided.
+			b.direct = b.plan.fast && len(b.segs) == 1
+			b.hostOut = b.plan.fast && !b.direct
+		} else {
+			per, padded = e.splan.Plan(b.n, len(s.dpus))
+		}
 		b.perDPU = per
 
-		flat := s.inBuf[b.slot]
-		idx := 0
-		for _, sg := range b.segs {
-			copy(flat[idx:idx+sg.n], sg.req.inputs[sg.off:sg.off+sg.n])
-			idx += sg.n
-		}
-		s.memMu.Lock()
-		for d := range s.dpus {
-			lo := d * per
-			if lo >= b.n {
-				break
+		if !b.direct {
+			flat := s.inBuf[b.slot]
+			idx := 0
+			for _, sg := range b.segs {
+				copy(flat[idx:idx+sg.n], sg.req.inputs[sg.off:sg.off+sg.n])
+				idx += sg.n
 			}
-			hi := lo + per
-			if hi > b.n {
-				hi = b.n
+			if !b.hostOut {
+				s.memMu.Lock()
+				for d := range s.dpus {
+					lo := d * per
+					if lo >= b.n {
+						break
+					}
+					hi := lo + per
+					if hi > b.n {
+						hi = b.n
+					}
+					s.dpus[d].MRAM.WriteF32s(s.inAddr[b.slot][d], flat[lo:hi])
+				}
+				s.memMu.Unlock()
 			}
-			s.dpus[d].MRAM.WriteF32s(s.inAddr[b.slot][d], flat[lo:hi])
 		}
-		s.memMu.Unlock()
 
 		if e.inj != nil {
 			e.chargeTransferIn(s, b, padded)
@@ -661,17 +730,45 @@ func (e *Engine) stageCompute(s *shard) {
 		if b.tr != nil {
 			b.tr.setupStart = time.Now()
 		}
-		ops, hit, setup, err := e.cache.ensure(b.spec, s)
+		var ops []*core.Operator
+		if b.plan != nil {
+			// A plan hit proves the tables were resident when the plan
+			// was compiled and the generation hasn't moved since: no
+			// table-cache lock, no shard planning, no setup charge.
+			ops = b.plan.ops
+			b.hit, b.setup = true, 0
+		} else {
+			gen := e.cache.generation()
+			resolved, hit, setup, err := e.cache.ensure(b.spec, s)
+			e.met.cachedSpecs.Set(int64(e.cache.size()))
+			if err != nil {
+				if b.tr != nil {
+					b.tr.setupEnd = time.Now()
+				}
+				b.err = err
+				s.out <- b
+				continue
+			}
+			ops = resolved
+			b.hit, b.setup = hit, setup
+			// Compile the batch plan for this shape. The generation was
+			// read before ensure: a hot-swap racing the build leaves the
+			// plan stale, and the next lookup recompiles it.
+			per, padded := e.splan.Plan(b.n, len(s.dpus))
+			evicted := e.plans.store(planKey{spec: b.spec, shard: s.id, n: b.n}, &batchPlan{
+				ops:    ops,
+				fast:   !e.cfg.Reference && len(ops) > 0 && ops[0].HasFastPath(),
+				perDPU: per,
+				padded: padded,
+				gen:    gen,
+			})
+			if evicted > 0 {
+				e.met.planEvictions.Add(uint64(evicted))
+			}
+		}
 		if b.tr != nil {
 			b.tr.setupEnd = time.Now()
 		}
-		e.met.cachedSpecs.Set(int64(e.cache.size()))
-		if err != nil {
-			b.err = err
-			s.out <- b
-			continue
-		}
-		b.hit, b.setup = hit, setup
 
 		if b.tr != nil {
 			b.tr.kernStart = time.Now()
@@ -718,7 +815,37 @@ func (e *Engine) stageCompute(s *shard) {
 // bit-identical to the per-element interpreted loop (Config.Reference
 // forces the latter). Allocation-free in steady state.
 func (e *Engine) computeCore(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Operator, local, count int) {
+	if b.direct || b.hostOut {
+		e.computeCoreHost(ctx, s, b, op, local, count)
+		return
+	}
 	e.computeCoreAt(ctx, s, b, op, local, local, b.perDPU, count)
+}
+
+// computeCoreHost is the compiled-plan staging path: the fused mirror
+// reads and writes host memory — the request's own slices for a direct
+// batch, the slot's flat staging buffers for a coalesced one — while
+// every modeled charge of computeCoreAt's fast branch is replayed
+// verbatim (loop setup, input DMA, per-class kernel signatures,
+// streaming overhead, output DMA), so cycle accounting stays
+// bit-identical to the MRAM round-trip it elides. Lanes own disjoint
+// [lo, lo+count) windows, so concurrent cores never overlap.
+func (e *Engine) computeCoreHost(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Operator, local, count int) {
+	lo := local * b.perDPU
+	var xs, ys []float32
+	if b.direct {
+		sg := b.segs[0]
+		xs = sg.req.inputs[sg.off+lo : sg.off+lo+count]
+		ys = sg.req.outputs[sg.off+lo : sg.off+lo+count]
+	} else {
+		xs = s.inBuf[b.slot][lo : lo+count]
+		ys = s.outBuf[b.slot][lo : lo+count]
+	}
+	ctx.Charge(4)
+	ctx.ChargeDMA(count * 4)
+	op.EvalBatchWith(ctx, xs, ys, s.arena[local])
+	ctx.ChargeSig(&e.streamSig, uint64(count))
+	ctx.ChargeDMA(count * 4)
 }
 
 // gatherOutputs reads a drained batch's results back into its
@@ -726,11 +853,17 @@ func (e *Engine) computeCore(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Opera
 // slot's flat staging buffer, then contiguous copies out to the
 // segments.
 func (s *shard) gatherOutputs(b *batch) {
+	if b.direct {
+		// The compiled-plan direct path wrote straight into the
+		// request's output slice; nothing to gather.
+		return
+	}
 	per := b.perDPU
 	flat := s.outBuf[b.slot]
 	switch {
-	case b.hostEval:
-		// Degraded: the host mirror already wrote the results into the
+	case b.hostEval || b.hostOut:
+		// Host-side results — the degraded mirror's, or the
+		// compiled-plan host staging path's — are already in the
 		// staging buffer; there is nothing to read back from MRAM.
 	case b.remapped:
 		// Remapped: chunk j lives on healthy lane b.lanes[j].
@@ -781,7 +914,12 @@ func (e *Engine) stageTransferOut(s *shard) {
 		var bytesIn, bytesOut int
 		if b.err == nil {
 			s.gatherOutputs(b)
-			_, padded := e.splan.Plan(b.n, len(s.dpus))
+			var padded int
+			if b.plan != nil {
+				padded = b.plan.padded
+			} else {
+				_, padded = e.splan.Plan(b.n, len(s.dpus))
+			}
 			bytesIn = padded
 			switch {
 			case b.hostEval:

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"sync"
+
+	"transpimlib/internal/core"
+)
+
+// planKey identifies one compiled batch plan: a spec served by a
+// specific shard at an exact batch size. Production traffic repeats a
+// small set of shapes (the batcher emits MaxBatch-sized batches in
+// steady state), so keying on the exact size keeps the plan a pure
+// lookup with no per-batch arithmetic.
+type planKey struct {
+	spec  Spec
+	shard int
+	n     int
+}
+
+// batchPlan is the compiled execution recipe for a recurring
+// (spec, shard, size) shape: the resolved per-core operators, the
+// padded lane layout, and whether the fused direct-staging path
+// applies. gen pins the table-cache generation the plan was compiled
+// against; a table hot-swap bumps the generation and lazily
+// invalidates every outstanding plan on its next lookup.
+type batchPlan struct {
+	ops    []*core.Operator
+	fast   bool // operators carry the fused batch fast path
+	perDPU int  // elements per core (shard planning, precomputed)
+	padded int  // rank-wide padded bytes per direction
+	gen    uint64
+}
+
+// defaultPlanCacheLimit bounds the compiled-plan store. Each plan is a
+// few words plus a shared operator slice, so the bound exists to cap
+// pathological workloads (every batch a unique size), not memory
+// pressure; FIFO eviction is deliberate — a plan is cheap to recompile
+// and the steady state reuses a handful of shapes.
+const defaultPlanCacheLimit = 256
+
+// planCache is the bounded compiled-plan store. Unlike the table cache
+// (which tracks physical PIM residency and never evicts), plans are
+// pure host-side artifacts: eviction only costs a recompile on the
+// next matching batch.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*batchPlan
+	fifo    []planKey // insertion order; may hold stale keys
+	limit   int
+}
+
+func newPlanCache(limit int) *planCache {
+	if limit <= 0 {
+		limit = defaultPlanCacheLimit
+	}
+	return &planCache{entries: make(map[planKey]*batchPlan), limit: limit}
+}
+
+// lookup returns the plan for the key when present and still valid
+// against the table-cache generation gen; stale plans (compiled before
+// a hot-swap) are dropped and reported as a miss.
+func (c *planCache) lookup(k planKey, gen uint64) *batchPlan {
+	c.mu.Lock()
+	p := c.entries[k]
+	if p != nil && p.gen != gen {
+		delete(c.entries, k)
+		p = nil
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// store records a freshly compiled plan, evicting oldest entries past
+// the bound. It returns the number of live plans evicted (stale fifo
+// keys whose entries were already dropped don't count).
+func (c *planCache) store(k planKey, p *batchPlan) (evicted int) {
+	c.mu.Lock()
+	if _, ok := c.entries[k]; !ok {
+		for len(c.entries) >= c.limit && len(c.fifo) > 0 {
+			old := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			if _, live := c.entries[old]; live {
+				delete(c.entries, old)
+				evicted++
+			}
+		}
+		c.fifo = append(c.fifo, k)
+	}
+	c.entries[k] = p
+	c.mu.Unlock()
+	return evicted
+}
+
+// size returns the number of live compiled plans.
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/stats"
+)
+
+// TestPlanCacheUnit exercises the bounded plan store directly: hits,
+// generation-based staleness, and FIFO eviction accounting.
+func TestPlanCacheUnit(t *testing.T) {
+	c := newPlanCache(2)
+	spec := makeSpec(llutSpec())
+	k1 := planKey{spec: spec, shard: 0, n: 64}
+	k2 := planKey{spec: spec, shard: 0, n: 128}
+	k3 := planKey{spec: spec, shard: 1, n: 64}
+
+	if got := c.lookup(k1, 0); got != nil {
+		t.Fatalf("lookup on empty cache returned %v", got)
+	}
+	p1 := &batchPlan{perDPU: 64, gen: 0}
+	if ev := c.store(k1, p1); ev != 0 {
+		t.Fatalf("first store evicted %d", ev)
+	}
+	if got := c.lookup(k1, 0); got != p1 {
+		t.Fatalf("lookup after store: got %v want %v", got, p1)
+	}
+	// A bumped table-cache generation invalidates the plan lazily.
+	if got := c.lookup(k1, 1); got != nil {
+		t.Fatalf("stale plan survived a generation bump: %v", got)
+	}
+	if c.size() != 0 {
+		t.Fatalf("stale plan still counted: size=%d", c.size())
+	}
+
+	// Filling past the bound evicts the oldest live entry.
+	c.store(k1, &batchPlan{gen: 1})
+	c.store(k2, &batchPlan{gen: 1})
+	ev := c.store(k3, &batchPlan{gen: 1})
+	if ev != 1 {
+		t.Fatalf("store past bound evicted %d, want 1", ev)
+	}
+	if c.size() != 2 {
+		t.Fatalf("size after eviction = %d, want 2", c.size())
+	}
+	if got := c.lookup(k1, 1); got != nil {
+		t.Fatalf("oldest entry should have been evicted, got %v", got)
+	}
+	// Re-storing an existing key must not evict or duplicate.
+	if ev := c.store(k2, &batchPlan{gen: 1}); ev != 0 {
+		t.Fatalf("overwrite evicted %d", ev)
+	}
+	if c.size() != 2 {
+		t.Fatalf("size after overwrite = %d, want 2", c.size())
+	}
+}
+
+// TestEnginePlanCounters pins the serving-path telemetry: the first
+// batch of a shape compiles its plan (miss), every later identical
+// batch hits, and a hit still reports the table cache as warm.
+func TestEnginePlanCounters(t *testing.T) {
+	e, err := New(Config{DPUs: 2, Shards: 1, MaxBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	fn, par := llutSpec()
+	xs := stats.RandomInputs(-7.9, 7.9, 256, 5)
+
+	if _, _, err := e.EvaluateBatch(fn, par, xs); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.PlanMisses != 1 || st.PlanHits != 0 {
+		t.Fatalf("after first batch: hits=%d misses=%d, want 0/1", st.PlanHits, st.PlanMisses)
+	}
+	if e.CachedPlans() != 1 {
+		t.Fatalf("CachedPlans=%d, want 1", e.CachedPlans())
+	}
+
+	for i := 0; i < 3; i++ {
+		_, rst, err := e.EvaluateBatch(fn, par, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rst.CacheHit || rst.SetupSeconds != 0 {
+			t.Fatalf("plan-hit request not reported warm: %+v", rst)
+		}
+	}
+	st = e.Stats()
+	if st.PlanMisses != 1 || st.PlanHits != 3 {
+		t.Fatalf("after warm batches: hits=%d misses=%d, want 3/1", st.PlanHits, st.PlanMisses)
+	}
+	// A different batch size is a different shape: one more miss.
+	if _, _, err := e.EvaluateBatch(fn, par, xs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if st = e.Stats(); st.PlanMisses != 2 {
+		t.Fatalf("new shape did not compile a plan: misses=%d", st.PlanMisses)
+	}
+}
+
+// TestInvalidateTablesRecompiles drives the hot-swap path: after
+// InvalidateTables the next request rebuilds tables (a real cache
+// miss with a setup charge), the compiled plan self-invalidates via
+// the generation, and outputs stay bit-identical to the pre-swap run
+// (same spec ⇒ same tables ⇒ same values).
+func TestInvalidateTablesRecompiles(t *testing.T) {
+	e, err := New(Config{DPUs: 2, Shards: 1, MaxBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	fn, par := llutSpec()
+	xs := stats.RandomInputs(-7.9, 7.9, 256, 7)
+
+	before, _, err := e.EvaluateBatch(fn, par, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.EvaluateBatch(fn, par, xs); err != nil {
+		t.Fatal(err) // plan hit
+	}
+	warm := e.Stats()
+	if warm.PlanHits == 0 {
+		t.Fatal("warmup never hit the plan cache")
+	}
+
+	if !e.InvalidateTables(fn, par) {
+		t.Fatal("InvalidateTables found no resident tables")
+	}
+	if e.CachedSpecs() != 0 {
+		t.Fatalf("CachedSpecs=%d after invalidation, want 0", e.CachedSpecs())
+	}
+	after, rst, err := e.EvaluateBatch(fn, par, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.CacheHit || rst.SetupSeconds == 0 {
+		t.Fatalf("post-swap request did not rebuild tables: %+v", rst)
+	}
+	st := e.Stats()
+	if st.PlanMisses != warm.PlanMisses+1 {
+		t.Fatalf("post-swap plan misses = %d, want %d (stale plan must recompile)",
+			st.PlanMisses, warm.PlanMisses+1)
+	}
+	for i := range xs {
+		if math.Float32bits(before[i]) != math.Float32bits(after[i]) {
+			t.Fatalf("output %d drifted across hot-swap: %v != %v", i, after[i], before[i])
+		}
+	}
+	// Invalidating a spec that was never built reports false.
+	if e.InvalidateTables(core.Exp, core.Params{Method: core.MLUT, SizeLog2: 8}) {
+		t.Fatal("InvalidateTables reported residency for an unbuilt spec")
+	}
+}
+
+// TestPlanCacheConcurrentTenants hammers the plan cache from many
+// tenants with mixed specs and sizes while a hot-swapper invalidates
+// tables mid-flight — the -race exercise. Every output is checked
+// bit-identical against a quiet reference engine.
+func TestPlanCacheConcurrentTenants(t *testing.T) {
+	e, err := New(Config{DPUs: 4, Shards: 2, MaxBatch: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ref, err := New(Config{DPUs: 4, Shards: 2, MaxBatch: 512, Reference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	specs := []struct {
+		fn  core.Function
+		par core.Params
+		lo  float64
+		hi  float64
+	}{
+		{core.Sigmoid, core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12}, -7.9, 7.9},
+		{core.Tanh, core.Params{Method: core.DLLUT, Interp: true, SizeLog2: 12}, -7.9, 7.9},
+		{core.Exp, core.Params{Method: core.MLUT, Interp: true, SizeLog2: 10}, -10, 10},
+	}
+	type job struct {
+		si   int
+		xs   []float32
+		want []float32
+	}
+	var jobs []job
+	for si, sp := range specs {
+		for _, n := range []int{100, 512, 700} {
+			xs := stats.RandomInputs(sp.lo, sp.hi, n, uint64(31*si+n))
+			want, _, err := ref.EvaluateBatch(sp.fn, sp.par, xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job{si: si, xs: xs, want: want})
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w)
+			for round := 0; round < 6; round++ {
+				j := jobs[(w+round)%len(jobs)]
+				sp := specs[j.si]
+				out, _, err := e.EvaluateBatchTenant(tenant, sp.fn, sp.par, j.xs)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range out {
+					if math.Float32bits(out[i]) != math.Float32bits(j.want[i]) {
+						errCh <- fmt.Errorf("%s round %d: output %d = %v, want %v",
+							tenant, round, i, out[i], j.want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	// The hot-swapper: invalidate each spec once while traffic flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, sp := range specs {
+			e.InvalidateTables(sp.fn, sp.par)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	st := e.Stats()
+	if st.PlanHits == 0 {
+		t.Error("concurrent run never hit the plan cache")
+	}
+}

@@ -478,7 +478,7 @@ func (e *Engine) computeCoreAt(ctx *pimsim.Ctx, s *shard, b *batch, op *core.Ope
 		lo := j * per
 		xs := s.inBuf[b.slot][lo : lo+count]
 		ys := s.ys[ln][:count]
-		op.EvalBatch(ctx, xs, ys)
+		op.EvalBatchWith(ctx, xs, ys, s.arena[ln])
 		ctx.ChargeSig(&e.streamSig, uint64(count))
 		m.WriteF32s(out, ys)
 	} else {

@@ -106,6 +106,27 @@ func Ldexp(f float32, n int) float32 {
 	}
 }
 
+// LdexpWindow returns the inclusive biased-exponent window [lo, hi]
+// for which Ldexp(x, n) reduces to a single integer add on the
+// exponent field: a normal input whose scaled result is also normal.
+// For a float32 with raw exponent field e (Bits(x)>>MantBits & 0xFF),
+// e ∈ [lo, hi] guarantees Ldexp(x, n) == FromBits(Bits(x) +
+// uint32(n)<<MantBits). ok is false when the window is empty (no
+// input takes the fast path). The batch mirror kernels hoist this
+// classification out of their inner loops.
+func LdexpWindow(n int) (lo, hi int32, ok bool) {
+	if n >= ExpMax-1 || n <= -(ExpMax-1) {
+		return 0, -1, false
+	}
+	lo, hi = 1, ExpMax-1
+	if n > 0 {
+		hi -= int32(n) // result exponent e+n must stay ≤ 254
+	} else {
+		lo -= int32(n) // result exponent e+n must stay ≥ 1
+	}
+	return lo, hi, true
+}
+
 // normalizeSubnormal rescales a subnormal bit pattern into an
 // equivalent (float, bits, unbiased-field) triple with a synthetic
 // exponent field that may be ≤ 0; used internally by Ldexp.

@@ -14,6 +14,17 @@ import (
 // Mirror must replay the device's float32 operation order exactly so
 // batch outputs are bit-identical to the interpreted path — including
 // clamp-before/after ordering and out-of-range conversions.
+//
+// The MirrorMany forms are the hot loops of the engine's fused batch
+// path. They hoist every loop-invariant (table slice, addressing
+// constants, the ldexp exponent window) out of the per-element body
+// and split each body into a straight-line fast class — in-range
+// index, normal-exponent ldexp — with the rare inputs (NaN/Inf/
+// subnormal, out-of-table, float64-floor boundary cases) routed to an
+// out-of-line slow class that replays the scalar Mirror arithmetic
+// verbatim. The fast classes use the uint(idx) < uint(hi) comparison
+// form so the compiler proves the table accesses in bounds and drops
+// the checks.
 
 // Mirror mirrors DevMLUT.Eval bit-for-bit without metering.
 func (d *DevMLUT) Mirror(x float32) float32 {
@@ -32,26 +43,47 @@ func (d *DevMLUT) Mirror(x float32) float32 {
 
 // MirrorMany mirrors DevMLUT.Eval over a slice: the same arithmetic as
 // Mirror with the table pointer and mapping constants hoisted out of
-// the per-element loop.
+// the per-element loop and the in-range index handled by a checked,
+// bounds-check-free fast class.
 func (d *DevMLUT) MirrorMany(xs, ys []float32) {
 	entries := d.t.Entries
 	p, k := d.p, d.k
+	ys = ys[:len(xs)]
 	if !d.t.Interp {
 		hi := len(entries)
 		for i, x := range xs {
-			ys[i] = entries[clampHost(pimsim.RoundToEven32((x-p)*k), hi)]
+			idx := int(pimsim.RoundToEven32((x - p) * k))
+			if uint(idx) < uint(hi) {
+				ys[i] = entries[idx]
+			} else {
+				ys[i] = entries[clampHost(int32(idx), hi)]
+			}
 		}
 		return
+	}
+	if len(entries) < 2 {
+		return // interpolated tables always hold ≥ 2 entries + guard
 	}
 	hi := len(entries) - 1
 	for i, x := range xs {
 		tt := (x - p) * k
-		idx := pimsim.FloorToInt32(tt)
-		delta := tt - float32(idx)
-		idx = clampHost(idx, hi)
-		l0 := entries[idx]
-		l1 := entries[idx+1]
-		ys[i] = l0 + (l1-l0)*delta
+		// Truncation equals FloorToInt32 for non-negative in-range tt,
+		// and the float32 fractional part is exact (Sterbenz); anything
+		// else — negative, NaN, out of table — replays the scalar path.
+		idx := int(tt)
+		if tt >= 0 && uint(idx) < uint(hi) {
+			delta := tt - float32(idx)
+			l0 := entries[idx]
+			l1 := entries[idx+1]
+			ys[i] = l0 + (l1-l0)*delta
+		} else {
+			fi := pimsim.FloorToInt32(tt)
+			delta := tt - float32(fi)
+			ci := clampHost(fi, hi)
+			l0 := entries[ci]
+			l1 := entries[ci+1]
+			ys[i] = l0 + (l1-l0)*delta
+		}
 	}
 }
 
@@ -82,53 +114,95 @@ func (d *DevLLUT) Mirror(x float32) float32 {
 	return l0 + (l1-l0)*delta
 }
 
-// MirrorMany mirrors DevLLUT.Eval over a slice, hoisting the table and
-// addressing parameters out of the per-element loop and using the
-// inline ldexp fast path.
+// llutSlow replays the scalar Mirror tail (float64 floor, unclamped-
+// floor delta, clamp) for an element that missed MirrorMany's fast
+// class; interp selects the interpolated form.
+//
+//go:noinline
+func llutSlow(entries []float32, tt float32, interp bool) float32 {
+	if !interp {
+		return entries[clampHost(int32(math.Floor(float64(tt))), len(entries))]
+	}
+	t64 := float64(tt)
+	f := math.Floor(t64)
+	idx := clampHost(int32(f), len(entries)-1)
+	delta := float32(t64 - f)
+	l0 := entries[idx]
+	l1 := entries[idx+1]
+	return l0 + (l1-l0)*delta
+}
+
+// MirrorMany mirrors DevLLUT.Eval over a slice. The per-element body
+// is two checked fast classes: the ldexp collapses to one integer add
+// when the (biased) exponent sits inside the precomputed LdexpWindow,
+// and the float64 floor + clamp collapses to a float32 truncation when
+// the scaled address is non-negative and in range. Elements outside
+// either window take the out-of-line scalar-identical slow class.
 func (d *DevLLUT) MirrorMany(xs, ys []float32) {
 	entries := d.t.Entries
 	n := d.t.N
 	p, pZero := d.p, d.pZero
+	eLo, eHi, ok := fpbits.LdexpWindow(n)
+	if !ok {
+		eLo, eHi = 0, -1 // empty window: uint32 span below never matches
+	}
+	span := uint32(eHi - eLo)
+	add := uint32(n) << fpbits.MantBits
+	ys = ys[:len(xs)]
 	if !d.t.Interp {
 		hi := len(entries)
 		for i, x := range xs {
 			if !pZero {
 				x -= p
 			}
-			// Hand-inlined normal→normal ldexp fast path (a single add on
-			// the exponent field), bit-identical to fpbits.Ldexp.
 			b := fpbits.Bits(x)
-			e := int(b>>fpbits.MantBits)&0xFF + n
 			var tt float32
-			if e-n != 0 && e-n != fpbits.ExpMax && e >= 1 && e < fpbits.ExpMax {
-				tt = fpbits.FromBits(b&^uint32(fpbits.ExpMask) | uint32(e)<<fpbits.MantBits)
+			if uint32(int32(b>>fpbits.MantBits)&0xFF-eLo) <= span {
+				tt = fpbits.FromBits(b + add)
 			} else {
 				tt = ldexpSlow(x, n)
 			}
-			ys[i] = entries[clampHost(int32(math.Floor(float64(tt))), hi)]
+			// Truncation equals the float64 floor for non-negative
+			// in-range tt (float32→float64 is exact).
+			idx := int(tt)
+			if tt >= 0 && uint(idx) < uint(hi) {
+				ys[i] = entries[idx]
+			} else {
+				ys[i] = llutSlow(entries, tt, false)
+			}
 		}
 		return
 	}
-	hi := len(entries) - 1
+	if len(entries) < 2 {
+		return // interpolated tables always hold ≥ 2 entries + guard
+	}
+	// next[i] aliases entries[i+1]: indexing the pair through two
+	// slices of the same length lets the compiler drop both checks.
+	next := entries[1:]
+	lo0 := entries[:len(next)]
 	for i, x := range xs {
 		if !pZero {
 			x -= p
 		}
 		b := fpbits.Bits(x)
-		e := int(b>>fpbits.MantBits)&0xFF + n
-		var ttf float32
-		if e-n != 0 && e-n != fpbits.ExpMax && e >= 1 && e < fpbits.ExpMax {
-			ttf = fpbits.FromBits(b&^uint32(fpbits.ExpMask) | uint32(e)<<fpbits.MantBits)
+		var tt float32
+		if uint32(int32(b>>fpbits.MantBits)&0xFF-eLo) <= span {
+			tt = fpbits.FromBits(b + add)
 		} else {
-			ttf = ldexpSlow(x, n)
+			tt = ldexpSlow(x, n)
 		}
-		tt := float64(ttf)
-		f := math.Floor(tt)
-		idx := clampHost(int32(f), hi)
-		delta := float32(tt - f)
-		l0 := entries[idx]
-		l1 := entries[idx+1]
-		ys[i] = l0 + (l1-l0)*delta
+		idx := int(tt)
+		if tt >= 0 && uint(idx) < uint(len(lo0)) {
+			// The float32 subtraction is exact here (Sterbenz for
+			// idx ≥ 1, trivial for idx = 0), so it equals the scalar
+			// path's float64 tt − floor(tt) rounded to float32.
+			delta := tt - float32(idx)
+			l0 := lo0[idx]
+			l1 := next[idx]
+			ys[i] = l0 + (l1-l0)*delta
+		} else {
+			ys[i] = llutSlow(entries, tt, true)
+		}
 	}
 }
 
@@ -142,10 +216,150 @@ func (d *DevFixedLLUT) MirrorFloat(x float32) float32 {
 	return d.t.EvalHost(fixed.FromFloat32(x)).Float32()
 }
 
+// MirrorMany mirrors DevFixedLLUT.Eval over Q3.28 slices: EvalHost
+// with the table and addressing constants hoisted and the in-range
+// index handled without bounds checks. The fixed-point arithmetic is
+// integer-exact, so hoisting cannot change results.
+func (d *DevFixedLLUT) MirrorMany(xs, ys []fixed.Q3_28) {
+	t := d.t
+	entries := t.Entries
+	shift := uint(fixed.FracBits - t.N)
+	p := t.P
+	ys = ys[:len(xs)]
+	if !t.Interp {
+		hi := len(entries)
+		for i, x := range xs {
+			idx := int(int32(x-p) >> shift)
+			if uint(idx) < uint(hi) {
+				ys[i] = entries[idx]
+			} else {
+				ys[i] = entries[clampHost(int32(idx), hi)]
+			}
+		}
+		return
+	}
+	if len(entries) < 2 {
+		return // interpolated tables always hold ≥ 2 entries + guard
+	}
+	hi := len(entries) - 1
+	mask := int32(1)<<shift - 1
+	nbits := uint(t.N)
+	for i, x := range xs {
+		diff := x - p
+		idx := int(int32(diff) >> shift)
+		delta := fixed.Q3_28(int32(diff) & mask << nbits)
+		var l0, l1 fixed.Q3_28
+		if uint(idx) < uint(hi) {
+			l0 = entries[idx]
+			l1 = entries[idx+1]
+		} else {
+			ci := clampHost(int32(idx), hi)
+			l0 = entries[ci]
+			l1 = entries[ci+1]
+		}
+		ys[i] = l0.Add(l1.Sub(l0).Mul(delta))
+	}
+}
+
+// MirrorFloatMany mirrors DevFixedLLUT.EvalFloat over float32 slices:
+// the float↔Q3.28 conversions fused around the MirrorMany loop body.
+func (d *DevFixedLLUT) MirrorFloatMany(xs, ys []float32) {
+	t := d.t
+	entries := t.Entries
+	shift := uint(fixed.FracBits - t.N)
+	p := t.P
+	ys = ys[:len(xs)]
+	if !t.Interp {
+		hi := len(entries)
+		for i, x := range xs {
+			idx := int(int32(fixed.FromFloat32(x)-p) >> shift)
+			if uint(idx) < uint(hi) {
+				ys[i] = entries[idx].Float32()
+			} else {
+				ys[i] = entries[clampHost(int32(idx), hi)].Float32()
+			}
+		}
+		return
+	}
+	if len(entries) < 2 {
+		return // interpolated tables always hold ≥ 2 entries + guard
+	}
+	hi := len(entries) - 1
+	mask := int32(1)<<shift - 1
+	nbits := uint(t.N)
+	for i, x := range xs {
+		diff := fixed.FromFloat32(x) - p
+		idx := int(int32(diff) >> shift)
+		delta := fixed.Q3_28(int32(diff) & mask << nbits)
+		var l0, l1 fixed.Q3_28
+		if uint(idx) < uint(hi) {
+			l0 = entries[idx]
+			l1 = entries[idx+1]
+		} else {
+			ci := clampHost(int32(idx), hi)
+			l0 = entries[ci]
+			l1 = entries[ci+1]
+		}
+		ys[i] = l0.Add(l1.Sub(l0).Mul(delta)).Float32()
+	}
+}
+
 // Mirror mirrors DevDLUT.Eval bit-for-bit without metering;
 // DLUT.EvalHost already replays the device bit extraction and float32
 // interpolation exactly.
 func (d *DevDLUT) Mirror(x float32) float32 { return d.t.EvalHost(x) }
+
+// MirrorMany mirrors DevDLUT.Eval over a slice: the bit-pattern
+// address extraction with all constants hoisted, sign routing to the
+// per-sign table, and a bounds-check-free in-range class.
+func (d *DevDLUT) MirrorMany(xs, ys []float32) {
+	t := d.t
+	shift := uint(23 - t.MantBits)
+	sub := int32(uint32(t.MinExp+fpbits.ExpBias) << uint(t.MantBits))
+	fracMask := uint32(1)<<shift - 1
+	scale := float32(uint32(1) << shift)
+	pos, neg := t.Pos, t.Neg
+	ys = ys[:len(xs)]
+	if !t.Interp {
+		for i, x := range xs {
+			bits := fpbits.Bits(x)
+			entries := pos
+			if bits&fpbits.SignMask != 0 {
+				entries = neg
+			}
+			idx := int(int32((bits&^uint32(fpbits.SignMask))>>shift) - sub)
+			if uint(idx) < uint(len(entries)) {
+				ys[i] = entries[idx]
+			} else {
+				ys[i] = entries[clampHost(int32(idx), len(entries))]
+			}
+		}
+		return
+	}
+	if len(pos) < 2 || len(neg) < 2 {
+		return // interpolated tables always hold ≥ 2 entries + guard
+	}
+	for i, x := range xs {
+		bits := fpbits.Bits(x)
+		entries := pos
+		if bits&fpbits.SignMask != 0 {
+			entries = neg
+		}
+		idx := int(int32((bits&^uint32(fpbits.SignMask))>>shift) - sub)
+		delta := float32(bits&fracMask) / scale
+		hi := len(entries) - 1
+		var l0, l1 float32
+		if uint(idx) < uint(hi) {
+			l0 = entries[idx]
+			l1 = entries[idx+1]
+		} else {
+			ci := clampHost(int32(idx), hi)
+			l0 = entries[ci]
+			l1 = entries[ci+1]
+		}
+		ys[i] = l0 + (l1-l0)*delta
+	}
+}
 
 // Mirror mirrors DevDLLUT.Eval bit-for-bit without metering and
 // reports which component served the lookup (true for the L-LUT), the
@@ -156,4 +370,46 @@ func (d *DevDLLUT) Mirror(x float32) (v float32, lPath bool) {
 		return d.l.Mirror(x), true
 	}
 	return d.d.Mirror(x), false
+}
+
+// MirrorMany mirrors DevDLLUT.Eval over a slice: one classification
+// pass routes each element to the L-LUT (|x| below the split) or the
+// D-LUT, the two gathered sub-batches run through their components'
+// fused kernels, and a scatter pass restores input order. Returns the
+// number of L-LUT-served elements — the class-0 count the batch cost
+// accounting charges. NaN inputs route to the D-LUT, exactly as the
+// scalar Mirror's ax < Split comparison does.
+func (d *DevDLLUT) MirrorMany(xs, ys []float32, sc *Scratch) int {
+	n := len(xs)
+	sc.Grow(n)
+	split := d.t.Split
+	cls := sc.Cls[:n]
+	xa := sc.XA[:0]
+	xb := sc.XB[:0]
+	for i, x := range xs {
+		ax := fpbits.FromBits(fpbits.Bits(x) &^ uint32(fpbits.SignMask))
+		if ax < split {
+			cls[i] = 0
+			xa = append(xa, x)
+		} else {
+			cls[i] = 1
+			xb = append(xb, x)
+		}
+	}
+	ya := sc.YA[:len(xa)]
+	yb := sc.YB[:len(xb)]
+	d.l.MirrorMany(xa, ya)
+	d.d.MirrorMany(xb, yb)
+	ys = ys[:n]
+	j, k := 0, 0
+	for i, c := range cls {
+		if c == 0 {
+			ys[i] = ya[j]
+			j++
+		} else {
+			ys[i] = yb[k]
+			k++
+		}
+	}
+	return len(xa)
 }

@@ -1,0 +1,247 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"transpimlib/internal/fixed"
+	"transpimlib/internal/fpbits"
+	"transpimlib/internal/pimsim"
+)
+
+// mirrorInputs builds an adversarial input set for the Many-kernel
+// differential tests: a dense sweep over the table domain plus every
+// special the fast classes must punt on — NaN, ±Inf, ±0, subnormals,
+// out-of-range magnitudes, and values straddling the index boundaries.
+func mirrorInputs(lo, hi float64) []float32 {
+	var xs []float32
+	n := 4001
+	for i := 0; i < n; i++ {
+		xs = append(xs, float32(lo+(hi-lo)*float64(i)/float64(n-1)))
+	}
+	span := float32(hi - lo)
+	xs = append(xs,
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)),
+		fpbits.FromBits(1), fpbits.FromBits(0x007FFFFF), // subnormals
+		-fpbits.FromBits(1),
+		float32(lo), float32(hi), float32(lo)-span, float32(hi)+span,
+		float32(lo)-1e-3, float32(hi)+1e-3,
+		1e30, -1e30, 1e-30, -1e-30,
+		float32(math.MaxFloat32), -float32(math.MaxFloat32),
+	)
+	// Index-boundary neighborhoods.
+	for _, b := range []float32{float32(lo), float32((lo + hi) / 2), float32(hi)} {
+		xs = append(xs, fpbits.NextUp(b), -fpbits.NextUp(-b))
+	}
+	return xs
+}
+
+func ref(x float64) float64 { return math.Tanh(x) }
+
+func dpuForTest(t testing.TB) func() *pimsim.DPU {
+	t.Helper()
+	return func() *pimsim.DPU {
+		return pimsim.NewSystem(pimsim.Config{DPUs: 1}).DPU(0)
+	}
+}
+
+// TestMirrorManyMatchesScalar pins every Many kernel bit-identical to
+// its per-element scalar Mirror over the adversarial input set, for
+// both interpolation variants.
+func TestMirrorManyMatchesScalar(t *testing.T) {
+	newDPU := dpuForTest(t)
+	for _, interp := range []bool{false, true} {
+		xs := mirrorInputs(-7.9, 7.9)
+		ys := make([]float32, len(xs))
+
+		mt, err := BuildMLUT(ref, -7.9, 7.9, 1<<10, interp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdev, err := mt.Load(newDPU(), pimsim.InWRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdev.MirrorMany(xs, ys)
+		for i, x := range xs {
+			if got, want := fpbits.Bits(ys[i]), fpbits.Bits(mdev.Mirror(x)); got != want {
+				t.Fatalf("MLUT interp=%v x=%v (bits %#x): many %#x != scalar %#x", interp, x, fpbits.Bits(x), got, want)
+			}
+		}
+
+		// L-LUT across density exponents, including p=0 and p≠0 and a
+		// negative density (coarse table) to stress the ldexp window.
+		for _, c := range []struct {
+			lo, hi float64
+			n      int
+		}{
+			{-7.9, 7.9, 6},
+			{0, 7.9, 8},
+			{-7.9, 7.9, -2},
+			{-0.1, 0.1, 12},
+		} {
+			lt, err := BuildLLUT(ref, c.lo, c.hi, c.n, interp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ldev, err := lt.Load(newDPU(), pimsim.InWRAM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lxs := mirrorInputs(c.lo, c.hi)
+			lys := make([]float32, len(lxs))
+			ldev.MirrorMany(lxs, lys)
+			for i, x := range lxs {
+				if got, want := fpbits.Bits(lys[i]), fpbits.Bits(ldev.Mirror(x)); got != want {
+					t.Fatalf("LLUT n=%d interp=%v x=%v (bits %#x): many %#x != scalar %#x", c.n, interp, x, fpbits.Bits(x), got, want)
+				}
+			}
+		}
+
+		ft, err := BuildFixedLLUT(ref, 0, 7.9, 8, interp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fdev, err := ft.Load(newDPU(), pimsim.InWRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fdev.MirrorFloatMany(xs, ys)
+		for i, x := range xs {
+			if got, want := fpbits.Bits(ys[i]), fpbits.Bits(fdev.MirrorFloat(x)); got != want {
+				t.Fatalf("FixedLLUT float interp=%v x=%v: many %#x != scalar %#x", interp, x, got, want)
+			}
+		}
+		qxs := make([]fixed.Q3_28, len(xs))
+		qys := make([]fixed.Q3_28, len(xs))
+		for i, x := range xs {
+			qxs[i] = fixed.FromFloat32(x)
+		}
+		fdev.MirrorMany(qxs, qys)
+		for i, q := range qxs {
+			if got, want := fdev.Mirror(q), qys[i]; got != want {
+				t.Fatalf("FixedLLUT interp=%v q=%v: many %v != scalar %v", interp, q, want, got)
+			}
+		}
+
+		dt, err := BuildDLUT(ref, -14, 3, 8, interp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ddev, err := dt.Load(newDPU(), pimsim.InWRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ddev.MirrorMany(xs, ys)
+		for i, x := range xs {
+			if got, want := fpbits.Bits(ys[i]), fpbits.Bits(ddev.Mirror(x)); got != want {
+				t.Fatalf("DLUT interp=%v x=%v (bits %#x): many %#x != scalar %#x", interp, x, fpbits.Bits(x), got, want)
+			}
+		}
+
+		dlt, err := BuildDLLUT(ref, -4, 3, 8, 12, interp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dldev, err := dlt.Load(newDPU(), pimsim.InWRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc Scratch
+		lCount := dldev.MirrorMany(xs, ys, &sc)
+		wantL := 0
+		for i, x := range xs {
+			want, lPath := dldev.Mirror(x)
+			if lPath {
+				wantL++
+			}
+			if got := fpbits.Bits(ys[i]); got != fpbits.Bits(want) {
+				t.Fatalf("DLLUT interp=%v x=%v (bits %#x): many %#x != scalar %#x", interp, x, fpbits.Bits(x), got, fpbits.Bits(want))
+			}
+		}
+		if lCount != wantL {
+			t.Fatalf("DLLUT interp=%v: many lCount=%d, scalar classified %d", interp, lCount, wantL)
+		}
+	}
+}
+
+// TestLdexpWindow pins the window classification against fpbits.Ldexp
+// across the full exponent range for a spread of scale factors.
+func TestLdexpWindow(t *testing.T) {
+	for _, n := range []int{-300, -30, -2, -1, 0, 1, 2, 8, 30, 253, 254, 300} {
+		lo, hi, ok := fpbits.LdexpWindow(n)
+		add := uint32(n) << fpbits.MantBits
+		for e := 0; e <= 255; e++ {
+			for _, mant := range []uint32{0, 1, fpbits.MantMask} {
+				for _, sign := range []uint32{0, fpbits.SignMask} {
+					b := sign | uint32(e)<<fpbits.MantBits | mant
+					x := fpbits.FromBits(b)
+					inWindow := ok && int32(e) >= lo && int32(e) <= hi
+					if !inWindow {
+						continue
+					}
+					got := fpbits.FromBits(b + add)
+					want := fpbits.Ldexp(x, n)
+					if fpbits.Bits(got) != fpbits.Bits(want) {
+						t.Fatalf("n=%d e=%d bits %#x: window add %#x != Ldexp %#x",
+							n, e, b, fpbits.Bits(got), fpbits.Bits(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func benchInputs(n int) []float32 {
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = -6 + 12*float32(i)/float32(n-1)
+	}
+	return xs
+}
+
+// BenchmarkLLUTMirrorMany measures the fused L-LUT kernel, the
+// dominant loop of the engine's batch fast path.
+func BenchmarkLLUTMirrorMany(b *testing.B) {
+	newDPU := dpuForTest(b)
+	lt, err := BuildLLUT(ref, -7.9, 7.9, 8, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := lt.Load(newDPU(), pimsim.InWRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := benchInputs(16384)
+	ys := make([]float32, len(xs))
+	b.SetBytes(int64(4 * len(xs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.MirrorMany(xs, ys)
+	}
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+// BenchmarkDLLUTMirrorMany measures the classed dual-LUT kernel.
+func BenchmarkDLLUTMirrorMany(b *testing.B) {
+	newDPU := dpuForTest(b)
+	dlt, err := BuildDLLUT(ref, -4, 3, 8, 12, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := dlt.Load(newDPU(), pimsim.InWRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := benchInputs(16384)
+	ys := make([]float32, len(xs))
+	var sc Scratch
+	sc.Grow(len(xs))
+	b.SetBytes(int64(4 * len(xs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.MirrorMany(xs, ys, &sc)
+	}
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}

@@ -1,0 +1,70 @@
+package lut
+
+import "transpimlib/internal/fixed"
+
+// Scratch is a reusable struct-of-arrays arena for the classed batch
+// kernels: the SoA value lanes the pre-classification passes gather
+// sub-batches into, the per-element class tags, and the integer lanes
+// the range-reduction pipelines carry exponents and fixed-point values
+// in. One Scratch serves one kernel invocation at a time (no internal
+// locking); the engine keeps one per PIM lane, pre-grown to the lane's
+// batch capacity, so steady-state batches never allocate. Lanes grow
+// on demand and never shrink.
+//
+// Lane conventions (per kernel invocation):
+//   - Cls tags each input element with its control-flow class.
+//   - XA/YA and XB/YB are gathered per-class float sub-batches
+//     (inputs/outputs); elementwise pipelines use XB/YB so a class
+//     partition in XA/YA can feed a pipeline without clashing.
+//   - IA carries per-element exponents (ldexp/frexp splits).
+//   - QA/QB are the Q3.28 lanes of the fixed-point kernels.
+//   - TA/TB/TC are the Q23.40 lanes of the CORDIC kernels (folded
+//     angles in, sin/cos vectors out).
+type Scratch struct {
+	Cls        []uint8
+	XA, YA     []float32
+	XB, YB     []float32
+	IA         []int32
+	QA, QB     []fixed.Q3_28
+	TA, TB, TC []int64
+
+	// Counts is the per-class element tally a batch-kernel invocation
+	// fills (core.maxCostClasses entries). It lives in the Scratch —
+	// rather than on the caller's stack — because its address is passed
+	// through an opaque kernel func value, which would otherwise force
+	// a heap allocation per batch.
+	Counts [4]uint64
+}
+
+// growTo returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growTo[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// Grow ensures the class tags, float lanes and integer lane hold n
+// elements.
+func (s *Scratch) Grow(n int) {
+	s.Cls = growTo(s.Cls, n)
+	s.XA = growTo(s.XA, n)
+	s.YA = growTo(s.YA, n)
+	s.XB = growTo(s.XB, n)
+	s.YB = growTo(s.YB, n)
+	s.IA = growTo(s.IA, n)
+}
+
+// GrowQ ensures the fixed-point lanes hold n elements.
+func (s *Scratch) GrowQ(n int) {
+	s.QA = growTo(s.QA, n)
+	s.QB = growTo(s.QB, n)
+}
+
+// GrowT ensures the Q23.40 lanes hold n elements.
+func (s *Scratch) GrowT(n int) {
+	s.TA = growTo(s.TA, n)
+	s.TB = growTo(s.TB, n)
+	s.TC = growTo(s.TC, n)
+}

@@ -132,6 +132,28 @@ func (p *Poly) EvalHost(x float32) float32 {
 	return acc
 }
 
+// EvalHostMany runs EvalHost over a slice with the coefficient array
+// and affine input mapping hoisted out of the per-element loop;
+// bit-identical to per-element calls.
+func (p *Poly) EvalHostMany(xs, ys []float32) {
+	ys = ys[:len(xs)]
+	coeffs := p.Coeffs
+	if len(coeffs) == 0 {
+		return
+	}
+	scale, shift := p.scale, p.shift
+	lead := coeffs[len(coeffs)-1]
+	rest := coeffs[:len(coeffs)-1]
+	for i, x := range xs {
+		t := x*scale + shift
+		acc := lead
+		for j := len(rest) - 1; j >= 0; j-- {
+			acc = acc*t + rest[j]
+		}
+		ys[i] = acc
+	}
+}
+
 // MaxError estimates the fit's maximum absolute error on a dense grid.
 func (p *Poly) MaxError(f Func, samples int) float64 {
 	var worst float64

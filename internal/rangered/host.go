@@ -63,6 +63,20 @@ func SplitExpHost(x float32) (r float32, k int32) {
 // JoinExpHost mirrors JoinExp.
 func JoinExpHost(expR float32, k int32) float32 { return fpbits.Ldexp(expR, int(k)) }
 
+// SplitExpHostMany runs SplitExpHost over a slice, filling the reduced
+// arguments and scale exponents; bit-identical to per-element calls.
+func SplitExpHostMany(xs []float32, rs []float32, ks []int32) {
+	rs = rs[:len(xs)]
+	ks = ks[:len(xs)]
+	for i, x := range xs {
+		k := pimsim.RoundToEven32(x * Log2E)
+		kf := float32(k)
+		r := x - kf*Ln2Hi
+		rs[i] = r - kf*Ln2Lo
+		ks[i] = k
+	}
+}
+
 // SplitLogHost mirrors SplitLog.
 func SplitLogHost(x float32) (m float32, e int32) {
 	mf, ei := fpbits.Frexp(x)
@@ -71,6 +85,17 @@ func SplitLogHost(x float32) (m float32, e int32) {
 
 // JoinLogHost mirrors JoinLog.
 func JoinLogHost(logM float32, e int32) float32 { return logM + float32(e)*Ln2 }
+
+// SplitLogHostMany runs SplitLogHost over a slice.
+func SplitLogHostMany(xs []float32, ms []float32, es []int32) {
+	ms = ms[:len(xs)]
+	es = es[:len(xs)]
+	for i, x := range xs {
+		mf, ei := fpbits.Frexp(x)
+		ms[i] = mf
+		es[i] = int32(ei)
+	}
+}
 
 // SplitSqrtHost mirrors SplitSqrt; odd reports whether the exponent-
 // parity fold ran (the branch the batch cost accounting charges).
