@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"transpimlib/internal/engine"
+	"transpimlib/internal/faultsim"
+	"transpimlib/internal/workloads"
+)
+
+var (
+	flagFused  = flag.Bool("fused", false, "run the fused-program workloads (softmax, ffn-gelu, logistic-step) side by side with the per-op baseline")
+	flagVerify = flag.Bool("verify", false, "with -fused: fail (exit 1) unless fused outputs are bit-identical to the per-op baseline")
+	flagFaults = flag.String("faults", "", "with -fused: fault-injection plan for the fused engine (e.g. \"seed=9,dpufail=1\"); proves the host-mirror degrade rung")
+	flagJSON   = flag.String("json", "", "with -fused: write the side-by-side results as a JSON benchmark artifact to this path")
+)
+
+// fusedBench runs the three fused end-to-end scenarios on one engine,
+// each through the fused on-device program and through the per-op
+// baseline, and prints the side-by-side table (elements/s, modeled
+// cycles, host↔PIM bytes moved, saved transfer cycles).
+func fusedBench(dpus int) {
+	n := dpus * 1024
+	cfg := engine.Config{DPUs: dpus, MaxBatch: n, Ledger: true}
+	if *flagFaults != "" {
+		plan, err := faultsim.ParsePlan(*flagFaults)
+		if err != nil {
+			fmt.Println("  ERROR: bad -faults plan:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = &plan
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		fmt.Println("  ERROR:", err)
+		os.Exit(1)
+	}
+	defer e.Close()
+
+	fmt.Printf("-- Fused programs vs per-op baseline (%d cores, n=%d per workload) --\n", dpus, n)
+	var rows []workloads.FusedResult
+	failed := false
+	for _, cs := range workloads.FusedCases() {
+		r, err := workloads.RunFused(e, cs, n, *flagVerify)
+		if err != nil {
+			fmt.Println("  ERROR:", err)
+			failed = true
+			continue
+		}
+		fmt.Println("  " + r.String())
+		if r.Degraded {
+			fmt.Printf("  %-14s recovered on the host mirror (degraded), outputs still bit-identical\n", "")
+		}
+		rows = append(rows, r)
+	}
+	fmt.Println()
+
+	if *flagJSON != "" {
+		doc := struct {
+			Cores    int                     `json:"cores"`
+			Elements int                     `json:"elements"`
+			Faults   string                  `json:"faults,omitempty"`
+			Results  []workloads.FusedResult `json:"results"`
+		}{Cores: dpus, Elements: n, Faults: *flagFaults, Results: rows}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*flagJSON, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Println("  ERROR: writing -json artifact:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -25,7 +25,7 @@ var (
 	flagDPUs      = flag.Int("dpus", 64, "simulated PIM cores (paper: 2545)")
 	flagFull      = flag.Bool("full", false, "use the paper's full element counts instead of scaling by core count")
 	flagMeasured  = flag.Bool("measured", false, "also run measured host-CPU baselines on this machine")
-	flagWorkload  = flag.String("workload", "all", "blackscholes | sigmoid | softmax | all")
+	flagWorkload  = flag.String("workload", "all", "blackscholes | sigmoid | softmax | fused | all")
 	flagCalibrate = flag.Bool("calibrate", false, "measure this host's math-library costs and print the derived CPU model")
 )
 
@@ -54,6 +54,12 @@ func main() {
 	fmt.Printf("   (kernel = PIM compute; transfer = Host↔PIM, projected to full %d-core scale)\n\n", workloads.FullDPUs)
 
 	run := *flagWorkload
+	if *flagFused || run == "fused" {
+		fusedBench(dpus)
+		if run == "fused" {
+			return
+		}
+	}
 	if run == "all" || run == "fig1" {
 		fig1(dpus)
 	}

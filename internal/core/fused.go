@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+
+	"transpimlib/internal/pimsim"
+)
+
+// FusedOperator is the device-primitive table behind fused programs
+// (internal/fusion): the elementwise and reduction steps that ride in
+// the same streamed kernel loop as a transcendental Operator, each with
+// a bit-exact host mirror and a pre-recorded single-class cost
+// signature in the PR 3/8 style. Every primitive's charge sequence is
+// straight-line — the max/accumulate selects are compiled branchless
+// (compare + conditional move, charged unconditionally) — so one
+// signature per op covers the whole input space exactly and the batch
+// fast path bulk-charges signature × count with accounting
+// bit-identical to the per-element interpreted walk.
+
+// ElemOp identifies one fused elementwise primitive.
+type ElemOp uint8
+
+// The elementwise primitives.
+const (
+	ElemAdd ElemOp = iota
+	ElemSub
+	ElemMul
+	ElemDiv
+	ElemMax
+	NumElemOps
+)
+
+var elemOpNames = [...]string{"add", "sub", "mul", "div", "max"}
+
+// String returns the op's lowercase name.
+func (op ElemOp) String() string {
+	if int(op) >= len(elemOpNames) {
+		return "elem?"
+	}
+	return elemOpNames[op]
+}
+
+// ReduceOp identifies one fused reduction primitive.
+type ReduceOp uint8
+
+// The reduction primitives.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	NumReduceOps
+)
+
+var reduceOpNames = [...]string{"sum", "max"}
+
+// String returns the op's lowercase name.
+func (op ReduceOp) String() string {
+	if int(op) >= len(reduceOpNames) {
+		return "reduce?"
+	}
+	return reduceOpNames[op]
+}
+
+// FusedOperator carries the recorded cost signatures of the fused
+// primitives under one cost model. Build once per compiled program
+// with NewFusedOperator; safe for concurrent read-only use.
+type FusedOperator struct {
+	elem [NumElemOps]pimsim.CostSig
+	red  [NumReduceOps]pimsim.CostSig
+
+	// scalarLoad/scalarStore are the per-lane costs of reading a
+	// broadcast scalar out of the streamed chunk and of parking a
+	// reduction partial for the host gather — the WRAM access the
+	// SoftmaxPIM workload kernel charges for the same steps.
+	scalarLoad  pimsim.CostSig
+	scalarStore pimsim.CostSig
+}
+
+// NewFusedOperator records the primitive signatures on a throwaway
+// core under the given cost model.
+func NewFusedOperator(model pimsim.CostModel) *FusedOperator {
+	f := &FusedOperator{}
+	rec := pimsim.NewSigRecorder(model)
+	for op := ElemOp(0); op < NumElemOps; op++ {
+		rec.TakeSig()
+		f.ElemEval(rec, op, 1, 2)
+		f.elem[op] = rec.TakeSig()
+	}
+	for op := ReduceOp(0); op < NumReduceOps; op++ {
+		rec.TakeSig()
+		f.ReduceEval(rec, op, 1, 2)
+		f.red[op] = rec.TakeSig()
+	}
+	rec.TakeSig()
+	_ = rec.LoadStreamedF32(rec.DPU().MRAM, 0)
+	f.scalarLoad = rec.TakeSig()
+	rec.StoreStreamedF32(rec.DPU().MRAM, 0, 0)
+	f.scalarStore = rec.TakeSig()
+	return f
+}
+
+// ElemEval computes op(a, b) on the PIM core through ctx — the
+// interpreted reference path. ElemMax is the branchless select:
+// compare then conditional move, both charged regardless of which
+// operand wins, so the cost never depends on the data.
+func (f *FusedOperator) ElemEval(ctx *pimsim.Ctx, op ElemOp, a, b float32) float32 {
+	switch op {
+	case ElemAdd:
+		return ctx.FAdd(a, b)
+	case ElemSub:
+		return ctx.FSub(a, b)
+	case ElemMul:
+		return ctx.FMul(a, b)
+	case ElemDiv:
+		return ctx.FDiv(a, b)
+	case ElemMax:
+		c := ctx.FCmp(a, b)
+		ctx.Move()
+		if c < 0 {
+			return b
+		}
+		return a
+	}
+	panic("core: bad elem op")
+}
+
+// ElemApply is the unmetered host mirror of ElemEval, bit-exact with
+// the device arithmetic (plain float32 IEEE ops; the max select keeps
+// a on ties and unordered compares, exactly like the FCmp sequence).
+func ElemApply(op ElemOp, a, b float32) float32 {
+	switch op {
+	case ElemAdd:
+		return a + b
+	case ElemSub:
+		return a - b
+	case ElemMul:
+		return a * b
+	case ElemDiv:
+		return a / b
+	case ElemMax:
+		if a < b {
+			return b
+		}
+		return a
+	}
+	panic("core: bad elem op")
+}
+
+// ReduceInit returns the reduction's identity accumulator.
+func ReduceInit(op ReduceOp) float32 {
+	if op == ReduceMax {
+		return float32(math.Inf(-1))
+	}
+	return 0
+}
+
+// ReduceEval folds x into acc on the PIM core through ctx — one
+// accumulate step of the in-loop reduction.
+func (f *FusedOperator) ReduceEval(ctx *pimsim.Ctx, op ReduceOp, acc, x float32) float32 {
+	if op == ReduceMax {
+		c := ctx.FCmp(acc, x)
+		ctx.Move()
+		if c < 0 {
+			return x
+		}
+		return acc
+	}
+	return ctx.FAdd(acc, x)
+}
+
+// ReduceApply is the unmetered host mirror of ReduceEval. The host
+// combine across lane partials uses the same function in lane order,
+// so the fused path and the per-op baseline reach bit-identical
+// scalars.
+func ReduceApply(op ReduceOp, acc, x float32) float32 {
+	if op == ReduceMax {
+		if acc < x {
+			return x
+		}
+		return acc
+	}
+	return acc + x
+}
+
+// ChargeElem bulk-charges n applications of the elementwise op —
+// bit-identical accounting to n ElemEval calls.
+func (f *FusedOperator) ChargeElem(ctx *pimsim.Ctx, op ElemOp, n uint64) {
+	ctx.ChargeSig(&f.elem[op], n)
+}
+
+// ChargeReduce bulk-charges n accumulate steps of the reduction.
+func (f *FusedOperator) ChargeReduce(ctx *pimsim.Ctx, op ReduceOp, n uint64) {
+	ctx.ChargeSig(&f.red[op], n)
+}
+
+// ChargeScalarLoad accounts reading n broadcast scalars from the
+// streamed chunk (once per lane per phase, not per element).
+func (f *FusedOperator) ChargeScalarLoad(ctx *pimsim.Ctx, n uint64) {
+	ctx.ChargeSig(&f.scalarLoad, n)
+}
+
+// ChargeScalarStore accounts parking n reduction partials for the
+// host gather.
+func (f *FusedOperator) ChargeScalarStore(ctx *pimsim.Ctx, n uint64) {
+	ctx.ChargeSig(&f.scalarStore, n)
+}
+
+// RecordStreamSig records the per-element streaming overhead of a
+// fused kernel loop with the given number of operand loads and result
+// stores per element: loads × WRAM load + stores × WRAM store + the
+// loop counter and branch. With one load and one store it is exactly
+// the engine's per-op stream signature, which is what makes a
+// single-node fused program charge the same cycles as the per-op
+// batch path.
+func RecordStreamSig(model pimsim.CostModel, loads, stores int) pimsim.CostSig {
+	rec := pimsim.NewSigRecorder(model)
+	m := rec.DPU().MRAM
+	for i := 0; i < loads; i++ {
+		_ = rec.LoadStreamedF32(m, 0)
+	}
+	for i := 0; i < stores; i++ {
+		rec.StoreStreamedF32(m, 0, 0)
+	}
+	rec.Charge(2)
+	return rec.TakeSig()
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"transpimlib/internal/fusion"
 	"transpimlib/internal/telemetry"
 )
 
@@ -21,6 +22,14 @@ type request struct {
 	outputs  []float32
 	enqueued time.Time
 	done     chan struct{}
+
+	// Fused-program request fields (program.go): prog is the compiled
+	// program and pinputs/pscalars its bound arguments; spec/inputs are
+	// unused when prog is set. outputs holds the program result (the
+	// batch size, or 1 for a scalar-returning program).
+	prog     *fusion.Compiled
+	pinputs  [][]float32
+	pscalars []float32
 
 	mu        sync.Mutex
 	remaining int // segments not yet drained
@@ -136,6 +145,14 @@ type batch struct {
 	plan    *batchPlan
 	direct  bool
 	hostOut bool
+
+	// Fused-program batch fields (program.go): prog carries the whole
+	// program as one single-segment batch; pIn/pOut accumulate its
+	// metered host↔PIM bytes across transfer-in, the phase syncs, and
+	// transfer-out (they reconcile exactly against the compiler's
+	// analytic byte model).
+	prog     *fusion.Compiled
+	pIn, pOut int
 
 	// Reliability outcomes (fault injection only; see reliability.go).
 	lanes    []int // healthy-lane chunk layout when remapped

@@ -220,6 +220,9 @@ type Engine struct {
 	// steady state skips table-cache locking and shard planning; see
 	// plan.go. Invalidated lazily by the table cache's generation.
 	plans *planCache
+	// pplans caches fused-program execution plans per (program, shard,
+	// size); see program.go. Pins the same table-cache generation.
+	pplans *progPlanCache
 
 	// bplan/splan are the pipeline's stage seams (see stages.go): the
 	// batcher plans batches through bplan, the transfer stages plan
@@ -277,6 +280,7 @@ func New(cfg Config) (*Engine, error) {
 		sys:      pimsim.NewSystem(pimsim.Config{DPUs: cfg.DPUs, Cost: cfg.Cost}),
 		cache:    newTableCache(),
 		plans:    newPlanCache(defaultPlanCacheLimit),
+		pplans:   newProgPlanCache(defaultProgPlanLimit),
 		bplan:    coalescePlanner{},
 		splan:    paddedPlanner{},
 		submit:   make(chan *request, cfg.QueueDepth),
@@ -571,7 +575,14 @@ func (e *Engine) batcher() {
 	// isn't retained): a steady-state round allocates nothing.
 	bySpec := make(map[Spec][]*request)
 	var order []Spec
+	// Program requests are never coalesced or split: one batch carries
+	// the whole program so its intermediates stay device-resident.
+	var progs []*request
 	add := func(r *request) {
+		if r.prog != nil {
+			progs = append(progs, r)
+			return
+		}
 		lst := bySpec[r.spec]
 		if len(lst) == 0 {
 			order = append(order, r.spec)
@@ -591,6 +602,10 @@ func (e *Engine) batcher() {
 			bySpec[sp] = lst[:0]
 		}
 		order = order[:0]
+		for i := range progs {
+			progs[i] = nil
+		}
+		progs = progs[:0]
 		add(r)
 		closed := false
 		if e.cfg.BatchWindow > 0 {
@@ -634,6 +649,22 @@ func (e *Engine) batcher() {
 				e.dispatch <- b
 			}
 		}
+		for _, pr := range progs {
+			b := newBatch(Spec{})
+			b.prog = pr.prog
+			n := len(pr.pinputs[0])
+			b.segs = append(b.segs, seg{req: pr, off: 0, n: n})
+			b.n = n
+			pr.mu.Lock()
+			pr.remaining++
+			pr.mu.Unlock()
+			e.seq++
+			b.seq = e.seq
+			if e.tracer != nil {
+				b.tr = &batchTrace{}
+			}
+			e.dispatch <- b
+		}
 		if closed {
 			return
 		}
@@ -655,6 +686,14 @@ func (e *Engine) stageTransferIn(s *shard) {
 		if b.tr != nil {
 			b.tr.shard = s.id
 			b.tr.inStart = time.Now()
+		}
+		if b.prog != nil {
+			e.stageProgramIn(s, b)
+			if b.tr != nil {
+				b.tr.inEnd = time.Now()
+			}
+			s.mid <- b
+			continue
 		}
 		var per, padded int
 		if e.inj == nil {
@@ -722,6 +761,11 @@ func (e *Engine) stageCompute(s *shard) {
 	defer e.wg.Done()
 	defer close(s.out)
 	for b := range s.mid {
+		if b.prog != nil {
+			e.computeProgram(s, b)
+			s.out <- b
+			continue
+		}
 		if e.inj != nil {
 			e.computeShardFaulty(s, b)
 			s.out <- b
@@ -912,7 +956,12 @@ func (e *Engine) stageTransferOut(s *shard) {
 			b.tr.outStart = time.Now()
 		}
 		var bytesIn, bytesOut int
-		if b.err == nil {
+		switch {
+		case b.prog != nil:
+			// Program outputs are already in the request's slices (host
+			// staging); only the result transfer remains to charge.
+			bytesIn, bytesOut = e.drainProgramOut(s, b)
+		case b.err == nil:
 			s.gatherOutputs(b)
 			var padded int
 			if b.plan != nil {
@@ -982,13 +1031,20 @@ func (e *Engine) finishRequest(r *request) {
 		if r.stats.Degraded {
 			d.Degraded = 1
 		}
-		e.led.Add(telemetry.LedgerKey{
+		key := telemetry.LedgerKey{
 			Tenant:   r.tenant,
 			Function: r.spec.Fn.String(),
 			Method:   methodLabel(r.spec.Par),
-		}, d)
+		}
+		if r.prog != nil {
+			key.Function, key.Method = "program", "fused:"+r.prog.Name()
+		}
+		e.led.Add(key, d)
 	}
-	if e.acc != nil && r.err == nil {
+	// The shadow sampler compares outputs[i] against fn(inputs[i]); a
+	// fused program's output is a whole-graph composite with no single
+	// reference function, so programs skip accuracy sampling.
+	if e.acc != nil && r.err == nil && r.prog == nil {
 		// The shadow sampler only reads inputs/outputs; it never
 		// touches the pipeline, so modeled cycles and outputs are
 		// untouched whether it runs or not.

@@ -1,0 +1,442 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/fusion"
+	"transpimlib/internal/pimsim"
+)
+
+// This file is the engine's fused-program path: a compiled
+// fusion.Program rides the same submit → batcher → transfer-in →
+// compute → transfer-out pipeline as ordinary requests, but one batch
+// carries the whole program. Its intermediate vectors never cross the
+// host boundary — transfer-in ships the input vectors (plus the initial
+// scalar broadcasts) once, each phase is one fused kernel launch, the
+// 4-byte-per-lane reduction syncs are the only mid-program traffic, and
+// transfer-out ships only the result. The per-op baseline
+// (EvaluateProgramPerOp) pays a full round trip per node through the
+// ordinary paths instead; outputs are bit-identical between the two.
+
+// ProgramStats reports one fused program evaluation: the underlying
+// request costs plus the byte model the fusion compiler guarantees.
+type ProgramStats struct {
+	RequestStats
+
+	// FusedBytes is the total host↔PIM bytes this evaluation moved
+	// (inputs + scalar broadcasts + reduction syncs + result);
+	// PerOpBytes is what the per-op baseline moves for the same
+	// program and batch; SavedBytes is the difference. The engine's
+	// metered transfers reconcile exactly against these (the
+	// differential suite's contract).
+	FusedBytes int
+	PerOpBytes int
+	SavedBytes int
+
+	// SavedTransferSeconds/Cycles convert the byte saving to modeled
+	// transfer time under the system's rank-parallel bandwidths (split
+	// per direction) and to equivalent PIM clock cycles.
+	SavedTransferSeconds float64
+	SavedTransferCycles  uint64
+}
+
+// PerOpStats aggregates the per-op baseline evaluation of a program:
+// one ordinary engine round trip per device node.
+type PerOpStats struct {
+	// Requests is how many engine round trips the decomposition made.
+	Requests int
+	// MovedBytes is the total host↔PIM bytes the baseline moved
+	// (analytic, reconciled against the engine's byte counters by the
+	// differential suite).
+	MovedBytes int
+
+	KernelCycles       uint64
+	SetupSeconds       float64
+	TransferInSeconds  float64
+	ComputeSeconds     float64
+	TransferOutSeconds float64
+}
+
+// ModeledSeconds returns the baseline's total modeled pipeline time.
+func (s PerOpStats) ModeledSeconds() float64 {
+	return s.SetupSeconds + s.TransferInSeconds + s.ComputeSeconds + s.TransferOutSeconds
+}
+
+// progKey identifies a cached program execution plan: one compiled
+// program, one shard (whose cores hold the operator tables), one batch
+// shape.
+type progKey struct {
+	pid   uint64
+	shard int
+	n     int
+}
+
+// progEntry pins the table-cache generation like batchPlan does: a
+// table hot-swap bumps the generation and the entry self-invalidates.
+type progEntry struct {
+	ex  *fusion.Exec
+	gen uint64
+}
+
+const defaultProgPlanLimit = 64
+
+// progPlanCache is the bounded FIFO cache of program execution plans.
+// An Exec carries per-batch mutable state, but a shard's compute stage
+// runs one batch at a time and entries are keyed by shard, so a cached
+// Exec never serves two batches concurrently.
+type progPlanCache struct {
+	mu    sync.Mutex
+	m     map[progKey]progEntry
+	order []progKey
+	limit int
+}
+
+func newProgPlanCache(limit int) *progPlanCache {
+	return &progPlanCache{m: make(map[progKey]progEntry), limit: limit}
+}
+
+func (c *progPlanCache) lookup(k progKey, gen uint64) *fusion.Exec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok || e.gen != gen {
+		return nil
+	}
+	return e.ex
+}
+
+func (c *progPlanCache) store(k progKey, ex *fusion.Exec, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; !ok {
+		c.order = append(c.order, k)
+	}
+	c.m[k] = progEntry{ex: ex, gen: gen}
+	for len(c.order) > c.limit {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, old)
+	}
+}
+
+func (c *progPlanCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// CachedProgramPlans returns how many program execution plans are live.
+func (e *Engine) CachedProgramPlans() int { return e.pplans.size() }
+
+// CompileProgram compiles a fused program against this engine's cost
+// model under the given method parameters. The compiled program is
+// reusable across evaluations and engines sharing the same cost model.
+func (e *Engine) CompileProgram(p *fusion.Program, par core.Params) (*fusion.Compiled, error) {
+	return fusion.Compile(p, par, e.cfg.Cost)
+}
+
+// EvaluateProgram evaluates a compiled fused program over the given
+// vector inputs and runtime scalars and returns the result (length n,
+// or 1 for a scalar-returning program) with its cost report. Safe for
+// concurrent use.
+func (e *Engine) EvaluateProgram(c *fusion.Compiled, inputs [][]float32, scalars []float32) ([]float32, ProgramStats, error) {
+	return e.EvaluateProgramTenant("", c, inputs, scalars)
+}
+
+// EvaluateProgramTenant is EvaluateProgram with a tenant tag for
+// ledger attribution (the "fused:<program-name>" method rows).
+func (e *Engine) EvaluateProgramTenant(tenant string, c *fusion.Compiled, inputs [][]float32, scalars []float32) ([]float32, ProgramStats, error) {
+	n, err := c.CheckArgs(inputs, scalars)
+	if err != nil {
+		return nil, ProgramStats{}, err
+	}
+	if n > e.cfg.MaxBatch {
+		// A fused program's intermediates live on-device for the whole
+		// batch; splitting would break reduction semantics, so the batch
+		// bound is a hard ceiling here rather than a split point.
+		return nil, ProgramStats{}, fmt.Errorf("engine: program batch %d exceeds MaxBatch %d (fused programs are not split)", n, e.cfg.MaxBatch)
+	}
+	outLen := n
+	if c.ScalarResult() {
+		outLen = 1
+	}
+	r := &request{
+		prog:     c,
+		pinputs:  inputs,
+		pscalars: scalars,
+		tenant:   tenant,
+		outputs:  make([]float32, outLen),
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	r.stats.CacheHit = true
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ProgramStats{}, ErrEngineClosed
+	}
+	e.met.requests.Inc()
+	e.submit <- r
+	e.met.queueDepth.Set(int64(len(e.submit)))
+	e.mu.RUnlock()
+
+	<-r.done
+	k := e.cfg.DPUs / e.cfg.Shards
+	st := ProgramStats{RequestStats: r.stats}
+	st.FusedBytes = c.FusedBytes(n, k)
+	st.PerOpBytes = c.PerOpBytes(n, k)
+	st.SavedBytes = st.PerOpBytes - st.FusedBytes
+	sc := e.sys.Config()
+	st.SavedTransferSeconds = c.SavedTransferSeconds(n, k, sc.HostToPIMBandwidth, sc.PIMToHostBandwidth)
+	st.SavedTransferCycles = uint64(st.SavedTransferSeconds * sc.ClockHz)
+	return r.outputs, st, r.err
+}
+
+// EvaluateProgramPerOp evaluates the same program through the per-op
+// baseline: every transcendental node goes through the ordinary batch
+// path, every vector elementwise and reduction node through a
+// single-node mini program — one full host↔PIM round trip per device
+// node, with host scalar arithmetic free exactly as in the fused path.
+// Outputs are bit-identical to EvaluateProgram.
+func (e *Engine) EvaluateProgramPerOp(tenant string, c *fusion.Compiled, inputs [][]float32, scalars []float32) ([]float32, PerOpStats, error) {
+	var st PerOpStats
+	add := func(rs RequestStats) {
+		st.Requests++
+		st.KernelCycles += rs.KernelCycles
+		st.SetupSeconds += rs.SetupSeconds
+		st.TransferInSeconds += rs.TransferInSeconds
+		st.ComputeSeconds += rs.ComputeSeconds
+		st.TransferOutSeconds += rs.TransferOutSeconds
+	}
+	out, err := fusion.RunPerOp(c, inputs, scalars,
+		func(fn core.Function, xs []float32) ([]float32, error) {
+			ys, rs, err := e.EvaluateBatchTenant(tenant, fn, c.Params(), xs)
+			if err == nil {
+				add(rs)
+			}
+			return ys, err
+		},
+		func(mini *fusion.Compiled, ins [][]float32, ss []float32) ([]float32, error) {
+			ys, ps, err := e.EvaluateProgramTenant(tenant, mini, ins, ss)
+			if err == nil {
+				add(ps.RequestStats)
+			}
+			return ys, err
+		})
+	if err != nil {
+		return nil, PerOpStats{}, err
+	}
+	st.MovedBytes = c.PerOpBytes(len(inputs[0]), e.cfg.DPUs/e.cfg.Shards)
+	return out, st, nil
+}
+
+// stageProgramIn is transfer-in for a program batch: charge the
+// program's inbound bytes — every input vector rank-padded plus the
+// initial scalar broadcasts — in one checked (or plain) transfer.
+// Programs always use host staging (the compiled-plan convention): the
+// fused kernels read and write host memory while the simulator charges
+// the exact modeled costs, so no MRAM copies are made here.
+func (e *Engine) stageProgramIn(s *shard, b *batch) {
+	per, _ := e.splan.Plan(b.n, len(s.dpus))
+	b.perDPU = per
+	inBytes := b.prog.InBytes(b.n, len(s.dpus))
+	if e.inj != nil {
+		e.chargeTransferIn(s, b, inBytes)
+	} else {
+		e.sys.ChargeHostToPIM(inBytes, true)
+		b.tin = float64(inBytes) / e.sys.Config().HostToPIMBandwidth
+	}
+	b.pIn = inBytes
+}
+
+// computeProgram is the compute stage for a program batch: resolve (or
+// plan-hit) the execution plan, then run each phase as one shard-wide
+// fused kernel launch with a reduction sync between phases. Under
+// fault injection a failed launch retries the whole phase — RunLane is
+// idempotent over its bound state — and exhaustion (or a failed
+// transfer-in) degrades to the bit-exact host mirror, the same last
+// rung as the per-op ladder.
+func (e *Engine) computeProgram(s *shard, b *batch) {
+	c := b.prog
+	r := b.segs[0].req
+	if b.tr != nil {
+		b.tr.setupStart = time.Now()
+	}
+	gen := e.cache.generation()
+	key := progKey{pid: c.ID(), shard: s.id, n: b.n}
+	var ex *fusion.Exec
+	if e.inj == nil {
+		ex = e.pplans.lookup(key, gen)
+	}
+	if ex != nil {
+		b.hit, b.setup = true, 0
+		e.met.planHits.Inc()
+	} else {
+		e.met.planMisses.Inc()
+		ex = c.NewExec(len(s.dpus))
+		hit := true
+		var setup float64
+		for i, fn := range c.FuncNodes() {
+			ops, h, su, err := e.cache.ensure(Spec{Fn: fn, Par: c.Params()}, s)
+			e.met.cachedSpecs.Set(int64(e.cache.size()))
+			if err != nil {
+				b.err = err
+				if b.tr != nil {
+					b.tr.setupEnd = time.Now()
+				}
+				return
+			}
+			if !h {
+				hit = false
+			}
+			setup += su
+			ex.SetOps(i, ops)
+		}
+		b.hit, b.setup = hit, setup
+		if e.inj == nil {
+			e.pplans.store(key, ex, gen)
+		}
+	}
+	if b.tr != nil {
+		b.tr.setupEnd = time.Now()
+	}
+
+	var out []float32
+	if !c.ScalarResult() {
+		out = r.outputs
+	}
+	ex.Bind(r.pinputs, r.pscalars, out, b.n, b.perDPU)
+
+	if b.tr != nil {
+		b.tr.kernStart = time.Now()
+	}
+	if b.inFailed {
+		e.degradeProgram(s, b, ex)
+		if b.tr != nil {
+			b.tr.kernEnd = time.Now()
+		}
+		return
+	}
+	fast := !e.cfg.Reference
+	base := s.ids[0]
+	for phi := 0; phi < ex.NumPhases(); phi++ {
+		kern := func(ctx *pimsim.Ctx, id int) error {
+			local := id - base
+			ex.RunLane(ctx, phi, local, s.arena[local], fast)
+			return nil
+		}
+		var launchErr error
+		for attempt := uint64(0); ; attempt++ {
+			for i, d := range s.dpus {
+				s.issue0[i] = d.IssueCycles()
+				s.dma0[i] = d.DMACycles()
+			}
+			if e.inj == nil {
+				launchErr = e.sys.LaunchShard(s.ids, kern)
+			} else {
+				launchErr = e.sys.LaunchShardSeq(b.seq, attempt, s.ids, kern)
+			}
+			var mx uint64
+			for i, d := range s.dpus {
+				cyc := pimsim.ClosedFormCycles(d.IssueCycles()-s.issue0[i], d.DMACycles()-s.dma0[i], d.Tasklets())
+				if cyc > mx {
+					mx = cyc
+				}
+			}
+			b.cycles += mx
+			b.tcomp += float64(mx) / e.sys.Config().ClockHz
+			if launchErr == nil {
+				break
+			}
+			var le *pimsim.LaunchError
+			if e.inj != nil && errors.As(launchErr, &le) && attempt < uint64(e.rel.MaxRetries) {
+				e.met.launchRetries.Inc()
+				b.retries++
+				b.tcomp += e.rel.backoff(attempt + 1)
+				continue
+			}
+			break
+		}
+		if launchErr != nil {
+			var le *pimsim.LaunchError
+			if e.inj != nil && errors.As(launchErr, &le) {
+				e.degradeProgram(s, b, ex)
+			} else {
+				b.err = launchErr
+			}
+			if b.tr != nil {
+				b.tr.kernEnd = time.Now()
+			}
+			return
+		}
+		// Phase sync: gather the reduction partials, combine on the
+		// host, broadcast the scalars the next phases read. These small
+		// transfers ride the plain charge paths even under injection —
+		// the ladder's retry/degrade rungs guard the bulk transfers and
+		// the launches.
+		gather, bcast := ex.Sync(phi)
+		if gather > 0 {
+			e.sys.ChargePIMToHost(gather, true)
+			b.tout += float64(gather) / e.sys.Config().PIMToHostBandwidth
+			b.pOut += gather
+		}
+		if bcast > 0 {
+			e.sys.ChargeHostToPIM(bcast, true)
+			b.tin += float64(bcast) / e.sys.Config().HostToPIMBandwidth
+			b.pIn += bcast
+		}
+	}
+	if c.ScalarResult() {
+		r.outputs[0] = ex.ScalarResult()
+	}
+	if b.tr != nil {
+		b.tr.kernEnd = time.Now()
+	}
+}
+
+// degradeProgram completes a program batch on the host mirror: the
+// whole bound batch re-runs sequentially through the interpreted
+// reference against a throwaway recorder, bit-identical to a clean
+// device run (the PR 4 ladder's last rung, extended to programs).
+func (e *Engine) degradeProgram(s *shard, b *batch, ex *fusion.Exec) {
+	rec := s.rec
+	if rec == nil {
+		rec = pimsim.NewSigRecorder(e.cfg.Cost)
+	}
+	ex.HostEval(rec)
+	if b.prog.ScalarResult() {
+		b.segs[0].req.outputs[0] = ex.ScalarResult()
+	}
+	b.degraded, b.hostEval = true, true
+	e.met.degraded.Inc()
+	if e.log != nil {
+		e.log.Warn("program degraded to host mirror",
+			"shard", s.id, "seq", b.seq, "elements", b.n,
+			"program", b.prog.Name(), "retries", b.retries)
+	}
+}
+
+// drainProgramOut is transfer-out for a program batch: only the result
+// vector crosses back (nothing for a scalar result — its value left in
+// the final reduction gather), and nothing moves when the host mirror
+// produced the outputs.
+func (e *Engine) drainProgramOut(s *shard, b *batch) (bytesIn, bytesOut int) {
+	if b.err == nil && !b.hostEval {
+		ob := b.prog.OutBytes(b.n, len(s.dpus))
+		if ob > 0 {
+			if e.inj != nil {
+				e.chargeTransferOut(s, b, ob)
+			} else {
+				e.sys.ChargePIMToHost(ob, true)
+				b.tout += float64(ob) / e.sys.Config().PIMToHostBandwidth
+			}
+			b.pOut += ob
+		}
+	}
+	return b.pIn, b.pOut
+}

@@ -44,9 +44,16 @@ func buildTrace(r *request, id uint64, end time.Time, proc string) *telemetry.Tr
 		Shard: r.stats.ShardID,
 		Proc:  proc,
 	}
-	root.SetAttr("fn", r.spec.Fn.String())
-	root.SetAttr("method", r.spec.Par.Method.String())
-	root.SetAttr("elements", fmt.Sprint(len(r.inputs)))
+	if r.prog != nil {
+		root.SetAttr("program", r.prog.Name())
+		root.SetAttr("method", "fused:"+r.prog.Name())
+		root.SetAttr("phases", fmt.Sprint(r.prog.NumPhases()))
+		root.SetAttr("elements", fmt.Sprint(len(r.pinputs[0])))
+	} else {
+		root.SetAttr("fn", r.spec.Fn.String())
+		root.SetAttr("method", r.spec.Par.Method.String())
+		root.SetAttr("elements", fmt.Sprint(len(r.inputs)))
+	}
 	root.SetAttr("batches", fmt.Sprint(r.stats.Batches))
 	root.SetAttr("cache_hit", fmt.Sprint(r.stats.CacheHit))
 	if r.tenant != "" {

@@ -1,0 +1,315 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/pimsim"
+)
+
+func testParams() core.Params {
+	return core.Params{Method: core.LLUT, Interp: true, SizeLog2: 12}
+}
+
+func mustCompile(t *testing.T, p *Program) *Compiled {
+	t.Helper()
+	c, err := Compile(p, testParams(), pimsim.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func wantCompileError(t *testing.T, p *Program, frag string) {
+	t.Helper()
+	if _, err := Compile(p, testParams(), pimsim.Default()); err == nil {
+		t.Errorf("Compile succeeded, want error containing %q", frag)
+	} else if !strings.Contains(err.Error(), frag) {
+		t.Errorf("Compile error %q does not mention %q", err, frag)
+	}
+}
+
+// The three end-to-end graphs, mirroring internal/workloads/fused.go.
+
+func softmaxProg() *Program {
+	p := NewProgram("softmax")
+	x := p.Input()
+	m := p.ReduceMax(x)
+	e := p.Func(core.Exp, p.Sub(x, p.Broadcast(m)))
+	s := p.ReduceSum(e)
+	p.Return(p.Mul(e, p.Div(p.Const(1), p.Broadcast(s))))
+	return p
+}
+
+func ffnProg() *Program {
+	p := NewProgram("ffn-gelu")
+	h, bias, gamma := p.Input(), p.Input(), p.Input()
+	p.Return(p.Mul(p.Func(core.GELU, p.Add(h, bias)), gamma))
+	return p
+}
+
+func logisticProg() *Program {
+	p := NewProgram("logistic-step")
+	z, y := p.Input(), p.Input()
+	lr, invN := p.ScalarInput(), p.ScalarInput()
+	g := p.Sub(p.Func(core.Sigmoid, z), y)
+	mu := p.Mul(p.Broadcast(p.ReduceSum(g)), invN)
+	p.Return(p.Sub(z, p.Mul(p.Sub(g, mu), lr)))
+	return p
+}
+
+// --- builder and compile validation ---
+
+func TestCompileValidation(t *testing.T) {
+	p := NewProgram("no-return")
+	p.Func(core.Exp, p.Input())
+	wantCompileError(t, p, "no Return")
+
+	p = NewProgram("no-vector")
+	p.Return(p.Mul(p.ScalarInput(), p.Const(2)))
+	wantCompileError(t, p, "no vector input")
+
+	p = NewProgram("host-only")
+	_ = p.Input()
+	p.Return(p.Mul(p.ScalarInput(), p.Const(2)))
+	wantCompileError(t, p, "computes nothing on the device")
+
+	p = NewProgram("double-return")
+	x := p.Input()
+	p.Return(x)
+	p.Return(x)
+	wantCompileError(t, p, "Return called twice")
+
+	p = NewProgram("scalar-func")
+	_ = p.Input()
+	p.Func(core.Exp, p.Const(1))
+	wantCompileError(t, p, "must be a vector")
+
+	p = NewProgram("scalar-reduce")
+	_ = p.Input()
+	p.ReduceSum(p.ScalarInput())
+	wantCompileError(t, p, "must be a vector")
+
+	p = NewProgram("vector-broadcast")
+	p.Broadcast(p.Input())
+	wantCompileError(t, p, "must be a scalar")
+
+	p = NewProgram("foreign-value")
+	_ = p.Input()
+	p.Return(p.Func(core.Exp, Value{id: 99}))
+	wantCompileError(t, p, "not a value of this program")
+
+	p = NewProgram("too-big")
+	x = p.Input()
+	for i := 0; i <= maxNodes; i++ {
+		x = p.Add(x, x)
+	}
+	p.Return(x)
+	wantCompileError(t, p, "exceeds")
+
+	// Method coverage gate: CORDIC has no route to GELU (Table 2).
+	p = NewProgram("unsupported")
+	p.Return(p.Func(core.GELU, p.Input()))
+	if _, err := Compile(p, core.Params{Method: core.CORDIC}, pimsim.Default()); err == nil {
+		t.Error("CORDIC GELU program compiled, want Table 2 rejection")
+	}
+}
+
+func TestCheckArgs(t *testing.T) {
+	c := mustCompile(t, logisticProg())
+	if n, err := c.CheckArgs([][]float32{make([]float32, 5), make([]float32, 5)}, []float32{0.1, 0.2}); err != nil || n != 5 {
+		t.Fatalf("CheckArgs = %d, %v", n, err)
+	}
+	bad := []struct {
+		name    string
+		inputs  [][]float32
+		scalars []float32
+	}{
+		{"missing input", [][]float32{make([]float32, 5)}, []float32{0.1, 0.2}},
+		{"missing scalar", [][]float32{make([]float32, 5), make([]float32, 5)}, []float32{0.1}},
+		{"ragged", [][]float32{make([]float32, 5), make([]float32, 4)}, []float32{0.1, 0.2}},
+		{"empty", [][]float32{{}, {}}, []float32{0.1, 0.2}},
+	}
+	for _, tc := range bad {
+		if _, err := c.CheckArgs(tc.inputs, tc.scalars); err == nil {
+			t.Errorf("%s: CheckArgs succeeded", tc.name)
+		}
+	}
+}
+
+// --- phase structure ---
+
+func TestPhaseSplit(t *testing.T) {
+	cases := []struct {
+		prog   *Program
+		phases int
+		funcs  int
+		scalar bool
+	}{
+		{softmaxProg(), 3, 1, false},  // max | exp+sum | scale
+		{ffnProg(), 1, 1, false},      // no reduction barrier
+		{logisticProg(), 2, 1, false}, // sigmoid+sum | update
+	}
+	for _, tc := range cases {
+		c := mustCompile(t, tc.prog)
+		if got := c.NumPhases(); got != tc.phases {
+			t.Errorf("%s: %d phases, want %d", c.Name(), got, tc.phases)
+		}
+		if got := len(c.FuncNodes()); got != tc.funcs {
+			t.Errorf("%s: %d func nodes, want %d", c.Name(), got, tc.funcs)
+		}
+		if c.ScalarResult() != tc.scalar {
+			t.Errorf("%s: ScalarResult = %v", c.Name(), c.ScalarResult())
+		}
+	}
+
+	// A pure reduction is one phase with a scalar result.
+	p := NewProgram("sum")
+	p.Return(p.ReduceSum(p.Input()))
+	c := mustCompile(t, p)
+	if c.NumPhases() != 1 || !c.ScalarResult() {
+		t.Errorf("sum: phases=%d scalar=%v, want 1/true", c.NumPhases(), c.ScalarResult())
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	p := NewProgram("dead")
+	x := p.Input()
+	p.Func(core.Exp, x) // never used
+	p.ReduceSum(x)      // never used
+	p.Return(p.Func(core.Sigmoid, x))
+	c := mustCompile(t, p)
+	if fns := c.FuncNodes(); len(fns) != 1 || fns[0] != core.Sigmoid {
+		t.Fatalf("live funcs = %v, want [sigmoid]", fns)
+	}
+	if c.NumPhases() != 1 {
+		t.Errorf("phases = %d, want 1 (dead reduction must not split)", c.NumPhases())
+	}
+	// The byte model only pays for live nodes: exactly the single-Func
+	// round trip, both fused and per-op.
+	n, k := 1000, 8
+	P := padded(n, k)
+	if got := c.FusedBytes(n, k); got != 2*P {
+		t.Errorf("FusedBytes = %d, want %d", got, 2*P)
+	}
+	if got := c.PerOpBytes(n, k); got != 2*P {
+		t.Errorf("PerOpBytes = %d, want %d", got, 2*P)
+	}
+}
+
+// --- analytic byte model ---
+
+func TestByteModel(t *testing.T) {
+	const (
+		n = 1000
+		k = 8
+	)
+	P := padded(n, k)
+
+	// softmax: one padded input in, one out, two reductions each with a
+	// gather and a result broadcast. Per-op: max(P+4k) + sub(2P+4k) +
+	// exp(2P) + sum(P+4k) + scale-mul(2P+4k); the 1/s division is host
+	// scalar arithmetic, free in both paths.
+	c := mustCompile(t, softmaxProg())
+	if got, want := c.InBytes(n, k), P; got != want {
+		t.Errorf("softmax InBytes = %d, want %d", got, want)
+	}
+	if got, want := c.OutBytes(n, k), P; got != want {
+		t.Errorf("softmax OutBytes = %d, want %d", got, want)
+	}
+	g, b := c.SyncBytes(k)
+	if g != 2*4*k || b != 2*4*k {
+		t.Errorf("softmax SyncBytes = %d, %d, want %d, %d", g, b, 8*k, 8*k)
+	}
+	if got, want := c.FusedBytes(n, k), 2*P+16*k; got != want {
+		t.Errorf("softmax FusedBytes = %d, want %d", got, want)
+	}
+	if got, want := c.PerOpBytes(n, k), 8*P+16*k; got != want {
+		t.Errorf("softmax PerOpBytes = %d, want %d", got, want)
+	}
+
+	// ffn-gelu: three inputs in, one out, no syncs. Per-op:
+	// add(3P) + gelu(2P) + mul(3P).
+	c = mustCompile(t, ffnProg())
+	if got, want := c.FusedBytes(n, k), 4*P; got != want {
+		t.Errorf("ffn FusedBytes = %d, want %d", got, want)
+	}
+	if got, want := c.PerOpBytes(n, k), 8*P; got != want {
+		t.Errorf("ffn PerOpBytes = %d, want %d", got, want)
+	}
+
+	// logistic-step: two inputs plus the lr broadcast in, one out, one
+	// reduction whose mean broadcasts at the sync. Per-op:
+	// sigmoid(2P) + sub(3P) + sum(P+4k) + center(2P+4k) + scale(2P+4k)
+	// + update(3P); the mu = sum·invN product is host arithmetic.
+	c = mustCompile(t, logisticProg())
+	if got, want := c.InBytes(n, k), 2*P+4*k; got != want {
+		t.Errorf("logistic InBytes = %d, want %d", got, want)
+	}
+	g, b = c.SyncBytes(k)
+	if g != 4*k || b != 4*k {
+		t.Errorf("logistic SyncBytes = %d, %d, want %d, %d", g, b, 4*k, 4*k)
+	}
+	if got, want := c.FusedBytes(n, k), 3*P+12*k; got != want {
+		t.Errorf("logistic FusedBytes = %d, want %d", got, want)
+	}
+	if got, want := c.PerOpBytes(n, k), 13*P+12*k; got != want {
+		t.Errorf("logistic PerOpBytes = %d, want %d", got, want)
+	}
+
+	// Directional splits always total the same bytes, and fused never
+	// moves more than per-op.
+	for _, p := range []*Program{softmaxProg(), ffnProg(), logisticProg()} {
+		c := mustCompile(t, p)
+		fin, fout := c.splitBytes(n, k, true)
+		if fin+fout != c.FusedBytes(n, k) {
+			t.Errorf("%s: fused split %d+%d != total %d", c.Name(), fin, fout, c.FusedBytes(n, k))
+		}
+		pin, pout := c.splitBytes(n, k, false)
+		if pin+pout != c.PerOpBytes(n, k) {
+			t.Errorf("%s: per-op split %d+%d != total %d", c.Name(), pin, pout, c.PerOpBytes(n, k))
+		}
+		if c.FusedBytes(n, k) >= c.PerOpBytes(n, k) {
+			t.Errorf("%s: fused bytes %d not below per-op %d", c.Name(), c.FusedBytes(n, k), c.PerOpBytes(n, k))
+		}
+		if c.SavedTransferSeconds(n, k, 1e9, 1e9) <= 0 {
+			t.Errorf("%s: SavedTransferSeconds not positive", c.Name())
+		}
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	p := NewProgram("folded")
+	x := p.Input()
+	// 1/4 folds at compile time; the scaled add costs no broadcast.
+	q := p.Div(p.Const(1), p.Const(4))
+	p.Return(p.Add(p.Mul(x, q), p.Const(3)))
+	c := mustCompile(t, p)
+	n, k := 64, 4
+	if got, want := c.InBytes(n, k), padded(n, k); got != want {
+		t.Errorf("InBytes = %d, want %d (folded consts must not broadcast)", got, want)
+	}
+	if c.NumPhases() != 1 {
+		t.Errorf("phases = %d, want 1", c.NumPhases())
+	}
+	// A runtime scalar, by contrast, pays its per-lane broadcast.
+	p = NewProgram("runtime")
+	x = p.Input()
+	p.Return(p.Mul(x, p.ScalarInput()))
+	c = mustCompile(t, p)
+	if got, want := c.InBytes(n, k), padded(n, k)+4*k; got != want {
+		t.Errorf("runtime-scalar InBytes = %d, want %d", got, want)
+	}
+}
+
+func TestStickyBuilderError(t *testing.T) {
+	p := NewProgram("sticky")
+	x := p.Input()
+	bad := p.Func(core.Exp, p.Const(0)) // records the sticky error
+	y := p.Add(x, bad)                  // builds on the failure silently
+	p.Return(y)
+	if _, err := Compile(p, testParams(), pimsim.Default()); err == nil {
+		t.Fatal("sticky builder error did not surface at Compile")
+	}
+}

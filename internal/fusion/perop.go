@@ -1,0 +1,172 @@
+package fusion
+
+import (
+	"fmt"
+
+	"transpimlib/internal/core"
+)
+
+// perOpStep is one node of the per-op decomposition that needs its own
+// engine round trip: a vector elementwise op or a reduction, lowered to
+// a single-node mini program evaluated like any fused program (which is
+// what makes the per-step cycle accounting of the two paths exactly
+// comparable).
+type perOpStep struct {
+	node     int
+	mini     *Compiled
+	vecArgs  []int // operand node ids, mini vector-input order
+	scalArgs []int // runtime scalar node ids, mini scalar-input order
+}
+
+// perOp lazily lowers every live device node to its per-op form.
+// Func nodes go through the engine's ordinary batch path directly;
+// vector elementwise and reduction nodes become mini programs.
+func (c *Compiled) perOp() ([]perOpStep, error) {
+	c.perOpOnce.Do(func() {
+		for i, nd := range c.nodes {
+			if !c.live[i] {
+				continue
+			}
+			switch {
+			case nd.kind == nElem && !nd.scalar:
+				st, err := c.miniElem(i)
+				if err != nil {
+					c.perOpErr = err
+					return
+				}
+				c.perOpSteps = append(c.perOpSteps, st)
+			case nd.kind == nReduce:
+				q := NewProgram(fmt.Sprintf("%s/%s#%d", c.name, nd.rop, i))
+				q.Return(q.reduce(nd.rop, q.Input()))
+				mini, err := Compile(q, c.par, c.model)
+				if err != nil {
+					c.perOpErr = err
+					return
+				}
+				c.perOpSteps = append(c.perOpSteps, perOpStep{
+					node: i, mini: mini, vecArgs: []int{nd.a},
+				})
+			}
+		}
+	})
+	return c.perOpSteps, c.perOpErr
+}
+
+// miniElem lowers vector elementwise node v to a single-node program:
+// one Input per distinct vector operand, one ScalarInput per distinct
+// runtime scalar operand, constants folded back to Const.
+func (c *Compiled) miniElem(v int) (perOpStep, error) {
+	nd := &c.nodes[v]
+	q := NewProgram(fmt.Sprintf("%s/%s#%d", c.name, nd.eop, v))
+	st := perOpStep{node: v}
+	vals := map[int]Value{}
+	get := func(opnd int) Value {
+		od := &c.nodes[opnd]
+		if !od.scalar {
+			if val, ok := vals[opnd]; ok {
+				return val
+			}
+			val := q.Input()
+			vals[opnd] = val
+			st.vecArgs = append(st.vecArgs, opnd)
+			return val
+		}
+		s := c.derefScalar(opnd)
+		if c.foldable[s] {
+			return q.Const(c.foldVal[s])
+		}
+		if val, ok := vals[s]; ok {
+			return val
+		}
+		val := q.ScalarInput()
+		vals[s] = val
+		st.scalArgs = append(st.scalArgs, s)
+		return val
+	}
+	a := get(nd.a)
+	b := get(nd.b)
+	q.Return(q.elem(nd.eop, a, b))
+	mini, err := Compile(q, c.par, c.model)
+	st.mini = mini
+	return st, err
+}
+
+// RunPerOp evaluates the program node by node — the per-op baseline:
+// every device node pays its own host↔PIM round trip through the
+// supplied callbacks while host scalar arithmetic stays free, exactly
+// as in the fused path. evalFunc runs one transcendental through the
+// engine's ordinary batch path; evalMini runs a single-node mini
+// program. Outputs are bit-identical to the fused evaluation: the same
+// operator tables, the same elementwise arithmetic, and reductions
+// split over the same lanes combined in the same order.
+func RunPerOp(c *Compiled, inputs [][]float32, scalars []float32,
+	evalFunc func(fn core.Function, xs []float32) ([]float32, error),
+	evalMini func(mini *Compiled, ins [][]float32, scalars []float32) ([]float32, error),
+) ([]float32, error) {
+	if _, err := c.CheckArgs(inputs, scalars); err != nil {
+		return nil, err
+	}
+	steps, err := c.perOp()
+	if err != nil {
+		return nil, err
+	}
+	byNode := make(map[int]*perOpStep, len(steps))
+	for i := range steps {
+		byNode[steps[i].node] = &steps[i]
+	}
+
+	vec := make([][]float32, len(c.nodes))
+	scal := make([]float32, len(c.nodes))
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		if !c.live[i] {
+			continue
+		}
+		switch nd.kind {
+		case nInput:
+			vec[i] = inputs[nd.idx]
+		case nScalarInput:
+			scal[i] = scalars[nd.idx]
+		case nConst:
+			scal[i] = nd.c
+		case nBroadcast:
+			scal[i] = scal[nd.a]
+		case nFunc:
+			out, err := evalFunc(nd.fn, vec[nd.a])
+			if err != nil {
+				return nil, err
+			}
+			vec[i] = out
+		case nElem:
+			if nd.scalar {
+				scal[i] = core.ElemApply(nd.eop, scal[nd.a], scal[nd.b])
+				continue
+			}
+			st := byNode[i]
+			ins := make([][]float32, len(st.vecArgs))
+			for j, id := range st.vecArgs {
+				ins[j] = vec[id]
+			}
+			var ss []float32
+			for _, id := range st.scalArgs {
+				ss = append(ss, scal[id])
+			}
+			out, err := evalMini(st.mini, ins, ss)
+			if err != nil {
+				return nil, err
+			}
+			vec[i] = out
+		case nReduce:
+			st := byNode[i]
+			out, err := evalMini(st.mini, [][]float32{vec[nd.a]}, nil)
+			if err != nil {
+				return nil, err
+			}
+			scal[i] = out[0]
+		}
+	}
+	if c.retScalar {
+		return []float32{scal[c.ret]}, nil
+	}
+	return vec[c.ret], nil
+}

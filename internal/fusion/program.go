@@ -1,0 +1,227 @@
+// Package fusion is the PIM-resident operator-graph layer: a small
+// program builder (vector inputs → transcendental Func nodes →
+// elementwise add/sub/mul/div/max → reduction max/sum → broadcast)
+// that compiles into a fused on-device program. Intermediate vectors
+// stay in the cores' MRAM/WRAM between steps — only the program's
+// inputs, its result, and the 4-byte-per-lane reduction syncs cross
+// the host boundary — where the per-op baseline pays a full host↔PIM
+// round trip per node. Compilation splits the graph into phases at
+// reduction barriers; each phase is one streamed kernel loop per lane,
+// charged through the PR 3/8 cost-signature machinery so the fast path
+// and the interpreted reference stay bit-identical in both outputs and
+// cycle accounting.
+package fusion
+
+import (
+	"fmt"
+
+	"transpimlib/internal/core"
+)
+
+// maxNodes bounds a program's graph; fused programs are small
+// pipelines, not general tensor graphs.
+const maxNodes = 64
+
+type nodeKind uint8
+
+const (
+	nInvalid nodeKind = iota
+	nInput
+	nScalarInput
+	nConst
+	nFunc
+	nElem
+	nReduce
+	nBroadcast
+)
+
+// node is one vertex of the program graph. Operands a/b are node ids
+// (-1 when absent); whether a node is scalar-valued follows from its
+// kind and operands: reductions, consts, scalar inputs, broadcasts of
+// scalars, and elementwise ops between scalars are scalar; everything
+// else is a vector over the program's element index.
+type node struct {
+	kind   nodeKind
+	scalar bool
+	fn     core.Function // nFunc
+	eop    core.ElemOp   // nElem
+	rop    core.ReduceOp // nReduce
+	a, b   int
+	c      float32 // nConst
+	idx    int     // input ordinal (nInput / nScalarInput)
+}
+
+// Value is an opaque handle to a program node, returned by the builder
+// methods and consumed as an operand. Handles from one Program must
+// not be used with another.
+type Value struct{ id int }
+
+// Program is the operator-graph builder. Construct with NewProgram,
+// add nodes through the builder methods, terminate with Return, then
+// Compile. Builder errors are sticky and surface at Compile, so a
+// construction chain reads without per-call error checks.
+type Program struct {
+	name       string
+	nodes      []node
+	numInputs  int
+	numScalars int
+	ret        int
+	err        error
+}
+
+// NewProgram starts an empty program. The name labels the program in
+// ledger rows ("fused:<name>"), traces and benchmark tables.
+func NewProgram(name string) *Program {
+	return &Program{name: name, ret: -1}
+}
+
+// Name returns the program's label.
+func (p *Program) Name() string { return p.name }
+
+func (p *Program) fail(format string, args ...any) Value {
+	if p.err == nil {
+		p.err = fmt.Errorf("fusion: %s: %s", p.name, fmt.Sprintf(format, args...))
+	}
+	return Value{id: -1}
+}
+
+func (p *Program) add(nd node) Value {
+	if p.err != nil {
+		return Value{id: -1}
+	}
+	if len(p.nodes) >= maxNodes {
+		return p.fail("program exceeds %d nodes", maxNodes)
+	}
+	p.nodes = append(p.nodes, nd)
+	return Value{id: len(p.nodes) - 1}
+}
+
+// valid reports whether v names a node of this program; on failure it
+// records a sticky error.
+func (p *Program) valid(v Value) bool {
+	if p.err != nil {
+		return false
+	}
+	if v.id < 0 || v.id >= len(p.nodes) {
+		p.fail("operand is not a value of this program")
+		return false
+	}
+	return true
+}
+
+func (p *Program) isScalar(v Value) bool { return p.nodes[v.id].scalar }
+
+// Input declares the next vector input. Inputs bind positionally at
+// evaluation time; all of a program's vector inputs must have the same
+// length.
+func (p *Program) Input() Value {
+	v := p.add(node{kind: nInput, a: -1, b: -1, idx: p.numInputs})
+	if v.id >= 0 {
+		p.numInputs++
+	}
+	return v
+}
+
+// ScalarInput declares the next runtime scalar input (a per-call
+// parameter such as a learning rate). It is broadcast to the cores at
+// transfer-in — 4 bytes per lane — unlike Const, which folds into the
+// program as a free immediate.
+func (p *Program) ScalarInput() Value {
+	v := p.add(node{kind: nScalarInput, scalar: true, a: -1, b: -1, idx: p.numScalars})
+	if v.id >= 0 {
+		p.numScalars++
+	}
+	return v
+}
+
+// Const embeds a compile-time scalar constant — an immediate in the
+// program, costing no transfer and no per-element load.
+func (p *Program) Const(c float32) Value {
+	return p.add(node{kind: nConst, scalar: true, a: -1, b: -1, c: c})
+}
+
+// Func applies a transcendental function elementwise to a vector. The
+// method that evaluates it is chosen at Compile time (one method
+// configuration per program).
+func (p *Program) Func(fn core.Function, a Value) Value {
+	if !p.valid(a) {
+		return Value{id: -1}
+	}
+	if p.isScalar(a) {
+		return p.fail("%v operand must be a vector", fn)
+	}
+	return p.add(node{kind: nFunc, fn: fn, a: a.id, b: -1})
+}
+
+func (p *Program) elem(op core.ElemOp, a, b Value) Value {
+	if !p.valid(a) || !p.valid(b) {
+		return Value{id: -1}
+	}
+	// An elementwise op between scalars stays scalar: it is evaluated
+	// on the host at the reduction sync that produces its operands,
+	// costing no device cycles in either the fused or per-op path.
+	sc := p.isScalar(a) && p.isScalar(b)
+	return p.add(node{kind: nElem, eop: op, scalar: sc, a: a.id, b: b.id})
+}
+
+// Add returns a+b elementwise. Scalar operands broadcast.
+func (p *Program) Add(a, b Value) Value { return p.elem(core.ElemAdd, a, b) }
+
+// Sub returns a−b elementwise. Scalar operands broadcast.
+func (p *Program) Sub(a, b Value) Value { return p.elem(core.ElemSub, a, b) }
+
+// Mul returns a·b elementwise. Scalar operands broadcast.
+func (p *Program) Mul(a, b Value) Value { return p.elem(core.ElemMul, a, b) }
+
+// Div returns a/b elementwise. Scalar operands broadcast.
+func (p *Program) Div(a, b Value) Value { return p.elem(core.ElemDiv, a, b) }
+
+// Max returns max(a,b) elementwise (branchless compare+select; ties
+// and NaN keep a). Scalar operands broadcast.
+func (p *Program) Max(a, b Value) Value { return p.elem(core.ElemMax, a, b) }
+
+func (p *Program) reduce(op core.ReduceOp, a Value) Value {
+	if !p.valid(a) {
+		return Value{id: -1}
+	}
+	if p.isScalar(a) {
+		return p.fail("reduce-%v operand must be a vector", op)
+	}
+	return p.add(node{kind: nReduce, rop: op, scalar: true, a: a.id, b: -1})
+}
+
+// ReduceSum reduces a vector to the scalar sum of its elements:
+// per-lane partials accumulated in the kernel loop, combined on the
+// host in lane order at the phase sync.
+func (p *Program) ReduceSum(a Value) Value { return p.reduce(core.ReduceSum, a) }
+
+// ReduceMax reduces a vector to the scalar max of its elements.
+func (p *Program) ReduceMax(a Value) Value { return p.reduce(core.ReduceMax, a) }
+
+// Broadcast marks a scalar for use in vector context — the explicit
+// form of the implicit broadcast a scalar operand of an elementwise op
+// gets. Using the scalar's value on the cores costs one 4-byte-per-
+// lane broadcast at the sync where it becomes available.
+func (p *Program) Broadcast(a Value) Value {
+	if !p.valid(a) {
+		return Value{id: -1}
+	}
+	if !p.isScalar(a) {
+		return p.fail("broadcast operand must be a scalar")
+	}
+	return p.add(node{kind: nBroadcast, scalar: true, a: a.id, b: -1})
+}
+
+// Return terminates the program with its result: a vector node (the
+// output has the inputs' length) or a scalar node (the output has
+// length 1).
+func (p *Program) Return(a Value) {
+	if !p.valid(a) {
+		return
+	}
+	if p.ret >= 0 {
+		p.fail("Return called twice")
+		return
+	}
+	p.ret = a.id
+}

@@ -1,0 +1,137 @@
+package isa
+
+// Streaming elementwise and reduction loops in assembly — the
+// instruction sequences behind the fused-program primitives
+// (core.FusedOperator's ChargeElem/ChargeReduce signatures). Each
+// routine walks an MRAM-resident float32 vector the way a fused kernel
+// phase does: DMA the operand words in, run the softfloat arithmetic,
+// keep the running state in registers, and (for the elementwise form)
+// DMA the result back out — intermediates never cross the host
+// boundary. elemwise_test.go validates the measured issue/DMA cycles
+// against closed-form per-element counts and against the cost-model
+// charges the fusion executor applies.
+
+// ElemAddLoopSrc streams y[i] = a[i] + b[i] over count float32
+// elements. Inputs: r1 = a base (MRAM byte address), r2 = b base,
+// r3 = y base, r4 = element count. Calls fadd32 (FAdd32Src must be
+// assembled into the same program; it clobbers r1–r13, so all loop
+// state lives in r14+ and the caller's return address is parked in
+// r14).
+const ElemAddLoopSrc = `
+elemadd:
+    move r16, r1             ; a base
+    move r17, r2             ; b base
+    move r18, r3             ; y base
+    slli r19, r4, 2          ; byte length
+    li   r20, 0              ; byte cursor
+    move r14, r23            ; caller's return address
+elemadd_loop:
+    bge  r20, r19, elemadd_done
+    add  r15, r16, r20
+    mlw  r1, r15, 0          ; a[i]
+    add  r15, r17, r20
+    mlw  r2, r15, 0          ; b[i]
+    jal  r23, fadd32         ; r3 = a[i] + b[i]
+    add  r15, r18, r20
+    msw  r3, r15, 0          ; y[i]
+    addi r20, r20, 4
+    jmp  elemadd_loop
+elemadd_done:
+    ret  r14
+`
+
+// ElemAddLoopOverhead is the loop's fixed per-element instruction
+// count around each fadd32 call (branch, two address adds + DMA loads,
+// the call, address add + DMA store, increment, back-jump).
+const ElemAddLoopOverhead = 10
+
+// ReduceSumLoopSrc folds an MRAM float32 vector into a running
+// register-resident sum — the reduction accumulate loop of a fused
+// phase: one DMA load per element, no stores until the final scalar.
+// Inputs: r1 = a base (MRAM byte address), r2 = element count.
+// Output: r3 = sum as float32 bits. Accumulates left to right from
+// +0.0 (core.ReduceInit(ReduceSum)), calling fadd32 per element.
+const ReduceSumLoopSrc = `
+reducesum:
+    move r16, r1             ; base
+    slli r19, r2, 2          ; byte length
+    li   r20, 0              ; byte cursor
+    li   r21, 0              ; acc = +0.0
+    move r14, r23            ; caller's return address
+reducesum_loop:
+    bge  r20, r19, reducesum_done
+    add  r15, r16, r20
+    mlw  r2, r15, 0          ; x
+    move r1, r21             ; acc
+    jal  r23, fadd32         ; r3 = acc + x
+    move r21, r3
+    addi r20, r20, 4
+    jmp  reducesum_loop
+reducesum_done:
+    move r3, r21
+    ret  r14
+`
+
+// ReduceSumLoopOverhead is the fixed per-element instruction count
+// around each fadd32 call in the reduction loop.
+const ReduceSumLoopOverhead = 8
+
+// ReduceMaxLoopSrc folds an MRAM float32 vector into its maximum
+// without any softfloat call: each float bit pattern is mapped to a
+// monotone unsigned key — flip all bits of negatives, set the sign bit
+// of non-negatives — so a single SLTU orders floats the way a
+// compare-and-move FCmp sequence would. The accumulator starts at
+// −Inf (core.ReduceInit(ReduceMax)); both the winning bits and its key
+// stay in registers. Finite inputs only: NaN keys are ordinary large
+// keys here, while the FCmp convention keeps the accumulator on
+// unordered compares, so the two diverge on NaN.
+// Inputs: r1 = a base (MRAM byte address), r2 = element count.
+// Output: r3 = max as float32 bits. Leaves r23 intact (leaf routine).
+const ReduceMaxLoopSrc = `
+reducemax:
+    move r16, r1             ; base
+    slli r19, r2, 2          ; byte length
+    li   r20, 0              ; byte cursor
+    li   r21, 0xFF800000     ; acc bits = -Inf
+    li   r17, 0x80000000     ; sign mask
+    li   r18, -1             ; all ones
+    xor  r22, r21, r18       ; acc key = ~acc (acc is negative)
+    li   r15, 0
+reducemax_loop:
+    bge  r20, r19, reducemax_done
+    add  r4, r16, r20
+    mlw  r4, r4, 0           ; x bits
+    and  r5, r4, r17
+    beq  r5, r15, reducemax_pos
+    xor  r5, r4, r18         ; negative: key = ~x
+    jmp  reducemax_key
+reducemax_pos:
+    or   r5, r4, r17         ; non-negative: key = x | signbit
+reducemax_key:
+    sltu r6, r22, r5         ; acc key < x key ?
+    beq  r6, r15, reducemax_next
+    move r21, r4             ; new max
+    move r22, r5
+reducemax_next:
+    addi r20, r20, 4
+    jmp  reducemax_loop
+reducemax_done:
+    move r3, r21
+    ret  r23
+`
+
+// Per-element instruction counts of the reducemax loop: every element
+// retires the base count, negatives retire one extra (the key-flip
+// jump), and elements that replace the accumulator retire two more
+// (the bits + key moves).
+const (
+	ReduceMaxBasePerElem   = 10
+	ReduceMaxNegExtra      = 1
+	ReduceMaxReplaceExtras = 2
+)
+
+// ElemwiseValidationProgram assembles the streaming loops together
+// with the softfloat adder they call.
+func ElemwiseValidationProgram() *Program {
+	return MustAssemble(ElemAddLoopSrc + ReduceSumLoopSrc + ReduceMaxLoopSrc + FAdd32Src)
+}

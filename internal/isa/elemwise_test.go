@@ -1,0 +1,262 @@
+package isa
+
+import (
+	"math"
+	"testing"
+
+	"transpimlib/internal/pimsim"
+)
+
+// elemInputs builds a deterministic float32 vector mixing magnitudes
+// and signs (finite, no NaN/Inf — the validated domain of the loops).
+func elemInputs(n int, seed uint32) []float32 {
+	xs := make([]float32, n)
+	s := seed
+	for i := range xs {
+		s = s*1664525 + 1013904223
+		// map to roughly [-8, 8)
+		xs[i] = float32(int32(s>>8))/float32(1<<27) - 8 + 16*float32(s&1)
+		if xs[i] < -8 || xs[i] >= 8 {
+			xs[i] = float32(i%13) - 6.5
+		}
+	}
+	return xs
+}
+
+// foldFAdd runs the standalone fadd32 routine on one operand pair and
+// returns the result bits and the retired instruction count of that
+// call — the per-pair F_i term of the loop cost formulas.
+func foldFAdd(t *testing.T, m *Machine, p *Program, a, b uint32) (uint32, uint64) {
+	t.Helper()
+	m.Reset()
+	m.Regs[1] = int32(a)
+	m.Regs[2] = int32(b)
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "fadd32", 10000); err != nil {
+		t.Fatal(err)
+	}
+	return uint32(m.Regs[3]), m.Retired()
+}
+
+// dmaFormulas returns the expected extra issue cycles and DMA-engine
+// cycles for a run with the given number of word-granularity MRAM
+// accesses, per the machine's chargeDMA accounting.
+func dmaFormulas(cm pimsim.CostModel, dmaOps uint64) (extraIssue, dma uint64) {
+	return dmaOps * uint64(cm.MRAMIssue-1),
+		dmaOps * (uint64(cm.MRAMLatency) + uint64(8*cm.MRAMPerByte))
+}
+
+func TestElemAddLoopASM(t *testing.T) {
+	const n = 37
+	as := elemInputs(n, 1)
+	bs := elemInputs(n, 2)
+	p := ElemwiseValidationProgram()
+	ref := MustAssemble(FAdd32Src)
+	mm := newMachine() // standalone fadd replays
+
+	m := newMachine()
+	aBase, bBase, yBase := 0, 4*n, 8*n
+	for i := 0; i < n; i++ {
+		m.MRAM.PutFloat32(aBase+4*i, as[i])
+		m.MRAM.PutFloat32(bBase+4*i, bs[i])
+	}
+	m.Regs[1] = int32(aBase)
+	m.Regs[2] = int32(bBase)
+	m.Regs[3] = int32(yBase)
+	m.Regs[4] = n
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "elemadd", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outputs bit-identical to the standalone softfloat adds, and the
+	// loop retires exactly prologue + Σ(overhead + F_i) + epilogue.
+	wantRetired := uint64(6 + 2) // prologue + (exit branch, ret)
+	for i := 0; i < n; i++ {
+		want, fi := foldFAdd(t, mm, ref, math.Float32bits(as[i]), math.Float32bits(bs[i]))
+		if got := m.MRAM.Uint32(yBase + 4*i); got != want {
+			t.Fatalf("y[%d] = %08x, fadd32 says %08x (a=%g b=%g)", i, got, want, as[i], bs[i])
+		}
+		wantRetired += ElemAddLoopOverhead + fi
+	}
+	if m.Retired() != wantRetired {
+		t.Errorf("retired %d, formula says %d", m.Retired(), wantRetired)
+	}
+
+	// Cycle accounting: 3 word DMAs per element (two loads, one store).
+	cm := pimsim.Default()
+	extraIssue, dma := dmaFormulas(cm, 3*n)
+	if got, want := m.IssueCycles(), wantRetired+extraIssue; got != want {
+		t.Errorf("issue cycles %d, formula says %d", got, want)
+	}
+	if got := m.DMACycles(); got != dma {
+		t.Errorf("dma cycles %d, formula says %d", got, dma)
+	}
+}
+
+func TestReduceSumLoopASM(t *testing.T) {
+	const n = 53
+	xs := elemInputs(n, 3)
+	p := ElemwiseValidationProgram()
+	ref := MustAssemble(FAdd32Src)
+	mm := newMachine()
+
+	m := newMachine()
+	for i, x := range xs {
+		m.MRAM.PutFloat32(4*i, x)
+	}
+	m.Regs[1] = 0
+	m.Regs[2] = n
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "reducesum", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the left-to-right fold through the standalone adder: the
+	// loop passes acc in r1 and x in r2, so the replay must too.
+	acc := uint32(0)
+	wantRetired := uint64(5 + 3) // prologue + (exit branch, result move, ret)
+	for _, x := range xs {
+		var fi uint64
+		acc, fi = foldFAdd(t, mm, ref, acc, math.Float32bits(x))
+		wantRetired += ReduceSumLoopOverhead + fi
+	}
+	if got := uint32(m.Regs[3]); got != acc {
+		t.Fatalf("sum = %08x, fold says %08x", got, acc)
+	}
+	if m.Retired() != wantRetired {
+		t.Errorf("retired %d, formula says %d", m.Retired(), wantRetired)
+	}
+
+	cm := pimsim.Default()
+	extraIssue, dma := dmaFormulas(cm, n)
+	if got, want := m.IssueCycles(), wantRetired+extraIssue; got != want {
+		t.Errorf("issue cycles %d, formula says %d", got, want)
+	}
+	if got := m.DMACycles(); got != dma {
+		t.Errorf("dma cycles %d, formula says %d", got, dma)
+	}
+
+	// Truncating softfloat still lands near the float64 sum.
+	var want64 float64
+	for _, x := range xs {
+		want64 += float64(x)
+	}
+	got := float64(math.Float32frombits(acc))
+	if d := math.Abs(got - want64); d > 1e-2*(1+math.Abs(want64)) {
+		t.Errorf("sum %g too far from float64 sum %g", got, want64)
+	}
+}
+
+func TestReduceMaxLoopASM(t *testing.T) {
+	const n = 61
+	xs := elemInputs(n, 4)
+	xs[17] = -0.0 // exercise the signed-zero key (orders below +0.0)
+	p := ElemwiseValidationProgram()
+
+	m := newMachine()
+	for i, x := range xs {
+		m.MRAM.PutFloat32(4*i, x)
+	}
+	m.Regs[1] = 0
+	m.Regs[2] = n
+	m.Regs[23] = int32(p.Len())
+	if err := m.RunFrom(p, "reducemax", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host replay of the monotone-key compare counts the data-dependent
+	// extras exactly: negatives take the key-flip jump, replacements
+	// retire the two accumulator moves.
+	key := func(b uint32) uint32 {
+		if b&0x80000000 != 0 {
+			return ^b
+		}
+		return b | 0x80000000
+	}
+	accBits := math.Float32bits(float32(math.Inf(-1)))
+	accKey := key(accBits)
+	wantRetired := uint64(8 + 3) // prologue + (exit branch, result move, ret)
+	for _, x := range xs {
+		b := math.Float32bits(x)
+		wantRetired += ReduceMaxBasePerElem
+		if b&0x80000000 != 0 {
+			wantRetired += ReduceMaxNegExtra
+		}
+		if k := key(b); accKey < k {
+			accBits, accKey = b, k
+			wantRetired += ReduceMaxReplaceExtras
+		}
+	}
+	if got := uint32(m.Regs[3]); got != accBits {
+		t.Fatalf("max = %08x, key fold says %08x", got, accBits)
+	}
+	// The key order agrees with the plain float max over finite inputs.
+	want := float32(math.Inf(-1))
+	for _, x := range xs {
+		if x > want {
+			want = x
+		}
+	}
+	if got := math.Float32frombits(uint32(m.Regs[3])); got != want {
+		t.Fatalf("max = %g, host max = %g", got, want)
+	}
+	if m.Retired() != wantRetired {
+		t.Errorf("retired %d, formula says %d", m.Retired(), wantRetired)
+	}
+
+	cm := pimsim.Default()
+	extraIssue, dma := dmaFormulas(cm, n)
+	if got, wantIssue := m.IssueCycles(), wantRetired+extraIssue; got != wantIssue {
+		t.Errorf("issue cycles %d, formula says %d", got, wantIssue)
+	}
+	if got := m.DMACycles(); got != dma {
+		t.Errorf("dma cycles %d, formula says %d", got, dma)
+	}
+}
+
+// TestElemwiseCountsValidateFusedCharges anchors the fused-primitive
+// charges to the measured loops: the per-element issue cost of the
+// streaming add sits within 2× of the FAdd charge the fusion executor
+// applies per ElemAdd, and the compare-based max loop is cheaper per
+// element than the softfloat sum loop — the same ordering as the
+// FCmp+Move vs FAdd charges behind ChargeReduce.
+func TestElemwiseCountsValidateFusedCharges(t *testing.T) {
+	const n = 64
+	cm := pimsim.Default()
+	xs := elemInputs(n, 5)
+	p := ElemwiseValidationProgram()
+
+	perElem := func(label string, setup func(m *Machine)) float64 {
+		m := newMachine()
+		for i, x := range xs {
+			m.MRAM.PutFloat32(4*i, x)
+			m.MRAM.PutFloat32(4*(n+i), x)
+		}
+		setup(m)
+		m.Regs[23] = int32(p.Len())
+		if err := m.RunFrom(p, label, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.IssueCycles()) / n
+	}
+
+	add := perElem("elemadd", func(m *Machine) {
+		m.Regs[1], m.Regs[2], m.Regs[3], m.Regs[4] = 0, 4*n, 8*n, n
+	})
+	sum := perElem("reducesum", func(m *Machine) { m.Regs[1], m.Regs[2] = 0, n })
+	max := perElem("reducemax", func(m *Machine) { m.Regs[1], m.Regs[2] = 0, n })
+
+	if r := add / float64(cm.FAdd); r < 0.5 || r > 2 {
+		t.Errorf("asm elemadd: %.1f issue/elem vs FAdd charge %d (ratio %.2f)", add, cm.FAdd, r)
+	}
+	if r := sum / float64(cm.FAdd); r < 0.5 || r > 2 {
+		t.Errorf("asm reducesum: %.1f issue/elem vs FAdd charge %d (ratio %.2f)", sum, cm.FAdd, r)
+	}
+	if max >= sum {
+		t.Errorf("asm reducemax (%.1f/elem) must undercut reducesum (%.1f/elem), like FCmp+Move (%d) vs FAdd (%d)",
+			max, sum, cm.FCmp+cm.Move, cm.FAdd)
+	}
+	t.Logf("issue cycles per element: elemadd %.1f, reducesum %.1f, reducemax %.1f (charges: FAdd %d, FCmp+Move %d)",
+		add, sum, max, cm.FAdd, cm.FCmp+cm.Move)
+}
