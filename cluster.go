@@ -86,6 +86,12 @@ type ClusterConfig struct {
 	// stores if their template enables one. Timeline.Enabled false (the
 	// default) disables it.
 	Timeline TimelineConfig
+	// Profiler enables the modeled-cycle profiler on every replica
+	// (all-or-nothing, like Ledger). The cluster handler serves the
+	// merged /debug/profile and a per-replica /debug/heatmap;
+	// Cluster.ProfileSnapshot merges the replica profiles. Off by
+	// default.
+	Profiler ProfilerConfig
 	// Health tunes replica-granularity quarantine: QuarantineAfter
 	// consecutive replica failures (errors or host-mirror degrades)
 	// quarantine it, ProbationAfter requests later it is re-admitted on
@@ -132,6 +138,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		TraceDepth:   cfg.TraceDepth,
 		Ledger:       cfg.Ledger,
 		Timeline:     cfg.Timeline,
+		Profiler:     cfg.Profiler,
 		Replication:  cfg.Replication,
 		VirtualNodes: cfg.VirtualNodes,
 		Seed:         cfg.Seed,
@@ -208,6 +215,11 @@ func (c *Cluster) Traces() []*Trace { return c.c.Traces() }
 // replica engine's ledger into one cluster-wide per-tenant snapshot
 // (empty when ClusterConfig.Ledger is off).
 func (c *Cluster) Ledger() LedgerSnapshot { return c.c.Ledger() }
+
+// ProfileSnapshot merges every replica's modeled-cycle profile into
+// one cluster-wide view; ok is false when ClusterConfig.Profiler is
+// off.
+func (c *Cluster) ProfileSnapshot() (CycleProfile, bool) { return c.c.ProfileSnapshot() }
 
 // Observe returns the cluster's telemetry handle: the registry behind
 // Stats with the cluster_* series (per-replica routed counts, queue

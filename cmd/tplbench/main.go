@@ -318,6 +318,27 @@ type jsonPoint struct {
 	// fused host mirror — the serving engine's compute ceiling. Host-
 	// dependent; tracked for trajectory, not comparable across machines.
 	HostElemsPerSec float64 `json:"host_elems_per_sec"`
+	// ClassCycles and ClassOps break the sweep's modeled kernel cost
+	// into per-instruction-class totals (the profiler's classes);
+	// classes the kernel never issued are omitted.
+	ClassCycles map[string]uint64 `json:"class_cycles,omitempty"`
+	ClassOps    map[string]uint64 `json:"class_ops,omitempty"`
+}
+
+// classMaps converts the sweep counters into name-keyed cycle and op
+// maps, dropping classes with no activity.
+func classMaps(c pimsim.Counters) (cycles, ops map[string]uint64) {
+	for cl := pimsim.OpClass(0); cl < pimsim.NumOpClasses(); cl++ {
+		if c.Ops[cl] == 0 && c.Cycles[cl] == 0 {
+			continue
+		}
+		if cycles == nil {
+			cycles, ops = map[string]uint64{}, map[string]uint64{}
+		}
+		cycles[cl.String()] = c.Cycles[cl]
+		ops[cl.String()] = c.Ops[cl]
+	}
+	return cycles, ops
 }
 
 type jsonReport struct {
@@ -398,6 +419,7 @@ func emitJSON(fns []core.Function, n int) {
 	}
 	for _, fn := range fns {
 		for _, p := range sweepAll(fn, n) {
+			classCycles, classOps := classMaps(p.Counters)
 			rep.Functions[fn.String()] = append(rep.Functions[fn.String()], jsonPoint{
 				Curve:           curveName(p),
 				Size:            sizeOf(p),
@@ -406,6 +428,8 @@ func emitJSON(fns []core.Function, n int) {
 				SetupSeconds:    p.SetupSeconds,
 				TableBytes:      p.TableBytes,
 				HostElemsPerSec: p.HostElemsPerSec,
+				ClassCycles:     classCycles,
+				ClassOps:        classOps,
 			})
 		}
 	}

@@ -29,6 +29,13 @@
 // is sampled into D-wide windows served at /debug/timeline (per-window
 // rates and histogram percentiles); cmd/tpltop renders both live.
 //
+// With -profile the modeled-cycle profiler attributes every launch's
+// cycles to (tenant, function, method, stage, instruction class)
+// stacks: /debug/profile serves the profile as JSON, folded flamegraph
+// text (?format=folded) or gzipped pprof profile.proto
+// (?format=pprof), and /debug/heatmap serves per-DPU issue/DMA/idle
+// utilization; cmd/tplprof fetches, folds, and diffs them.
+//
 // With -faults it injects deterministic faults (the faultsim plan
 // language) and reports the engine's recovery activity. SIGINT or
 // SIGTERM shuts down gracefully: clients stop submitting, in-flight
@@ -264,7 +271,7 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/trace and /debug/accuracy on this address (e.g. :9090); exit code 3 when already in use")
 	hold := flag.Duration("hold", 0, "keep the HTTP endpoints up this long after the workload (requires -listen)")
 	traceDepth := flag.Int("trace", 32, "request traces to retain (0 disables tracing)")
-	profile := flag.Bool("profile", false, "per-DPU kernel-launch profiling (pim_* metrics)")
+	profile := flag.Bool("profile", false, "modeled-cycle profiling: pim_* metrics plus /debug/profile (flamegraph/pprof) and /debug/heatmap")
 	ledger := flag.Bool("ledger", false, "per-tenant cost ledger (/debug/ledger, tenant_* series, exit summary)")
 	timeline := flag.Duration("timeline", 0, "windowed metrics store bucket width (/debug/timeline; 0 disables)")
 	faults := flag.String("faults", "", "fault-injection plan (e.g. \"seed=42,dpufail=0.05,transfer=0.02\")")
@@ -303,6 +310,7 @@ func main() {
 	ecfg := transpimlib.EngineConfig{
 		DPUs: *dpus, Shards: *shards, BatchWindow: *window,
 		TraceDepth: *traceDepth, Profile: *profile, Faults: *faults,
+		Profiler: transpimlib.ProfilerConfig{Enabled: *profile},
 		Accuracy: transpimlib.AccuracyConfig{
 			Enabled:    *accuracy > 0,
 			SampleRate: *accuracy,
@@ -327,6 +335,7 @@ func main() {
 			TraceDepth:  *traceDepth,
 			Ledger:      *ledger,
 			Timeline:    tlcfg,
+			Profiler:    transpimlib.ProfilerConfig{Enabled: *profile},
 			Log:         log,
 		})
 		if err != nil {
@@ -375,7 +384,7 @@ func main() {
 		}()
 		defer srv.Close()
 		log.Info("telemetry listening", "addr", ln.Addr().String(),
-			"endpoints", "/metrics /debug/trace /debug/accuracy /debug/timeline /debug/ledger")
+			"endpoints", "/metrics /debug/trace /debug/accuracy /debug/timeline /debug/ledger /debug/profile /debug/heatmap")
 	}
 
 	jobs := mixedWorkload()

@@ -7,8 +7,11 @@
 // cluster, and a request-rate sparkline from the windowed timeline.
 //
 // Rates are deltas between consecutive polls, so the first frame
-// shows cumulative totals; run tplserve with -ledger (and ideally
-// -timeline 1s) so the endpoints exist.
+// shows cumulative totals. Every debug endpoint is optional: a server
+// without -ledger, -timeline or -profile renders "n/a" panes instead
+// of an error, and when /debug/profile is present a profiler hotspot
+// pane shows the top frames by attributed wall cycles (rated between
+// polls like the ledger).
 //
 // Usage:
 //
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"transpimlib"
+	"transpimlib/internal/profiler"
 	"transpimlib/internal/telemetry/promparse"
 )
 
@@ -72,20 +76,25 @@ func main() {
 // timeline (nil-equivalent zero value when the store is off), the
 // cluster/engine registry, and each replica's engine registry.
 type poll struct {
-	at       time.Time
-	ledger   transpimlib.LedgerSnapshot
-	timeline transpimlib.TimelineSnapshot
-	metrics  map[string]float64
-	replicas map[int]map[string]float64
+	at         time.Time
+	ledger     transpimlib.LedgerSnapshot
+	ledgerOK   bool
+	timeline   transpimlib.TimelineSnapshot
+	timelineOK bool
+	profile    profiler.Profile
+	profileOK  bool
+	metrics    map[string]float64
+	replicas   map[int]map[string]float64
 }
 
 func fetch(base string) (*poll, error) {
 	p := &poll{at: time.Now()}
-	if err := getJSON(base+"/debug/ledger", &p.ledger); err != nil {
-		return nil, fmt.Errorf("%w (run tplserve with -ledger)", err)
-	}
-	// The timeline is optional: a 404 just leaves the sparkline out.
-	_ = getJSON(base+"/debug/timeline", &p.timeline)
+	// Every debug endpoint is optional — a server run without the
+	// matching flag 404s and the pane renders "n/a". Only /metrics
+	// (always mounted) is load-bearing.
+	p.ledgerOK = getJSON(base+"/debug/ledger", &p.ledger) == nil
+	p.timelineOK = getJSON(base+"/debug/timeline", &p.timeline) == nil
+	p.profileOK = getJSON(base+"/debug/profile", &p.profile) == nil
 	var err error
 	if p.metrics, err = getMetrics(base + "/metrics"); err != nil {
 		return nil, err
@@ -238,6 +247,44 @@ func replicaRows(prev, cur *poll, dt float64) []replicaRow {
 	return out
 }
 
+// renderHotspots prints the profiler pane: the top frames by
+// attributed wall cycles — rated between polls via an exact profile
+// subtraction, cumulative on the first frame. Absent /debug/profile
+// the pane reads "n/a".
+func renderHotspots(w io.Writer, prev, cur *poll, unit string) {
+	fmt.Fprintln(w)
+	if !cur.profileOK {
+		fmt.Fprintln(w, "hotspots  n/a (no /debug/profile; run tplserve with -profile)")
+		return
+	}
+	p := cur.profile
+	if prev != nil && prev.profileOK {
+		p = profiler.Sub(cur.profile, prev.profile)
+	}
+	fmt.Fprintf(w, "%-10s %-10s %-14s %-8s %-6s %14s %7s\n",
+		"TENANT", "FN", "METHOD", "STAGE", "CLASS", "WALLCYC"+unit, "%")
+	if len(p.Frames) == 0 {
+		fmt.Fprintln(w, "no profiled launches in this window")
+		return
+	}
+	const hot = 5
+	for _, f := range p.Top(hot) {
+		tenant := f.Tenant
+		if tenant == "" {
+			tenant = "(anon)"
+		}
+		share := 0.0
+		if p.TotalWall > 0 {
+			share = 100 * float64(f.WallCycles) / float64(p.TotalWall)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-14s %-8s %-6s %14d %6.2f%%\n",
+			tenant, f.Function, f.Method, f.Stage, f.Class, f.WallCycles, share)
+	}
+	if len(p.Frames) > hot {
+		fmt.Fprintf(w, "(+%d more frames; tplprof -url renders the full profile)\n", len(p.Frames)-hot)
+	}
+}
+
 // rateSparkline renders the timeline's per-window values of one
 // series as a bar string, scaled to the largest window.
 func rateSparkline(tl transpimlib.TimelineSnapshot, series string) string {
@@ -270,37 +317,47 @@ func render(w io.Writer, prev, cur *poll) {
 	}
 	fmt.Fprintf(w, "tpltop  tenants=%d  replicas=%d  (%s)\n",
 		len(cur.ledger.Rows), len(cur.replicas), unit)
-	for _, series := range []string{"cluster_requests_total:rate", "engine_requests_total:rate"} {
-		if sl := rateSparkline(cur.timeline, series); sl != "" {
-			fmt.Fprintf(w, "req/s timeline  %s\n", sl)
-			break
+	if !cur.timelineOK {
+		fmt.Fprintln(w, "req/s timeline  n/a (no /debug/timeline; run tplserve with -timeline)")
+	} else {
+		for _, series := range []string{"cluster_requests_total:rate", "engine_requests_total:rate"} {
+			if sl := rateSparkline(cur.timeline, series); sl != "" {
+				fmt.Fprintf(w, "req/s timeline  %s\n", sl)
+				break
+			}
 		}
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "%-10s %-10s %-14s %8s %9s %11s %8s %8s %6s %5s %5s\n",
-		"TENANT", "FN", "METHOD", "REQ"+unit, "ELEM"+unit, "KCYC"+unit, "MB-IN", "MB-OUT", "DEGR", "SHED", "FAIL")
-	rows := ledgerRows(func() transpimlib.LedgerSnapshot {
-		if prev != nil {
-			return prev.ledger
+	if !cur.ledgerOK {
+		fmt.Fprintln(w, "tenant ledger  n/a (no /debug/ledger; run tplserve with -ledger)")
+	} else {
+		fmt.Fprintf(w, "%-10s %-10s %-14s %8s %9s %11s %8s %8s %6s %5s %5s\n",
+			"TENANT", "FN", "METHOD", "REQ"+unit, "ELEM"+unit, "KCYC"+unit, "MB-IN", "MB-OUT", "DEGR", "SHED", "FAIL")
+		rows := ledgerRows(func() transpimlib.LedgerSnapshot {
+			if prev != nil {
+				return prev.ledger
+			}
+			return transpimlib.LedgerSnapshot{}
+		}(), cur.ledger, dt)
+		if len(rows) == 0 {
+			fmt.Fprintln(w, "no ledger rows yet (no attributed traffic)")
 		}
-		return transpimlib.LedgerSnapshot{}
-	}(), cur.ledger, dt)
-	if len(rows) == 0 {
-		fmt.Fprintln(w, "no ledger rows yet (no attributed traffic)")
-	}
-	for _, r := range rows {
-		tenant := r.Tenant
-		if tenant == "" {
-			tenant = "(anon)"
+		for _, r := range rows {
+			tenant := r.Tenant
+			if tenant == "" {
+				tenant = "(anon)"
+			}
+			fmt.Fprintf(w, "%-10s %-10s %-14s %8.1f %9.0f %11.1f %8.2f %8.2f %6.0f %5.0f %5.0f\n",
+				tenant, r.Function, r.Method, r.reqs, r.elems, r.kcycles,
+				r.mbIn, r.mbOut, r.degraded, r.shed, r.fail)
 		}
-		fmt.Fprintf(w, "%-10s %-10s %-14s %8.1f %9.0f %11.1f %8.2f %8.2f %6.0f %5.0f %5.0f\n",
-			tenant, r.Function, r.Method, r.reqs, r.elems, r.kcycles,
-			r.mbIn, r.mbOut, r.degraded, r.shed, r.fail)
+		if n := cur.ledger.Overflowed; n > 0 {
+			fmt.Fprintf(w, "(+%d rows collapsed into the overflow bucket)\n", n)
+		}
 	}
-	if n := cur.ledger.Overflowed; n > 0 {
-		fmt.Fprintf(w, "(+%d rows collapsed into the overflow bucket)\n", n)
-	}
+
+	renderHotspots(w, prev, cur, unit)
 
 	reps := replicaRows(prev, cur, dt)
 	if len(reps) > 0 {

@@ -8,6 +8,7 @@ import (
 	"transpimlib/internal/accwatch"
 	"transpimlib/internal/engine"
 	"transpimlib/internal/faultsim"
+	"transpimlib/internal/profiler"
 	"transpimlib/internal/telemetry"
 )
 
@@ -63,6 +64,15 @@ type EngineConfig struct {
 	// class and per-core cycle counters accumulate into the telemetry
 	// registry as pim_* series (default off).
 	Profile bool
+	// Profiler enables the continuous modeled-cycle profiler: every
+	// launch's cycles are attributed to a (tenant, function, method,
+	// stage, instruction class) stack in a lock-cheap aggregation
+	// tree, with per-DPU issue/DMA/idle heatmap accounting over a ring
+	// of time windows. Read it via Engine.Profile*, /debug/profile
+	// (folded flamegraph text, pprof profile.proto, or JSON), and
+	// /debug/heatmap. Profiler.Enabled false (the default) leaves the
+	// hot path untouched — no observer is installed.
+	Profiler ProfilerConfig
 	// Reference forces the per-element interpreted compute kernel
 	// instead of the fused batch fast path. Outputs and modeled cycles
 	// are bit-identical either way; only host wall time differs.
@@ -181,6 +191,27 @@ type LedgerRow = telemetry.LedgerRow
 // as JSON.
 type LedgerSnapshot = telemetry.LedgerSnapshot
 
+// ProfilerConfig tunes the modeled-cycle profiler: heatmap window
+// width and retained window count, and the frame cardinality cap.
+type ProfilerConfig = profiler.Config
+
+// CycleProfile is a point-in-time view of the modeled-cycle profiler:
+// cumulative totals plus one frame per observed (tenant, function,
+// method, stage, instruction class) stack. It is what /debug/profile
+// serves as JSON; use profiler's folded/pprof writers for the
+// flamegraph formats.
+type CycleProfile = profiler.Profile
+
+// CycleFrame is one aggregation-tree leaf of a CycleProfile: a fully
+// labeled stack with its attributed ops, instruction-class cycles,
+// and exact wall-cycle share.
+type CycleFrame = profiler.Frame
+
+// CycleHeatmap is the per-DPU utilization view: cumulative
+// issue/DMA/idle cycle shares per core plus the retained time
+// windows. It is what /debug/heatmap serves per source.
+type CycleHeatmap = profiler.Heatmap
+
 // Engine is a long-lived serving runtime over a multi-core PIM
 // system: a table/setup cache keyed by (function, method, LUT size,
 // placement), request coalescing and sharding, and a pipelined
@@ -216,6 +247,7 @@ func (cfg EngineConfig) internal() (engine.Config, error) {
 		Ledger:      cfg.Ledger,
 		Timeline:    cfg.Timeline,
 		Profile:     cfg.Profile,
+		Profiler:    cfg.Profiler,
 		Reference:   cfg.Reference,
 		Faults:      plan,
 		Reliability: cfg.Reliability,
@@ -283,6 +315,21 @@ func (e *Engine) Traces() []*Trace { return e.e.Traces() }
 // Ledger returns a point-in-time snapshot of the per-tenant cost
 // ledger (empty when EngineConfig.Ledger is off).
 func (e *Engine) Ledger() LedgerSnapshot { return e.e.Ledger() }
+
+// ProfileSnapshot returns a point-in-time modeled-cycle profile; ok
+// is false when EngineConfig.Profiler is disabled. The profile's wall
+// cycles reconcile ±0 with the simulator's attributed kernel cycles
+// and with the ledger's per-tenant rows.
+func (e *Engine) ProfileSnapshot() (CycleProfile, bool) { return e.e.ProfileSnapshot() }
+
+// Heatmap returns the per-DPU utilization heatmap (zero value when
+// EngineConfig.Profiler is disabled).
+func (e *Engine) Heatmap() CycleHeatmap {
+	if c := e.e.Profiler(); c != nil {
+		return c.HeatmapSnapshot()
+	}
+	return CycleHeatmap{}
+}
 
 // CachedSpecs returns how many (function, method) configurations
 // currently hold resident tables.

@@ -27,6 +27,7 @@ import (
 
 	"transpimlib/internal/core"
 	"transpimlib/internal/engine"
+	"transpimlib/internal/profiler"
 	"transpimlib/internal/telemetry"
 )
 
@@ -84,6 +85,12 @@ type Config struct {
 	// Timeline enables the cluster registry's windowed metrics store
 	// (served at /debug/timeline). Zero value: disabled.
 	Timeline telemetry.TimelineConfig
+	// Profiler enables the modeled-cycle profiler on every replica
+	// engine (all-or-nothing, like the ledger, so the merged profile
+	// covers the whole fleet). The cluster serves the merged
+	// /debug/profile and a per-replica /debug/heatmap. Zero value:
+	// disabled, replica launch paths unchanged.
+	Profiler profiler.Config
 	// Clock supplies the token buckets' notion of now (default
 	// time.Now); tests inject a deterministic clock.
 	Clock func() time.Time
@@ -189,6 +196,9 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.Ledger {
 			ecfg.Ledger = true
 		}
+		if cfg.Profiler.Enabled {
+			ecfg.Profiler = cfg.Profiler
+		}
 		e, err := engine.New(ecfg)
 		if err != nil {
 			for j := 0; j < i; j++ {
@@ -207,7 +217,44 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.engines = engines
+	if cfg.Profiler.Enabled {
+		// Merged profile and per-replica heatmaps over the replica
+		// collectors (injected executors have none and are skipped).
+		c.tel.ProfileHandler = profiler.ProfileHandler(c.profilerSources)
+		c.tel.HeatmapHandler = profiler.HeatmapHandler(c.profilerSources)
+	}
 	return c, nil
+}
+
+// profilerSources lists the replica collectors for the merged debug
+// endpoints, one named source per profiling replica.
+func (c *Cluster) profilerSources() []profiler.Source {
+	out := make([]profiler.Source, 0, len(c.engines))
+	for i, e := range c.engines {
+		if e == nil || e.Profiler() == nil {
+			continue
+		}
+		out = append(out, profiler.Source{Name: fmt.Sprintf("replica/%d", i), C: e.Profiler()})
+	}
+	return out
+}
+
+// ProfileSnapshot returns the merged modeled-cycle profile across the
+// replicas; ok is false when profiling is disabled everywhere.
+func (c *Cluster) ProfileSnapshot() (profiler.Profile, bool) {
+	var snaps []profiler.Profile
+	for _, e := range c.engines {
+		if e == nil {
+			continue
+		}
+		if p, ok := e.ProfileSnapshot(); ok {
+			snaps = append(snaps, p)
+		}
+	}
+	if len(snaps) == 0 {
+		return profiler.Profile{}, false
+	}
+	return profiler.Merge(snaps...), true
 }
 
 // NewWithExecutors builds a cluster over caller-supplied execution

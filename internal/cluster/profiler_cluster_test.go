@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"transpimlib/internal/core"
+	"transpimlib/internal/engine"
+	"transpimlib/internal/profiler"
+	"transpimlib/internal/stats"
+)
+
+// TestClusterProfilerMergesReplicas: with the profiler on, every
+// replica collects, the cluster's merged snapshot reconciles ±0 with
+// the per-replica simulators, and both debug endpoints serve
+// non-empty payloads from the cluster handler.
+func TestClusterProfilerMergesReplicas(t *testing.T) {
+	ecfg := engine.Config{DPUs: 2, Shards: 1, MaxBatch: 512}
+	cl, err := New(Config{
+		Engines:  []engine.Config{ecfg, ecfg},
+		Seed:     1,
+		Profiler: profiler.Config{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	fn := core.Sigmoid
+	p := core.Params{Method: core.LLUT, Interp: true, SizeLog2: 10}
+	for i := 0; i < 8; i++ {
+		xs := stats.RandomInputs(-6, 6, 64+i, uint64(i))
+		if _, _, err := cl.EvaluateBatchTenant("acme", fn, p, xs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, ok := cl.ProfileSnapshot()
+	if !ok || len(merged.Frames) == 0 {
+		t.Fatal("cluster profile empty with profiling enabled")
+	}
+	var want uint64
+	for i := range cl.Stats().Routed {
+		want += cl.Replica(i).System().AttributedKernelCycles()
+	}
+	if merged.TotalWall != want {
+		t.Errorf("merged wall %d != sum of replica attributed cycles %d", merged.TotalWall, want)
+	}
+
+	// The debug endpoints are mounted on the cluster telemetry and
+	// serve the merged profile / per-replica heatmaps.
+	h := cl.Observe().Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profile", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/profile status %d: %s", rec.Code, rec.Body.String())
+	}
+	var got profiler.Profile
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWall != merged.TotalWall || len(got.Frames) == 0 {
+		t.Errorf("/debug/profile wall %d (frames %d), want wall %d",
+			got.TotalWall, len(got.Frames), merged.TotalWall)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/heatmap", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/heatmap status %d", rec.Code)
+	}
+	var hm struct {
+		Sources []struct {
+			Name string             `json:"name"`
+			DPUs []profiler.HeatDPU `json:"dpus"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hm); err != nil {
+		t.Fatal(err)
+	}
+	if len(hm.Sources) != 2 {
+		t.Fatalf("want 2 heatmap sources, got %d", len(hm.Sources))
+	}
+	for _, s := range hm.Sources {
+		if len(s.DPUs) != 2 {
+			t.Errorf("source %q: want 2 DPU rows, got %d", s.Name, len(s.DPUs))
+		}
+	}
+}
+
+// TestClusterProfilerDisabledUnmounted: the zero-value cluster config
+// leaves the profile endpoints returning 404.
+func TestClusterProfilerDisabledUnmounted(t *testing.T) {
+	ecfg := engine.Config{DPUs: 2, Shards: 1}
+	cl, err := New(Config{Engines: []engine.Config{ecfg}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, ok := cl.ProfileSnapshot(); ok {
+		t.Fatal("profile snapshot ok with profiling disabled")
+	}
+	rec := httptest.NewRecorder()
+	cl.Observe().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profile", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/profile status %d with profiling disabled, want 404", rec.Code)
+	}
+}

@@ -26,6 +26,11 @@ type Point struct {
 	// above. Host-dependent by nature; tracked to watch the fast path's
 	// trajectory across revisions, not as a simulator quantity.
 	HostElemsPerSec float64
+
+	// Counters holds the kernel's per-instruction-class op and cycle
+	// totals over the whole input sweep (setup loads excluded) — the
+	// same classes the modeled-cycle profiler attributes to.
+	Counters pimsim.Counters
 }
 
 // String renders the point as one table row.
@@ -60,6 +65,9 @@ func MeasureOperatorCost(fn Function, p Params, inputs []float32, cost pimsim.Co
 		col.Add(got, ref(float64(x)))
 	}
 	cyclesPerElem := float64(dpu.Cycles()) / float64(len(inputs))
+	// Snapshot the class counters now: measureHostRate below reruns the
+	// batch path and would pollute them.
+	counters := dpu.Counters()
 	return Point{
 		Fn:              fn,
 		Par:             op.Par,
@@ -68,6 +76,7 @@ func MeasureOperatorCost(fn Function, p Params, inputs []float32, cost pimsim.Co
 		SetupSeconds:    op.SetupSeconds(),
 		TableBytes:      op.TableBytes(),
 		HostElemsPerSec: measureHostRate(ctx, op, inputs),
+		Counters:        counters,
 	}, nil
 }
 

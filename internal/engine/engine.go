@@ -35,6 +35,7 @@ import (
 	"transpimlib/internal/faultsim"
 	"transpimlib/internal/lut"
 	"transpimlib/internal/pimsim"
+	"transpimlib/internal/profiler"
 	"transpimlib/internal/telemetry"
 )
 
@@ -76,6 +77,14 @@ type Config struct {
 	// the telemetry registry (pim_* series). Off by default; when off,
 	// the simulator pays one atomic nil-check per launch.
 	Profile bool
+	// Profiler enables the continuous modeled-cycle profiler: every
+	// kernel launch is attributed to (tenant, function, method,
+	// pipeline stage / program phase, instruction class) frames with
+	// per-DPU utilization heatmaps, exported at /debug/profile and
+	// /debug/heatmap (see internal/profiler). Disabled (the zero
+	// value), the launch path is unchanged — the simulator pays the
+	// same single atomic nil-observer load as with Profile off.
+	Profiler profiler.Config
 	// Reference forces the compute stage through the per-element
 	// interpreted kernel instead of the fused batch fast path — the
 	// escape hatch for differential debugging. Cycle accounting and
@@ -181,6 +190,11 @@ type shard struct {
 	// persistent so steady-state batches allocate nothing.
 	issue0, dma0 []uint64
 
+	// lctx is the profiler's launch context: written by this shard's
+	// compute goroutine immediately before each launch, read by the
+	// observer on the same goroutine. Unused when profiling is off.
+	lctx profiler.LaunchContext
+
 	slots chan int    // free buffer slots (the double-buffer pool)
 	mid   chan *batch // transfer-in → compute
 	out   chan *batch // compute → transfer-out
@@ -265,6 +279,10 @@ type Engine struct {
 	// timeline is the windowed metrics store, nil unless enabled.
 	led      *telemetry.Ledger
 	timeline *telemetry.Timeline
+
+	// prof is the modeled-cycle profiler's collector, nil unless
+	// Config.Profiler.Enabled.
+	prof *profiler.Collector
 }
 
 // New builds and starts an engine: the PIM system, the per-shard I/O
@@ -292,8 +310,33 @@ func New(cfg Config) (*Engine, error) {
 		e.tracer = telemetry.NewTracer(cfg.TraceDepth)
 	}
 	e.tel = &telemetry.Telemetry{Registry: reg, Tracer: e.tracer}
-	if cfg.Profile {
+	if cfg.Profiler.Enabled {
+		e.prof = profiler.New(cfg.Profiler, cfg.DPUs)
+		e.prof.Start()
+		// Attribution gives reconciliation tests (and operators) the
+		// simulator-side total that profile wall cycles must sum to.
+		e.sys.SetCycleAttribution(true)
+		srcName := cfg.ProcName
+		if srcName == "" {
+			srcName = "engine"
+		}
+		sources := func() []profiler.Source {
+			return []profiler.Source{{Name: srcName, C: e.prof}}
+		}
+		e.tel.ProfileHandler = profiler.ProfileHandler(sources)
+		e.tel.HeatmapHandler = profiler.HeatmapHandler(sources)
+	}
+	switch {
+	case cfg.Profile && e.prof != nil:
+		kp := newKernelProfiler(reg, cfg.DPUs)
+		e.sys.SetLaunchObserver(func(prof pimsim.LaunchProfile) {
+			kp.observe(prof)
+			e.observeLaunch(prof)
+		})
+	case cfg.Profile:
 		e.sys.SetLaunchObserver(newKernelProfiler(reg, cfg.DPUs).observe)
+	case e.prof != nil:
+		e.sys.SetLaunchObserver(e.observeLaunch)
 	}
 	// Record the per-element streaming overhead signature on a
 	// throwaway core: one WRAM load, one WRAM store, and the loop
@@ -561,6 +604,7 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	e.wg.Wait()
 	e.timeline.Close()
+	e.prof.Close()
 }
 
 // batcher collects queued requests, groups them by spec, and emits
@@ -823,6 +867,9 @@ func (e *Engine) stageCompute(s *shard) {
 		}
 		per := b.perDPU
 		base := s.ids[0]
+		if e.prof != nil {
+			e.profContext(s, b, "kernel")
+		}
 		b.err = e.sys.LaunchShard(s.ids, func(ctx *pimsim.Ctx, id int) error {
 			local := id - base
 			count := b.n - local*per

@@ -325,6 +325,11 @@ func (e *Engine) computeProgram(s *shard, b *batch) {
 	fast := !e.cfg.Reference
 	base := s.ids[0]
 	for phi := 0; phi < ex.NumPhases(); phi++ {
+		if e.prof != nil {
+			// Each phase is its own launch: label it so flamegraphs
+			// split a fused program's cycles phase by phase.
+			e.profContext(s, b, phaseStage(phi))
+		}
 		kern := func(ctx *pimsim.Ctx, id int) error {
 			local := id - base
 			ex.RunLane(ctx, phi, local, s.arena[local], fast)

@@ -276,6 +276,13 @@ func (e *Engine) computeShardFaulty(s *shard, b *batch) {
 		}
 		s.launchIDs = ids
 
+		if e.prof != nil {
+			stage := "kernel"
+			if remapped {
+				stage = "remap"
+			}
+			e.profContext(s, b, stage)
+		}
 		err := e.sys.LaunchShardSeq(b.seq, attempt, ids, func(ctx *pimsim.Ctx, id int) error {
 			ln := id - base
 			j := s.chunkOf[ln]
@@ -403,6 +410,9 @@ func (e *Engine) maybeHedge(s *shard, b *batch, ops []*core.Operator, lanes []in
 	}
 	d := s.dpus[k]
 	i0, d0 := d.IssueCycles(), d.DMACycles()
+	if e.prof != nil {
+		e.profContext(s, b, "hedge")
+	}
 	// A large attempt bias gives the hedge a fresh, independent draw
 	// stream that ordinary retries never reach.
 	err := e.sys.LaunchShardSeq(b.seq, uint64(e.rel.MaxRetries)+1000, []int{s.ids[k]}, func(ctx *pimsim.Ctx, id int) error {

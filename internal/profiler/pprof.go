@@ -1,0 +1,189 @@
+package profiler
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// pprof profile.proto encoder, hand-rolled against the message layout
+// of github.com/google/pprof/proto/profile.proto (the format `go tool
+// pprof` and speedscope read) so the repo stays dependency-free.
+//
+// Field numbers used:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table, 9 time_nanos, 10 duration_nanos
+//	ValueType: 1 type (string idx), 2 unit (string idx)
+//	Sample:    1 location_id (repeated), 2 value (repeated)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id
+//	Function:  1 id, 2 name (string idx)
+//
+// Each frame becomes one sample whose location stack reads leaf-first:
+// class, stage, method, function, tenant — so flamegraph roots are
+// tenants and leaves are instruction classes, matching the folded
+// export. Three values per sample: wall cycles, per-class issue
+// cycles, and ops.
+
+// protoBuf is a minimal protobuf writer.
+type protoBuf struct{ bytes.Buffer }
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}
+
+// tag writes a field key: (field number << 3) | wire type.
+func (b *protoBuf) tag(field int, wire int) { b.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (b *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	b.tag(field, 0)
+	b.varint(v)
+}
+
+func (b *protoBuf) intField(field int, v int64) { b.uintField(field, uint64(v)) }
+
+func (b *protoBuf) bytesField(field int, p []byte) {
+	b.tag(field, 2)
+	b.varint(uint64(len(p)))
+	b.Write(p)
+}
+
+func (b *protoBuf) stringField(field int, s string) {
+	b.tag(field, 2)
+	b.varint(uint64(len(s)))
+	b.WriteString(s)
+}
+
+// packedField writes repeated varints in packed encoding.
+func (b *protoBuf) packedField(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	b.bytesField(field, inner.Bytes())
+}
+
+// stringTable interns strings; index 0 is "" per the pprof contract.
+type stringTable struct {
+	idx  map[string]uint64
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]uint64{"": 0}, list: []string{""}}
+}
+
+func (t *stringTable) id(s string) uint64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := uint64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// writeProto encodes the profile as an uncompressed profile.proto
+// message. Byte-stable for a given Profile value (iteration follows
+// the sorted frame order), which the golden test pins.
+func (p Profile) writeProto() []byte {
+	var out protoBuf
+	strs := newStringTable()
+
+	// sample_type: wall/cycles, issue/cycles, ops/count. Interned
+	// before any frame strings so the table layout is deterministic.
+	sampleTypes := [][2]uint64{
+		{strs.id("wall"), strs.id("cycles")},
+		{strs.id("issue"), strs.id("cycles")},
+		{strs.id("ops"), strs.id("count")},
+	}
+	for _, st := range sampleTypes {
+		var vt protoBuf
+		vt.intField(1, int64(st[0]))
+		vt.intField(2, int64(st[1]))
+		out.bytesField(1, vt.Bytes())
+	}
+
+	// One Function+Location per unique label string, ids assigned in
+	// frame order (leaf-first within a frame).
+	locOf := map[string]uint64{}
+	var locNames []string
+	locID := func(name string) uint64 {
+		if name == "" {
+			name = "-"
+		}
+		if id, ok := locOf[name]; ok {
+			return id
+		}
+		id := uint64(len(locNames) + 1) // ids are 1-based
+		locOf[name] = id
+		locNames = append(locNames, name)
+		strs.id(name)
+		return id
+	}
+
+	for _, f := range p.Frames {
+		stack := []uint64{
+			locID("class:" + f.Class),
+			locID("stage:" + f.Stage),
+			locID("method:" + f.Method),
+			locID("fn:" + f.Function),
+			locID("tenant:" + orDash(f.Tenant)),
+		}
+		var s protoBuf
+		s.packedField(1, stack)
+		s.packedField(2, []uint64{f.WallCycles, f.Cycles, f.Ops})
+		out.bytesField(2, s.Bytes())
+	}
+
+	for i, name := range locNames {
+		id := uint64(i + 1)
+		var fn protoBuf
+		fn.uintField(1, id)
+		fn.intField(2, int64(strs.idx[name]))
+		out.bytesField(5, fn.Bytes())
+		var line protoBuf
+		line.uintField(1, id)
+		var loc protoBuf
+		loc.uintField(1, id)
+		loc.bytesField(4, line.Bytes())
+		out.bytesField(4, loc.Bytes())
+	}
+
+	for _, s := range strs.list {
+		// Index 0 ("") must still be written so table indices line up.
+		out.stringField(6, s)
+	}
+	out.intField(9, p.StartUnixNano)
+	if p.EndUnixNano > p.StartUnixNano {
+		out.intField(10, p.EndUnixNano-p.StartUnixNano)
+	}
+	return out.Bytes()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// WritePprof writes the gzip-compressed profile.proto encoding — the
+// on-the-wire format of /debug/profile?format=pprof and the artifact
+// `go tool pprof` opens directly.
+func (p Profile) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.writeProto()); err != nil {
+		return err
+	}
+	return zw.Close()
+}

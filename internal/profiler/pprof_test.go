@@ -1,0 +1,219 @@
+package profiler
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// goldenProfile is a fixed two-frame profile with pinned timestamps;
+// its uncompressed encoding must never drift (the byte-stable
+// contract external pprof tooling depends on).
+func goldenProfile() Profile {
+	p := Profile{
+		StartUnixNano: 1_700_000_000_000_000_000,
+		EndUnixNano:   1_700_000_001_000_000_000,
+		Launches:      2,
+		Frames: []Frame{
+			{Tenant: "a", Function: "sin", Method: "l-lut(i)", Stage: "kernel",
+				Class: "fadd", Ops: 100, Cycles: 500, WallCycles: 900},
+			{Tenant: "", Function: "program", Method: "fused:softmax", Stage: "phase1",
+				Class: "mram", Ops: 7, Cycles: 77, WallCycles: 200},
+		},
+	}
+	p.total()
+	return p
+}
+
+// pprofGolden is the pinned hex of goldenProfile().writeProto().
+const pprofGolden = "0a04080110020a04080310020a0408041005120e0a0501020304051205" +
+	"8407f40364120d0a05060708090a1204c8014d072a04080110062206080122020801" +
+	"2a040802100722060802220208022a040803100822060803220208032a0408041009" +
+	"22060804220208042a040805100a22060805220208052a040806100b220608062202" +
+	"08062a040807100c22060807220208072a040808100d22060808220208082a040809" +
+	"100e22060809220208092a04080a100f2206080a2202080a3200320477616c6c3206" +
+	"6379636c65733205697373756532036f70733205636f756e74320a636c6173733a66" +
+	"616464320c73746167653a6b65726e656c320f6d6574686f643a6c2d6c7574286929" +
+	"3206666e3a73696e320874656e616e743a61320a636c6173733a6d72616d320c7374" +
+	"6167653a70686173653132146d6574686f643a66757365643a736f66746d6178320a" +
+	"666e3a70726f6772616d320874656e616e743a2d488080a8b1e39fe7cb1750809" +
+	"4ebdc03"
+
+func TestPprofByteStable(t *testing.T) {
+	p := goldenProfile()
+	a := p.writeProto()
+	b := p.writeProto()
+	if !bytes.Equal(a, b) {
+		t.Fatal("writeProto is not deterministic")
+	}
+	if got := hex.EncodeToString(a); got != pprofGolden {
+		t.Fatalf("pprof encoding drifted:\n got  %s\n want %s", got, pprofGolden)
+	}
+}
+
+// protoField is one decoded top-level field.
+type protoField struct {
+	num  int
+	wire int
+	uval uint64
+	data []byte
+}
+
+func parseVarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("truncated varint")
+}
+
+func parseMessage(b []byte) ([]protoField, error) {
+	var out []protoField
+	for len(b) > 0 {
+		key, n, err := parseVarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = b[n:]
+		f := protoField{num: int(key >> 3), wire: int(key & 7)}
+		switch f.wire {
+		case 0:
+			v, n, err := parseVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			f.uval = v
+			b = b[n:]
+		case 2:
+			l, n, err := parseVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[n:]
+			if uint64(len(b)) < l {
+				return nil, fmt.Errorf("field %d: length %d overruns buffer", f.num, l)
+			}
+			f.data = b[:l]
+			b = b[l:]
+		default:
+			return nil, fmt.Errorf("unexpected wire type %d", f.wire)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parsePacked(b []byte) ([]uint64, error) {
+	var out []uint64
+	for len(b) > 0 {
+		v, n, err := parseVarint(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// TestPprofFraming walks the varint/length-delimited structure and
+// checks the profile.proto invariants the external readers rely on.
+func TestPprofFraming(t *testing.T) {
+	p := goldenProfile()
+	fields, err := parseMessage(p.writeProto())
+	if err != nil {
+		t.Fatalf("framing broken: %v", err)
+	}
+	counts := map[int]int{}
+	var strtab []string
+	var samples [][]protoField
+	for _, f := range fields {
+		counts[f.num]++
+		switch f.num {
+		case 1, 2, 4, 5, 9, 10: // known message/scalar fields
+		case 6:
+			strtab = append(strtab, string(f.data))
+			continue
+		default:
+			t.Fatalf("unknown top-level field %d", f.num)
+		}
+		if f.num == 2 {
+			sf, err := parseMessage(f.data)
+			if err != nil {
+				t.Fatalf("sample framing: %v", err)
+			}
+			samples = append(samples, sf)
+		}
+	}
+	if counts[1] != 3 {
+		t.Fatalf("want 3 sample_types, got %d", counts[1])
+	}
+	if counts[2] != len(p.Frames) {
+		t.Fatalf("want %d samples, got %d", len(p.Frames), counts[2])
+	}
+	if counts[4] != counts[5] {
+		t.Fatalf("locations (%d) and functions (%d) must pair 1:1", counts[4], counts[5])
+	}
+	if len(strtab) == 0 || strtab[0] != "" {
+		t.Fatal("string table must start with the empty string")
+	}
+	for i, sf := range samples {
+		var locs, vals []uint64
+		for _, f := range sf {
+			switch f.num {
+			case 1:
+				locs, _ = parsePacked(f.data)
+			case 2:
+				vals, _ = parsePacked(f.data)
+			}
+		}
+		if len(locs) != 5 {
+			t.Fatalf("sample %d: want 5-deep stack, got %d", i, len(locs))
+		}
+		want := []uint64{p.Frames[i].WallCycles, p.Frames[i].Cycles, p.Frames[i].Ops}
+		if len(vals) != 3 || vals[0] != want[0] || vals[1] != want[1] || vals[2] != want[2] {
+			t.Fatalf("sample %d values = %v, want %v", i, vals, want)
+		}
+	}
+	// Every label string made it into the table with its level prefix.
+	has := func(s string) bool {
+		for _, v := range strtab {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range []string{"wall", "issue", "ops", "cycles", "count",
+		"tenant:a", "tenant:-", "fn:sin", "fn:program", "method:fused:softmax",
+		"stage:kernel", "stage:phase1", "class:fadd", "class:mram"} {
+		if !has(s) {
+			t.Fatalf("string table missing %q (have %q)", s, strtab)
+		}
+	}
+}
+
+func TestPprofGzipRoundTrip(t *testing.T) {
+	p := goldenProfile()
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, p.writeProto()) {
+		t.Fatal("gzip payload differs from the raw encoding")
+	}
+}

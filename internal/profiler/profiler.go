@@ -1,0 +1,473 @@
+// Package profiler is the continuous modeled-cycle profiler: it
+// consumes pimsim per-launch counter deltas and attributes every
+// modeled kernel cycle to a stack of (tenant, function, method,
+// pipeline stage / fused-program phase, instruction class) — the
+// paper's Fig.-7 per-method cycle breakdowns (mul vs. shift vs. load
+// vs. branch), captured live, per tenant, on a serving system.
+//
+// Attribution is exact by construction. Each launch's wall cycles are
+// the slowest lane's closed-form cycles over the observer's counter
+// deltas — the same quantity the engine charges a batch and the
+// simulator accumulates under SetCycleAttribution — and every split
+// (across tenant segments, then across instruction classes within a
+// segment) uses integer prefix partitioning, so the shares always sum
+// to the whole. Summed over any subset of frames, profile cycles
+// reconcile ±0 against the pimsim attribution counter and the cost
+// ledger for the same run.
+//
+// The collector also keeps per-DPU utilization accumulators — issue
+// vs. DMA-excess vs. idle cycles per core — both cumulative and as a
+// ring of time-windowed snapshots (the Timeline discipline), exported
+// as heatmaps.
+package profiler
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transpimlib/internal/pimsim"
+)
+
+// Config describes a collector.
+type Config struct {
+	// Enabled turns the profiler on. Off (the zero value), the engine
+	// installs no launch observer for it and the hot path is unchanged.
+	Enabled bool
+	// Window is the width of one heatmap window (default 1s).
+	Window time.Duration
+	// Windows is the ring capacity: how many closed windows the
+	// heatmap retains (default 60).
+	Windows int
+	// MaxFrames caps frame cardinality; past it, new stacks collapse
+	// into a single "~other" overflow frame (default 4096).
+	MaxFrames int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.Windows <= 0 {
+		c.Windows = 60
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = 4096
+	}
+	return c
+}
+
+// Seg is one tenant's contiguous element range within a launch.
+type Seg struct {
+	Tenant string
+	N      int
+}
+
+// LaunchContext carries the labels the engine's compute stage knows
+// and the simulator does not: which function/method the kernel serves,
+// which pipeline stage (or fused-program phase) is launching, and the
+// tenant segments the batch carries. The launching goroutine writes it
+// immediately before LaunchShard and the observer — which runs
+// synchronously on the same goroutine — reads it; no lock is needed
+// and the Segs slice is reused across batches.
+type LaunchContext struct {
+	Function string
+	Method   string
+	Stage    string
+	Segs     []Seg
+	N        int // total elements across Segs
+}
+
+// Set fills the context in place, reusing the Segs backing array.
+func (lc *LaunchContext) Set(function, method, stage string) {
+	lc.Function, lc.Method, lc.Stage = function, method, stage
+}
+
+// frameKey identifies one leaf of the attribution tree.
+type frameKey struct {
+	tenant   string
+	function string
+	method   string
+	stage    string
+	class    pimsim.OpClass
+}
+
+// frameCell is one frame's accumulators. Cells are insert-only (the
+// map grows, entries never move), so Observe increments them with
+// atomics under the map's read lock.
+type frameCell struct {
+	ops    atomic.Uint64 // instructions retired in this frame's class
+	cycles atomic.Uint64 // per-class issue cycles (the Fig.-7 measure)
+	wall   atomic.Uint64 // wall-cycle share (sums to attributed kernel cycles)
+}
+
+// dpuCell is one core's cumulative utilization decomposition. Per
+// launch: issueAdj is the occupancy-adjusted issue time, dmaExcess the
+// cycles by which the DMA engine outran the pipeline, idle the gap to
+// the launch's slowest lane. The three sum to the launch wall for
+// every core, so shares are exact.
+type dpuCell struct {
+	launches  atomic.Uint64
+	wall      atomic.Uint64
+	issueAdj  atomic.Uint64
+	dmaExcess atomic.Uint64
+	idle      atomic.Uint64
+}
+
+// dpuAccum is a plain snapshot of a dpuCell (window delta math).
+type dpuAccum struct {
+	launches, wall, issueAdj, dmaExcess, idle uint64
+}
+
+// Collector aggregates launch profiles. One collector serves one
+// engine (one pimsim.System); a cluster keeps one per replica and
+// merges snapshots at export time.
+type Collector struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.RWMutex
+	frames   map[frameKey]*frameCell
+	overflow *frameCell // the "~other" sink once MaxFrames is hit
+
+	launches atomic.Uint64
+	dpus     []dpuCell
+
+	// Window ring, sealed by Tick (Start's ticker or an explicit call).
+	wmu      sync.Mutex
+	prev     []dpuAccum
+	ring     []HeatWindow
+	head     int // next write position
+	count    int
+	winStart time.Time
+
+	tickStop  chan struct{}
+	tickDone  chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a collector for a system with the given core count.
+func New(cfg Config, dpus int) *Collector {
+	cfg = cfg.withDefaults()
+	if dpus < 0 {
+		dpus = 0
+	}
+	now := time.Now()
+	return &Collector{
+		cfg:      cfg,
+		start:    now,
+		frames:   make(map[frameKey]*frameCell),
+		dpus:     make([]dpuCell, dpus),
+		prev:     make([]dpuAccum, dpus),
+		ring:     make([]HeatWindow, 0, cfg.Windows),
+		winStart: now,
+	}
+}
+
+// Start launches the background window ticker. Optional: a collector
+// works without it (cumulative views only); Close is still required
+// to stop the ticker once started.
+func (c *Collector) Start() {
+	if c == nil || c.tickStop != nil {
+		return
+	}
+	c.tickStop = make(chan struct{})
+	c.tickDone = make(chan struct{})
+	go func() {
+		defer close(c.tickDone)
+		t := time.NewTicker(c.cfg.Window)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				c.Tick(now)
+			case <-c.tickStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the ticker and seals the final partial window. Nil-safe
+// and idempotent.
+func (c *Collector) Close() {
+	if c == nil {
+		return
+	}
+	c.closeOnce.Do(func() {
+		if c.tickStop != nil {
+			close(c.tickStop)
+			<-c.tickDone
+		}
+		c.Tick(time.Now())
+	})
+}
+
+// Observe is the launch observer body: attribute one launch's counter
+// deltas to the context's frames. It runs synchronously on the
+// launching goroutine (one shard's compute stage), so distinct shards
+// contend only on the frame map's read lock and the cells' atomics.
+func (c *Collector) Observe(lc *LaunchContext, prof pimsim.LaunchProfile) {
+	if c == nil || len(prof.Cores) == 0 {
+		return
+	}
+	// The launch wall: slowest lane's closed-form cycles over the
+	// deltas — identical to the engine's batch charge and the
+	// simulator's attribution counter.
+	var wall uint64
+	for i := range prof.Cores {
+		cp := &prof.Cores[i]
+		if w := pimsim.ClosedFormCycles(cp.IssueCycles, cp.DMACycles, cp.Tasklets); w > wall {
+			wall = w
+		}
+	}
+	c.launches.Add(1)
+	for i := range prof.Cores {
+		cp := &prof.Cores[i]
+		if cp.DPU < 0 || cp.DPU >= len(c.dpus) {
+			continue
+		}
+		cell := &c.dpus[cp.DPU]
+		issueAdj := pimsim.ClosedFormCycles(cp.IssueCycles, 0, cp.Tasklets)
+		busy := pimsim.ClosedFormCycles(cp.IssueCycles, cp.DMACycles, cp.Tasklets)
+		cell.launches.Add(1)
+		cell.wall.Add(wall)
+		cell.issueAdj.Add(issueAdj)
+		cell.dmaExcess.Add(busy - issueAdj)
+		cell.idle.Add(wall - busy)
+	}
+
+	// Per-class totals across the launch's cores.
+	var tot pimsim.Counters
+	for i := range prof.Cores {
+		tot.Add(&prof.Cores[i].Counters)
+	}
+
+	segs := lc.Segs
+	n := uint64(lc.N)
+	if n == 0 || len(segs) == 0 {
+		// A launch with no element context (shouldn't happen from the
+		// engine, but keep the invariant): one anonymous segment.
+		c.attributeSeg(lc, "", wall, &tot)
+		return
+	}
+
+	// Split wall cycles and per-class counters across tenant segments
+	// by exact integer prefix partitioning — the ledger's rule, in the
+	// ledger's segment order, so per-tenant profile cycles reconcile
+	// ±0 against per-tenant ledger cycles.
+	var cum, wallPrev uint64
+	var prev pimsim.Counters // prefix state: Cycles and Ops per class
+	for _, sg := range segs {
+		cum += uint64(sg.N)
+		wallCum := wall * cum / n
+		wallShare := wallCum - wallPrev
+		wallPrev = wallCum
+		var seg pimsim.Counters
+		for cl := range tot.Cycles {
+			cc := tot.Cycles[cl] * cum / n
+			oc := tot.Ops[cl] * cum / n
+			seg.Cycles[cl] = cc - prev.Cycles[cl]
+			seg.Ops[cl] = oc - prev.Ops[cl]
+			prev.Cycles[cl] = cc
+			prev.Ops[cl] = oc
+		}
+		c.attributeSeg(lc, sg.Tenant, wallShare, &seg)
+	}
+}
+
+// attributeSeg splits one segment's wall-cycle share across
+// instruction classes in proportion to the segment's per-class issue
+// cycles (prefix partitioning again, so the class shares sum to the
+// segment share exactly) and adds the result to the frames. When the
+// segment charged no class cycles at all, the whole share lands on
+// ctrl — cycles have to go somewhere for the totals to reconcile.
+func (c *Collector) attributeSeg(lc *LaunchContext, tenant string, wallShare uint64, seg *pimsim.Counters) {
+	var segTot uint64
+	for _, v := range seg.Cycles {
+		segTot += v
+	}
+	if segTot == 0 {
+		for cl := range seg.Ops {
+			w := uint64(0)
+			if pimsim.OpClass(cl) == pimsim.OpCtrl {
+				w = wallShare
+			}
+			if seg.Ops[cl] == 0 && w == 0 {
+				continue
+			}
+			c.addFrame(lc, tenant, pimsim.OpClass(cl), seg.Ops[cl], 0, w)
+		}
+		return
+	}
+	var cumC, wPrev uint64
+	for cl := range seg.Cycles {
+		cumC += seg.Cycles[cl]
+		wCum := wallShare * cumC / segTot
+		w := wCum - wPrev
+		wPrev = wCum
+		if seg.Ops[cl] == 0 && seg.Cycles[cl] == 0 && w == 0 {
+			continue
+		}
+		c.addFrame(lc, tenant, pimsim.OpClass(cl), seg.Ops[cl], seg.Cycles[cl], w)
+	}
+}
+
+// addFrame bumps one frame's accumulators, creating the cell on first
+// sight. Steady state: one read-lock map hit and three atomic adds.
+func (c *Collector) addFrame(lc *LaunchContext, tenant string, cl pimsim.OpClass, ops, cycles, wall uint64) {
+	key := frameKey{
+		tenant:   tenant,
+		function: lc.Function,
+		method:   lc.Method,
+		stage:    lc.Stage,
+		class:    cl,
+	}
+	c.mu.RLock()
+	cell := c.frames[key]
+	c.mu.RUnlock()
+	if cell == nil {
+		c.mu.Lock()
+		cell = c.frames[key]
+		if cell == nil {
+			if len(c.frames) >= c.cfg.MaxFrames {
+				// Cardinality cap: collapse into the overflow frame.
+				if c.overflow == nil {
+					c.overflow = new(frameCell)
+				}
+				cell = c.overflow
+			} else {
+				cell = new(frameCell)
+				c.frames[key] = cell
+			}
+		}
+		c.mu.Unlock()
+	}
+	cell.ops.Add(ops)
+	cell.cycles.Add(cycles)
+	cell.wall.Add(wall)
+}
+
+// Tick seals the window ending at now: per-DPU deltas since the last
+// tick go into the ring (overwriting the oldest once full). Safe for
+// concurrent use with Observe; empty windows (no launches anywhere)
+// are still recorded so the heatmap's time axis has no holes.
+func (c *Collector) Tick(now time.Time) {
+	if c == nil {
+		return
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	w := HeatWindow{
+		Start: c.winStart,
+		End:   now,
+		DPUs:  make([]HeatDPU, len(c.dpus)),
+	}
+	for i := range c.dpus {
+		cell := &c.dpus[i]
+		cur := dpuAccum{
+			launches:  cell.launches.Load(),
+			wall:      cell.wall.Load(),
+			issueAdj:  cell.issueAdj.Load(),
+			dmaExcess: cell.dmaExcess.Load(),
+			idle:      cell.idle.Load(),
+		}
+		p := c.prev[i]
+		w.DPUs[i] = makeHeatDPU(i, dpuAccum{
+			launches:  cur.launches - p.launches,
+			wall:      cur.wall - p.wall,
+			issueAdj:  cur.issueAdj - p.issueAdj,
+			dmaExcess: cur.dmaExcess - p.dmaExcess,
+			idle:      cur.idle - p.idle,
+		})
+		c.prev[i] = cur
+	}
+	if len(c.ring) < c.cfg.Windows {
+		c.ring = append(c.ring, w)
+	} else {
+		c.ring[c.head] = w
+	}
+	c.head = (c.head + 1) % c.cfg.Windows
+	c.count++
+	c.winStart = now
+}
+
+func makeHeatDPU(id int, d dpuAccum) HeatDPU {
+	h := HeatDPU{
+		DPU:         id,
+		Launches:    d.launches,
+		WallCycles:  d.wall,
+		IssueCycles: d.issueAdj,
+		DMACycles:   d.dmaExcess,
+		IdleCycles:  d.idle,
+	}
+	if d.wall > 0 {
+		h.IssueShare = float64(d.issueAdj) / float64(d.wall)
+		h.DMAShare = float64(d.dmaExcess) / float64(d.wall)
+		h.IdleShare = float64(d.idle) / float64(d.wall)
+	}
+	return h
+}
+
+// HeatDPU is one core's utilization decomposition over one window (or
+// cumulatively): occupancy-adjusted issue cycles, DMA-excess cycles
+// (DMA busy beyond the pipeline), and idle cycles waiting on the
+// launch's slowest lane. The three cycle columns sum to WallCycles.
+type HeatDPU struct {
+	DPU         int     `json:"dpu"`
+	Launches    uint64  `json:"launches"`
+	WallCycles  uint64  `json:"wall_cycles"`
+	IssueCycles uint64  `json:"issue_cycles"`
+	DMACycles   uint64  `json:"dma_excess_cycles"`
+	IdleCycles  uint64  `json:"idle_cycles"`
+	IssueShare  float64 `json:"issue_share"`
+	DMAShare    float64 `json:"dma_share"`
+	IdleShare   float64 `json:"idle_share"`
+}
+
+// HeatWindow is one sealed heatmap window.
+type HeatWindow struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	DPUs  []HeatDPU `json:"dpus"`
+}
+
+// Heatmap is the per-DPU utilization export: cumulative totals plus
+// the retained windows, oldest first.
+type Heatmap struct {
+	Launches uint64       `json:"launches"`
+	DPUs     []HeatDPU    `json:"dpus"`
+	Windows  []HeatWindow `json:"windows"`
+}
+
+// HeatmapSnapshot returns the cumulative per-DPU decomposition and the
+// closed windows, oldest first.
+func (c *Collector) HeatmapSnapshot() Heatmap {
+	if c == nil {
+		return Heatmap{}
+	}
+	h := Heatmap{
+		Launches: c.launches.Load(),
+		DPUs:     make([]HeatDPU, len(c.dpus)),
+	}
+	for i := range c.dpus {
+		cell := &c.dpus[i]
+		h.DPUs[i] = makeHeatDPU(i, dpuAccum{
+			launches:  cell.launches.Load(),
+			wall:      cell.wall.Load(),
+			issueAdj:  cell.issueAdj.Load(),
+			dmaExcess: cell.dmaExcess.Load(),
+			idle:      cell.idle.Load(),
+		})
+	}
+	c.wmu.Lock()
+	if c.count <= len(c.ring) {
+		h.Windows = append(h.Windows, c.ring...)
+	} else {
+		for i := 0; i < len(c.ring); i++ {
+			h.Windows = append(h.Windows, c.ring[(c.head+i)%len(c.ring)])
+		}
+	}
+	c.wmu.Unlock()
+	return h
+}

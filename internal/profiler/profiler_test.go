@@ -1,0 +1,357 @@
+package profiler
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"transpimlib/internal/pimsim"
+)
+
+// synthProfile builds a two-core launch with known counters.
+func synthProfile() pimsim.LaunchProfile {
+	var c0, c1 pimsim.Counters
+	c0.Ops[pimsim.OpFAdd] = 100
+	c0.Cycles[pimsim.OpFAdd] = 500
+	c0.Ops[pimsim.OpWRAM] = 40
+	c0.Cycles[pimsim.OpWRAM] = 160
+	c1.Ops[pimsim.OpFMul] = 30
+	c1.Cycles[pimsim.OpFMul] = 210
+	return pimsim.LaunchProfile{Cores: []pimsim.CoreProfile{
+		{DPU: 0, Tasklets: 16, IssueCycles: 660, DMACycles: 900, Counters: c0},
+		{DPU: 1, Tasklets: 16, IssueCycles: 210, DMACycles: 100, Counters: c1},
+	}}
+}
+
+func launchWall(prof pimsim.LaunchProfile) uint64 {
+	var mx uint64
+	for _, c := range prof.Cores {
+		if w := pimsim.ClosedFormCycles(c.IssueCycles, c.DMACycles, c.Tasklets); w > mx {
+			mx = w
+		}
+	}
+	return mx
+}
+
+func sumProfile(p Profile) (ops, cycles, wall uint64) {
+	for _, f := range p.Frames {
+		ops += f.Ops
+		cycles += f.Cycles
+		wall += f.WallCycles
+	}
+	return
+}
+
+// The core exactness contract: every split is integer prefix
+// partitioning, so ops, per-class cycles and wall cycles each sum
+// back to the launch totals with zero remainder.
+func TestObserveAttributionExact(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	prof := synthProfile()
+	lc := &LaunchContext{
+		Function: "sin", Method: "l-lut(i)", Stage: "kernel",
+		Segs: []Seg{{Tenant: "a", N: 7}, {Tenant: "b", N: 13}, {Tenant: "a", N: 3}},
+		N:    23,
+	}
+	c.Observe(lc, prof)
+
+	p := c.Snapshot()
+	wall := launchWall(prof)
+	tot := prof.Total()
+	ops, cycles, gotWall := sumProfile(p)
+	if gotWall != wall {
+		t.Fatalf("wall sum = %d, want %d", gotWall, wall)
+	}
+	if cycles != tot.TotalCycles() {
+		t.Fatalf("class-cycle sum = %d, want %d", cycles, tot.TotalCycles())
+	}
+	if ops != tot.TotalOps() {
+		t.Fatalf("ops sum = %d, want %d", ops, tot.TotalOps())
+	}
+	if p.TotalWall != wall || p.TotalCycles != tot.TotalCycles() || p.TotalOps != tot.TotalOps() {
+		t.Fatalf("profile totals %d/%d/%d diverge from frame sums", p.TotalWall, p.TotalCycles, p.TotalOps)
+	}
+
+	// Per-tenant wall shares follow the ledger's prefix rule over the
+	// segment order: cum ∈ {7, 20, 23} of 23.
+	wantA := wall*7/23 + (wall - wall*20/23)
+	wantB := wall*20/23 - wall*7/23
+	var gotA, gotB uint64
+	for _, f := range p.Frames {
+		switch f.Tenant {
+		case "a":
+			gotA += f.WallCycles
+		case "b":
+			gotB += f.WallCycles
+		}
+	}
+	if gotA != wantA || gotB != wantB {
+		t.Fatalf("tenant shares a=%d b=%d, want a=%d b=%d", gotA, gotB, wantA, wantB)
+	}
+
+	// Every frame carries the full label stack.
+	for _, f := range p.Frames {
+		if f.Function != "sin" || f.Method != "l-lut(i)" || f.Stage != "kernel" {
+			t.Fatalf("frame labels lost: %+v", f)
+		}
+	}
+}
+
+// A launch that charged no per-class cycles still has its wall
+// attributed (to ctrl), so totals keep reconciling.
+func TestObserveNoClassCyclesFallsToCtrl(t *testing.T) {
+	c := New(Config{Enabled: true}, 1)
+	prof := pimsim.LaunchProfile{Cores: []pimsim.CoreProfile{
+		{DPU: 0, Tasklets: 16, IssueCycles: 100, DMACycles: 0},
+	}}
+	lc := &LaunchContext{Function: "f", Method: "m", Stage: "kernel",
+		Segs: []Seg{{Tenant: "t", N: 4}}, N: 4}
+	c.Observe(lc, prof)
+	p := c.Snapshot()
+	wall := launchWall(prof)
+	if len(p.Frames) != 1 || p.Frames[0].Class != pimsim.OpCtrl.String() || p.Frames[0].WallCycles != wall {
+		t.Fatalf("want single ctrl frame with wall %d, got %+v", wall, p.Frames)
+	}
+}
+
+func TestHeatmapDecompositionSumsToWall(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	prof := synthProfile()
+	lc := &LaunchContext{Function: "f", Method: "m", Stage: "kernel",
+		Segs: []Seg{{Tenant: "", N: 8}}, N: 8}
+	c.Observe(lc, prof)
+	c.Observe(lc, prof)
+	wall := 2 * launchWall(prof)
+	h := c.HeatmapSnapshot()
+	if len(h.DPUs) != 2 {
+		t.Fatalf("want 2 dpu rows, got %d", len(h.DPUs))
+	}
+	for _, d := range h.DPUs {
+		if d.WallCycles != wall {
+			t.Fatalf("dpu %d wall = %d, want %d", d.DPU, d.WallCycles, wall)
+		}
+		if d.IssueCycles+d.DMACycles+d.IdleCycles != d.WallCycles {
+			t.Fatalf("dpu %d: issue %d + dma %d + idle %d != wall %d",
+				d.DPU, d.IssueCycles, d.DMACycles, d.IdleCycles, d.WallCycles)
+		}
+		if d.Launches != 2 {
+			t.Fatalf("dpu %d launches = %d, want 2", d.DPU, d.Launches)
+		}
+	}
+}
+
+// The window ring overwrites oldest-first and the snapshot returns
+// windows in chronological order, Timeline-style.
+func TestHeatmapWindowRingWraparound(t *testing.T) {
+	c := New(Config{Enabled: true, Windows: 3}, 1)
+	lc := &LaunchContext{Function: "f", Method: "m", Stage: "kernel",
+		Segs: []Seg{{Tenant: "", N: 1}}, N: 1}
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		// i+1 launches in window i → per-window launch delta = i+1.
+		for j := 0; j <= i; j++ {
+			c.Observe(lc, pimsim.LaunchProfile{Cores: []pimsim.CoreProfile{
+				{DPU: 0, Tasklets: 16, IssueCycles: 10},
+			}})
+		}
+		c.Tick(base.Add(time.Duration(i+1) * time.Second))
+	}
+	h := c.HeatmapSnapshot()
+	if len(h.Windows) != 3 {
+		t.Fatalf("want 3 retained windows, got %d", len(h.Windows))
+	}
+	for i, w := range h.Windows {
+		wantLaunches := uint64(i + 3) // windows 2,3,4 survive
+		if w.DPUs[0].Launches != wantLaunches {
+			t.Fatalf("window %d launches = %d, want %d", i, w.DPUs[0].Launches, wantLaunches)
+		}
+		wantEnd := base.Add(time.Duration(i+3) * time.Second)
+		if !w.End.Equal(wantEnd) {
+			t.Fatalf("window %d end = %v, want %v", i, w.End, wantEnd)
+		}
+	}
+}
+
+func TestMergeSumsAndDiffOfIdenticalIsEmpty(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	lc := &LaunchContext{Function: "sin", Method: "l-lut", Stage: "kernel",
+		Segs: []Seg{{Tenant: "a", N: 5}}, N: 5}
+	c.Observe(lc, synthProfile())
+	p := c.Snapshot()
+
+	m := Merge(p, p)
+	if m.TotalWall != 2*p.TotalWall || m.TotalOps != 2*p.TotalOps {
+		t.Fatalf("merge totals %d/%d, want doubled %d/%d", m.TotalWall, m.TotalOps, 2*p.TotalWall, 2*p.TotalOps)
+	}
+	if len(m.Frames) != len(p.Frames) {
+		t.Fatalf("merge frame count %d, want %d", len(m.Frames), len(p.Frames))
+	}
+
+	if d := Diff(p, p); len(d) != 0 {
+		t.Fatalf("diff of identical profiles = %d deltas, want 0", len(d))
+	}
+
+	// A doubled profile diffs with +100% growth everywhere.
+	for _, d := range Diff(p, m) {
+		if d.Growth < 0.999 || d.Growth > 1.001 {
+			t.Fatalf("doubled profile growth = %v, want 1.0", d.Growth)
+		}
+	}
+}
+
+func TestSubIsIntervalDelta(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	lc := &LaunchContext{Function: "sin", Method: "l-lut", Stage: "kernel",
+		Segs: []Seg{{Tenant: "a", N: 5}}, N: 5}
+	c.Observe(lc, synthProfile())
+	before := c.Snapshot()
+	c.Observe(lc, synthProfile())
+	delta := Sub(c.Snapshot(), before)
+	if delta.TotalWall != before.TotalWall {
+		t.Fatalf("interval wall = %d, want %d", delta.TotalWall, before.TotalWall)
+	}
+	if delta.Launches != 1 {
+		t.Fatalf("interval launches = %d, want 1", delta.Launches)
+	}
+}
+
+func TestRollupCollapsesTenantAndStage(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	for _, tn := range []string{"a", "b"} {
+		lc := &LaunchContext{Function: "sin", Method: "l-lut", Stage: "kernel",
+			Segs: []Seg{{Tenant: tn, N: 5}}, N: 5}
+		c.Observe(lc, synthProfile())
+		lc.Stage = "remap"
+		c.Observe(lc, synthProfile())
+	}
+	p := c.Snapshot()
+	r := Rollup(p)
+	if r.TotalWall != p.TotalWall {
+		t.Fatalf("rollup wall %d != profile wall %d", r.TotalWall, p.TotalWall)
+	}
+	for _, f := range r.Frames {
+		if f.Tenant != "" || f.Stage != "" {
+			t.Fatalf("rollup kept tenant/stage: %+v", f)
+		}
+	}
+	if len(r.Frames) >= len(p.Frames) {
+		t.Fatalf("rollup did not collapse: %d vs %d frames", len(r.Frames), len(p.Frames))
+	}
+}
+
+func TestMaxFramesOverflow(t *testing.T) {
+	c := New(Config{Enabled: true, MaxFrames: 2}, 1)
+	prof := pimsim.LaunchProfile{Cores: []pimsim.CoreProfile{
+		{DPU: 0, Tasklets: 16, IssueCycles: 100},
+	}}
+	for _, fn := range []string{"a", "b", "c", "d"} {
+		lc := &LaunchContext{Function: fn, Method: "m", Stage: "kernel",
+			Segs: []Seg{{Tenant: "", N: 1}}, N: 1}
+		c.Observe(lc, prof)
+	}
+	p := c.Snapshot()
+	if len(p.Frames) != 3 { // 2 real + 1 overflow
+		t.Fatalf("want 2 frames + overflow, got %d", len(p.Frames))
+	}
+	wall := launchWall(prof)
+	if p.TotalWall != 4*wall {
+		t.Fatalf("overflow lost cycles: total %d, want %d", p.TotalWall, 4*wall)
+	}
+	var hasOverflow bool
+	for _, f := range p.Frames {
+		if f.Function == "~other" {
+			hasOverflow = true
+			if f.WallCycles != 2*wall {
+				t.Fatalf("overflow wall = %d, want %d", f.WallCycles, 2*wall)
+			}
+		}
+	}
+	if !hasOverflow {
+		t.Fatal("no overflow frame emitted")
+	}
+}
+
+func TestWriteFoldedFormat(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	lc := &LaunchContext{Function: "sin", Method: "l-lut(i)", Stage: "kernel",
+		Segs: []Seg{{Tenant: "", N: 5}}, N: 5}
+	c.Observe(lc, synthProfile())
+	var sb strings.Builder
+	if err := c.Snapshot().WriteFolded(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 {
+			t.Fatalf("folded line %q: want `stack value`", line)
+		}
+		if got := strings.Count(parts[0], ";"); got != 4 {
+			t.Fatalf("folded stack %q: want 5 levels, got %d", parts[0], got+1)
+		}
+		if !strings.HasPrefix(parts[0], "-;sin;l-lut(i);kernel;") {
+			t.Fatalf("unexpected stack %q", parts[0])
+		}
+	}
+}
+
+// Concurrent Observe from several goroutines (the multi-shard case)
+// keeps exact totals — run under -race.
+func TestObserveConcurrent(t *testing.T) {
+	c := New(Config{Enabled: true}, 2)
+	prof := synthProfile()
+	wall := launchWall(prof)
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lc := &LaunchContext{Function: "sin", Method: "l-lut", Stage: "kernel",
+				Segs: []Seg{{Tenant: "t", N: 3}, {Tenant: "u", N: 5}}, N: 8}
+			for i := 0; i < per; i++ {
+				c.Observe(lc, prof)
+				if i%10 == 0 {
+					c.Tick(time.Now())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := c.Snapshot()
+	if want := uint64(goroutines*per) * wall; p.TotalWall != want {
+		t.Fatalf("concurrent wall total = %d, want %d", p.TotalWall, want)
+	}
+	if c.launches.Load() != goroutines*per {
+		t.Fatalf("launches = %d, want %d", c.launches.Load(), goroutines*per)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Observe(&LaunchContext{}, pimsim.LaunchProfile{})
+	c.Tick(time.Now())
+	c.Close()
+	if p := c.Snapshot(); len(p.Frames) != 0 {
+		t.Fatal("nil collector produced frames")
+	}
+	if h := c.HeatmapSnapshot(); len(h.DPUs) != 0 {
+		t.Fatal("nil collector produced heatmap rows")
+	}
+}
+
+func TestStartCloseSealsPartialWindow(t *testing.T) {
+	c := New(Config{Enabled: true, Window: time.Hour}, 1)
+	c.Start()
+	lc := &LaunchContext{Function: "f", Method: "m", Stage: "kernel",
+		Segs: []Seg{{Tenant: "", N: 1}}, N: 1}
+	c.Observe(lc, pimsim.LaunchProfile{Cores: []pimsim.CoreProfile{
+		{DPU: 0, Tasklets: 16, IssueCycles: 10},
+	}})
+	c.Close()
+	h := c.HeatmapSnapshot()
+	if len(h.Windows) == 0 || h.Windows[len(h.Windows)-1].DPUs[0].Launches != 1 {
+		t.Fatalf("Close did not seal the partial window: %+v", h.Windows)
+	}
+	c.Close() // idempotent
+}

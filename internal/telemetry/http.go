@@ -23,6 +23,13 @@ type Telemetry struct {
 	// LedgerJSON, when non-nil, supplies the /debug/ledger document —
 	// the per-(tenant, function, method) cost snapshot.
 	LedgerJSON func() any
+	// ProfileHandler, when non-nil, serves /debug/profile — the
+	// modeled-cycle profiler's flamegraph/pprof export (the engine or
+	// cluster wires it to internal/profiler's handler).
+	ProfileHandler http.Handler
+	// HeatmapHandler, when non-nil, serves /debug/heatmap — per-DPU
+	// issue/DMA/idle utilization decompositions.
+	HeatmapHandler http.Handler
 }
 
 // Handler returns an http.Handler exposing the standard endpoints:
@@ -37,6 +44,11 @@ type Telemetry struct {
 //	                 registry as JSON (404 when the timeline is off)
 //	/debug/ledger    the per-(tenant, function, method) cost ledger as
 //	                 JSON (404 when the ledger is off)
+//	/debug/profile   the modeled-cycle profiler's frames as JSON,
+//	                 folded flamegraph stacks, or gzip pprof
+//	                 (?seconds=N&format=...; 404 when profiling is off)
+//	/debug/heatmap   per-DPU issue/DMA/idle utilization windows as
+//	                 JSON (404 when profiling is off)
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -104,6 +116,20 @@ func (t *Telemetry) Handler() http.Handler {
 		if err := enc.Encode(t.LedgerJSON()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil || t.ProfileHandler == nil {
+			http.Error(w, "profiling disabled (enable the profiler)", http.StatusNotFound)
+			return
+		}
+		t.ProfileHandler.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/debug/heatmap", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil || t.HeatmapHandler == nil {
+			http.Error(w, "profiling disabled (enable the profiler)", http.StatusNotFound)
+			return
+		}
+		t.HeatmapHandler.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/accuracy", func(w http.ResponseWriter, _ *http.Request) {
 		if t == nil || t.AccuracyJSON == nil {

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The ring must overwrite oldest-first once full and Snapshot must
+// return the surviving windows in chronological order.
+func TestTimelineRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("wrap_total", "test")
+	tl := NewTimeline(reg, TimelineConfig{Enabled: true, BucketWidth: time.Second, Buckets: 3})
+	base := time.Unix(5000, 0)
+	// 7 ticks, window i (1-based) carries i increments → rate i/s.
+	for i := 1; i <= 7; i++ {
+		c.Add(uint64(i))
+		tl.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	snap := tl.Snapshot()
+	if len(snap.Windows) != 3 {
+		t.Fatalf("want 3 retained windows, got %d", len(snap.Windows))
+	}
+	for i, w := range snap.Windows {
+		wantRate := float64(i + 5) // windows 5, 6, 7 survive
+		if got := w.Values["wrap_total:rate"]; got != wantRate {
+			t.Fatalf("window %d rate = %v, want %v", i, got, wantRate)
+		}
+		wantEnd := base.Add(time.Duration(i+5) * time.Second)
+		if !w.End.Equal(wantEnd) {
+			t.Fatalf("window %d end = %v, want %v (not chronological)", i, w.End, wantEnd)
+		}
+		if i > 0 && !w.Start.Equal(snap.Windows[i-1].End) {
+			t.Fatalf("window %d start %v does not abut previous end %v", i, w.Start, snap.Windows[i-1].End)
+		}
+	}
+	// Wrap again: 3 more ticks fully replace the ring's contents.
+	for i := 8; i <= 10; i++ {
+		c.Add(uint64(i))
+		tl.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	snap = tl.Snapshot()
+	if got := snap.Windows[0].Values["wrap_total:rate"]; got != 8 {
+		t.Fatalf("after second wrap, oldest rate = %v, want 8", got)
+	}
+}
+
+// Close must seal the in-progress partial window: a session shorter
+// than BucketWidth still leaves its traffic visible. Concurrent
+// traffic during Start/Close exercises the locking under -race.
+func TestTimelineCloseSealsPartialWindow(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("seal_total", "test")
+	tl := NewTimeline(reg, TimelineConfig{Enabled: true, BucketWidth: time.Hour, Buckets: 4})
+	tl.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	tl.Close() // the ticker (1h) never fired; Close takes the only sample
+	snap := tl.Snapshot()
+	if len(snap.Windows) == 0 {
+		t.Fatal("Close sealed no window")
+	}
+	last := snap.Windows[len(snap.Windows)-1]
+	rate, ok := last.Values["seal_total:rate"]
+	if !ok || rate <= 0 {
+		t.Fatalf("sealed window lost the traffic: %+v", last.Values)
+	}
+	// All 1000 increments must be in the sealed window (rate × width).
+	width := last.End.Sub(last.Start).Seconds()
+	if got := rate * width; got < 999.5 || got > 1000.5 {
+		t.Fatalf("sealed window carries %v increments, want 1000", got)
+	}
+	tl.Close() // second Close is a no-op, not a deadlock
+	// The windows stay readable after Close.
+	if got := tl.Snapshot(); len(got.Windows) != len(snap.Windows) {
+		t.Fatalf("windows changed after second Close: %d vs %d", len(got.Windows), len(snap.Windows))
+	}
+}
